@@ -1,0 +1,85 @@
+//! Error type shared by the baseline preparation algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use qsp_circuit::CircuitError;
+use qsp_state::StateError;
+
+/// Errors produced by the baseline state preparation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The target state is not supported by this algorithm (e.g. negative
+    /// amplitudes for a flow that only handles non-negative ones).
+    UnsupportedState {
+        /// Human readable description of the restriction.
+        reason: String,
+    },
+    /// The register is too wide for this algorithm's complexity.
+    RegisterTooWide {
+        /// Requested width.
+        requested: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
+    /// An underlying state operation failed.
+    State(StateError),
+    /// An underlying circuit operation failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::UnsupportedState { reason } => {
+                write!(f, "target state not supported: {reason}")
+            }
+            BaselineError::RegisterTooWide { requested, max } => {
+                write!(f, "register of {requested} qubits exceeds the supported maximum {max}")
+            }
+            BaselineError::State(e) => write!(f, "state error: {e}"),
+            BaselineError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::State(e) => Some(e),
+            BaselineError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StateError> for BaselineError {
+    fn from(value: StateError) -> Self {
+        BaselineError::State(value)
+    }
+}
+
+impl From<CircuitError> for BaselineError {
+    fn from(value: CircuitError) -> Self {
+        BaselineError::Circuit(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BaselineError = StateError::EmptyState.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("state error"));
+        let e: BaselineError = CircuitError::OverlappingQubits { qubit: 1 }.into();
+        assert!(e.to_string().contains("circuit error"));
+        let e = BaselineError::UnsupportedState {
+            reason: "negative amplitudes".to_string(),
+        };
+        assert!(e.to_string().contains("negative amplitudes"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Decision-diagram, path-wise preparation ("hybrid") baseline.
+//!
+//! Stand-in for the hybrid method of Mozafari et al., PRA 2022 (ref. \[16\]
+//! of the paper), which combines qubit- and cardinality-reduction on a
+//! decision diagram and uses one ancilla qubit.
+//!
+//! ## Substitution notes (see DESIGN.md)
+//!
+//! The original implementation relies on the CUDD decision-diagram package
+//! and an ancilla qubit to linearize the cost of its controlled rotations.
+//! This re-implementation walks the same kind of ordered decision tree over
+//! the target's support, emitting one multi-controlled Y rotation per branch
+//! node, but without an ancilla: the controls of each rotation are a greedy
+//! minimal set of path qubits distinguishing the node from every other
+//! active path. The resulting CNOT counts reproduce the *qualitative*
+//! behaviour of Table IV/V — clearly worse than the better specialized flow
+//! on both dense and sparse benchmarks — without claiming to match the
+//! original gate-for-gate.
+
+use qsp_circuit::{Circuit, Control, Gate};
+use qsp_state::{BasisIndex, SparseState};
+
+use crate::error::BaselineError;
+use crate::preparator::{require_nonnegative_amplitudes, StatePreparator};
+
+/// Upper bound on the number of decision-tree nodes the hybrid flow will
+/// expand; beyond this the preparation is rejected (the original would need
+/// its ancilla-based machinery to stay practical).
+pub const MAX_TREE_NODES: usize = 1 << 12;
+
+/// The decision-diagram path-wise preparation algorithm.
+///
+/// # Example
+///
+/// ```
+/// use qsp_baselines::{HybridPreparator, StatePreparator};
+/// use qsp_state::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = generators::ghz(3)?;
+/// let circuit = HybridPreparator::new().prepare(&target)?;
+/// assert!(circuit.cnot_cost() >= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridPreparator {
+    _private: (),
+}
+
+/// A node of the ordered decision tree: a partial assignment ("path") to the
+/// first `depth` qubits that is consistent with at least one support index.
+#[derive(Debug, Clone)]
+struct PathNode {
+    depth: usize,
+    prefix: u64,
+}
+
+impl HybridPreparator {
+    /// Creates a hybrid preparator.
+    pub fn new() -> Self {
+        HybridPreparator { _private: () }
+    }
+
+    /// Probability mass per active prefix at `depth`, split by the value of
+    /// qubit `depth`: one pass over the support builds the whole level.
+    fn level_probabilities(
+        target: &SparseState,
+        depth: usize,
+    ) -> std::collections::BTreeMap<u64, [f64; 2]> {
+        let mask = (1u64 << depth) - 1;
+        let mut probs: std::collections::BTreeMap<u64, [f64; 2]> = std::collections::BTreeMap::new();
+        for (index, amplitude) in target.iter() {
+            let prefix = index.value() & mask;
+            let entry = probs.entry(prefix).or_insert([0.0, 0.0]);
+            entry[index.bit(depth) as usize] += amplitude * amplitude;
+        }
+        probs
+    }
+
+    /// Greedy minimal control set distinguishing `node` from every other
+    /// active path at the same depth.
+    fn distinguishing_controls(node: &PathNode, peers: &[PathNode]) -> Vec<Control> {
+        let reference = BasisIndex::new(node.prefix);
+        let mut remaining: Vec<&PathNode> = peers
+            .iter()
+            .filter(|p| p.prefix != node.prefix)
+            .collect();
+        let mut controls = Vec::new();
+        let mut used = vec![false; node.depth];
+        while !remaining.is_empty() {
+            let mut best_qubit = None;
+            let mut best_eliminated = 0usize;
+            for q in 0..node.depth {
+                if used[q] {
+                    continue;
+                }
+                let eliminated = remaining
+                    .iter()
+                    .filter(|p| BasisIndex::new(p.prefix).bit(q) != reference.bit(q))
+                    .count();
+                if eliminated > best_eliminated {
+                    best_eliminated = eliminated;
+                    best_qubit = Some(q);
+                }
+            }
+            let q = best_qubit.expect("distinct prefixes admit a distinguishing qubit");
+            used[q] = true;
+            controls.push(Control {
+                qubit: q,
+                polarity: reference.bit(q),
+            });
+            remaining.retain(|p| BasisIndex::new(p.prefix).bit(q) == reference.bit(q));
+        }
+        controls
+    }
+}
+
+impl StatePreparator for HybridPreparator {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+        require_nonnegative_amplitudes(target, "hybrid preparation")?;
+        let n = target.num_qubits();
+        let mut circuit = Circuit::new(n);
+        let mut level: Vec<PathNode> = vec![PathNode {
+            depth: 0,
+            prefix: 0,
+        }];
+        let mut expanded_nodes = 0usize;
+
+        for depth in 0..n {
+            let probs = Self::level_probabilities(target, depth);
+            let mut next_level = Vec::new();
+            let snapshot = level.clone();
+            for node in &snapshot {
+                expanded_nodes += 1;
+                if expanded_nodes > MAX_TREE_NODES {
+                    return Err(BaselineError::UnsupportedState {
+                        reason: format!(
+                            "decision tree exceeds {MAX_TREE_NODES} nodes; the ancilla-based original is required at this scale"
+                        ),
+                    });
+                }
+                let [p0, p1] = probs.get(&node.prefix).copied().unwrap_or([0.0, 0.0]);
+                if p0 <= f64::EPSILON && p1 <= f64::EPSILON {
+                    continue;
+                }
+                if p1 > f64::EPSILON {
+                    // A rotation is needed (deterministic flip when p0 == 0).
+                    let theta = -2.0 * p1.sqrt().atan2(p0.sqrt());
+                    let controls = Self::distinguishing_controls(node, &snapshot);
+                    let gate = if controls.is_empty() {
+                        Gate::ry(depth, theta)
+                    } else {
+                        Gate::Mcry {
+                            controls,
+                            target: depth,
+                            theta,
+                        }
+                    };
+                    circuit.try_push(gate)?;
+                }
+                if p0 > f64::EPSILON {
+                    next_level.push(PathNode {
+                        depth: depth + 1,
+                        prefix: node.prefix,
+                    });
+                }
+                if p1 > f64::EPSILON {
+                    next_level.push(PathNode {
+                        depth: depth + 1,
+                        prefix: node.prefix | (1u64 << depth),
+                    });
+                }
+            }
+            level = next_level;
+        }
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_circuit::apply::prepare_from_ground;
+    use qsp_state::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn verify(target: &SparseState) -> Circuit {
+        let circuit = HybridPreparator::new().prepare(target).unwrap();
+        let prepared = prepare_from_ground(&circuit).unwrap();
+        assert!(
+            prepared.approx_eq(target, 1e-9),
+            "hybrid prepared {prepared} instead of {target}"
+        );
+        circuit
+    }
+
+    #[test]
+    fn prepares_basic_states() {
+        verify(&generators::ghz(3).unwrap());
+        verify(&generators::ghz(5).unwrap());
+        verify(&generators::w_state(4).unwrap());
+        verify(&generators::dicke(4, 2).unwrap());
+        verify(&generators::dicke(6, 3).unwrap());
+    }
+
+    #[test]
+    fn prepares_random_states() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 3..7 {
+            verify(&generators::random_sparse_state(n, &mut rng).unwrap());
+            verify(&generators::random_dense_state(n, &mut rng).unwrap());
+        }
+    }
+
+    #[test]
+    fn costs_more_than_the_specialized_flows_on_their_home_turf() {
+        use crate::mflow::CardinalityReduction;
+        let mut rng = StdRng::seed_from_u64(9);
+        let sparse = generators::random_sparse_state(8, &mut rng).unwrap();
+        let hybrid_cost = HybridPreparator::new().prepare(&sparse).unwrap().cnot_cost();
+        let mflow_cost = CardinalityReduction::new().prepare(&sparse).unwrap().cnot_cost();
+        // The qualitative relation of Table V (sparse rows): hybrid uses more
+        // CNOTs than the cardinality reduction flow.
+        assert!(
+            hybrid_cost >= mflow_cost,
+            "hybrid {hybrid_cost} unexpectedly beats m-flow {mflow_cost}"
+        );
+    }
+
+    #[test]
+    fn rejects_negative_amplitudes() {
+        let negative = SparseState::from_amplitudes(
+            2,
+            [(BasisIndex::new(0), 0.6), (BasisIndex::new(3), -0.8)],
+        )
+        .unwrap();
+        assert!(HybridPreparator::new().prepare(&negative).is_err());
+        assert_eq!(HybridPreparator::new().name(), "hybrid");
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        // A dense state on 14 qubits exceeds the 2^12 node budget; the flow
+        // must reject it instead of expanding an enormous decision tree (the
+        // ancilla-based original of ref. [16] is required at that scale).
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = generators::random_uniform_state(14, 1 << 13, &mut rng).unwrap();
+        let result = HybridPreparator::new().prepare(&target);
+        assert!(matches!(result, Err(BaselineError::UnsupportedState { .. })));
+    }
+}

@@ -1,0 +1,117 @@
+//! The common interface implemented by every preparation algorithm.
+
+use std::time::Duration;
+
+use qsp_circuit::Circuit;
+use qsp_state::SparseState;
+
+use crate::error::BaselineError;
+
+/// The result of running one preparation algorithm on one target state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparationOutcome {
+    /// The synthesized circuit (maps `|0…0⟩` to the target).
+    pub circuit: Circuit,
+    /// CNOT cost of the circuit under the paper's cost model.
+    pub cnot_cost: usize,
+    /// Wall-clock time spent by the synthesis algorithm.
+    pub elapsed: Duration,
+}
+
+impl PreparationOutcome {
+    /// Bundles a circuit with its cost and the measured synthesis time.
+    pub fn new(circuit: Circuit, elapsed: Duration) -> Self {
+        let cnot_cost = circuit.cnot_cost();
+        PreparationOutcome {
+            circuit,
+            cnot_cost,
+            elapsed,
+        }
+    }
+}
+
+/// A quantum state preparation algorithm.
+///
+/// Implemented by the three baselines of this crate and by the exact CNOT
+/// synthesis workflow in `qsp-core`, so the benchmark harness can drive all
+/// of them uniformly.
+pub trait StatePreparator {
+    /// A short name used in benchmark tables (e.g. `"m-flow"`).
+    fn name(&self) -> &str;
+
+    /// Synthesizes a circuit preparing `target` from the ground state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the algorithm cannot handle the target state
+    /// (unsupported amplitudes, register too wide, internal failure).
+    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError>;
+
+    /// Runs [`StatePreparator::prepare`] and measures elapsed wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`StatePreparator::prepare`].
+    fn prepare_timed(&self, target: &SparseState) -> Result<PreparationOutcome, BaselineError> {
+        let start = std::time::Instant::now();
+        let circuit = self.prepare(target)?;
+        Ok(PreparationOutcome::new(circuit, start.elapsed()))
+    }
+}
+
+/// Rejects states with negative amplitudes, which the flows derived from
+/// uniform-state algorithms do not handle (the paper evaluates uniform
+/// states only; see Sec. VI-A).
+pub(crate) fn require_nonnegative_amplitudes(
+    target: &SparseState,
+    algorithm: &str,
+) -> Result<(), BaselineError> {
+    if target.iter().any(|(_, a)| a < 0.0) {
+        Err(BaselineError::UnsupportedState {
+            reason: format!(
+                "{algorithm} only supports states with non-negative real amplitudes"
+            ),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::BasisIndex;
+
+    struct Identity;
+
+    impl StatePreparator for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+        fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+            Ok(Circuit::new(target.num_qubits()))
+        }
+    }
+
+    #[test]
+    fn prepare_timed_reports_cost_and_duration() {
+        let target = SparseState::ground_state(2).unwrap();
+        let outcome = Identity.prepare_timed(&target).unwrap();
+        assert_eq!(outcome.cnot_cost, 0);
+        assert!(outcome.circuit.is_empty());
+        assert_eq!(Identity.name(), "identity");
+    }
+
+    #[test]
+    fn nonnegative_check() {
+        let positive = SparseState::ground_state(1).unwrap();
+        assert!(require_nonnegative_amplitudes(&positive, "test").is_ok());
+        let negative = SparseState::from_amplitudes(
+            1,
+            [(BasisIndex::new(0), -0.6), (BasisIndex::new(1), 0.8)],
+        )
+        .unwrap();
+        let err = require_nonnegative_amplitudes(&negative, "test").unwrap_err();
+        assert!(err.to_string().contains("non-negative"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks backing Fig. 7 (runtime scaling) and the
+//! per-method synthesis costs of Tables IV/V.
+//!
+//! Run with `cargo bench -p qsp-bench`. Each group sweeps the number of
+//! qubits for one workload family and one synthesis method, so the Criterion
+//! report reproduces the runtime *series* of Fig. 7 (the paper's absolute
+//! numbers are Python; only the shape is comparable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
+use qsp_core::{ExactSynthesizer, QspWorkflow};
+use qsp_state::generators::{self, Workload};
+
+/// Fig. 7b / Table V (sparse): synthesis runtime on random sparse states.
+fn bench_sparse_states(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_sparse_states");
+    group.sample_size(10);
+    for n in [6usize, 8, 10, 12] {
+        let target = Workload::RandomSparse { n, seed: 42 }
+            .instantiate()
+            .expect("workload generation succeeds");
+        group.bench_with_input(BenchmarkId::new("m-flow", n), &target, |b, t| {
+            b.iter(|| CardinalityReduction::new().prepare(t).expect("m-flow succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("ours", n), &target, |b, t| {
+            b.iter(|| QspWorkflow::new().prepare(t).expect("workflow succeeds"))
+        });
+        if n <= 10 {
+            group.bench_with_input(BenchmarkId::new("n-flow", n), &target, |b, t| {
+                b.iter(|| QubitReduction::new().prepare(t).expect("n-flow succeeds"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 7a / Table V (dense): synthesis runtime on random dense states.
+fn bench_dense_states(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_dense_states");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let target = Workload::RandomDense { n, seed: 42 }
+            .instantiate()
+            .expect("workload generation succeeds");
+        group.bench_with_input(BenchmarkId::new("n-flow", n), &target, |b, t| {
+            b.iter(|| QubitReduction::new().prepare(t).expect("n-flow succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("ours", n), &target, |b, t| {
+            b.iter(|| QspWorkflow::new().prepare(t).expect("workflow succeeds"))
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("m-flow", n), &target, |b, t| {
+                b.iter(|| CardinalityReduction::new().prepare(t).expect("m-flow succeeds"))
+            });
+            group.bench_with_input(BenchmarkId::new("hybrid", n), &target, |b, t| {
+                b.iter(|| HybridPreparator::new().prepare(t).expect("hybrid succeeds"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Table IV: Dicke-state synthesis (the exact solver is exercised directly).
+fn bench_dicke_states(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_dicke_states");
+    group.sample_size(10);
+    for (n, k) in [(4usize, 1usize), (4, 2), (5, 2), (6, 2)] {
+        let target = generators::dicke(n, k).expect("valid Dicke parameters");
+        group.bench_with_input(
+            BenchmarkId::new("ours", format!("d{n}_{k}")),
+            &target,
+            |b, t| b.iter(|| QspWorkflow::new().prepare(t).expect("workflow succeeds")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("m-flow", format!("d{n}_{k}")),
+            &target,
+            |b, t| b.iter(|| CardinalityReduction::new().prepare(t).expect("m-flow succeeds")),
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: A* with and without the admissible heuristic and with and
+/// without permutation compression (Sec. V-A/V-B design choices).
+fn bench_ablations(c: &mut Criterion) {
+    use qsp_core::SearchConfig;
+    let mut group = c.benchmark_group("ablation_exact_search");
+    group.sample_size(10);
+    let target = generators::dicke(4, 2).expect("valid Dicke parameters");
+    let configurations = [
+        ("astar_heuristic", SearchConfig::default()),
+        (
+            "dijkstra_no_heuristic",
+            SearchConfig {
+                use_heuristic: false,
+                ..SearchConfig::default()
+            },
+        ),
+        (
+            "astar_permutation_compression",
+            SearchConfig {
+                permutation_compression: true,
+                ..SearchConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in configurations {
+        group.bench_with_input(BenchmarkId::new(label, "d4_2"), &target, |b, t| {
+            b.iter(|| {
+                ExactSynthesizer::with_config(config)
+                    .synthesize(t)
+                    .expect("exact synthesis succeeds")
+            })
+        });
+    }
+    // Removing the CRy merges makes |D^2_4> unreachable, so the restricted
+    // library is benchmarked on the GHZ state instead.
+    let ghz = generators::ghz(4).expect("valid GHZ state");
+    group.bench_with_input(
+        BenchmarkId::new("astar_no_controlled_merges", "ghz4"),
+        &ghz,
+        |b, t| {
+            b.iter(|| {
+                ExactSynthesizer::with_config(SearchConfig {
+                    enable_controlled_merges: false,
+                    ..SearchConfig::default()
+                })
+                .synthesize(t)
+                .expect("exact synthesis succeeds")
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_states,
+    bench_dense_states,
+    bench_dicke_states,
+    bench_ablations
+);
+criterion_main!(benches);

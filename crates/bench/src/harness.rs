@@ -1,0 +1,124 @@
+//! Shared driver that runs every preparation method on a workload.
+
+use std::time::Duration;
+
+use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
+use qsp_core::QspWorkflow;
+use qsp_sim::verify_preparation;
+use qsp_state::SparseState;
+
+/// The methods compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Cardinality reduction (ref. \[15\]).
+    MFlow,
+    /// Qubit reduction (ref. \[13\]).
+    NFlow,
+    /// Decision-diagram hybrid (ref. \[16\], re-implemented without ancilla).
+    Hybrid,
+    /// The paper's exact CNOT synthesis workflow ("ours").
+    Ours,
+}
+
+impl Method {
+    /// All methods in the column order used by the paper's tables.
+    pub const ALL: [Method; 4] = [Method::MFlow, Method::NFlow, Method::Hybrid, Method::Ours];
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::MFlow => "m-flow",
+            Method::NFlow => "n-flow",
+            Method::Hybrid => "hybrid",
+            Method::Ours => "ours",
+        }
+    }
+}
+
+/// One measurement: a method applied to one target state.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// The measured method.
+    pub method: Method,
+    /// CNOT cost of the synthesized circuit (`None` when the method could not
+    /// handle the workload, reported as "—" in the tables).
+    pub cnot_cost: Option<usize>,
+    /// Synthesis wall-clock time.
+    pub elapsed: Duration,
+    /// Whether the circuit was verified against the target with the dense
+    /// simulator (only attempted for registers the simulator can hold).
+    pub verified: Option<bool>,
+}
+
+/// Runs one method on one target, optionally verifying the circuit.
+///
+/// Verification is skipped for registers wider than `verify_up_to` qubits
+/// (the dense simulator needs `2^n` amplitudes); synthesis failures are
+/// reported as `cnot_cost: None` rather than panicking so the harness can
+/// keep filling the remaining table cells, as the paper does with its "TLE"
+/// entries.
+pub fn run_method(method: Method, target: &SparseState, verify_up_to: usize) -> BenchmarkRow {
+    let preparator: Box<dyn StatePreparator> = match method {
+        Method::MFlow => Box::new(CardinalityReduction::new()),
+        Method::NFlow => Box::new(QubitReduction::new()),
+        Method::Hybrid => Box::new(HybridPreparator::new()),
+        Method::Ours => Box::new(QspWorkflow::new()),
+    };
+    let start = std::time::Instant::now();
+    match preparator.prepare(target) {
+        Ok(circuit) => {
+            let elapsed = start.elapsed();
+            let verified = if target.num_qubits() <= verify_up_to {
+                verify_preparation(&circuit, target)
+                    .ok()
+                    .map(|report| report.is_correct())
+            } else {
+                None
+            };
+            BenchmarkRow {
+                method,
+                cnot_cost: Some(circuit.cnot_cost()),
+                elapsed,
+                verified,
+            }
+        }
+        Err(_) => BenchmarkRow {
+            method,
+            cnot_cost: None,
+            elapsed: start.elapsed(),
+            verified: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::generators;
+
+    #[test]
+    fn all_methods_handle_a_small_sparse_state() {
+        let target = generators::w_state(4).unwrap();
+        for method in Method::ALL {
+            let row = run_method(method, &target, 10);
+            assert!(row.cnot_cost.is_some(), "{} failed", method.label());
+            assert_eq!(row.verified, Some(true), "{} not verified", method.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Method::MFlow.label(), "m-flow");
+        assert_eq!(Method::NFlow.label(), "n-flow");
+        assert_eq!(Method::Hybrid.label(), "hybrid");
+        assert_eq!(Method::Ours.label(), "ours");
+    }
+
+    #[test]
+    fn verification_is_skipped_for_wide_registers() {
+        let target = generators::ghz(5).unwrap();
+        let row = run_method(Method::MFlow, &target, 3);
+        assert!(row.cnot_cost.is_some());
+        assert_eq!(row.verified, None);
+    }
+}

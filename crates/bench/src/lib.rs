@@ -1,0 +1,25 @@
+//! # qsp-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (Sec. VI):
+//!
+//! | Paper artifact | Binary | What it prints |
+//! |----------------|--------|----------------|
+//! | Table III      | `table3` | canonical 4-qubit uniform state counts |
+//! | Table IV / Fig. 6 | `table4` | Dicke-state CNOT counts for every method |
+//! | Table V        | `table5` | random dense / sparse CNOT counts |
+//! | Fig. 7         | `fig7`   | CPU-time scaling of the flows |
+//!
+//! Criterion micro-benchmarks for the same workloads live in `benches/`.
+//!
+//! The binaries accept `--max-n <N>` and `--samples <S>` so the full paper
+//! ranges (up to 20 qubits, 100 samples per point) can be requested
+//! explicitly while the default settings finish in minutes on a laptop.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_method, BenchmarkRow, Method};
+pub use report::{format_markdown_table, geometric_mean, parse_flag};

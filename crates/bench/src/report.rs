@@ -1,0 +1,91 @@
+//! Small reporting helpers shared by the table binaries.
+
+/// Geometric mean of a sequence of positive numbers (0.0 for an empty input).
+///
+/// The paper reports geometric means at the bottom of Tables IV and V.
+pub fn geometric_mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for value in values {
+        if value <= 0.0 {
+            continue;
+        }
+        log_sum += value.ln();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+/// Formats rows as a GitHub-flavoured markdown table.
+pub fn format_markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Parses `--flag value` style integer options from the command line, falling
+/// back to `default` when the flag is absent or malformed.
+pub fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare switch (e.g. `--show-circuit`) is present.
+pub fn has_switch(args: &[String], switch: &str) -> bool {
+    args.iter().any(|a| a == switch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let mean = geometric_mean([2.0, 8.0]);
+        assert!((mean - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+        // Zeros and negatives are skipped rather than poisoning the mean.
+        assert!((geometric_mean([0.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let table = format_markdown_table(
+            &["n", "ours"],
+            &[vec!["3".to_string(), "5".to_string()]],
+        );
+        assert!(table.contains("| n | ours |"));
+        assert!(table.contains("| 3 | 5 |"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--max-n", "12", "--show-circuit"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_flag(&args, "--max-n", 8), 12);
+        assert_eq!(parse_flag(&args, "--samples", 5), 5);
+        assert!(has_switch(&args, "--show-circuit"));
+        assert!(!has_switch(&args, "--verbose"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Application of gates and circuits to sparse states.
+//!
+//! The synthesis algorithms and the baselines manipulate [`SparseState`]s
+//! directly (the `n × m` encoding the paper credits for its scalability,
+//! Sec. VI-D). This module gives gate-level semantics to the IR on that
+//! representation; the dense verification simulator lives in `qsp-sim`.
+
+use qsp_state::{SparseState, StateError};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Applies a single gate to a sparse state, returning the new state.
+///
+/// # Errors
+///
+/// Propagates [`StateError`] if the gate refers to qubits outside the state's
+/// register.
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::{apply_gate, Gate};
+/// use qsp_state::SparseState;
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// let ground = SparseState::ground_state(2)?;
+/// let plus = apply_gate(&ground, &Gate::ry(0, -std::f64::consts::FRAC_PI_2))?;
+/// let bell = apply_gate(&plus, &Gate::cnot(0, 1))?;
+/// assert_eq!(bell.cardinality(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply_gate(state: &SparseState, gate: &Gate) -> Result<SparseState, StateError> {
+    match gate {
+        Gate::Ry { target, theta } => state.apply_ry(*target, *theta),
+        Gate::X { target } => state.apply_x(*target),
+        Gate::Cnot { control, target } => {
+            if control.polarity {
+                state.apply_cnot(control.qubit, *target)
+            } else {
+                // A negated control is X-conjugation of a plain CNOT.
+                let flipped = state.apply_x(control.qubit)?;
+                let applied = flipped.apply_cnot(control.qubit, *target)?;
+                applied.apply_x(control.qubit)
+            }
+        }
+        Gate::Mcry {
+            controls,
+            target,
+            theta,
+        } => {
+            let control_spec: Vec<(usize, bool)> =
+                controls.iter().map(|c| (c.qubit, c.polarity)).collect();
+            state.apply_controlled_ry(&control_spec, *target, *theta)
+        }
+    }
+}
+
+/// Applies a whole circuit (gates in order) to a sparse state.
+///
+/// # Errors
+///
+/// Propagates the first gate-application error.
+pub fn apply_circuit(state: &SparseState, circuit: &Circuit) -> Result<SparseState, StateError> {
+    let mut current = state.clone();
+    for gate in circuit {
+        current = apply_gate(&current, gate)?;
+    }
+    Ok(current)
+}
+
+/// Runs a circuit on the ground state `|0…0⟩` of the circuit's register —
+/// the quantum state preparation semantics of Sec. II-B.
+///
+/// # Errors
+///
+/// Propagates gate-application or ground-state construction errors.
+pub fn prepare_from_ground(circuit: &Circuit) -> Result<SparseState, StateError> {
+    let ground = SparseState::ground_state(circuit.num_qubits())?;
+    apply_circuit(&ground, circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::BasisIndex;
+
+    #[test]
+    fn bell_preparation() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
+        circuit.push(Gate::cnot(0, 1));
+        let state = prepare_from_ground(&circuit).unwrap();
+        let expected = SparseState::uniform_superposition(
+            2,
+            [BasisIndex::new(0b00), BasisIndex::new(0b11)],
+        )
+        .unwrap();
+        assert!(state.approx_eq(&expected, 1e-9), "got {state}");
+    }
+
+    #[test]
+    fn paper_fig3_prepares_uniform_state_on_two_qubits() {
+        // Fig. 3: Ry(π/2) on q1 and q2, CNOT(q2→q3), CNOT(q1→q3) prepares
+        // (|000⟩+|011⟩+|101⟩+|110⟩)/2 — in our bit convention qubit 0 and 1
+        // rotated, qubit 2 targeted.
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
+        circuit.push(Gate::ry(1, -std::f64::consts::FRAC_PI_2));
+        circuit.push(Gate::cnot(1, 2));
+        circuit.push(Gate::cnot(0, 2));
+        let state = prepare_from_ground(&circuit).unwrap();
+        let expected = SparseState::uniform_superposition(
+            3,
+            [
+                BasisIndex::new(0b000),
+                BasisIndex::new(0b011),
+                BasisIndex::new(0b101),
+                BasisIndex::new(0b110),
+            ],
+        )
+        .unwrap();
+        assert_eq!(state.cardinality(), 4);
+        assert!(state.approx_eq(&expected, 1e-9), "got {state}");
+        assert_eq!(circuit.cnot_cost(), 2);
+    }
+
+    #[test]
+    fn negated_control_fires_on_zero() {
+        let ground = SparseState::ground_state(2).unwrap();
+        let flipped = apply_gate(&ground, &Gate::cnot_negated(0, 1)).unwrap();
+        assert!((flipped.amplitude(BasisIndex::new(0b10)) - 1.0).abs() < 1e-12);
+        // A positive control on |0...0> does nothing.
+        let unchanged = apply_gate(&ground, &Gate::cnot(0, 1)).unwrap();
+        assert!(unchanged.is_ground_state(1e-12));
+    }
+
+    #[test]
+    fn mcry_with_negative_controls() {
+        let ground = SparseState::ground_state(3).unwrap();
+        // Controls: q0 negated (fires), q1 negated (fires) -> rotate q2 by π.
+        let gate = Gate::Mcry {
+            controls: vec![
+                crate::gate::Control::negative(0),
+                crate::gate::Control::negative(1),
+            ],
+            target: 2,
+            theta: std::f64::consts::PI,
+        };
+        let state = apply_gate(&ground, &gate).unwrap();
+        assert!(state.amplitude(BasisIndex::new(0b100)).abs() > 0.99);
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::ry(0, 0.3));
+        circuit.push(Gate::cnot(0, 1));
+        circuit.push(Gate::cry(1, 2, 1.1));
+        circuit.push(Gate::x(2));
+        let state = prepare_from_ground(&circuit).unwrap();
+        let back = apply_circuit(&state, &circuit.inverse()).unwrap();
+        assert!(back.is_ground_state(1e-9));
+    }
+
+    #[test]
+    fn out_of_range_gate_is_an_error() {
+        let ground = SparseState::ground_state(1).unwrap();
+        assert!(apply_gate(&ground, &Gate::cnot(0, 1)).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Quantum circuits: ordered gate lists over a fixed-width register.
+
+use std::fmt;
+
+use crate::cost::CnotCostModel;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// An ordered list of gates acting on an `n`-qubit register.
+///
+/// Gates are applied left to right: the circuit `[U1, U2, …, Ul]` prepares
+/// `Ul … U2 U1 |ψ⟩` from `|ψ⟩` (the convention of Sec. II-B).
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::{Circuit, Gate};
+///
+/// // The 2-CNOT circuit of Fig. 3 in the paper.
+/// let mut circuit = Circuit::new(3);
+/// circuit.push(Gate::ry(0, std::f64::consts::FRAC_PI_2));
+/// circuit.push(Gate::ry(1, std::f64::consts::FRAC_PI_2));
+/// circuit.push(Gate::cnot(1, 2));
+/// circuit.push(Gate::cnot(0, 2));
+/// assert_eq!(circuit.cnot_cost(), 2);
+/// assert_eq!(circuit.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates a circuit from an existing gate list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any gate touches a qubit outside the register or
+    /// uses a qubit as both control and target.
+    pub fn from_gates<I>(num_qubits: usize, gates: I) -> Result<Self, CircuitError>
+    where
+        I: IntoIterator<Item = Gate>,
+    {
+        let mut circuit = Circuit::new(num_qubits);
+        for gate in gates {
+            circuit.try_push(gate)?;
+        }
+        Ok(circuit)
+    }
+
+    /// Number of qubits of the register.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in application order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate, validating qubit indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gate touches a qubit outside the register or
+    /// repeats a qubit between control and target.
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let target = gate.target();
+        if target >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: target,
+                num_qubits: self.num_qubits,
+            });
+        }
+        for control in gate.controls() {
+            if control.qubit >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: control.qubit,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if control.qubit == target {
+                return Err(CircuitError::OverlappingQubits { qubit: target });
+            }
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is invalid for this register; use
+    /// [`Circuit::try_push`] for fallible insertion.
+    pub fn push(&mut self, gate: Gate) {
+        self.try_push(gate).expect("gate is invalid for this circuit");
+    }
+
+    /// Appends all gates of `other` (registers must have equal width).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the widths differ.
+    pub fn append(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        if other.num_qubits != self.num_qubits {
+            return Err(CircuitError::InvalidMapping {
+                reason: format!(
+                    "cannot append a {}-qubit circuit to a {}-qubit circuit",
+                    other.num_qubits, self.num_qubits
+                ),
+            });
+        }
+        self.gates.extend(other.gates.iter().cloned());
+        Ok(())
+    }
+
+    /// Total CNOT cost under the paper's cost model.
+    pub fn cnot_cost(&self) -> usize {
+        self.cnot_cost_with(&CnotCostModel::paper())
+    }
+
+    /// Total CNOT cost under a custom cost model.
+    pub fn cnot_cost_with(&self, model: &CnotCostModel) -> usize {
+        model.circuit_cost(&self.gates)
+    }
+
+    /// Number of plain CNOT gates (after lowering this equals
+    /// [`Circuit::cnot_cost`]; before lowering multi-controlled rotations are
+    /// not counted here).
+    pub fn cnot_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Cnot { .. }))
+            .count()
+    }
+
+    /// Number of single-qubit gates (Ry and X).
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Ry { .. } | Gate::X { .. }))
+            .count()
+    }
+
+    /// Histogram of gate mnemonics (`ry`, `x`, `cx`, `cry`, `mcry`).
+    pub fn gate_counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for gate in &self.gates {
+            *counts.entry(gate.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The inverse circuit: gates reversed and individually inverted.
+    /// Applying `circuit` then `circuit.inverse()` is the identity.
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(Gate::inverse).collect(),
+        }
+    }
+
+    /// Remaps qubits: qubit `q` of this circuit becomes `mapping[q]` in the
+    /// returned circuit of width `new_width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mapping is shorter than the register, not
+    /// injective, or maps outside `new_width`.
+    pub fn remap_qubits(&self, mapping: &[usize], new_width: usize) -> Result<Circuit, CircuitError> {
+        if mapping.len() < self.num_qubits {
+            return Err(CircuitError::InvalidMapping {
+                reason: format!(
+                    "mapping has {} entries but the circuit has {} qubits",
+                    mapping.len(),
+                    self.num_qubits
+                ),
+            });
+        }
+        let used = &mapping[..self.num_qubits];
+        let mut seen = std::collections::BTreeSet::new();
+        for &dst in used {
+            if dst >= new_width {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: dst,
+                    num_qubits: new_width,
+                });
+            }
+            if !seen.insert(dst) {
+                return Err(CircuitError::InvalidMapping {
+                    reason: format!("destination qubit {dst} is used twice"),
+                });
+            }
+        }
+        let remap_gate = |gate: &Gate| -> Gate {
+            match gate {
+                Gate::Ry { target, theta } => Gate::Ry {
+                    target: mapping[*target],
+                    theta: *theta,
+                },
+                Gate::X { target } => Gate::X {
+                    target: mapping[*target],
+                },
+                Gate::Cnot { control, target } => Gate::Cnot {
+                    control: crate::gate::Control {
+                        qubit: mapping[control.qubit],
+                        polarity: control.polarity,
+                    },
+                    target: mapping[*target],
+                },
+                Gate::Mcry {
+                    controls,
+                    target,
+                    theta,
+                } => Gate::Mcry {
+                    controls: controls
+                        .iter()
+                        .map(|c| crate::gate::Control {
+                            qubit: mapping[c.qubit],
+                            polarity: c.polarity,
+                        })
+                        .collect(),
+                    target: mapping[*target],
+                    theta: *theta,
+                },
+            }
+        };
+        Ok(Circuit {
+            num_qubits: new_width,
+            gates: self.gates.iter().map(remap_gate).collect(),
+        })
+    }
+
+    /// Circuit depth: the number of layers when gates that share no qubit are
+    /// executed in parallel.
+    pub fn depth(&self) -> usize {
+        let mut qubit_level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for gate in &self.gates {
+            let level = gate
+                .qubits()
+                .iter()
+                .map(|&q| qubit_level[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in gate.qubits() {
+                qubit_level[q] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit on {} qubits, {} gates, cnot cost {}",
+            self.num_qubits,
+            self.len(),
+            self.cnot_cost()
+        )?;
+        for gate in &self.gates {
+            writeln!(f, "  {gate}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    /// Extends the circuit with gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid gates; use [`Circuit::try_push`] for validation.
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for gate in iter {
+            self.push(gate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::ry(0, std::f64::consts::FRAC_PI_2));
+        c.push(Gate::ry(1, std::f64::consts::FRAC_PI_2));
+        c.push(Gate::cnot(1, 2));
+        c.push(Gate::cnot(0, 2));
+        c
+    }
+
+    #[test]
+    fn construction_and_metrics() {
+        let c = fig3_circuit();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.cnot_cost(), 2);
+        assert_eq!(c.cnot_gate_count(), 2);
+        assert_eq!(c.single_qubit_gate_count(), 2);
+        assert_eq!(c.gate_counts()["cx"], 2);
+        assert_eq!(c.gate_counts()["ry"], 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn validation_of_pushed_gates() {
+        let mut c = Circuit::new(2);
+        assert!(c.try_push(Gate::ry(5, 0.1)).is_err());
+        assert!(c.try_push(Gate::cnot(0, 0)).is_err());
+        assert!(c.try_push(Gate::mcry(&[0, 3], 1, 0.1)).is_err());
+        assert!(c.try_push(Gate::cnot(1, 0)).is_ok());
+        assert!(Circuit::from_gates(2, [Gate::cnot(0, 1), Gate::x(1)]).is_ok());
+        assert!(Circuit::from_gates(1, [Gate::cnot(0, 1)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for this circuit")]
+    fn push_panics_on_invalid_gate() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::cnot(0, 1));
+    }
+
+    #[test]
+    fn inverse_reverses_and_negates() {
+        let c = fig3_circuit();
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 4);
+        assert_eq!(inv.gates()[0], Gate::cnot(0, 2));
+        match &inv.gates()[3] {
+            Gate::Ry { target: 0, theta } => assert!(theta + std::f64::consts::FRAC_PI_2 < 1e-12),
+            other => panic!("unexpected gate {other:?}"),
+        }
+        assert_eq!(inv.inverse().cnot_cost(), c.cnot_cost());
+    }
+
+    #[test]
+    fn append_and_extend() {
+        let mut a = fig3_circuit();
+        let b = fig3_circuit();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 8);
+        assert!(a.append(&Circuit::new(2)).is_err());
+        let mut c = Circuit::new(3);
+        c.extend(fig3_circuit().gates().to_vec());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn remap_qubits_relabels_everything() {
+        let c = fig3_circuit();
+        let remapped = c.remap_qubits(&[2, 1, 0], 3).unwrap();
+        assert_eq!(remapped.gates()[2], Gate::cnot(1, 0));
+        assert_eq!(remapped.cnot_cost(), 2);
+        // Errors: short mapping, duplicate destination, out of range.
+        assert!(c.remap_qubits(&[0, 1], 3).is_err());
+        assert!(c.remap_qubits(&[0, 0, 1], 3).is_err());
+        assert!(c.remap_qubits(&[0, 1, 7], 3).is_err());
+        // Embedding into a wider register is allowed.
+        let wide = c.remap_qubits(&[4, 2, 0], 5).unwrap();
+        assert_eq!(wide.num_qubits(), 5);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let c = fig3_circuit();
+        let text = c.to_string();
+        assert!(text.contains("cnot cost 2"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn iteration() {
+        let c = fig3_circuit();
+        assert_eq!(c.iter().count(), 4);
+        assert_eq!((&c).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn depth_of_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cnot(0, 1));
+        c.push(Gate::cnot(2, 3));
+        assert_eq!(c.depth(), 1);
+        c.push(Gate::cnot(1, 2));
+        assert_eq!(c.depth(), 2);
+        assert_eq!(Circuit::new(2).depth(), 0);
+    }
+}

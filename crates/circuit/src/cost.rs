@@ -1,0 +1,128 @@
+//! The CNOT cost model of the paper.
+//!
+//! Every algorithm compared in the evaluation is scored by the number of
+//! CNOT gates after mapping to `{U(2), CNOT}` (Sec. VI-A). The cost of a
+//! multi-controlled rotation depends on the decomposition algorithm and on
+//! ancilla availability; the paper fixes the assumption that an MCRy with
+//! `n` controls costs `2^n` CNOT gates (Sec. II-A), which is what the
+//! multiplexor decomposition in [`crate::decompose`] achieves without
+//! ancillas.
+
+use crate::gate::Gate;
+
+/// A configurable CNOT cost model.
+///
+/// The default model is the paper's (Table I). A custom model can be used
+/// for ablations, e.g. to study how a cheaper MCRy decomposition (relative
+/// phase Toffolis, ancilla-assisted) would shift the comparison.
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::{CnotCostModel, Gate};
+///
+/// let model = CnotCostModel::paper();
+/// assert_eq!(model.gate_cost(&Gate::cry(0, 1, 0.3)), 2);
+/// let linear = CnotCostModel::linear_mcry();
+/// assert_eq!(linear.gate_cost(&Gate::mcry(&[0, 1, 2], 3, 0.3)), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnotCostModel {
+    /// Cost of a plain CNOT.
+    pub cnot: usize,
+    /// How the cost of a `k`-controlled Y rotation scales with `k`.
+    pub mcry_scaling: McryScaling,
+}
+
+/// Scaling law for multi-controlled Y rotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McryScaling {
+    /// `2^k` CNOTs for `k` controls — the paper's assumption (Möttönen
+    /// multiplexor without ancillas).
+    Exponential,
+    /// `2k` CNOTs for `k` controls — an optimistic linear-depth model
+    /// (ancilla-assisted), available for ablation studies.
+    Linear,
+}
+
+impl CnotCostModel {
+    /// The cost model used throughout the paper.
+    pub const fn paper() -> Self {
+        CnotCostModel {
+            cnot: 1,
+            mcry_scaling: McryScaling::Exponential,
+        }
+    }
+
+    /// An ablation model where `k`-controlled rotations cost `2k` CNOTs.
+    pub const fn linear_mcry() -> Self {
+        CnotCostModel {
+            cnot: 1,
+            mcry_scaling: McryScaling::Linear,
+        }
+    }
+
+    /// Cost of a `k`-controlled Y rotation under this model.
+    pub fn mcry_cost(&self, num_controls: usize) -> usize {
+        match (num_controls, self.mcry_scaling) {
+            (0, _) => 0,
+            (k, McryScaling::Exponential) => 1usize << k,
+            (k, McryScaling::Linear) => 2 * k,
+        }
+    }
+
+    /// Cost of an arbitrary gate under this model.
+    pub fn gate_cost(&self, gate: &Gate) -> usize {
+        match gate {
+            Gate::Ry { .. } | Gate::X { .. } => 0,
+            Gate::Cnot { .. } => self.cnot,
+            Gate::Mcry { controls, .. } => self.mcry_cost(controls.len()),
+        }
+    }
+
+    /// Total cost of a sequence of gates.
+    pub fn circuit_cost<'a, I: IntoIterator<Item = &'a Gate>>(&self, gates: I) -> usize {
+        gates.into_iter().map(|g| self.gate_cost(g)).sum()
+    }
+}
+
+impl Default for CnotCostModel {
+    fn default() -> Self {
+        CnotCostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_matches_gate_costs() {
+        let model = CnotCostModel::paper();
+        for gate in [
+            Gate::ry(0, 0.1),
+            Gate::x(1),
+            Gate::cnot(0, 1),
+            Gate::cry(0, 1, 0.1),
+            Gate::mcry(&[0, 1, 2], 3, 0.1),
+        ] {
+            assert_eq!(model.gate_cost(&gate), gate.cnot_cost());
+        }
+    }
+
+    #[test]
+    fn linear_model_is_cheaper_for_many_controls() {
+        let paper = CnotCostModel::paper();
+        let linear = CnotCostModel::linear_mcry();
+        assert_eq!(paper.mcry_cost(5), 32);
+        assert_eq!(linear.mcry_cost(5), 10);
+        assert_eq!(linear.mcry_cost(0), 0);
+    }
+
+    #[test]
+    fn circuit_cost_sums_gates() {
+        let model = CnotCostModel::default();
+        let gates = vec![Gate::ry(0, 0.5), Gate::cnot(0, 1), Gate::cry(1, 2, 0.3)];
+        assert_eq!(model.circuit_cost(&gates), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for circuit construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or transforming circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A gate refers to a qubit outside the circuit register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: usize,
+        /// Width of the circuit register.
+        num_qubits: usize,
+    },
+    /// A gate uses the same qubit as target and control.
+    OverlappingQubits {
+        /// The qubit that appears in both roles.
+        qubit: usize,
+    },
+    /// A qubit mapping passed to `remap_qubits` is not injective or is too short.
+    InvalidMapping {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is out of range for a {num_qubits}-qubit circuit"
+            ),
+            CircuitError::OverlappingQubits { qubit } => write!(
+                f,
+                "qubit {qubit} cannot be both control and target of the same gate"
+            ),
+            CircuitError::InvalidMapping { reason } => write!(f, "invalid qubit mapping: {reason}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 7,
+            num_qubits: 3,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3-qubit"));
+        let e = CircuitError::OverlappingQubits { qubit: 2 };
+        assert!(e.to_string().contains("control and target"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CircuitError>();
+    }
+}

@@ -1,0 +1,319 @@
+//! Quantum gates and their CNOT costs.
+//!
+//! The paper restricts itself to real-amplitude states, so every single-qubit
+//! gate is a Y rotation (Eq. 1) or a Pauli-X, and every multi-qubit operator
+//! decomposes into `{CNOT, Ry}`. The [`Gate`] enum models exactly the
+//! operator families of Table I plus the multi-controlled X used by the
+//! baseline algorithms.
+
+use std::fmt;
+
+/// A control terminal of a controlled gate.
+///
+/// `polarity == true` is the usual filled-dot control (fires on `|1⟩`);
+/// `polarity == false` is a negated (open-dot) control (fires on `|0⟩`).
+/// Negative controls have the same CNOT cost as positive ones because they
+/// differ only by zero-cost X conjugation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Control {
+    /// The controlling qubit.
+    pub qubit: usize,
+    /// `true` for a positive (`|1⟩`) control, `false` for a negated control.
+    pub polarity: bool,
+}
+
+impl Control {
+    /// A positive control on `qubit`.
+    pub const fn positive(qubit: usize) -> Self {
+        Control {
+            qubit,
+            polarity: true,
+        }
+    }
+
+    /// A negated control on `qubit`.
+    pub const fn negative(qubit: usize) -> Self {
+        Control {
+            qubit,
+            polarity: false,
+        }
+    }
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.polarity {
+            write!(f, "q{}", self.qubit)
+        } else {
+            write!(f, "!q{}", self.qubit)
+        }
+    }
+}
+
+/// A quantum gate from the paper's library (Table I).
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::Gate;
+///
+/// assert_eq!(Gate::ry(0, 1.0).cnot_cost(), 0);
+/// assert_eq!(Gate::cnot(0, 1).cnot_cost(), 1);
+/// assert_eq!(Gate::cry(0, 1, 1.0).cnot_cost(), 2);
+/// assert_eq!(Gate::mcry(&[0, 1, 2], 3, 1.0).cnot_cost(), 8); // 2^3
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Y rotation `Ry(θ)` on `target` (CNOT cost 0).
+    Ry {
+        /// The rotated qubit.
+        target: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Pauli-X on `target` (CNOT cost 0).
+    X {
+        /// The flipped qubit.
+        target: usize,
+    },
+    /// CNOT with a single (possibly negated) control (CNOT cost 1).
+    Cnot {
+        /// The control terminal.
+        control: Control,
+        /// The target qubit.
+        target: usize,
+    },
+    /// Multi-controlled Y rotation; one control is the CRy of Table I
+    /// (cost 2), `k` controls cost `2^k`.
+    Mcry {
+        /// The control terminals (possibly empty, which degenerates to `Ry`).
+        controls: Vec<Control>,
+        /// The rotated qubit.
+        target: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+}
+
+impl Gate {
+    /// Convenience constructor for a Y rotation.
+    pub fn ry(target: usize, theta: f64) -> Self {
+        Gate::Ry { target, theta }
+    }
+
+    /// Convenience constructor for a Pauli-X.
+    pub fn x(target: usize) -> Self {
+        Gate::X { target }
+    }
+
+    /// Convenience constructor for a positively controlled CNOT.
+    pub fn cnot(control: usize, target: usize) -> Self {
+        Gate::Cnot {
+            control: Control::positive(control),
+            target,
+        }
+    }
+
+    /// Convenience constructor for a CNOT with a negated control.
+    pub fn cnot_negated(control: usize, target: usize) -> Self {
+        Gate::Cnot {
+            control: Control::negative(control),
+            target,
+        }
+    }
+
+    /// Convenience constructor for a singly controlled Y rotation.
+    pub fn cry(control: usize, target: usize, theta: f64) -> Self {
+        Gate::Mcry {
+            controls: vec![Control::positive(control)],
+            target,
+            theta,
+        }
+    }
+
+    /// Convenience constructor for a positively multi-controlled Y rotation.
+    pub fn mcry(controls: &[usize], target: usize, theta: f64) -> Self {
+        Gate::Mcry {
+            controls: controls.iter().map(|&q| Control::positive(q)).collect(),
+            target,
+            theta,
+        }
+    }
+
+    /// The target qubit of the gate.
+    pub fn target(&self) -> usize {
+        match *self {
+            Gate::Ry { target, .. }
+            | Gate::X { target }
+            | Gate::Cnot { target, .. }
+            | Gate::Mcry { target, .. } => target,
+        }
+    }
+
+    /// The control terminals of the gate (empty for single-qubit gates).
+    pub fn controls(&self) -> Vec<Control> {
+        match self {
+            Gate::Ry { .. } | Gate::X { .. } => Vec::new(),
+            Gate::Cnot { control, .. } => vec![*control],
+            Gate::Mcry { controls, .. } => controls.clone(),
+        }
+    }
+
+    /// All qubits the gate touches (controls then target).
+    pub fn qubits(&self) -> Vec<usize> {
+        let mut qubits: Vec<usize> = self.controls().iter().map(|c| c.qubit).collect();
+        qubits.push(self.target());
+        qubits
+    }
+
+    /// The CNOT cost of the gate under the paper's cost model (Table I and
+    /// the `2^k` assumption for `k`-controlled rotations).
+    pub fn cnot_cost(&self) -> usize {
+        match self {
+            Gate::Ry { .. } | Gate::X { .. } => 0,
+            Gate::Cnot { .. } => 1,
+            Gate::Mcry { controls, .. } => {
+                if controls.is_empty() {
+                    0
+                } else {
+                    1usize << controls.len()
+                }
+            }
+        }
+    }
+
+    /// The inverse gate. Self-inverse for X and CNOT; rotations negate
+    /// their angle.
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::Ry { target, theta } => Gate::Ry {
+                target: *target,
+                theta: -theta,
+            },
+            Gate::Mcry {
+                controls,
+                target,
+                theta,
+            } => Gate::Mcry {
+                controls: controls.clone(),
+                target: *target,
+                theta: -theta,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Whether the gate is a pure basis permutation (X or CNOT): it maps
+    /// computational basis states to computational basis states.
+    pub fn is_permutation(&self) -> bool {
+        matches!(self, Gate::X { .. } | Gate::Cnot { .. })
+    }
+
+    /// Whether the gate involves a rotation angle that is numerically zero
+    /// (identity up to tolerance).
+    pub fn is_identity(&self, tolerance: f64) -> bool {
+        match self {
+            Gate::Ry { theta, .. } | Gate::Mcry { theta, .. } => theta.abs() <= tolerance,
+            _ => false,
+        }
+    }
+
+    /// A short mnemonic (used by `Display` and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::Ry { .. } => "ry",
+            Gate::X { .. } => "x",
+            Gate::Cnot { .. } => "cx",
+            Gate::Mcry { controls, .. } => {
+                if controls.len() <= 1 {
+                    "cry"
+                } else {
+                    "mcry"
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Ry { target, theta } => write!(f, "ry({theta:.4}) q{target}"),
+            Gate::X { target } => write!(f, "x q{target}"),
+            Gate::Cnot { control, target } => write!(f, "cx {control}, q{target}"),
+            Gate::Mcry {
+                controls,
+                target,
+                theta,
+            } => {
+                write!(f, "{}({theta:.4}) ", self.name())?;
+                for c in controls {
+                    write!(f, "{c}, ")?;
+                }
+                write!(f, "q{target}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_matches_table1() {
+        assert_eq!(Gate::ry(0, 0.4).cnot_cost(), 0);
+        assert_eq!(Gate::x(0).cnot_cost(), 0);
+        assert_eq!(Gate::cnot(0, 1).cnot_cost(), 1);
+        assert_eq!(Gate::cnot_negated(0, 1).cnot_cost(), 1);
+        assert_eq!(Gate::cry(0, 1, 0.4).cnot_cost(), 2);
+        assert_eq!(Gate::mcry(&[0, 1], 2, 0.4).cnot_cost(), 4);
+        assert_eq!(Gate::mcry(&[0, 1, 2, 3], 4, 0.4).cnot_cost(), 16);
+        assert_eq!(Gate::mcry(&[], 4, 0.4).cnot_cost(), 0);
+    }
+
+    #[test]
+    fn qubit_accessors() {
+        let g = Gate::mcry(&[2, 0], 1, 0.5);
+        assert_eq!(g.target(), 1);
+        assert_eq!(g.qubits(), vec![2, 0, 1]);
+        assert_eq!(g.controls().len(), 2);
+        assert!(Gate::ry(3, 0.1).controls().is_empty());
+        assert_eq!(Gate::cnot(1, 0).qubits(), vec![1, 0]);
+    }
+
+    #[test]
+    fn inverse_negates_rotations_only() {
+        let ry = Gate::ry(0, 0.7);
+        match ry.inverse() {
+            Gate::Ry { theta, .. } => assert!((theta + 0.7).abs() < 1e-15),
+            _ => panic!("inverse of ry must be ry"),
+        }
+        assert_eq!(Gate::cnot(0, 1).inverse(), Gate::cnot(0, 1));
+        assert_eq!(Gate::x(2).inverse(), Gate::x(2));
+        match Gate::cry(0, 1, 0.3).inverse() {
+            Gate::Mcry { theta, .. } => assert!((theta + 0.3).abs() < 1e-15),
+            _ => panic!("inverse of cry must be cry"),
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Gate::cnot(0, 1).is_permutation());
+        assert!(Gate::x(0).is_permutation());
+        assert!(!Gate::ry(0, 0.2).is_permutation());
+        assert!(Gate::ry(0, 1e-12).is_identity(1e-9));
+        assert!(!Gate::ry(0, 0.1).is_identity(1e-9));
+        assert!(!Gate::x(0).is_identity(1e-9));
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Gate::cry(0, 1, 0.5).name(), "cry");
+        assert_eq!(Gate::mcry(&[0, 1], 2, 0.5).name(), "mcry");
+        let s = Gate::cnot_negated(0, 1).to_string();
+        assert!(s.contains("!q0"));
+        let s = Gate::ry(2, 0.5).to_string();
+        assert!(s.starts_with("ry"));
+    }
+}

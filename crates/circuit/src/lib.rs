@@ -1,0 +1,48 @@
+//! # qsp-circuit
+//!
+//! Gate and circuit intermediate representation for CNOT-optimal quantum
+//! state preparation.
+//!
+//! The crate models the gate set of the paper (Table I): Y rotations,
+//! Pauli-X, CNOT, controlled and multi-controlled Y rotations — together with
+//! the **CNOT cost model** the whole evaluation is based on
+//! (`Ry = 0`, `CNOT = 1`, `CRy = 2`, `MCRy` with `k` controls `= 2^k`).
+//!
+//! Beyond the IR itself it provides:
+//!
+//! * [`decompose`] — lowering of multi-controlled rotations to the
+//!   `{U(2), CNOT}` basis with the multiplexor (Möttönen) recursion, so that
+//!   reported CNOT counts can be validated gate-by-gate.
+//! * [`optimizer`] — a peephole pass (CNOT cancellation, rotation merging)
+//!   used for ablations.
+//! * [`qasm`] — OpenQASM 2.0 export of synthesized circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use qsp_circuit::{Circuit, Gate};
+//!
+//! let mut circuit = Circuit::new(3);
+//! circuit.push(Gate::ry(0, std::f64::consts::FRAC_PI_2));
+//! circuit.push(Gate::cnot(0, 1));
+//! circuit.push(Gate::cry(1, 2, 1.0));
+//! assert_eq!(circuit.cnot_cost(), 3); // 0 + 1 + 2
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apply;
+pub mod circuit;
+pub mod cost;
+pub mod decompose;
+pub mod error;
+pub mod gate;
+pub mod optimizer;
+pub mod qasm;
+
+pub use apply::{apply_circuit, apply_gate, prepare_from_ground};
+pub use circuit::Circuit;
+pub use cost::CnotCostModel;
+pub use error::CircuitError;
+pub use gate::{Control, Gate};

@@ -1,0 +1,237 @@
+//! Peephole circuit optimization.
+//!
+//! The exact synthesis of the paper produces CNOT-optimal circuits by
+//! construction, so this pass exists for two reasons:
+//!
+//! * to clean up the circuits produced by the *baseline* flows (which often
+//!   emit cancelling CNOT pairs or zero-angle rotations), and
+//! * to provide an ablation showing that peephole optimization alone cannot
+//!   close the gap to exact synthesis.
+//!
+//! The pass is conservative: it only removes provably redundant gates
+//! (identity rotations, adjacent self-cancelling gates, mergeable rotations)
+//! and never changes the prepared state.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Numerical tolerance for recognizing zero rotation angles.
+const ANGLE_TOLERANCE: f64 = 1e-12;
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Gates removed because they were identity rotations.
+    pub identities_removed: usize,
+    /// Pairs of adjacent self-inverse gates cancelled.
+    pub pairs_cancelled: usize,
+    /// Adjacent rotations merged into one.
+    pub rotations_merged: usize,
+}
+
+impl OptimizeStats {
+    /// Total number of removed gates.
+    pub fn gates_removed(&self) -> usize {
+        self.identities_removed + 2 * self.pairs_cancelled + self.rotations_merged
+    }
+}
+
+/// Runs the peephole pass until a fixed point and returns the optimized
+/// circuit together with statistics.
+///
+/// The pass performs, per iteration:
+/// 1. removal of identity rotations (`|θ| ≤ 1e-12`),
+/// 2. cancellation of adjacent identical CNOT / X pairs,
+/// 3. merging of adjacent rotations with identical target and controls.
+///
+/// Two gates are *adjacent* when no gate in between touches any of their
+/// qubits.
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::{optimizer::optimize, Circuit, Gate};
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Gate::cnot(0, 1));
+/// circuit.push(Gate::cnot(0, 1));
+/// circuit.push(Gate::ry(0, 0.2));
+/// circuit.push(Gate::ry(0, -0.2));
+/// let (optimized, stats) = optimize(&circuit);
+/// assert!(optimized.is_empty());
+/// assert!(stats.gates_removed() >= 3);
+/// ```
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    let mut stats = OptimizeStats::default();
+    loop {
+        let before = gates.len();
+        remove_identities(&mut gates, &mut stats);
+        cancel_adjacent_pairs(&mut gates, &mut stats);
+        merge_adjacent_rotations(&mut gates, &mut stats);
+        if gates.len() == before {
+            break;
+        }
+    }
+    let optimized = Circuit::from_gates(circuit.num_qubits(), gates)
+        .expect("optimization never invents invalid gates");
+    (optimized, stats)
+}
+
+fn remove_identities(gates: &mut Vec<Gate>, stats: &mut OptimizeStats) {
+    let before = gates.len();
+    gates.retain(|g| !g.is_identity(ANGLE_TOLERANCE));
+    stats.identities_removed += before - gates.len();
+}
+
+/// Whether two gate positions are adjacent: no gate strictly between them
+/// shares a qubit with the first gate.
+fn adjacent(gates: &[Gate], i: usize, j: usize) -> bool {
+    let qubits = gates[i].qubits();
+    gates[i + 1..j]
+        .iter()
+        .all(|g| g.qubits().iter().all(|q| !qubits.contains(q)))
+}
+
+fn cancel_adjacent_pairs(gates: &mut Vec<Gate>, stats: &mut OptimizeStats) {
+    'outer: loop {
+        for i in 0..gates.len() {
+            if !gates[i].is_permutation() {
+                continue;
+            }
+            for j in (i + 1)..gates.len() {
+                if gates[j] == gates[i] && adjacent(gates, i, j) {
+                    gates.remove(j);
+                    gates.remove(i);
+                    stats.pairs_cancelled += 1;
+                    continue 'outer;
+                }
+                // Stop scanning forward once a gate blocks qubit adjacency.
+                if gates[j].qubits().iter().any(|q| gates[i].qubits().contains(q)) {
+                    break;
+                }
+            }
+        }
+        break;
+    }
+}
+
+fn merge_adjacent_rotations(gates: &mut Vec<Gate>, stats: &mut OptimizeStats) {
+    'outer: loop {
+        for i in 0..gates.len() {
+            let (target_i, controls_i) = match &gates[i] {
+                Gate::Ry { target, .. } => (*target, Vec::new()),
+                Gate::Mcry {
+                    target, controls, ..
+                } => (*target, controls.clone()),
+                _ => continue,
+            };
+            for j in (i + 1)..gates.len() {
+                let same_kind = match (&gates[i], &gates[j]) {
+                    (Gate::Ry { .. }, Gate::Ry { target, .. }) => *target == target_i,
+                    (Gate::Mcry { .. }, Gate::Mcry { target, controls, .. }) => {
+                        *target == target_i && *controls == controls_i
+                    }
+                    _ => false,
+                };
+                if same_kind && adjacent(gates, i, j) {
+                    let theta_j = match &gates[j] {
+                        Gate::Ry { theta, .. } | Gate::Mcry { theta, .. } => *theta,
+                        _ => unreachable!(),
+                    };
+                    match &mut gates[i] {
+                        Gate::Ry { theta, .. } | Gate::Mcry { theta, .. } => *theta += theta_j,
+                        _ => unreachable!(),
+                    }
+                    gates.remove(j);
+                    stats.rotations_merged += 1;
+                    continue 'outer;
+                }
+                if gates[j].qubits().iter().any(|q| gates[i].qubits().contains(q)) {
+                    break;
+                }
+            }
+        }
+        break;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::prepare_from_ground;
+
+    #[test]
+    fn cancels_adjacent_cnot_pairs() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::cnot(0, 1));
+        circuit.push(Gate::ry(2, 0.5)); // does not block adjacency
+        circuit.push(Gate::cnot(0, 1));
+        let (optimized, stats) = optimize(&circuit);
+        assert_eq!(optimized.cnot_cost(), 0);
+        assert_eq!(stats.pairs_cancelled, 1);
+        assert_eq!(optimized.len(), 1);
+    }
+
+    #[test]
+    fn does_not_cancel_across_blocking_gates() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::cnot(0, 1));
+        circuit.push(Gate::ry(1, 0.5)); // blocks: shares the target qubit
+        circuit.push(Gate::cnot(0, 1));
+        let (optimized, stats) = optimize(&circuit);
+        assert_eq!(optimized.cnot_cost(), 2);
+        assert_eq!(stats.pairs_cancelled, 0);
+    }
+
+    #[test]
+    fn merges_rotations_and_drops_identities() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::ry(0, 0.25));
+        circuit.push(Gate::ry(0, 0.75));
+        circuit.push(Gate::cry(0, 1, 0.0));
+        let (optimized, stats) = optimize(&circuit);
+        assert_eq!(optimized.len(), 1);
+        assert_eq!(stats.rotations_merged, 1);
+        assert_eq!(stats.identities_removed, 1);
+        match &optimized.gates()[0] {
+            Gate::Ry { theta, .. } => assert!((theta - 1.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x_pairs_cancel() {
+        let mut circuit = Circuit::new(1);
+        circuit.push(Gate::x(0));
+        circuit.push(Gate::x(0));
+        let (optimized, _) = optimize(&circuit);
+        assert!(optimized.is_empty());
+    }
+
+    #[test]
+    fn optimization_preserves_the_prepared_state() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::ry(0, 0.3));
+        circuit.push(Gate::ry(0, 0.4));
+        circuit.push(Gate::cnot(0, 1));
+        circuit.push(Gate::cnot(0, 1));
+        circuit.push(Gate::cry(1, 2, 0.9));
+        circuit.push(Gate::x(0));
+        circuit.push(Gate::x(0));
+        circuit.push(Gate::ry(2, 1e-15));
+        let (optimized, stats) = optimize(&circuit);
+        assert!(stats.gates_removed() > 0);
+        let before = prepare_from_ground(&circuit).unwrap();
+        let after = prepare_from_ground(&optimized).unwrap();
+        assert!(before.approx_eq(&after, 1e-9));
+        assert!(optimized.cnot_cost() <= circuit.cnot_cost());
+    }
+
+    #[test]
+    fn empty_circuit_is_a_fixed_point() {
+        let (optimized, stats) = optimize(&Circuit::new(2));
+        assert!(optimized.is_empty());
+        assert_eq!(stats.gates_removed(), 0);
+    }
+}

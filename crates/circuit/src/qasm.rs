@@ -1,0 +1,116 @@
+//! OpenQASM 2.0 export.
+//!
+//! Synthesized circuits can be exported for execution or cross-validation in
+//! external toolchains (the paper validates with Qiskit simulators; the QASM
+//! output of this module is directly loadable there).
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::decompose::decompose_gate;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// Renders the circuit as an OpenQASM 2.0 program over `qelib1.inc` gates
+/// (`ry`, `x`, `cx`).
+///
+/// Multi-controlled rotations are lowered with [`decompose_gate`] so the
+/// emitted program uses only primitive gates; negated CNOT controls are
+/// conjugated with `x` gates.
+///
+/// # Errors
+///
+/// Propagates decomposition errors for malformed gates.
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::{qasm::to_qasm, Circuit, Gate};
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Gate::ry(0, 1.0));
+/// circuit.push(Gate::cnot(0, 1));
+/// let program = to_qasm(&circuit)?;
+/// assert!(program.contains("OPENQASM 2.0"));
+/// assert!(program.contains("cx q[0], q[1];"));
+/// # Ok::<(), qsp_circuit::CircuitError>(())
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit {
+        for primitive in decompose_gate(gate)? {
+            emit_primitive(&mut out, &primitive);
+        }
+    }
+    Ok(out)
+}
+
+fn emit_primitive(out: &mut String, gate: &Gate) {
+    match gate {
+        Gate::Ry { target, theta } => {
+            let _ = writeln!(out, "ry({theta:.12}) q[{target}];");
+        }
+        Gate::X { target } => {
+            let _ = writeln!(out, "x q[{target}];");
+        }
+        Gate::Cnot { control, target } => {
+            if control.polarity {
+                let _ = writeln!(out, "cx q[{}], q[{}];", control.qubit, target);
+            } else {
+                let _ = writeln!(out, "x q[{}];", control.qubit);
+                let _ = writeln!(out, "cx q[{}], q[{}];", control.qubit, target);
+                let _ = writeln!(out, "x q[{}];", control.qubit);
+            }
+        }
+        Gate::Mcry { .. } => unreachable!("mcry is lowered before emission"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qasm_header_and_register() {
+        let circuit = Circuit::new(3);
+        let program = to_qasm(&circuit).unwrap();
+        assert!(program.starts_with("OPENQASM 2.0;"));
+        assert!(program.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn primitive_gates_are_emitted_directly() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::ry(0, 0.5));
+        circuit.push(Gate::x(1));
+        circuit.push(Gate::cnot(1, 0));
+        let program = to_qasm(&circuit).unwrap();
+        assert!(program.contains("ry(0.500000000000) q[0];"));
+        assert!(program.contains("x q[1];"));
+        assert!(program.contains("cx q[1], q[0];"));
+    }
+
+    #[test]
+    fn negated_controls_are_conjugated_with_x() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::cnot_negated(0, 1));
+        let program = to_qasm(&circuit).unwrap();
+        let x_count = program.matches("x q[0];").count();
+        assert_eq!(x_count, 2);
+        assert!(program.contains("cx q[0], q[1];"));
+    }
+
+    #[test]
+    fn controlled_rotations_are_lowered() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::mcry(&[0, 1], 2, 0.7));
+        let program = to_qasm(&circuit).unwrap();
+        // 2^2 = 4 CNOTs and 4 Ry gates after lowering.
+        assert_eq!(program.matches("cx ").count(), 4);
+        assert_eq!(program.matches("ry(").count(), 4);
+        assert!(!program.contains("mcry"));
+    }
+}

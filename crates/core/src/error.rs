@@ -1,0 +1,111 @@
+//! Error type of the exact synthesis and workflow layers.
+
+use std::error::Error;
+use std::fmt;
+
+use qsp_baselines::BaselineError;
+use qsp_circuit::CircuitError;
+use qsp_state::StateError;
+
+/// Errors produced by the exact synthesizer and the preparation workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The state exceeds the configured search limits (too many qubits or too
+    /// large a cardinality for exact synthesis).
+    ProblemTooLarge {
+        /// Human readable description of the violated limit.
+        reason: String,
+    },
+    /// The A* search exhausted its node budget without reaching the ground
+    /// state (should not happen for valid inputs; indicates a configuration
+    /// with a node limit that is too small).
+    SearchBudgetExhausted {
+        /// Number of expanded nodes when the search gave up.
+        expanded: usize,
+    },
+    /// The target state is not supported (e.g. negative amplitudes).
+    UnsupportedState {
+        /// Human readable description of the restriction.
+        reason: String,
+    },
+    /// An underlying state operation failed.
+    State(StateError),
+    /// An underlying circuit operation failed.
+    Circuit(CircuitError),
+    /// A baseline flow used inside the workflow failed.
+    Baseline(BaselineError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::ProblemTooLarge { reason } => {
+                write!(f, "problem exceeds exact synthesis limits: {reason}")
+            }
+            SynthesisError::SearchBudgetExhausted { expanded } => write!(
+                f,
+                "a* search gave up after expanding {expanded} states without reaching the ground state"
+            ),
+            SynthesisError::UnsupportedState { reason } => {
+                write!(f, "target state not supported: {reason}")
+            }
+            SynthesisError::State(e) => write!(f, "state error: {e}"),
+            SynthesisError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SynthesisError::Baseline(e) => write!(f, "baseline error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::State(e) => Some(e),
+            SynthesisError::Circuit(e) => Some(e),
+            SynthesisError::Baseline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StateError> for SynthesisError {
+    fn from(value: StateError) -> Self {
+        SynthesisError::State(value)
+    }
+}
+
+impl From<CircuitError> for SynthesisError {
+    fn from(value: CircuitError) -> Self {
+        SynthesisError::Circuit(value)
+    }
+}
+
+impl From<BaselineError> for SynthesisError {
+    fn from(value: BaselineError) -> Self {
+        SynthesisError::Baseline(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SynthesisError::ProblemTooLarge {
+            reason: "5 active qubits".to_string(),
+        };
+        assert!(e.to_string().contains("5 active qubits"));
+        assert!(e.source().is_none());
+        let e: SynthesisError = StateError::EmptyState.into();
+        assert!(e.source().is_some());
+        let e: SynthesisError = CircuitError::OverlappingQubits { qubit: 0 }.into();
+        assert!(e.source().is_some());
+        let e: SynthesisError = BaselineError::UnsupportedState {
+            reason: "x".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("baseline error"));
+        let e = SynthesisError::SearchBudgetExhausted { expanded: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,292 @@
+//! The A* shortest-path solver (Algorithm 1 of the paper).
+//!
+//! The search runs backwards from the target state and stops at the first
+//! *product* state it settles: from there zero-cost single-qubit rotations
+//! finish the reduction to `|0…0⟩`. Distances are stored per canonical key
+//! (state compression, Sec. V-B) and the priority queue is ordered by
+//! `g + h` where `h` is the admissible entanglement heuristic of Sec. V-A,
+//! so the first settled product state is CNOT-optimal with respect to the
+//! transition library.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::error::SynthesisError;
+
+use super::canonical::{canonical_key, CanonicalKey};
+use super::config::SearchConfig;
+use super::op::TransitionOp;
+use super::state::SearchState;
+
+/// Statistics and result of one A* run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Backward transitions from the target to the settled product state.
+    pub reduction_ops: Vec<TransitionOp>,
+    /// Total CNOT cost of the reduction (= cost of the preparation circuit).
+    pub cnot_cost: usize,
+    /// Number of states popped and expanded.
+    pub expanded: usize,
+    /// Number of states pushed onto the priority queue.
+    pub pushed: usize,
+}
+
+/// A priority-queue entry ordered by `(f, g, insertion sequence)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueueItem {
+    f: usize,
+    g: usize,
+    seq: u64,
+    state: SearchState,
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest f (then g, then
+        // oldest insertion) is popped first.
+        other
+            .f
+            .cmp(&self.f)
+            .then_with(|| other.g.cmp(&self.g))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the A* search from `target` (backwards) until a product state is
+/// settled and returns the reduction operations together with statistics.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::SearchBudgetExhausted`] if the configured node
+/// budget runs out before a product state is reached (which cannot happen
+/// for well-formed inputs unless the budget is made artificially small).
+pub fn shortest_reduction(
+    target: &SearchState,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, SynthesisError> {
+    if target.is_product() {
+        return Ok(SearchOutcome {
+            reduction_ops: Vec::new(),
+            cnot_cost: 0,
+            expanded: 0,
+            pushed: 0,
+        });
+    }
+
+    let library = TransitionOp::library(target.num_qubits(), config.enable_controlled_merges);
+    let heuristic = |state: &SearchState| -> usize {
+        if config.use_heuristic {
+            state.heuristic()
+        } else {
+            0
+        }
+    };
+
+    let mut dist: HashMap<CanonicalKey, usize> = HashMap::new();
+    let mut parent: HashMap<SearchState, (SearchState, TransitionOp)> = HashMap::new();
+    let mut queue: BinaryHeap<QueueItem> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut expanded = 0usize;
+    let mut pushed = 0usize;
+
+    dist.insert(
+        canonical_key(target, config.permutation_compression),
+        0,
+    );
+    queue.push(QueueItem {
+        f: heuristic(target),
+        g: 0,
+        seq,
+        state: target.clone(),
+    });
+
+    while let Some(QueueItem { g, state, .. }) = queue.pop() {
+        let key = canonical_key(&state, config.permutation_compression);
+        if dist.get(&key).copied().unwrap_or(usize::MAX) < g {
+            continue; // stale entry
+        }
+        if state.is_product() {
+            let reduction_ops = reconstruct_path(&parent, target, &state);
+            return Ok(SearchOutcome {
+                reduction_ops,
+                cnot_cost: g,
+                expanded,
+                pushed,
+            });
+        }
+        expanded += 1;
+        if expanded > config.max_expanded_nodes {
+            return Err(SynthesisError::SearchBudgetExhausted { expanded });
+        }
+        for op in &library {
+            let Some(next) = state.apply(op) else {
+                continue;
+            };
+            let tentative = g + op.cnot_cost();
+            let next_key = canonical_key(&next, config.permutation_compression);
+            let best = dist.get(&next_key).copied().unwrap_or(usize::MAX);
+            if tentative < best {
+                dist.insert(next_key, tentative);
+                parent.insert(next.clone(), (state.clone(), *op));
+                seq += 1;
+                pushed += 1;
+                queue.push(QueueItem {
+                    f: tentative + heuristic(&next),
+                    g: tentative,
+                    seq,
+                    state: next,
+                });
+            }
+        }
+    }
+
+    Err(SynthesisError::SearchBudgetExhausted { expanded })
+}
+
+/// Walks the parent map from `goal` back to `start` and returns the
+/// transitions in application (target-to-product) order.
+fn reconstruct_path(
+    parent: &HashMap<SearchState, (SearchState, TransitionOp)>,
+    start: &SearchState,
+    goal: &SearchState,
+) -> Vec<TransitionOp> {
+    let mut ops = Vec::new();
+    let mut current = goal.clone();
+    while &current != start {
+        let Some((previous, op)) = parent.get(&current) else {
+            break;
+        };
+        ops.push(*op);
+        current = previous.clone();
+    }
+    ops.reverse();
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::{generators, BasisIndex, SparseState};
+
+    fn search_state(state: &SparseState) -> SearchState {
+        SearchState::from_sparse(state)
+    }
+
+    fn solve(state: &SparseState) -> SearchOutcome {
+        shortest_reduction(&search_state(state), &SearchConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn product_states_need_no_transitions() {
+        let plus =
+            SparseState::uniform_superposition(2, (0..4).map(BasisIndex::new)).unwrap();
+        let outcome = solve(&plus);
+        assert_eq!(outcome.cnot_cost, 0);
+        assert!(outcome.reduction_ops.is_empty());
+    }
+
+    #[test]
+    fn ghz_states_cost_n_minus_1_cnots() {
+        for n in 2..5 {
+            let outcome = solve(&generators::ghz(n).unwrap());
+            assert_eq!(outcome.cnot_cost, n - 1, "ghz({n})");
+        }
+    }
+
+    #[test]
+    fn motivating_example_costs_two_cnots() {
+        // Sec. III: (|000> + |011> + |101> + |110>)/2 needs exactly 2 CNOTs.
+        let target = SparseState::uniform_superposition(
+            3,
+            [0b000u64, 0b011, 0b101, 0b110].map(BasisIndex::new),
+        )
+        .unwrap();
+        let outcome = solve(&target);
+        assert_eq!(outcome.cnot_cost, 2);
+        assert_eq!(
+            outcome
+                .reduction_ops
+                .iter()
+                .map(TransitionOp::cnot_cost)
+                .sum::<usize>(),
+            2
+        );
+    }
+
+    #[test]
+    fn w3_state_costs_at_most_four_cnots() {
+        // Table IV row (n=3, k=1): ours = 4.
+        let outcome = solve(&generators::w_state(3).unwrap());
+        assert!(outcome.cnot_cost <= 4, "cost {}", outcome.cnot_cost);
+        assert!(outcome.cnot_cost >= 2);
+    }
+
+    #[test]
+    fn heuristic_and_compression_do_not_change_the_optimum() {
+        let target = generators::dicke(3, 1).unwrap();
+        let base = shortest_reduction(&search_state(&target), &SearchConfig::default()).unwrap();
+        let no_heuristic = shortest_reduction(
+            &search_state(&target),
+            &SearchConfig {
+                use_heuristic: false,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
+        let with_permutations = shortest_reduction(
+            &search_state(&target),
+            &SearchConfig {
+                permutation_compression: true,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.cnot_cost, no_heuristic.cnot_cost);
+        assert_eq!(base.cnot_cost, with_permutations.cnot_cost);
+        // The heuristic can only reduce the number of expansions.
+        assert!(base.expanded <= no_heuristic.expanded);
+    }
+
+    #[test]
+    fn tiny_node_budget_reports_exhaustion() {
+        let config = SearchConfig {
+            max_expanded_nodes: 1,
+            ..SearchConfig::default()
+        };
+        let result = shortest_reduction(&search_state(&generators::dicke(4, 2).unwrap()), &config);
+        assert!(matches!(
+            result,
+            Err(SynthesisError::SearchBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn disabling_controlled_merges_never_improves_the_cost() {
+        // Removing the CRy merges restricts the library: states whose
+        // cardinality is not a power of two (like the W state) may become
+        // unreachable, and reachable states can only get more expensive.
+        let target = generators::w_state(3).unwrap();
+        let with_cry = shortest_reduction(&search_state(&target), &SearchConfig::default())
+            .unwrap()
+            .cnot_cost;
+        let restricted = SearchConfig {
+            enable_controlled_merges: false,
+            ..SearchConfig::default()
+        };
+        match shortest_reduction(&search_state(&target), &restricted) {
+            Ok(outcome) => assert!(outcome.cnot_cost >= with_cry),
+            Err(SynthesisError::SearchBudgetExhausted { .. }) => {} // unreachable without CRy
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        // The GHZ state needs no controlled merges and must keep its optimum.
+        let ghz = generators::ghz(3).unwrap();
+        let restricted_ghz = shortest_reduction(&search_state(&ghz), &restricted).unwrap();
+        assert_eq!(restricted_ghz.cnot_cost, 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! State compression through zero-cost equivalence (Sec. V-B).
+//!
+//! Two search states are treated as equivalent when a sequence of *zero-cost*
+//! operations maps one to the other:
+//!
+//! * Pauli-X flips on any qubit,
+//! * Y-rotation merges of separable qubits,
+//! * optionally a relabelling of the qubits (valid under the symmetric
+//!   coupling assumption of the paper).
+//!
+//! Because every transformation used here genuinely costs zero CNOTs, two
+//! states with the same canonical key always have the same optimal CNOT
+//! distance to the ground state — storing A* distances per key (line 10–13 of
+//! Algorithm 1) therefore compresses the search without losing optimality.
+
+use super::state::SearchState;
+
+/// The canonical key of a search state under the configured equivalence.
+pub type CanonicalKey = SearchState;
+
+/// Exhaustive flip minimization is used up to this register width; beyond it
+/// a deterministic greedy pass keeps the key sound (still zero-cost
+/// reachable) at the price of weaker compression.
+const EXHAUSTIVE_FLIP_QUBITS: usize = 10;
+
+/// Permutation minimization enumerates all `n!` orders up to this width.
+const EXHAUSTIVE_PERMUTATION_QUBITS: usize = 6;
+
+/// Computes the canonical key of `state`.
+///
+/// The key is itself a [`SearchState`]: first every separable qubit is
+/// cleared with a (zero-cost) rotation merge, then the lexicographically
+/// minimal representative over X-flip masks — and over qubit permutations if
+/// `permutations` is set — is selected.
+pub fn canonical_key(state: &SearchState, permutations: bool) -> CanonicalKey {
+    let cleared = clear_separable_qubits(state);
+    if permutations {
+        minimize_over_permutations(&cleared)
+    } else {
+        minimize_over_flips(&cleared)
+    }
+}
+
+/// Clears every separable qubit (they can be rotated to `|0⟩` for free),
+/// repeating until a fixed point because one merge can make another qubit
+/// separable.
+fn clear_separable_qubits(state: &SearchState) -> SearchState {
+    let mut current = state.clone();
+    loop {
+        let mut changed = false;
+        for qubit in 0..current.num_qubits() {
+            if let Some((_, p1)) = current.qubit_separation(qubit) {
+                if p1 > 0 {
+                    current = current.clear_qubit(qubit, None);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return current;
+        }
+    }
+}
+
+fn minimize_over_flips(state: &SearchState) -> SearchState {
+    let n = state.num_qubits();
+    if n <= EXHAUSTIVE_FLIP_QUBITS {
+        let mut best = state.clone();
+        for mask in 1u64..(1u64 << n) {
+            let mut candidate = state.clone();
+            for q in 0..n {
+                if (mask >> q) & 1 == 1 {
+                    candidate = candidate.flip_qubit(q);
+                }
+            }
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        best
+    } else {
+        let mut best = state.clone();
+        for q in 0..n {
+            let candidate = best.flip_qubit(q);
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+fn minimize_over_permutations(state: &SearchState) -> SearchState {
+    let n = state.num_qubits();
+    if n > EXHAUSTIVE_PERMUTATION_QUBITS {
+        return minimize_over_flips(state);
+    }
+    let mut best: Option<SearchState> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute_recursive(&mut perm, 0, &mut |p| {
+        let candidate = minimize_over_flips(&state.permute(p));
+        if best.as_ref().is_none_or(|b| candidate < *b) {
+            best = Some(candidate);
+        }
+    });
+    best.unwrap_or_else(|| state.clone())
+}
+
+fn permute_recursive<F: FnMut(&[usize])>(perm: &mut Vec<usize>, start: usize, visit: &mut F) {
+    if start == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in start..perm.len() {
+        perm.swap(start, i);
+        permute_recursive(perm, start + 1, visit);
+        perm.swap(start, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::{BasisIndex, SparseState};
+
+    fn uniform(num_qubits: usize, indices: &[u64]) -> SearchState {
+        let state = SparseState::uniform_superposition(
+            num_qubits,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        )
+        .unwrap();
+        SearchState::from_sparse(&state)
+    }
+
+    #[test]
+    fn flip_equivalent_states_share_a_key() {
+        // (|100>+|010>)/√2 and (|000>+|110>)/√2 — the paper's ψ1 example.
+        let a = uniform(3, &[0b001, 0b010]);
+        let b = uniform(3, &[0b000, 0b011]);
+        assert_eq!(canonical_key(&a, false), canonical_key(&b, false));
+    }
+
+    #[test]
+    fn separable_qubits_are_cleared() {
+        // (|000>+|001>+|110>+|111>)/2 has its last qubit separable and reduces
+        // to the GHZ-like core — the paper's ψ2 example.
+        let phi = uniform(3, &[0b001, 0b010]);
+        let psi2 = uniform(3, &[0b000, 0b100, 0b011, 0b111]);
+        assert_eq!(canonical_key(&phi, false), canonical_key(&psi2, false));
+    }
+
+    #[test]
+    fn permutation_equivalence_is_optional() {
+        // (|100>+|010>)/√2 vs (|100>+|001>)/√2 — the paper's ψ3 example needs
+        // a qubit swap.
+        let phi = uniform(3, &[0b001, 0b010]);
+        let psi3 = uniform(3, &[0b001, 0b100]);
+        assert_ne!(canonical_key(&phi, false), canonical_key(&psi3, false));
+        assert_eq!(canonical_key(&phi, true), canonical_key(&psi3, true));
+    }
+
+    #[test]
+    fn fully_separable_states_collapse_to_the_ground_key() {
+        let plus = uniform(2, &[0b00, 0b01, 0b10, 0b11]);
+        let key = canonical_key(&plus, false);
+        assert!(key.is_ground());
+    }
+
+    #[test]
+    fn key_is_idempotent() {
+        let dicke = uniform(4, &[0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100]);
+        let key = canonical_key(&dicke, true);
+        assert_eq!(canonical_key(&key, true), key);
+    }
+}

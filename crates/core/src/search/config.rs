@@ -1,0 +1,95 @@
+//! Configuration of the exact synthesis search.
+
+/// Tunables of the A* exact synthesis solver.
+///
+/// The defaults mirror the thresholds reported in the paper (Sec. VI-C):
+/// exact synthesis is activated for states with at most 4 (active) qubits and
+/// a cardinality of at most 16.
+///
+/// # Example
+///
+/// ```
+/// use qsp_core::SearchConfig;
+///
+/// let config = SearchConfig::default();
+/// assert_eq!(config.max_qubits, 4);
+/// assert_eq!(config.max_cardinality, 16);
+/// assert!(config.use_heuristic);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Maximum number of (active) qubits the exact solver accepts.
+    pub max_qubits: usize,
+    /// Maximum cardinality the exact solver accepts.
+    pub max_cardinality: usize,
+    /// Upper bound on A* node expansions before giving up.
+    pub max_expanded_nodes: usize,
+    /// Whether to use the admissible entanglement heuristic (`⌈E/2⌉`).
+    /// Disabling it turns A* into Dijkstra — useful for ablations, never
+    /// changes the result.
+    pub use_heuristic: bool,
+    /// Whether the zero-cost equivalence used for state compression also
+    /// quotients by qubit permutations (`V_G / PU(2)`), which assumes a
+    /// symmetric coupling graph as in the paper. X flips and separable-qubit
+    /// clearing (`V_G / U(2)`) are always applied.
+    pub permutation_compression: bool,
+    /// Whether singly controlled Y-rotation merges (CRy, cost 2) are part of
+    /// the transition library. Disabling restricts the library to
+    /// `{Ry, CNOT}` merges — an ablation that can only increase CNOT counts.
+    pub enable_controlled_merges: bool,
+}
+
+impl SearchConfig {
+    /// The configuration used for the paper's experiments.
+    pub const fn paper() -> Self {
+        SearchConfig {
+            max_qubits: 4,
+            max_cardinality: 16,
+            max_expanded_nodes: 2_000_000,
+            use_heuristic: true,
+            permutation_compression: false,
+            enable_controlled_merges: true,
+        }
+    }
+
+    /// A configuration for slightly larger exact problems (5 qubits, 32
+    /// amplitudes) — used by the ablation benchmarks.
+    pub const fn extended() -> Self {
+        SearchConfig {
+            max_qubits: 5,
+            max_cardinality: 32,
+            max_expanded_nodes: 8_000_000,
+            use_heuristic: true,
+            permutation_compression: false,
+            enable_controlled_merges: true,
+        }
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_thresholds() {
+        let config = SearchConfig::default();
+        assert_eq!(config, SearchConfig::paper());
+        assert_eq!(config.max_qubits, 4);
+        assert_eq!(config.max_cardinality, 16);
+        assert!(config.enable_controlled_merges);
+        assert!(!config.permutation_compression);
+    }
+
+    #[test]
+    fn extended_configuration_is_larger() {
+        let extended = SearchConfig::extended();
+        assert!(extended.max_qubits > SearchConfig::paper().max_qubits);
+        assert!(extended.max_cardinality > SearchConfig::paper().max_cardinality);
+    }
+}

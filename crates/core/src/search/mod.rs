@@ -1,0 +1,23 @@
+//! The shortest-path formulation of quantum state preparation.
+//!
+//! The modules below implement Sec. IV and V of the paper:
+//!
+//! * [`config`] — tunables of the solver (limits, compression, heuristic).
+//! * [`op`] — the amplitude-preserving transition library `L_QSP`.
+//! * [`state`] — the search-state encoding (`n × m` bits plus the conserved
+//!   probability of every entry) with transition application, separability
+//!   checks and the entanglement-based admissible heuristic.
+//! * [`canonical`] — state compression through zero-cost equivalence
+//!   (X flips, separable-qubit clearing, optional qubit permutation).
+//! * [`astar`] — the A* solver itself (Algorithm 1 of the paper).
+
+pub mod astar;
+pub mod canonical;
+pub mod config;
+pub mod op;
+pub mod state;
+
+pub use astar::{shortest_reduction, SearchOutcome};
+pub use config::SearchConfig;
+pub use op::TransitionOp;
+pub use state::SearchState;

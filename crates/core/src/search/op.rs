@@ -1,0 +1,176 @@
+//! The amplitude-preserving transition library `L_QSP` (Sec. IV-B).
+//!
+//! The search explores the state transition graph *backwards*, from the
+//! target state towards the ground state. Every operation below is a
+//! single-target amplitude-preserving transition: amplitudes are conserved
+//! and only the basis indices change (possibly merging).
+//!
+//! Pauli-X transitions are not enumerated explicitly: the canonicalization
+//! already identifies X-flip-equivalent states (they cost zero), and any
+//! optimal operation sequence containing X gates can be rewritten with the
+//! X gates commuted to the end, where the circuit builder emits them as part
+//! of the zero-cost finishing layer.
+
+use std::fmt;
+
+/// A backward (reduction-direction) transition of the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionOp {
+    /// A CNOT with the given control polarity: flips `target` on every entry
+    /// whose `control` bit equals `polarity`. CNOT cost 1.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Control polarity (`true` fires on `|1⟩`).
+        polarity: bool,
+        /// Target qubit.
+        target: usize,
+    },
+    /// A Y-rotation merge on `target`: valid when the qubit is separable; all
+    /// entries have their `target` bit cleared and duplicates merge. Cost 0.
+    RyMerge {
+        /// Target qubit.
+        target: usize,
+    },
+    /// A controlled Y-rotation merge: like [`TransitionOp::RyMerge`] but
+    /// restricted to entries whose `control` bit equals `polarity`.
+    /// CNOT cost 2 (Table I).
+    CryMerge {
+        /// Control qubit.
+        control: usize,
+        /// Control polarity (`true` fires on `|1⟩`).
+        polarity: bool,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+impl TransitionOp {
+    /// The CNOT cost of the transition (the arc distance `d(a)` of the
+    /// shortest-path formulation).
+    pub fn cnot_cost(&self) -> usize {
+        match self {
+            TransitionOp::RyMerge { .. } => 0,
+            TransitionOp::Cnot { .. } => 1,
+            TransitionOp::CryMerge { .. } => 2,
+        }
+    }
+
+    /// The target qubit of the transition.
+    pub fn target(&self) -> usize {
+        match *self {
+            TransitionOp::Cnot { target, .. }
+            | TransitionOp::RyMerge { target }
+            | TransitionOp::CryMerge { target, .. } => target,
+        }
+    }
+
+    /// Enumerates the transition library for a register of `num_qubits`
+    /// qubits. `enable_controlled_merges` adds the cost-2 CRy merges.
+    pub fn library(num_qubits: usize, enable_controlled_merges: bool) -> Vec<TransitionOp> {
+        let mut ops = Vec::new();
+        for target in 0..num_qubits {
+            ops.push(TransitionOp::RyMerge { target });
+        }
+        for control in 0..num_qubits {
+            for target in 0..num_qubits {
+                if control == target {
+                    continue;
+                }
+                for polarity in [true, false] {
+                    ops.push(TransitionOp::Cnot {
+                        control,
+                        polarity,
+                        target,
+                    });
+                    if enable_controlled_merges {
+                        ops.push(TransitionOp::CryMerge {
+                            control,
+                            polarity,
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+        ops
+    }
+}
+
+impl fmt::Display for TransitionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionOp::Cnot {
+                control,
+                polarity,
+                target,
+            } => write!(
+                f,
+                "cnot({}{} -> q{target})",
+                if *polarity { "" } else { "!" },
+                format_args!("q{control}")
+            ),
+            TransitionOp::RyMerge { target } => write!(f, "ry-merge(q{target})"),
+            TransitionOp::CryMerge {
+                control,
+                polarity,
+                target,
+            } => write!(
+                f,
+                "cry-merge({}{} -> q{target})",
+                if *polarity { "" } else { "!" },
+                format_args!("q{control}")
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_match_table1() {
+        assert_eq!(TransitionOp::RyMerge { target: 0 }.cnot_cost(), 0);
+        assert_eq!(
+            TransitionOp::Cnot {
+                control: 0,
+                polarity: true,
+                target: 1
+            }
+            .cnot_cost(),
+            1
+        );
+        assert_eq!(
+            TransitionOp::CryMerge {
+                control: 0,
+                polarity: false,
+                target: 1
+            }
+            .cnot_cost(),
+            2
+        );
+    }
+
+    #[test]
+    fn library_size() {
+        // n targets for RyMerge + n(n-1) ordered pairs × 2 polarities × {cnot, cry}.
+        let n = 3;
+        let with_cry = TransitionOp::library(n, true);
+        assert_eq!(with_cry.len(), n + n * (n - 1) * 2 * 2);
+        let without_cry = TransitionOp::library(n, false);
+        assert_eq!(without_cry.len(), n + n * (n - 1) * 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let op = TransitionOp::Cnot {
+            control: 0,
+            polarity: false,
+            target: 2,
+        };
+        assert_eq!(op.to_string(), "cnot(!q0 -> q2)");
+        assert_eq!(TransitionOp::RyMerge { target: 1 }.to_string(), "ry-merge(q1)");
+        assert_eq!(op.target(), 2);
+    }
+}

@@ -1,0 +1,446 @@
+//! The search-state encoding: conserved probabilities over a changing index set.
+//!
+//! Because every transition of `L_QSP` is amplitude-preserving (Sec. IV-B),
+//! the probability multiset of a search state never changes — only the basis
+//! indices move (and merge). A search state is therefore the paper's
+//! `n × m`-bit encoding: a sorted list of `(index, probability)` entries,
+//! with probabilities quantized to a fixed-point grid so states can be hashed
+//! and compared exactly.
+
+use std::collections::BTreeMap;
+
+use qsp_state::{BasisIndex, SparseState};
+
+use super::op::TransitionOp;
+
+/// Fixed-point scale for quantized probabilities (`2^40` steps across `[0,1]`).
+const PROB_SCALE: f64 = (1u64 << 40) as f64;
+
+/// Tolerance (in quantized units) for probability-ratio comparisons.
+const PROB_SLACK: u128 = 1 << 16;
+
+/// A vertex of the state transition graph: the target's probability mass
+/// distributed over a set of basis indices.
+///
+/// Entries are sorted by index and duplicates are merged (their probabilities
+/// add), so two `SearchState`s are equal exactly when they describe the same
+/// quantum state up to the sign information that amplitude-preserving
+/// transitions cannot change.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SearchState {
+    num_qubits: usize,
+    entries: Vec<(BasisIndex, u64)>,
+}
+
+impl SearchState {
+    /// Builds the search state of a sparse target state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has negative amplitudes (the exact solver rejects
+    /// those earlier with a proper error).
+    pub fn from_sparse(state: &SparseState) -> Self {
+        let mut entries: BTreeMap<BasisIndex, u64> = BTreeMap::new();
+        for (index, amplitude) in state.iter() {
+            assert!(
+                amplitude >= 0.0,
+                "search states require non-negative amplitudes"
+            );
+            let quantized = (amplitude * amplitude * PROB_SCALE).round() as u64;
+            *entries.entry(index).or_insert(0) += quantized;
+        }
+        SearchState {
+            num_qubits: state.num_qubits(),
+            entries: entries.into_iter().filter(|&(_, p)| p > 0).collect(),
+        }
+    }
+
+    /// Builds a search state directly from quantized entries (used by the
+    /// canonicalization).
+    pub(crate) fn from_entries(num_qubits: usize, raw: Vec<(BasisIndex, u64)>) -> Self {
+        let mut entries: BTreeMap<BasisIndex, u64> = BTreeMap::new();
+        for (index, prob) in raw {
+            *entries.entry(index).or_insert(0) += prob;
+        }
+        SearchState {
+            num_qubits,
+            entries: entries.into_iter().filter(|&(_, p)| p > 0).collect(),
+        }
+    }
+
+    /// Number of qubits of the register.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Cardinality of the (merged) index set.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `(index, quantized probability)` entries, sorted by index.
+    pub fn entries(&self) -> &[(BasisIndex, u64)] {
+        &self.entries
+    }
+
+    /// Whether this is exactly the ground state `|0…0⟩`.
+    pub fn is_ground(&self) -> bool {
+        self.entries.len() == 1 && self.entries[0].0 == BasisIndex::ZERO
+    }
+
+    /// Whether every qubit is separable: the state is a tensor product of
+    /// single-qubit states and can be finished with zero-cost rotations.
+    /// This is the goal condition of the backward search.
+    pub fn is_product(&self) -> bool {
+        (0..self.num_qubits).all(|q| self.qubit_separation(q).is_some())
+    }
+
+    /// The qubits that are certainly entangled: their `|0⟩` / `|1⟩` cofactor
+    /// index sets differ and neither is empty (the paper's criterion,
+    /// Sec. V-A).
+    pub fn entangled_qubits(&self) -> Vec<usize> {
+        (0..self.num_qubits)
+            .filter(|&q| {
+                let mut negative = Vec::new();
+                let mut positive = Vec::new();
+                for &(index, _) in &self.entries {
+                    if index.bit(q) {
+                        positive.push(index.with_bit(q, false));
+                    } else {
+                        negative.push(index);
+                    }
+                }
+                !negative.is_empty() && !positive.is_empty() && negative != positive
+            })
+            .collect()
+    }
+
+    /// The admissible heuristic `⌈E/2⌉` of Sec. V-A.
+    pub fn heuristic(&self) -> usize {
+        self.entangled_qubits().len().div_ceil(2)
+    }
+
+    /// Checks whether `qubit` is separable over the whole state and returns
+    /// the quantized probability pair `(P[qubit = 0], P[qubit = 1])` when it
+    /// is. Separability requires every rest-group (entries that agree on all
+    /// other qubits) to split its probability between the two branches in the
+    /// same proportion.
+    pub fn qubit_separation(&self, qubit: usize) -> Option<(u64, u64)> {
+        self.subset_separation(qubit, None)
+    }
+
+    /// Separability of `qubit` restricted to the entries whose `control` bit
+    /// equals `polarity` (`None` means the whole state).
+    pub fn subset_separation(
+        &self,
+        qubit: usize,
+        control: Option<(usize, bool)>,
+    ) -> Option<(u64, u64)> {
+        let mut groups: BTreeMap<BasisIndex, (u64, u64)> = BTreeMap::new();
+        let mut total = (0u64, 0u64);
+        for &(index, prob) in &self.entries {
+            if let Some((c, polarity)) = control {
+                if index.bit(c) != polarity {
+                    continue;
+                }
+            }
+            let rest = index.with_bit(qubit, false);
+            let slot = groups.entry(rest).or_insert((0, 0));
+            if index.bit(qubit) {
+                slot.1 += prob;
+                total.1 += prob;
+            } else {
+                slot.0 += prob;
+                total.0 += prob;
+            }
+        }
+        if groups.is_empty() {
+            return None;
+        }
+        // Every group must satisfy p1 * total0 == p0 * total1 (cross-multiplied
+        // proportionality), within the quantization slack.
+        for &(p0, p1) in groups.values() {
+            let lhs = p1 as u128 * total.0 as u128;
+            let rhs = p0 as u128 * total.1 as u128;
+            let diff = lhs.abs_diff(rhs);
+            let scale = (lhs + rhs) >> 20;
+            if diff > scale + PROB_SLACK {
+                return None;
+            }
+        }
+        Some(total)
+    }
+
+    /// Applies a backward transition, returning the successor state or `None`
+    /// if the transition is invalid or a no-op.
+    pub fn apply(&self, op: &TransitionOp) -> Option<SearchState> {
+        match *op {
+            TransitionOp::Cnot {
+                control,
+                polarity,
+                target,
+            } => {
+                if control == target || control >= self.num_qubits || target >= self.num_qubits {
+                    return None;
+                }
+                let raw: Vec<(BasisIndex, u64)> = self
+                    .entries
+                    .iter()
+                    .map(|&(index, prob)| {
+                        if index.bit(control) == polarity {
+                            (index.flip_bit(target), prob)
+                        } else {
+                            (index, prob)
+                        }
+                    })
+                    .collect();
+                let next = SearchState::from_entries(self.num_qubits, raw);
+                if next == *self {
+                    None
+                } else {
+                    Some(next)
+                }
+            }
+            TransitionOp::RyMerge { target } => {
+                if target >= self.num_qubits {
+                    return None;
+                }
+                let (_, p1) = self.qubit_separation(target)?;
+                if p1 == 0 {
+                    return None; // nothing to merge
+                }
+                Some(self.clear_qubit(target, None))
+            }
+            TransitionOp::CryMerge {
+                control,
+                polarity,
+                target,
+            } => {
+                if control == target || control >= self.num_qubits || target >= self.num_qubits {
+                    return None;
+                }
+                let (_, p1) = self.subset_separation(target, Some((control, polarity)))?;
+                if p1 == 0 {
+                    return None; // nothing to merge in the controlled branch
+                }
+                // If the whole state merges for free, the zero-cost RyMerge
+                // dominates the cost-2 controlled merge; prune the latter.
+                if self.qubit_separation(target).is_some() {
+                    return None;
+                }
+                Some(self.clear_qubit(target, Some((control, polarity))))
+            }
+        }
+    }
+
+    /// Clears `qubit` (sets it to `|0⟩`, merging duplicates) on the whole
+    /// state or on the controlled subset.
+    pub(crate) fn clear_qubit(&self, qubit: usize, control: Option<(usize, bool)>) -> SearchState {
+        let raw: Vec<(BasisIndex, u64)> = self
+            .entries
+            .iter()
+            .map(|&(index, prob)| {
+                let in_subset = match control {
+                    Some((c, polarity)) => index.bit(c) == polarity,
+                    None => true,
+                };
+                if in_subset {
+                    (index.with_bit(qubit, false), prob)
+                } else {
+                    (index, prob)
+                }
+            })
+            .collect();
+        SearchState::from_entries(self.num_qubits, raw)
+    }
+
+    /// Applies an X flip to `qubit` (used by the canonicalization only — the
+    /// search itself never enumerates X transitions).
+    pub(crate) fn flip_qubit(&self, qubit: usize) -> SearchState {
+        let raw: Vec<(BasisIndex, u64)> = self
+            .entries
+            .iter()
+            .map(|&(index, prob)| (index.flip_bit(qubit), prob))
+            .collect();
+        SearchState::from_entries(self.num_qubits, raw)
+    }
+
+    /// Applies a qubit permutation (canonicalization only).
+    pub(crate) fn permute(&self, perm: &[usize]) -> SearchState {
+        let raw: Vec<(BasisIndex, u64)> = self
+            .entries
+            .iter()
+            .map(|&(index, prob)| (index.permute(perm), prob))
+            .collect();
+        SearchState::from_entries(self.num_qubits, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::generators;
+
+    fn uniform(num_qubits: usize, indices: &[u64]) -> SearchState {
+        let state = SparseState::uniform_superposition(
+            num_qubits,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        )
+        .unwrap();
+        SearchState::from_sparse(&state)
+    }
+
+    #[test]
+    fn ground_and_product_detection() {
+        let ground = uniform(3, &[0]);
+        assert!(ground.is_ground());
+        assert!(ground.is_product());
+        assert_eq!(ground.heuristic(), 0);
+
+        // |+>|+>|0>: product but not ground.
+        let plus_plus = uniform(3, &[0b00, 0b01, 0b10, 0b11]);
+        assert!(!plus_plus.is_ground());
+        assert!(plus_plus.is_product());
+
+        let ghz = uniform(3, &[0b000, 0b111]);
+        assert!(!ghz.is_product());
+        assert_eq!(ghz.entangled_qubits(), vec![0, 1, 2]);
+        assert_eq!(ghz.heuristic(), 2);
+    }
+
+    #[test]
+    fn ghz4_heuristic_matches_paper_example() {
+        let ghz4 = uniform(4, &[0b0000, 0b1111]);
+        assert_eq!(ghz4.entangled_qubits().len(), 4);
+        assert_eq!(ghz4.heuristic(), 2);
+    }
+
+    #[test]
+    fn cnot_transition_moves_indices() {
+        let ghz = uniform(2, &[0b00, 0b11]);
+        let op = TransitionOp::Cnot {
+            control: 0,
+            polarity: true,
+            target: 1,
+        };
+        let next = ghz.apply(&op).unwrap();
+        assert_eq!(
+            next.entries().iter().map(|e| e.0.value()).collect::<Vec<_>>(),
+            vec![0b00, 0b01]
+        );
+        assert!(next.is_product());
+        // A CNOT whose control is never satisfied is a no-op and rejected.
+        let noop = TransitionOp::Cnot {
+            control: 1,
+            polarity: true,
+            target: 0,
+        };
+        assert!(uniform(2, &[0b00, 0b01]).apply(&noop).is_none());
+    }
+
+    #[test]
+    fn ry_merge_requires_separability() {
+        // Qubit 0 separable: |0>(|0>+|1>)/sqrt(2) over qubits (1,0)? indices 0b00,0b01.
+        let separable = uniform(2, &[0b00, 0b01]);
+        let merged = separable
+            .apply(&TransitionOp::RyMerge { target: 0 })
+            .unwrap();
+        assert!(merged.is_ground());
+
+        // GHZ: no qubit separable, merge invalid.
+        let ghz = uniform(2, &[0b00, 0b11]);
+        assert!(ghz.apply(&TransitionOp::RyMerge { target: 0 }).is_none());
+        // Constant qubit: nothing to merge (p1 == 0).
+        assert!(separable.apply(&TransitionOp::RyMerge { target: 1 }).is_none());
+    }
+
+    #[test]
+    fn cry_merge_on_controlled_branch() {
+        // Paper Fig. 4: ψ7 = (000, 011, 011, 011) → ψ8 via a CRy on the middle
+        // qubit controlled by the last qubit. In our bit order: indices with
+        // qubit 0 = LSB. Use the state (|000>, |110>) + duplicates concept:
+        // 0.25|000> + 0.75|011...>. Build it directly as amplitudes.
+        let state = SparseState::from_amplitudes(
+            3,
+            [
+                (BasisIndex::new(0b000), 0.5),
+                (BasisIndex::new(0b110), (0.75f64).sqrt()),
+            ],
+        )
+        .unwrap();
+        let search = SearchState::from_sparse(&state);
+        // Controlled on qubit 2 (=1), merge qubit 1: the |110> entry becomes |100>.
+        let op = TransitionOp::CryMerge {
+            control: 2,
+            polarity: true,
+            target: 1,
+        };
+        let next = search.apply(&op).unwrap();
+        assert_eq!(
+            next.entries().iter().map(|e| e.0.value()).collect::<Vec<_>>(),
+            vec![0b000, 0b100]
+        );
+
+        // The same merge without the control is invalid (qubit 1 is not
+        // separable over the whole state).
+        assert!(search.apply(&TransitionOp::RyMerge { target: 1 }).is_none());
+    }
+
+    #[test]
+    fn cry_merge_prefers_free_ry_when_whole_state_is_separable() {
+        let separable = uniform(2, &[0b00, 0b10]);
+        let op = TransitionOp::CryMerge {
+            control: 0,
+            polarity: false,
+            target: 1,
+        };
+        assert!(separable.apply(&op).is_none());
+    }
+
+    #[test]
+    fn dicke_state_entanglement() {
+        let dicke = SearchState::from_sparse(&generators::dicke(4, 2).unwrap());
+        assert_eq!(dicke.cardinality(), 6);
+        assert_eq!(dicke.entangled_qubits().len(), 4);
+        assert_eq!(dicke.heuristic(), 2);
+        assert!(!dicke.is_product());
+    }
+
+    #[test]
+    fn probability_is_conserved_by_transitions() {
+        let dicke = SearchState::from_sparse(&generators::dicke(3, 1).unwrap());
+        let total: u64 = dicke.entries().iter().map(|e| e.1).sum();
+        let after = dicke
+            .apply(&TransitionOp::Cnot {
+                control: 0,
+                polarity: true,
+                target: 1,
+            })
+            .unwrap();
+        let total_after: u64 = after.entries().iter().map(|e| e.1).sum();
+        assert_eq!(total, total_after);
+    }
+
+    #[test]
+    fn flips_and_permutations_for_canonicalization() {
+        let w = SearchState::from_sparse(&generators::w_state(3).unwrap());
+        let flipped = w.flip_qubit(0);
+        assert_ne!(w, flipped);
+        assert_eq!(flipped.flip_qubit(0), w);
+        let permuted = w.permute(&[1, 2, 0]);
+        assert_eq!(permuted.cardinality(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative amplitudes")]
+    fn negative_amplitudes_are_rejected() {
+        let state = SparseState::from_amplitudes(
+            1,
+            [(BasisIndex::new(0), 0.6), (BasisIndex::new(1), -0.8)],
+        )
+        .unwrap();
+        let _ = SearchState::from_sparse(&state);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use qsp_state::StateError;
+
+/// Errors produced by the state-vector simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulatorError {
+    /// The register is too wide for a dense simulation.
+    RegisterTooWide {
+        /// Requested width.
+        requested: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
+    /// A gate refers to a qubit outside the simulated register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: usize,
+        /// Width of the simulated register.
+        num_qubits: usize,
+    },
+    /// An underlying state operation failed.
+    State(StateError),
+}
+
+impl fmt::Display for SimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorError::RegisterTooWide { requested, max } => write!(
+                f,
+                "cannot simulate {requested} qubits densely (maximum is {max})"
+            ),
+            SimulatorError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is out of range for a {num_qubits}-qubit simulation"
+            ),
+            SimulatorError::State(e) => write!(f, "state error during simulation: {e}"),
+        }
+    }
+}
+
+impl Error for SimulatorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimulatorError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StateError> for SimulatorError {
+    fn from(value: StateError) -> Self {
+        SimulatorError::State(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimulatorError::RegisterTooWide {
+            requested: 40,
+            max: 26,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.source().is_none());
+        let wrapped = SimulatorError::from(StateError::EmptyState);
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("state error"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # qsp-sim
+//!
+//! Dense state-vector simulation for verifying quantum state preparation
+//! circuits.
+//!
+//! The paper verifies every synthesized circuit with Qiskit simulators
+//! (Sec. VI-A); this crate plays that role for the Rust reproduction. It
+//! applies circuits from [`qsp-circuit`] to a full `2^n` real state vector
+//! in place and reports the fidelity against the requested target state.
+//!
+//! The simulator is intentionally simple (real amplitudes, no noise): its job
+//! is correctness checking of preparation circuits, not performance
+//! benchmarking — benchmark timings measure the synthesis algorithms, never
+//! the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use qsp_circuit::{Circuit, Gate};
+//! use qsp_sim::StateVectorSimulator;
+//!
+//! # fn main() -> Result<(), qsp_sim::SimulatorError> {
+//! let mut circuit = Circuit::new(2);
+//! circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
+//! circuit.push(Gate::cnot(0, 1));
+//! let simulator = StateVectorSimulator::new();
+//! let state = simulator.run(&circuit)?;
+//! assert!((state.amplitude(qsp_state::BasisIndex::new(0b11)) - 0.5f64.sqrt()).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`qsp-circuit`]: qsp_circuit
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod simulator;
+pub mod verify;
+
+pub use error::SimulatorError;
+pub use simulator::StateVectorSimulator;
+pub use verify::{verify_preparation, VerificationReport};

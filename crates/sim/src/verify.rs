@@ -1,0 +1,161 @@
+//! Verification of preparation circuits against target states.
+//!
+//! This is the Rust stand-in for the Qiskit-based verification step of the
+//! paper's workflow (Fig. 5, "verify the correctness of the circuits
+//! returned by the QSP solver").
+
+use qsp_circuit::Circuit;
+use qsp_state::{DenseState, SparseState};
+
+use crate::error::SimulatorError;
+use crate::simulator::StateVectorSimulator;
+
+/// Default fidelity threshold above which a preparation is accepted.
+pub const DEFAULT_FIDELITY_THRESHOLD: f64 = 1.0 - 1e-6;
+
+/// The result of verifying one preparation circuit against its target state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// Fidelity `|⟨target|prepared⟩|²`.
+    pub fidelity: f64,
+    /// CNOT cost of the verified circuit under the paper's cost model.
+    pub cnot_cost: usize,
+    /// Number of gates in the verified circuit.
+    pub gate_count: usize,
+    /// Whether the fidelity reached the acceptance threshold.
+    pub accepted: bool,
+}
+
+impl VerificationReport {
+    /// Whether the circuit prepares the target (alias of `accepted`).
+    pub fn is_correct(&self) -> bool {
+        self.accepted
+    }
+}
+
+/// Simulates `circuit` from `|0…0⟩` and compares the result against `target`.
+///
+/// The comparison is the fidelity `|⟨target|prepared⟩|²`, which is invariant
+/// under the global sign ambiguity of real-amplitude circuits.
+///
+/// # Errors
+///
+/// Returns an error if the circuit register does not match the target
+/// register or the dense simulation fails.
+///
+/// # Example
+///
+/// ```
+/// use qsp_circuit::{Circuit, Gate};
+/// use qsp_sim::verify_preparation;
+/// use qsp_state::{BasisIndex, SparseState};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = SparseState::uniform_superposition(
+///     2,
+///     [BasisIndex::new(0b00), BasisIndex::new(0b11)],
+/// )?;
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
+/// circuit.push(Gate::cnot(0, 1));
+/// let report = verify_preparation(&circuit, &target)?;
+/// assert!(report.is_correct());
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_preparation(
+    circuit: &Circuit,
+    target: &SparseState,
+) -> Result<VerificationReport, SimulatorError> {
+    verify_preparation_with_threshold(circuit, target, DEFAULT_FIDELITY_THRESHOLD)
+}
+
+/// Like [`verify_preparation`] with an explicit acceptance threshold.
+///
+/// # Errors
+///
+/// Same conditions as [`verify_preparation`].
+pub fn verify_preparation_with_threshold(
+    circuit: &Circuit,
+    target: &SparseState,
+    threshold: f64,
+) -> Result<VerificationReport, SimulatorError> {
+    if circuit.num_qubits() != target.num_qubits() {
+        return Err(SimulatorError::QubitOutOfRange {
+            qubit: circuit.num_qubits().max(target.num_qubits()) - 1,
+            num_qubits: circuit.num_qubits().min(target.num_qubits()),
+        });
+    }
+    let prepared = StateVectorSimulator::new().run(circuit)?;
+    let target_dense = DenseState::from_sparse(target);
+    let fidelity = prepared.fidelity(&target_dense);
+    Ok(VerificationReport {
+        fidelity,
+        cnot_cost: circuit.cnot_cost(),
+        gate_count: circuit.len(),
+        accepted: fidelity >= threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_circuit::Gate;
+    use qsp_state::BasisIndex;
+
+    fn bell_target() -> SparseState {
+        SparseState::uniform_superposition(2, [BasisIndex::new(0), BasisIndex::new(3)]).unwrap()
+    }
+
+    #[test]
+    fn correct_circuit_is_accepted() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
+        circuit.push(Gate::cnot(0, 1));
+        let report = verify_preparation(&circuit, &bell_target()).unwrap();
+        assert!(report.is_correct());
+        assert!((report.fidelity - 1.0).abs() < 1e-9);
+        assert_eq!(report.cnot_cost, 1);
+        assert_eq!(report.gate_count, 2);
+    }
+
+    #[test]
+    fn wrong_circuit_is_rejected() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::x(0));
+        let report = verify_preparation(&circuit, &bell_target()).unwrap();
+        assert!(!report.is_correct());
+        assert!(report.fidelity < 0.6);
+    }
+
+    #[test]
+    fn global_sign_does_not_affect_acceptance() {
+        // The circuit prepares (|00⟩+|11⟩)/√2; the target carries a global
+        // minus sign. Fidelity |⟨target|prepared⟩|² is sign-invariant.
+        let negated_target = SparseState::from_amplitudes(
+            2,
+            bell_target().iter().map(|(i, a)| (i, -a)),
+        )
+        .unwrap();
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
+        circuit.push(Gate::cnot(0, 1));
+        let report = verify_preparation(&circuit, &negated_target).unwrap();
+        assert!(report.is_correct(), "fidelity {}", report.fidelity);
+    }
+
+    #[test]
+    fn register_mismatch_is_an_error() {
+        let circuit = Circuit::new(3);
+        assert!(verify_preparation(&circuit, &bell_target()).is_err());
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let circuit = Circuit::new(2); // prepares |00⟩, fidelity 0.5 against Bell
+        let strict = verify_preparation(&circuit, &bell_target()).unwrap();
+        assert!(!strict.accepted);
+        let lax = verify_preparation_with_threshold(&circuit, &bell_target(), 0.4).unwrap();
+        assert!(lax.accepted);
+    }
+}

@@ -1,0 +1,204 @@
+//! Real amplitudes and tolerant comparison helpers.
+//!
+//! The paper restricts state transitions to the X-Z plane, so every amplitude
+//! is a real number (Sec. II-A). [`Amplitude`] wraps an `f64` and provides the
+//! tolerant comparisons and merging operations (`c_y = sqrt(c_x1² + c_x2²)`,
+//! Sec. IV-B) that the amplitude-preserving formulation relies on.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::error::StateError;
+use crate::DEFAULT_TOLERANCE;
+
+/// A real amplitude of a quantum state.
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::Amplitude;
+///
+/// let a = Amplitude::new(0.6);
+/// let b = Amplitude::new(0.8);
+/// // Merging two amplitudes onto the same basis index preserves probability.
+/// assert!((a.merge(b).value() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Amplitude(f64);
+
+impl Amplitude {
+    /// The zero amplitude.
+    pub const ZERO: Amplitude = Amplitude(0.0);
+
+    /// The unit amplitude.
+    pub const ONE: Amplitude = Amplitude(1.0);
+
+    /// Creates an amplitude from a real value.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Amplitude(value)
+    }
+
+    /// Creates an amplitude, rejecting NaN and infinities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InvalidAmplitude`] if `value` is not finite.
+    pub fn try_new(value: f64) -> Result<Self, StateError> {
+        if value.is_finite() {
+            Ok(Amplitude(value))
+        } else {
+            Err(StateError::InvalidAmplitude { value })
+        }
+    }
+
+    /// The underlying real value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The probability `|c|²` associated with this amplitude.
+    #[inline]
+    pub fn probability(self) -> f64 {
+        self.0 * self.0
+    }
+
+    /// The absolute value of the amplitude.
+    #[inline]
+    pub fn abs(self) -> Amplitude {
+        Amplitude(self.0.abs())
+    }
+
+    /// Merges this amplitude with another one mapping to the same basis
+    /// index: `sqrt(a² + b²)` (Sec. IV-B of the paper).
+    #[inline]
+    pub fn merge(self, other: Amplitude) -> Amplitude {
+        Amplitude(self.0.hypot(other.0))
+    }
+
+    /// Whether the amplitude is zero within `tolerance`.
+    #[inline]
+    pub fn is_zero(self, tolerance: f64) -> bool {
+        self.0.abs() <= tolerance
+    }
+
+    /// Whether two amplitudes are equal within `tolerance`.
+    #[inline]
+    pub fn approx_eq(self, other: Amplitude, tolerance: f64) -> bool {
+        (self.0 - other.0).abs() <= tolerance
+    }
+
+    /// Whether two amplitudes are equal within the default tolerance.
+    #[inline]
+    pub fn approx_eq_default(self, other: Amplitude) -> bool {
+        self.approx_eq(other, DEFAULT_TOLERANCE)
+    }
+
+    /// The rotation angle `θ = -2·atan2(b, a)` that maps `a|0⟩ + b|1⟩` to
+    /// `√(a²+b²)|0⟩` with a Y rotation (Eq. 1 of the paper).
+    #[inline]
+    pub fn merge_angle(zero_amplitude: Amplitude, one_amplitude: Amplitude) -> f64 {
+        -2.0 * one_amplitude.0.atan2(zero_amplitude.0)
+    }
+}
+
+impl From<f64> for Amplitude {
+    fn from(value: f64) -> Self {
+        Amplitude(value)
+    }
+}
+
+impl From<Amplitude> for f64 {
+    fn from(value: Amplitude) -> Self {
+        value.0
+    }
+}
+
+impl Add for Amplitude {
+    type Output = Amplitude;
+    fn add(self, rhs: Self) -> Self::Output {
+        Amplitude(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Amplitude {
+    type Output = Amplitude;
+    fn sub(self, rhs: Self) -> Self::Output {
+        Amplitude(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Amplitude {
+    type Output = Amplitude;
+    fn mul(self, rhs: f64) -> Self::Output {
+        Amplitude(self.0 * rhs)
+    }
+}
+
+impl Neg for Amplitude {
+    type Output = Amplitude;
+    fn neg(self) -> Self::Output {
+        Amplitude(-self.0)
+    }
+}
+
+impl fmt::Display for Amplitude {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_probability() {
+        let a = Amplitude::new(0.5);
+        let b = Amplitude::new(0.5);
+        let merged = a.merge(b);
+        assert!((merged.probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_angle_recovers_rotation() {
+        // a|0> + b|1> with a = cos(t/2), b = -sin(t/2) is Ry(t)|0>;
+        // merge_angle must return a θ such that Ry(θ) maps the pair back to |0>.
+        let theta: f64 = 0.73;
+        let a = Amplitude::new((theta / 2.0).cos());
+        let b = Amplitude::new(-(theta / 2.0).sin());
+        let back = Amplitude::merge_angle(a, b);
+        // Applying Ry(back) to (a, b): new_one = sin(back/2)*a + cos(back/2)*b must vanish.
+        let new_one = (back / 2.0).sin() * a.value() + (back / 2.0).cos() * b.value();
+        assert!(new_one.abs() < 1e-12, "residual |1> amplitude {new_one}");
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite() {
+        assert!(Amplitude::try_new(f64::NAN).is_err());
+        assert!(Amplitude::try_new(f64::INFINITY).is_err());
+        assert!(Amplitude::try_new(0.25).is_ok());
+    }
+
+    #[test]
+    fn tolerant_comparisons() {
+        let a = Amplitude::new(1.0);
+        let b = Amplitude::new(1.0 + 1e-12);
+        assert!(a.approx_eq_default(b));
+        assert!(!a.approx_eq(Amplitude::new(1.1), 1e-3));
+        assert!(Amplitude::new(1e-12).is_zero(1e-9));
+        assert!(!Amplitude::new(1e-3).is_zero(1e-9));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Amplitude::new(0.25);
+        let b = Amplitude::new(0.5);
+        assert!((a + b).approx_eq_default(Amplitude::new(0.75)));
+        assert!((b - a).approx_eq_default(Amplitude::new(0.25)));
+        assert!((a * 2.0).approx_eq_default(b));
+        assert!((-a).approx_eq_default(Amplitude::new(-0.25)));
+        assert!((-a).abs().approx_eq_default(a));
+    }
+}

@@ -1,0 +1,352 @@
+//! Computational basis vectors `|x⟩`, `x ∈ {0,1}^n`, stored as bit masks.
+//!
+//! Qubit `i` corresponds to bit `i` of the underlying `u64`, so at most
+//! [`BasisIndex::MAX_QUBITS`] qubits are supported, which is far beyond what
+//! any exact-synthesis workload needs (the paper evaluates up to 20 qubits).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor};
+
+/// A computational basis vector of an `n`-qubit register, encoded as a bit
+/// mask: bit `i` is the value of qubit `i`.
+///
+/// `BasisIndex` is a thin newtype over `u64` providing the bit-level
+/// operations the synthesis algorithms need (bit tests, flips, controlled
+/// flips, permutations) while keeping qubit indices type-checked at the API
+/// boundary.
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::BasisIndex;
+///
+/// let x = BasisIndex::new(0b011);
+/// assert!(x.bit(0));
+/// assert!(x.bit(1));
+/// assert!(!x.bit(2));
+/// assert_eq!(x.flip_bit(2), BasisIndex::new(0b111));
+/// assert_eq!(x.hamming_weight(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BasisIndex(u64);
+
+impl BasisIndex {
+    /// Maximum number of qubits representable by a [`BasisIndex`].
+    pub const MAX_QUBITS: usize = 64;
+
+    /// The all-zero basis vector `|0…0⟩`.
+    pub const ZERO: BasisIndex = BasisIndex(0);
+
+    /// Creates a basis index from its integer encoding.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        BasisIndex(value)
+    }
+
+    /// Returns the integer encoding of the basis vector.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value of qubit `qubit` (bit `qubit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= 64`.
+    #[inline]
+    pub const fn bit(self, qubit: usize) -> bool {
+        assert!(qubit < Self::MAX_QUBITS);
+        (self.0 >> qubit) & 1 == 1
+    }
+
+    /// Returns a copy with qubit `qubit` flipped (Pauli-X applied).
+    #[inline]
+    pub const fn flip_bit(self, qubit: usize) -> Self {
+        assert!(qubit < Self::MAX_QUBITS);
+        BasisIndex(self.0 ^ (1 << qubit))
+    }
+
+    /// Returns a copy with qubit `qubit` set to `value`.
+    #[inline]
+    pub const fn with_bit(self, qubit: usize, value: bool) -> Self {
+        assert!(qubit < Self::MAX_QUBITS);
+        if value {
+            BasisIndex(self.0 | (1 << qubit))
+        } else {
+            BasisIndex(self.0 & !(1 << qubit))
+        }
+    }
+
+    /// Applies a CNOT with control `control` and target `target`: flips the
+    /// target bit iff the control bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target`.
+    #[inline]
+    pub const fn apply_cnot(self, control: usize, target: usize) -> Self {
+        assert!(control != target, "cnot control and target must differ");
+        if self.bit(control) {
+            self.flip_bit(target)
+        } else {
+            self
+        }
+    }
+
+    /// Applies a zero-controlled (negative-control) CNOT: flips the target
+    /// bit iff the control bit is clear.
+    #[inline]
+    pub const fn apply_cnot_negated(self, control: usize, target: usize) -> Self {
+        assert!(control != target, "cnot control and target must differ");
+        if self.bit(control) {
+            self
+        } else {
+            self.flip_bit(target)
+        }
+    }
+
+    /// Number of qubits set to one.
+    #[inline]
+    pub const fn hamming_weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Hamming distance to another basis vector.
+    #[inline]
+    pub const fn hamming_distance(self, other: Self) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Removes qubit `qubit` from the index, shifting the higher bits down.
+    ///
+    /// This is the index part of a cofactor computation: the result is the
+    /// basis vector over the remaining `n − 1` qubits.
+    #[inline]
+    pub fn remove_qubit(self, qubit: usize) -> Self {
+        assert!(qubit < Self::MAX_QUBITS);
+        let low_mask = (1u64 << qubit) - 1;
+        let low = self.0 & low_mask;
+        let high = (self.0 >> (qubit + 1)) << qubit;
+        BasisIndex(low | high)
+    }
+
+    /// Inserts a qubit with value `value` at position `qubit`, shifting the
+    /// higher bits up. Inverse of [`BasisIndex::remove_qubit`].
+    #[inline]
+    pub fn insert_qubit(self, qubit: usize, value: bool) -> Self {
+        assert!(qubit < Self::MAX_QUBITS);
+        let low_mask = (1u64 << qubit) - 1;
+        let low = self.0 & low_mask;
+        let high = (self.0 & !low_mask) << 1;
+        BasisIndex(low | high).with_bit(qubit, value)
+    }
+
+    /// Applies a qubit permutation: qubit `i` of the result takes the value
+    /// of qubit `perm[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` refers to qubits outside `0..perm.len()`.
+    pub fn permute(self, perm: &[usize]) -> Self {
+        let mut out = 0u64;
+        for (new_pos, &old_pos) in perm.iter().enumerate() {
+            assert!(old_pos < perm.len(), "permutation entry out of range");
+            if self.bit(old_pos) {
+                out |= 1 << new_pos;
+            }
+        }
+        // Preserve any bits above the permuted window untouched.
+        let window_mask = if perm.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << perm.len()) - 1
+        };
+        BasisIndex(out | (self.0 & !window_mask))
+    }
+
+    /// Returns the positions at which `self` and `other` differ.
+    pub fn differing_qubits(self, other: Self, num_qubits: usize) -> Vec<usize> {
+        let diff = self.0 ^ other.0;
+        (0..num_qubits).filter(|&q| (diff >> q) & 1 == 1).collect()
+    }
+
+    /// Returns the qubits set to one, lowest first.
+    pub fn ones(self, num_qubits: usize) -> Vec<usize> {
+        (0..num_qubits).filter(|&q| self.bit(q)).collect()
+    }
+
+    /// Renders the basis vector as a ket string over `num_qubits` qubits with
+    /// qubit 0 leftmost (the convention used in the paper's figures).
+    pub fn to_ket(self, num_qubits: usize) -> String {
+        let mut s = String::with_capacity(num_qubits + 2);
+        s.push('|');
+        for q in 0..num_qubits {
+            s.push(if self.bit(q) { '1' } else { '0' });
+        }
+        s.push('⟩');
+        s
+    }
+}
+
+impl From<u64> for BasisIndex {
+    fn from(value: u64) -> Self {
+        BasisIndex(value)
+    }
+}
+
+impl From<BasisIndex> for u64 {
+    fn from(value: BasisIndex) -> Self {
+        value.0
+    }
+}
+
+impl BitAnd for BasisIndex {
+    type Output = BasisIndex;
+    fn bitand(self, rhs: Self) -> Self::Output {
+        BasisIndex(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for BasisIndex {
+    type Output = BasisIndex;
+    fn bitor(self, rhs: Self) -> Self::Output {
+        BasisIndex(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for BasisIndex {
+    type Output = BasisIndex;
+    fn bitxor(self, rhs: Self) -> Self::Output {
+        BasisIndex(self.0 ^ rhs.0)
+    }
+}
+
+impl fmt::Display for BasisIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Binary for BasisIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for BasisIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for BasisIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for BasisIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_access_and_flip() {
+        let x = BasisIndex::new(0b1010);
+        assert!(!x.bit(0));
+        assert!(x.bit(1));
+        assert!(!x.bit(2));
+        assert!(x.bit(3));
+        assert_eq!(x.flip_bit(0).value(), 0b1011);
+        assert_eq!(x.flip_bit(3).value(), 0b0010);
+        assert_eq!(x.with_bit(0, true).value(), 0b1011);
+        assert_eq!(x.with_bit(1, false).value(), 0b1000);
+        assert_eq!(x.with_bit(1, true).value(), 0b1010);
+    }
+
+    #[test]
+    fn cnot_semantics() {
+        let x = BasisIndex::new(0b01);
+        assert_eq!(x.apply_cnot(0, 1).value(), 0b11);
+        assert_eq!(x.apply_cnot(1, 0).value(), 0b01);
+        assert_eq!(x.apply_cnot_negated(1, 0).value(), 0b00);
+    }
+
+    #[test]
+    #[should_panic(expected = "cnot control and target must differ")]
+    fn cnot_same_qubit_panics() {
+        let _ = BasisIndex::new(1).apply_cnot(0, 0);
+    }
+
+    #[test]
+    fn hamming_metrics() {
+        let a = BasisIndex::new(0b0110);
+        let b = BasisIndex::new(0b1010);
+        assert_eq!(a.hamming_weight(), 2);
+        assert_eq!(a.hamming_distance(b), 2);
+        assert_eq!(a.differing_qubits(b, 4), vec![2, 3]);
+        assert_eq!(a.ones(4), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_and_insert_qubit_roundtrip() {
+        let x = BasisIndex::new(0b10110);
+        for q in 0..5 {
+            let removed = x.remove_qubit(q);
+            let restored = removed.insert_qubit(q, x.bit(q));
+            assert_eq!(restored, x, "round trip failed at qubit {q}");
+        }
+        assert_eq!(BasisIndex::new(0b101).remove_qubit(1).value(), 0b11);
+        assert_eq!(BasisIndex::new(0b11).insert_qubit(1, false).value(), 0b101);
+    }
+
+    #[test]
+    fn permutation_moves_bits() {
+        // perm[i] = source qubit for destination i.
+        let x = BasisIndex::new(0b001);
+        let perm = vec![2, 0, 1];
+        // destination 0 takes old qubit 2 (=0), destination 1 takes old qubit 0 (=1),
+        // destination 2 takes old qubit 1 (=0) => 0b010.
+        assert_eq!(x.permute(&perm).value(), 0b010);
+
+        // Applying a permutation and its inverse restores the value.
+        let perm = vec![1, 2, 0];
+        let mut inverse = vec![0; 3];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        let y = BasisIndex::new(0b110);
+        assert_eq!(y.permute(&perm).permute(&inverse), y);
+    }
+
+    #[test]
+    fn ket_rendering_uses_qubit0_leftmost() {
+        let x = BasisIndex::new(0b011);
+        assert_eq!(x.to_ket(3), "|110⟩");
+        assert_eq!(BasisIndex::ZERO.to_ket(2), "|00⟩");
+    }
+
+    #[test]
+    fn formatting_traits() {
+        let x = BasisIndex::new(0b1010);
+        assert_eq!(format!("{x}"), "10");
+        assert_eq!(format!("{x:b}"), "1010");
+        assert_eq!(format!("{x:x}"), "a");
+        assert_eq!(format!("{x:o}"), "12");
+    }
+
+    #[test]
+    fn bit_operators() {
+        let a = BasisIndex::new(0b1100);
+        let b = BasisIndex::new(0b1010);
+        assert_eq!((a & b).value(), 0b1000);
+        assert_eq!((a | b).value(), 0b1110);
+        assert_eq!((a ^ b).value(), 0b0110);
+    }
+}

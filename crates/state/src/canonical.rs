@@ -1,0 +1,469 @@
+//! Canonical forms under zero-cost operations and qubit permutation.
+//!
+//! The paper compresses the state transition graph by mapping every state to
+//! a representative of its equivalence class (Sec. V-B):
+//!
+//! * **U(2) equivalence** — states reachable from each other with zero-cost
+//!   single-qubit gates: Pauli-X flips and Y rotations on separable qubits.
+//! * **Qubit permutation** (`P`) — relabelling qubits, valid when the target
+//!   coupling graph is symmetric.
+//!
+//! Table III of the paper counts the canonical 4-qubit uniform states under
+//! no relation (`|V_G|`), layout-variant equivalence (`|V_G/U(2)|`) and
+//! layout-invariant equivalence (`|V_G/PU(2)|`); the [`CanonicalForm`] type
+//! is what the `table3` benchmark enumerates.
+//!
+//! Only genuinely zero-cost transformations are applied, so two index sets
+//! with the same canonical form can always be prepared with the same number
+//! of CNOT gates.
+
+use std::collections::BTreeSet;
+
+use crate::basis::BasisIndex;
+use crate::sparse::SparseState;
+
+/// Which equivalence relations to apply during canonicalization.
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::CanonicalOptions;
+///
+/// let layout_variant = CanonicalOptions::layout_variant();
+/// assert!(layout_variant.x_flips && !layout_variant.permutations);
+/// let layout_invariant = CanonicalOptions::layout_invariant();
+/// assert!(layout_invariant.permutations);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalOptions {
+    /// Apply Pauli-X flips (zero CNOT cost) to minimize the representative.
+    pub x_flips: bool,
+    /// Remove qubits that are separable from the rest of the register
+    /// (they can be rotated to `|0⟩` with a zero-cost Y rotation).
+    pub remove_separable: bool,
+    /// Additionally quotient by qubit permutations (layout-invariant
+    /// equivalence, `V_G / PU(2)` in the paper).
+    pub permutations: bool,
+}
+
+impl CanonicalOptions {
+    /// No equivalence at all: the canonical form is the sorted index set.
+    pub const fn none() -> Self {
+        CanonicalOptions {
+            x_flips: false,
+            remove_separable: false,
+            permutations: false,
+        }
+    }
+
+    /// Layout-variant equivalence `V_G / U(2)`: X flips plus separable-qubit
+    /// removal, no permutations.
+    pub const fn layout_variant() -> Self {
+        CanonicalOptions {
+            x_flips: true,
+            remove_separable: true,
+            permutations: false,
+        }
+    }
+
+    /// Layout-invariant equivalence `V_G / PU(2)`: X flips, separable-qubit
+    /// removal and qubit permutations.
+    pub const fn layout_invariant() -> Self {
+        CanonicalOptions {
+            x_flips: true,
+            remove_separable: true,
+            permutations: true,
+        }
+    }
+}
+
+impl Default for CanonicalOptions {
+    fn default() -> Self {
+        CanonicalOptions::layout_variant()
+    }
+}
+
+/// Exhaustive-search limits: below these widths canonicalization enumerates
+/// every flip mask / permutation, above them it falls back to a deterministic
+/// greedy procedure (still sound, possibly less compressing).
+const EXHAUSTIVE_FLIP_QUBITS: usize = 12;
+const EXHAUSTIVE_PERMUTATION_QUBITS: usize = 7;
+
+/// The canonical representative of a uniform index-set state.
+///
+/// The representative consists of the width of the *entangled core* (the
+/// register after separable qubits have been removed) and the
+/// lexicographically minimal sorted index set over the admitted
+/// transformations.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalForm {
+    core_qubits: usize,
+    indices: Vec<BasisIndex>,
+}
+
+impl CanonicalForm {
+    /// Canonicalizes a set of basis indices interpreted as a uniform
+    /// superposition on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or an index does not fit in the register.
+    pub fn of_index_set(
+        indices: &BTreeSet<BasisIndex>,
+        num_qubits: usize,
+        options: CanonicalOptions,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot canonicalize an empty index set");
+        let limit = if num_qubits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << num_qubits
+        };
+        assert!(
+            indices.iter().all(|i| i.value() < limit),
+            "index does not fit in a {num_qubits}-qubit register"
+        );
+
+        let mut set: BTreeSet<BasisIndex> = indices.clone();
+        let mut core_qubits = num_qubits;
+        if options.remove_separable {
+            let (cleared, active) = clear_separable_qubits(&set, num_qubits);
+            set = cleared;
+            core_qubits = active;
+        }
+
+        let indices = if options.permutations {
+            minimize_over_permutations(&set, num_qubits, options.x_flips)
+        } else if options.x_flips {
+            minimize_over_flips(&set, num_qubits)
+        } else {
+            set.iter().copied().collect()
+        };
+
+        CanonicalForm {
+            core_qubits,
+            indices,
+        }
+    }
+
+    /// Canonicalizes the support of a sparse state (amplitudes are ignored;
+    /// this is the uniform-state equivalence of Table III). Use the search
+    /// layer of `qsp-core` for amplitude-aware compression.
+    pub fn of_state(state: &SparseState, options: CanonicalOptions) -> Self {
+        let set: BTreeSet<BasisIndex> = state.support().into_iter().collect();
+        Self::of_index_set(&set, state.num_qubits(), options)
+    }
+
+    /// Width of the entangled core after separable-qubit removal.
+    #[inline]
+    pub fn core_qubits(&self) -> usize {
+        self.core_qubits
+    }
+
+    /// Cardinality of the canonical representative.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The canonical index set (sorted ascending).
+    pub fn indices(&self) -> &[BasisIndex] {
+        &self.indices
+    }
+}
+
+/// Clears constant and uniformly separable qubits of a uniform index set.
+///
+/// A qubit is *cleared* (set to `|0⟩` in every index, duplicates merged) when
+/// it is constant over the support or when its two cofactor index sets are
+/// identical — for a uniform superposition the qubit then factors out as
+/// `(|0⟩ + |1⟩)/√2` and a zero-cost Y rotation maps it to `|0⟩`, halving the
+/// cardinality. Qubit positions are preserved (clearing, not removing), which
+/// keeps the layout-variant equivalence `V_G / U(2)` position-sensitive as in
+/// Table III of the paper.
+///
+/// Returns the cleared index set together with the number of *active* (still
+/// entangled) qubits.
+fn clear_separable_qubits(
+    indices: &BTreeSet<BasisIndex>,
+    num_qubits: usize,
+) -> (BTreeSet<BasisIndex>, usize) {
+    let mut set = indices.clone();
+    let mut active: Vec<bool> = vec![true; num_qubits];
+    loop {
+        let mut changed = false;
+        for qubit in 0..num_qubits {
+            if !active[qubit] {
+                continue;
+            }
+            let negative: BTreeSet<BasisIndex> = set
+                .iter()
+                .filter(|i| !i.bit(qubit))
+                .map(|i| i.with_bit(qubit, false))
+                .collect();
+            let positive: BTreeSet<BasisIndex> = set
+                .iter()
+                .filter(|i| i.bit(qubit))
+                .map(|i| i.with_bit(qubit, false))
+                .collect();
+            let separable = negative.is_empty() || positive.is_empty() || negative == positive;
+            if separable {
+                set = set.iter().map(|i| i.with_bit(qubit, false)).collect();
+                active[qubit] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            let remaining = active.iter().filter(|&&a| a).count();
+            return (set, remaining);
+        }
+    }
+}
+
+/// Minimizes the sorted index vector over X-flip masks.
+fn minimize_over_flips(indices: &BTreeSet<BasisIndex>, num_qubits: usize) -> Vec<BasisIndex> {
+    if num_qubits <= EXHAUSTIVE_FLIP_QUBITS {
+        let mut best: Option<Vec<BasisIndex>> = None;
+        for mask in 0u64..(1u64 << num_qubits) {
+            let candidate = apply_flip_mask(indices, mask);
+            if best.as_ref().is_none_or(|b| candidate < *b) {
+                best = Some(candidate);
+            }
+        }
+        best.expect("at least the identity mask is evaluated")
+    } else {
+        greedy_flips(indices, num_qubits)
+    }
+}
+
+/// Greedy flip selection for wide registers: flip each qubit if doing so
+/// lowers the sorted index vector. Deterministic, sound, not necessarily the
+/// global minimum.
+fn greedy_flips(indices: &BTreeSet<BasisIndex>, num_qubits: usize) -> Vec<BasisIndex> {
+    let mut current: Vec<BasisIndex> = indices.iter().copied().collect();
+    current.sort_unstable();
+    for qubit in 0..num_qubits {
+        let mut flipped: Vec<BasisIndex> = current.iter().map(|i| i.flip_bit(qubit)).collect();
+        flipped.sort_unstable();
+        if flipped < current {
+            current = flipped;
+        }
+    }
+    current
+}
+
+fn apply_flip_mask(indices: &BTreeSet<BasisIndex>, mask: u64) -> Vec<BasisIndex> {
+    let mut out: Vec<BasisIndex> = indices
+        .iter()
+        .map(|i| BasisIndex::new(i.value() ^ mask))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Minimizes the sorted index vector over qubit permutations (and flip masks
+/// if `x_flips` is set).
+fn minimize_over_permutations(
+    indices: &BTreeSet<BasisIndex>,
+    num_qubits: usize,
+    x_flips: bool,
+) -> Vec<BasisIndex> {
+    if num_qubits > EXHAUSTIVE_PERMUTATION_QUBITS {
+        // Fall back to a canonical qubit ordering by column weight, then flips.
+        let perm = weight_sorted_permutation(indices, num_qubits);
+        let permuted: BTreeSet<BasisIndex> = indices.iter().map(|i| i.permute(&perm)).collect();
+        return if x_flips {
+            minimize_over_flips(&permuted, num_qubits)
+        } else {
+            permuted.into_iter().collect()
+        };
+    }
+    let mut best: Option<Vec<BasisIndex>> = None;
+    let mut perm: Vec<usize> = (0..num_qubits).collect();
+    permute_recursive(&mut perm, 0, &mut |p| {
+        let permuted: BTreeSet<BasisIndex> = indices.iter().map(|i| i.permute(p)).collect();
+        let candidate = if x_flips {
+            minimize_over_flips(&permuted, num_qubits)
+        } else {
+            permuted.into_iter().collect()
+        };
+        if best.as_ref().is_none_or(|b| candidate < *b) {
+            best = Some(candidate);
+        }
+    });
+    best.expect("at least the identity permutation is evaluated")
+}
+
+/// Deterministic qubit ordering for wide registers: qubits sorted by the
+/// number of ones in their column, ties broken by column bit pattern.
+fn weight_sorted_permutation(indices: &BTreeSet<BasisIndex>, num_qubits: usize) -> Vec<usize> {
+    let sorted_support: Vec<BasisIndex> = indices.iter().copied().collect();
+    let mut keys: Vec<(usize, Vec<bool>, usize)> = (0..num_qubits)
+        .map(|q| {
+            let column: Vec<bool> = sorted_support.iter().map(|i| i.bit(q)).collect();
+            let weight = column.iter().filter(|&&b| b).count();
+            (weight, column, q)
+        })
+        .collect();
+    keys.sort();
+    keys.into_iter().map(|(_, _, q)| q).collect()
+}
+
+fn permute_recursive<F: FnMut(&[usize])>(perm: &mut Vec<usize>, start: usize, visit: &mut F) {
+    if start == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in start..perm.len() {
+        perm.swap(start, i);
+        permute_recursive(perm, start + 1, visit);
+        perm.swap(start, i);
+    }
+}
+
+/// Counts equivalence classes among all cardinality-`m` uniform states of an
+/// `n`-qubit register, attributing each class to the cardinality of its
+/// canonical core (the bookkeeping behind Table III).
+///
+/// Returns the number of classes whose canonical representative still has
+/// cardinality `m` — classes that reduce to a smaller cardinality are counted
+/// in that smaller row instead, exactly once.
+pub fn count_canonical_states(num_qubits: usize, cardinality: usize, options: CanonicalOptions) -> usize {
+    assert!(num_qubits <= 5, "exhaustive enumeration limited to 5 qubits");
+    let total = 1usize << num_qubits;
+    assert!(cardinality >= 1 && cardinality <= total);
+    let mut classes: BTreeSet<CanonicalForm> = BTreeSet::new();
+    let mut subset = vec![0usize; cardinality];
+    enumerate_subsets(total, cardinality, &mut subset, 0, 0, &mut |chosen| {
+        let set: BTreeSet<BasisIndex> = chosen.iter().map(|&i| BasisIndex::new(i as u64)).collect();
+        let form = CanonicalForm::of_index_set(&set, num_qubits, options);
+        if form.cardinality() == cardinality {
+            classes.insert(form);
+        }
+    });
+    classes.len()
+}
+
+fn enumerate_subsets<F: FnMut(&[usize])>(
+    total: usize,
+    k: usize,
+    subset: &mut Vec<usize>,
+    depth: usize,
+    start: usize,
+    visit: &mut F,
+) {
+    if depth == k {
+        visit(subset);
+        return;
+    }
+    for value in start..total {
+        subset[depth] = value;
+        enumerate_subsets(total, k, subset, depth + 1, value + 1, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(values: &[u64]) -> BTreeSet<BasisIndex> {
+        values.iter().map(|&v| BasisIndex::new(v)).collect()
+    }
+
+    #[test]
+    fn x_flips_translate_the_support() {
+        // {|100⟩+|010⟩} and {|000⟩+|110⟩} are equivalent via an X flip (paper example ψ1).
+        let a = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
+        let b = CanonicalForm::of_index_set(&set(&[0b000, 0b011]), 3, CanonicalOptions::layout_variant());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn separable_qubit_removal_matches_paper_example_psi2() {
+        // φ = (|100⟩+|010⟩)/√2 is equivalent to ψ2 = (|000⟩+|001⟩+|110⟩+|111⟩)/2
+        // because an Ry(π/2) on the last qubit maps one to the other.
+        let phi = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
+        let psi2 = CanonicalForm::of_index_set(
+            &set(&[0b000, 0b100, 0b011, 0b111]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
+        assert_eq!(phi, psi2);
+        assert_eq!(phi.cardinality(), 2);
+    }
+
+    #[test]
+    fn permutation_equivalence_matches_paper_example_psi3() {
+        // φ = (|100⟩+|010⟩)/√2 equivalent to ψ3 = (|100⟩+|001⟩)/√2 by swapping qubits.
+        let phi = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_invariant());
+        let psi3 = CanonicalForm::of_index_set(&set(&[0b001, 0b100]), 3, CanonicalOptions::layout_invariant());
+        assert_eq!(phi, psi3);
+        // Without permutations they differ only if the flip canonicalization
+        // cannot align them; here a relabelling is genuinely required.
+        let phi_lv = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
+        let psi3_lv = CanonicalForm::of_index_set(&set(&[0b001, 0b100]), 3, CanonicalOptions::layout_variant());
+        assert_ne!(phi_lv, psi3_lv);
+    }
+
+    #[test]
+    fn ghz_is_its_own_core() {
+        let ghz = set(&[0b0000, 0b1111]);
+        let form = CanonicalForm::of_index_set(&ghz, 4, CanonicalOptions::layout_invariant());
+        assert_eq!(form.core_qubits(), 4);
+        assert_eq!(form.cardinality(), 2);
+        assert_eq!(form.indices()[0], BasisIndex::ZERO);
+    }
+
+    #[test]
+    fn fully_separable_state_reduces_to_the_ground_state() {
+        // Uniform superposition over all of {0,1}^3 is |+++⟩: every qubit separable.
+        let all = set(&(0..8u64).collect::<Vec<_>>());
+        let form = CanonicalForm::of_index_set(&all, 3, CanonicalOptions::layout_variant());
+        assert_eq!(form.cardinality(), 1);
+        assert_eq!(form.core_qubits(), 0);
+        assert_eq!(form.indices(), &[BasisIndex::ZERO]);
+    }
+
+    #[test]
+    fn table3_small_cardinalities_match_paper() {
+        // Table III, rows m = 1 and m = 2 (4-qubit register):
+        //   |V_G/U(2)| = 1, 11    |V_G/PU(2)| = 1, 3
+        assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_variant()), 1);
+        assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_invariant()), 1);
+        assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_variant()), 11);
+        assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_invariant()), 3);
+    }
+
+    #[test]
+    fn canonicalization_without_options_is_identity() {
+        let s = set(&[0b01, 0b10]);
+        let form = CanonicalForm::of_index_set(&s, 2, CanonicalOptions::none());
+        assert_eq!(form.indices(), &[BasisIndex::new(0b01), BasisIndex::new(0b10)]);
+        assert_eq!(form.core_qubits(), 2);
+    }
+
+    #[test]
+    fn of_state_uses_the_support() {
+        let state = SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b010)])
+            .unwrap();
+        let via_state = CanonicalForm::of_state(&state, CanonicalOptions::layout_variant());
+        let via_set = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
+        assert_eq!(via_state, via_set);
+    }
+
+    #[test]
+    fn greedy_flip_path_is_exercised_for_wide_registers() {
+        // 14 qubits exceeds the exhaustive flip bound; the result must still be
+        // a valid representative of the same class (flips only permute values).
+        let wide = set(&[0b10_0000_0000_0001, 0b01_0000_0000_0010]);
+        let form = CanonicalForm::of_index_set(&wide, 14, CanonicalOptions::layout_variant());
+        assert_eq!(form.cardinality(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index set")]
+    fn empty_set_panics() {
+        let empty = BTreeSet::new();
+        let _ = CanonicalForm::of_index_set(&empty, 2, CanonicalOptions::none());
+    }
+}

@@ -1,0 +1,375 @@
+//! Cofactor extraction and entanglement analysis.
+//!
+//! The admissible heuristic of the paper's A* search (Sec. V-A) lower-bounds
+//! the CNOT cost of a state by inspecting, for every qubit, whether its two
+//! cofactors can possibly be separated with zero-cost single-qubit gates. A
+//! qubit whose positive and negative cofactor *index sets* coincide might be
+//! separable; a qubit whose cofactor index sets differ is certainly entangled
+//! with the rest of the register, and disentangling it requires at least one
+//! two-qubit interaction.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::basis::BasisIndex;
+use crate::sparse::SparseState;
+use crate::DEFAULT_TOLERANCE;
+
+/// The two cofactors of a state with respect to one qubit.
+///
+/// `negative` collects the entries with the qubit at `|0⟩`, `positive` the
+/// entries with the qubit at `|1⟩`; in both maps the qubit has been removed
+/// from the index (the cofactors live on `n − 1` qubits).
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::{BasisIndex, Cofactors, SparseState};
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// let state = SparseState::uniform_superposition(
+///     2,
+///     [BasisIndex::new(0b00), BasisIndex::new(0b11)],
+/// )?;
+/// let cof = Cofactors::of(&state, 0);
+/// assert_eq!(cof.negative_support().len(), 1);
+/// assert_eq!(cof.positive_support().len(), 1);
+/// assert!(!cof.index_sets_equal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cofactors {
+    qubit: usize,
+    negative: BTreeMap<BasisIndex, f64>,
+    positive: BTreeMap<BasisIndex, f64>,
+}
+
+impl Cofactors {
+    /// Computes the cofactors of `state` with respect to `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is outside the register.
+    pub fn of(state: &SparseState, qubit: usize) -> Self {
+        assert!(
+            qubit < state.num_qubits(),
+            "qubit {qubit} out of range for {}-qubit state",
+            state.num_qubits()
+        );
+        let mut negative = BTreeMap::new();
+        let mut positive = BTreeMap::new();
+        for (index, amp) in state.iter() {
+            let reduced = index.remove_qubit(qubit);
+            if index.bit(qubit) {
+                *positive.entry(reduced).or_insert(0.0) += amp;
+            } else {
+                *negative.entry(reduced).or_insert(0.0) += amp;
+            }
+        }
+        Cofactors {
+            qubit,
+            negative,
+            positive,
+        }
+    }
+
+    /// The qubit these cofactors were taken with respect to.
+    #[inline]
+    pub fn qubit(&self) -> usize {
+        self.qubit
+    }
+
+    /// Index set of the negative (`|0⟩`) cofactor.
+    pub fn negative_support(&self) -> BTreeSet<BasisIndex> {
+        self.negative.keys().copied().collect()
+    }
+
+    /// Index set of the positive (`|1⟩`) cofactor.
+    pub fn positive_support(&self) -> BTreeSet<BasisIndex> {
+        self.positive.keys().copied().collect()
+    }
+
+    /// Whether the two cofactor index sets coincide — the paper's criterion
+    /// for a qubit that *might* be separable (Sec. V-A).
+    pub fn index_sets_equal(&self) -> bool {
+        self.negative.len() == self.positive.len()
+            && self
+                .negative
+                .keys()
+                .zip(self.positive.keys())
+                .all(|(a, b)| a == b)
+    }
+
+    /// Whether one of the cofactors is empty (the qubit is a constant `|0⟩`
+    /// or `|1⟩` and trivially separable).
+    pub fn is_constant(&self) -> bool {
+        self.negative.is_empty() || self.positive.is_empty()
+    }
+
+    /// Checks full (amplitude-aware) separability of the qubit: the state can
+    /// be written as `|rest⟩ ⊗ (a|0⟩ + b|1⟩)`.
+    ///
+    /// Returns the pair `(a, b)` (with `a² + b² = 1`) when the qubit is
+    /// separable and `None` otherwise.
+    pub fn separation(&self, tolerance: f64) -> Option<(f64, f64)> {
+        let neg_norm: f64 = self.negative.values().map(|a| a * a).sum::<f64>().sqrt();
+        let pos_norm: f64 = self.positive.values().map(|a| a * a).sum::<f64>().sqrt();
+        let total = (neg_norm * neg_norm + pos_norm * pos_norm).sqrt();
+        if total <= tolerance {
+            return None;
+        }
+        if pos_norm <= tolerance {
+            return Some((1.0, 0.0));
+        }
+        if neg_norm <= tolerance {
+            return Some((0.0, 1.0));
+        }
+        // Both cofactors are nonzero: they must be proportional with the same
+        // sign pattern for the qubit to be separable.
+        if !self.index_sets_equal() {
+            return None;
+        }
+        let ratio = pos_norm / neg_norm;
+        for (index, &neg_amp) in &self.negative {
+            let pos_amp = self.positive.get(index).copied().unwrap_or(0.0);
+            if (pos_amp - ratio * neg_amp).abs() > tolerance * (1.0 + ratio) {
+                return None;
+            }
+        }
+        Some((neg_norm / total, pos_norm / total))
+    }
+}
+
+/// Whether `qubit` is fully separable from the rest of `state` (the state is
+/// a tensor product `|rest⟩ ⊗ |χ⟩_qubit`).
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::{is_qubit_separable, BasisIndex, SparseState};
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// // |00⟩ + |01⟩: qubit 0 entangled? No — it is constant |0⟩...
+/// let state = SparseState::uniform_superposition(
+///     2,
+///     [BasisIndex::new(0b00), BasisIndex::new(0b10)],
+/// )?;
+/// assert!(is_qubit_separable(&state, 0, 1e-9)); // constant |0⟩
+/// assert!(is_qubit_separable(&state, 1, 1e-9)); // uniform |+⟩-like
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_qubit_separable(state: &SparseState, qubit: usize, tolerance: f64) -> bool {
+    Cofactors::of(state, qubit).separation(tolerance).is_some()
+}
+
+/// The qubits of `state` that are certainly entangled according to the
+/// paper's cofactor criterion: their positive and negative cofactor index
+/// sets differ and neither is empty.
+///
+/// This is the quantity `E` feeding the admissible A* heuristic `⌈E/2⌉`.
+pub fn entangled_qubits(state: &SparseState) -> Vec<usize> {
+    (0..state.num_qubits())
+        .filter(|&q| {
+            let cof = Cofactors::of(state, q);
+            !cof.is_constant() && !cof.index_sets_equal()
+        })
+        .collect()
+}
+
+/// The admissible lower bound on the number of CNOT gates needed to map
+/// `state` to a product state: `⌈E/2⌉` where `E` is the number of certainly
+/// entangled qubits (Sec. V-A).
+///
+/// For the 4-qubit GHZ state this returns 2 while the true cost is 3 — an
+/// underestimate, as required for A* optimality.
+pub fn entanglement_lower_bound(state: &SparseState) -> usize {
+    entangled_qubits(state).len().div_ceil(2)
+}
+
+/// Marginal probability distribution of a single qubit: `(P[q=0], P[q=1])`.
+pub fn qubit_marginal(state: &SparseState, qubit: usize) -> (f64, f64) {
+    let mut p0 = 0.0;
+    let mut p1 = 0.0;
+    for (index, amp) in state.iter() {
+        if index.bit(qubit) {
+            p1 += amp * amp;
+        } else {
+            p0 += amp * amp;
+        }
+    }
+    (p0, p1)
+}
+
+/// Joint probability distribution of two qubits in measurement basis:
+/// `[P(00), P(01), P(10), P(11)]` where the first bit is `a` and the second `b`.
+pub fn pairwise_joint_distribution(state: &SparseState, a: usize, b: usize) -> [f64; 4] {
+    let mut joint = [0.0; 4];
+    for (index, amp) in state.iter() {
+        let idx = (index.bit(a) as usize) << 1 | index.bit(b) as usize;
+        joint[idx] += amp * amp;
+    }
+    joint
+}
+
+/// Classical mutual information (in bits) between the measurement outcomes of
+/// qubits `a` and `b` — the quantity the paper references for detecting
+/// entangled qubit pairs (Sec. V-A, citing Shannon).
+pub fn mutual_information(state: &SparseState, a: usize, b: usize) -> f64 {
+    let joint = pairwise_joint_distribution(state, a, b);
+    let pa = [joint[0] + joint[1], joint[2] + joint[3]];
+    let pb = [joint[0] + joint[2], joint[1] + joint[3]];
+    let mut mi = 0.0;
+    for (i, &p) in joint.iter().enumerate() {
+        if p > DEFAULT_TOLERANCE {
+            let marginal = pa[i >> 1] * pb[i & 1];
+            mi += p * (p / marginal).log2();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// All unordered qubit pairs with nonzero mutual information above `threshold`.
+pub fn entangled_pairs(state: &SparseState, threshold: f64) -> Vec<(usize, usize)> {
+    let n = state.num_qubits();
+    let mut pairs = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if mutual_information(state, a, b) > threshold {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> SparseState {
+        SparseState::uniform_superposition(
+            n,
+            [
+                BasisIndex::ZERO,
+                BasisIndex::new(if n >= 64 { u64::MAX } else { (1u64 << n) - 1 }),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cofactors_split_the_support() {
+        let state = SparseState::uniform_superposition(
+            3,
+            [
+                BasisIndex::new(0b000),
+                BasisIndex::new(0b011),
+                BasisIndex::new(0b101),
+                BasisIndex::new(0b110),
+            ],
+        )
+        .unwrap();
+        // Qubit 1 in the paper's ψ1 example has identical cofactor index sets.
+        let cof = Cofactors::of(&state, 1);
+        assert_eq!(cof.qubit(), 1);
+        assert_eq!(cof.negative_support().len(), 2);
+        assert_eq!(cof.positive_support().len(), 2);
+    }
+
+    #[test]
+    fn ghz_state_has_all_qubits_entangled() {
+        let state = ghz(4);
+        assert_eq!(entangled_qubits(&state), vec![0, 1, 2, 3]);
+        // Paper example: heuristic returns ⌈4/2⌉ = 2 for the 4-qubit GHZ state.
+        assert_eq!(entanglement_lower_bound(&state), 2);
+        for q in 0..4 {
+            assert!(!is_qubit_separable(&state, q, 1e-9));
+        }
+    }
+
+    #[test]
+    fn product_states_have_no_entangled_qubits() {
+        // (|0⟩+|1⟩)/√2 ⊗ (|0⟩+|1⟩)/√2: all four basis states, uniform.
+        let state = SparseState::uniform_superposition(2, (0..4).map(BasisIndex::new)).unwrap();
+        assert!(entangled_qubits(&state).is_empty());
+        assert_eq!(entanglement_lower_bound(&state), 0);
+        assert!(is_qubit_separable(&state, 0, 1e-9));
+        assert!(is_qubit_separable(&state, 1, 1e-9));
+    }
+
+    #[test]
+    fn separation_returns_amplitude_split() {
+        let g = SparseState::ground_state(2).unwrap();
+        let rotated = g.apply_ry(1, -1.0).unwrap();
+        let cof = Cofactors::of(&rotated, 1);
+        let (a, b) = cof.separation(1e-9).expect("qubit 1 is separable");
+        assert!((a - (0.5f64).cos()).abs() < 1e-9);
+        assert!((b.abs() - (0.5f64).sin().abs()).abs() < 1e-9);
+        assert!((a * a + b * b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_qubits_are_separable() {
+        let state = SparseState::uniform_superposition(
+            3,
+            [BasisIndex::new(0b000), BasisIndex::new(0b010)],
+        )
+        .unwrap();
+        let cof = Cofactors::of(&state, 0);
+        assert!(cof.is_constant());
+        assert_eq!(cof.separation(1e-9), Some((1.0, 0.0)));
+        let cof2 = Cofactors::of(&state.apply_x(0).unwrap(), 0);
+        assert_eq!(cof2.separation(1e-9), Some((0.0, 1.0)));
+    }
+
+    #[test]
+    fn equal_index_sets_but_entangled_amplitudes_not_separable() {
+        // (sqrt(0.8)|00> + sqrt(0.2)|01> + sqrt(0.2)|10> + sqrt(0.8)|11>)/sqrt(2)
+        // has identical cofactor index sets for qubit 1 but is not separable.
+        let state = SparseState::from_amplitudes(
+            2,
+            [
+                (BasisIndex::new(0b00), (0.4f64).sqrt()),
+                (BasisIndex::new(0b01), (0.1f64).sqrt()),
+                (BasisIndex::new(0b10), (0.1f64).sqrt()),
+                (BasisIndex::new(0b11), (0.4f64).sqrt()),
+            ],
+        )
+        .unwrap();
+        let cof = Cofactors::of(&state, 1);
+        assert!(cof.index_sets_equal());
+        assert!(cof.separation(1e-9).is_none());
+        // The optimistic cofactor criterion still treats it as possibly
+        // separable — that is what keeps the heuristic admissible.
+        assert!(entangled_qubits(&state).is_empty());
+    }
+
+    #[test]
+    fn mutual_information_detects_correlation() {
+        let bell = ghz(2);
+        assert!((mutual_information(&bell, 0, 1) - 1.0).abs() < 1e-9);
+        let product = SparseState::uniform_superposition(2, (0..4).map(BasisIndex::new)).unwrap();
+        assert!(mutual_information(&product, 0, 1).abs() < 1e-9);
+        assert_eq!(entangled_pairs(&bell, 0.5), vec![(0, 1)]);
+        assert!(entangled_pairs(&product, 0.5).is_empty());
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let state = ghz(3);
+        for q in 0..3 {
+            let (p0, p1) = qubit_marginal(&state, q);
+            assert!((p0 + p1 - 1.0).abs() < 1e-12);
+            assert!((p0 - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cofactor_of_invalid_qubit_panics() {
+        let state = ghz(2);
+        let _ = Cofactors::of(&state, 5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Dense (full state-vector) representation of real-amplitude states.
+//!
+//! Dense states are used by the verification simulator ([`qsp-sim`]) and by
+//! the qubit-reduction baseline, which needs amplitudes for every basis index
+//! of a (sub-)register. The synthesis algorithms themselves operate on the
+//! sparse representation.
+//!
+//! [`qsp-sim`]: https://docs.rs/qsp-sim
+
+use std::fmt;
+
+use crate::basis::BasisIndex;
+use crate::error::StateError;
+use crate::sparse::SparseState;
+use crate::DEFAULT_TOLERANCE;
+
+/// A dense real state vector of `2^n` amplitudes.
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::{BasisIndex, DenseState, SparseState};
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// let sparse = SparseState::uniform_superposition(
+///     2,
+///     [BasisIndex::new(0), BasisIndex::new(3)],
+/// )?;
+/// let dense = DenseState::from_sparse(&sparse);
+/// assert_eq!(dense.num_qubits(), 2);
+/// assert!((dense.amplitude(BasisIndex::new(3)) - 0.5f64.sqrt()).abs() < 1e-12);
+/// assert!(dense.to_sparse(1e-9)?.approx_eq(&sparse, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseState {
+    num_qubits: usize,
+    amplitudes: Vec<f64>,
+}
+
+impl DenseState {
+    /// Maximum register width for which a dense vector is allocated (2^26
+    /// doubles = 512 MiB); larger requests are rejected.
+    pub const MAX_QUBITS: usize = 26;
+
+    /// Creates the ground state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::TooManyQubits`] when the dense vector would not
+    /// fit in memory and [`StateError::InvalidParameter`] for zero qubits.
+    pub fn ground_state(num_qubits: usize) -> Result<Self, StateError> {
+        if num_qubits == 0 {
+            return Err(StateError::InvalidParameter {
+                reason: "a state needs at least one qubit".to_string(),
+            });
+        }
+        if num_qubits > Self::MAX_QUBITS {
+            return Err(StateError::TooManyQubits {
+                requested: num_qubits,
+                max: Self::MAX_QUBITS,
+            });
+        }
+        let mut amplitudes = vec![0.0; 1 << num_qubits];
+        amplitudes[0] = 1.0;
+        Ok(DenseState {
+            num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Creates a dense state from a full amplitude vector (length must be a
+    /// power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InvalidParameter`] if the length is not a power
+    /// of two or [`StateError::InvalidAmplitude`] for non-finite entries.
+    pub fn from_vec(amplitudes: Vec<f64>) -> Result<Self, StateError> {
+        if amplitudes.is_empty() || !amplitudes.len().is_power_of_two() {
+            return Err(StateError::InvalidParameter {
+                reason: "dense amplitude vector length must be a power of two".to_string(),
+            });
+        }
+        if let Some(&bad) = amplitudes.iter().find(|a| !a.is_finite()) {
+            return Err(StateError::InvalidAmplitude { value: bad });
+        }
+        let num_qubits = amplitudes.len().trailing_zeros().max(1) as usize;
+        Ok(DenseState {
+            num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Converts a sparse state into its dense vector.
+    pub fn from_sparse(state: &SparseState) -> Self {
+        let mut amplitudes = vec![0.0; 1usize << state.num_qubits()];
+        for (index, amp) in state.iter() {
+            amplitudes[index.value() as usize] = amp;
+        }
+        DenseState {
+            num_qubits: state.num_qubits(),
+            amplitudes,
+        }
+    }
+
+    /// Converts the dense vector back to a sparse state, dropping amplitudes
+    /// below `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::EmptyState`] if every amplitude is below tolerance.
+    pub fn to_sparse(&self, tolerance: f64) -> Result<SparseState, StateError> {
+        SparseState::from_amplitudes(
+            self.num_qubits,
+            self.amplitudes
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.abs() > tolerance)
+                .map(|(i, &a)| (BasisIndex::new(i as u64), a)),
+        )
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Length of the amplitude vector (`2^n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Always false: a dense state always stores `2^n ≥ 2` amplitudes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Amplitude of a basis index.
+    #[inline]
+    pub fn amplitude(&self, index: BasisIndex) -> f64 {
+        self.amplitudes[index.value() as usize]
+    }
+
+    /// A view of the raw amplitude vector.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.amplitudes
+    }
+
+    /// A mutable view of the raw amplitude vector (used by the simulator).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.amplitudes
+    }
+
+    /// Sum of squared amplitudes.
+    pub fn norm_squared(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a * a).sum()
+    }
+
+    /// Whether the state is normalized within `tolerance`.
+    pub fn is_normalized(&self, tolerance: f64) -> bool {
+        (self.norm_squared() - 1.0).abs() <= tolerance
+    }
+
+    /// Inner product with another dense state of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register widths differ.
+    pub fn inner_product(&self, other: &DenseState) -> f64 {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "inner product requires equal register widths"
+        );
+        self.amplitudes
+            .iter()
+            .zip(&other.amplitudes)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another dense state.
+    pub fn fidelity(&self, other: &DenseState) -> f64 {
+        let ip = self.inner_product(other);
+        ip * ip
+    }
+
+    /// Cardinality: number of amplitudes with magnitude above the default
+    /// tolerance.
+    pub fn cardinality(&self) -> usize {
+        self.amplitudes
+            .iter()
+            .filter(|a| a.abs() > DEFAULT_TOLERANCE)
+            .count()
+    }
+}
+
+impl fmt::Display for DenseState {
+    /// Renders through the sparse representation so that both state types
+    /// print identically.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_sparse(DEFAULT_TOLERANCE) {
+            Ok(sparse) => write!(f, "{sparse}"),
+            Err(_) => write!(f, "(zero state vector on {} qubits)", self.num_qubits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_state_and_bounds() {
+        let g = DenseState::ground_state(3).unwrap();
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        assert!(g.is_normalized(1e-12));
+        assert!(DenseState::ground_state(0).is_err());
+        assert!(DenseState::ground_state(40).is_err());
+    }
+
+    #[test]
+    fn from_vec_validation() {
+        assert!(DenseState::from_vec(vec![]).is_err());
+        assert!(DenseState::from_vec(vec![1.0, 0.0, 0.0]).is_err());
+        assert!(DenseState::from_vec(vec![1.0, f64::NAN]).is_err());
+        let s = DenseState::from_vec(vec![0.0, 1.0]).unwrap();
+        assert_eq!(s.num_qubits(), 1);
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let sparse = SparseState::uniform_superposition(
+            3,
+            [BasisIndex::new(1), BasisIndex::new(6), BasisIndex::new(7)],
+        )
+        .unwrap();
+        let dense = DenseState::from_sparse(&sparse);
+        assert_eq!(dense.cardinality(), 3);
+        let back = dense.to_sparse(1e-9).unwrap();
+        assert!(back.approx_eq(&sparse, 1e-12));
+    }
+
+    #[test]
+    fn fidelity_between_dense_states() {
+        let a = DenseState::ground_state(2).unwrap();
+        let b = DenseState::from_vec(vec![
+            std::f64::consts::FRAC_1_SQRT_2,
+            0.0,
+            0.0,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ])
+        .unwrap();
+        assert!((a.fidelity(&b) - 0.5).abs() < 1e-12);
+        assert!((b.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal register widths")]
+    fn inner_product_width_mismatch_panics() {
+        let a = DenseState::ground_state(2).unwrap();
+        let b = DenseState::ground_state(3).unwrap();
+        let _ = a.inner_product(&b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for state construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or transforming quantum states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateError {
+    /// A basis index refers to a qubit outside the declared register width.
+    IndexOutOfRange {
+        /// The offending basis index value.
+        index: u64,
+        /// The number of qubits of the state.
+        num_qubits: usize,
+    },
+    /// The state has no nonzero amplitude.
+    EmptyState,
+    /// The squared amplitudes do not sum to one within tolerance.
+    NotNormalized {
+        /// The actual sum of squared amplitudes.
+        norm_squared: f64,
+    },
+    /// A qubit identifier is outside the register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: usize,
+        /// The number of qubits of the state.
+        num_qubits: usize,
+    },
+    /// The number of qubits exceeds what the basis representation supports.
+    TooManyQubits {
+        /// Requested register width.
+        requested: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
+    /// An amplitude is invalid (NaN or infinite).
+    InvalidAmplitude {
+        /// The offending value.
+        value: f64,
+    },
+    /// Parameters of a generator are inconsistent (e.g. Dicke k > n).
+    InvalidParameter {
+        /// Human readable description of the parameter problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::IndexOutOfRange { index, num_qubits } => write!(
+                f,
+                "basis index {index:#b} does not fit in a {num_qubits}-qubit register"
+            ),
+            StateError::EmptyState => write!(f, "state has no nonzero amplitude"),
+            StateError::NotNormalized { norm_squared } => write!(
+                f,
+                "state is not normalized: squared norm is {norm_squared}"
+            ),
+            StateError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is out of range for a {num_qubits}-qubit register"
+            ),
+            StateError::TooManyQubits { requested, max } => write!(
+                f,
+                "requested {requested} qubits but at most {max} are supported"
+            ),
+            StateError::InvalidAmplitude { value } => {
+                write!(f, "amplitude {value} is not a finite number")
+            }
+            StateError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = StateError::IndexOutOfRange {
+            index: 8,
+            num_qubits: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3-qubit"));
+        assert!(msg.starts_with(char::is_lowercase));
+
+        let e = StateError::NotNormalized { norm_squared: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<StateError>();
+    }
+}

@@ -1,0 +1,362 @@
+//! Workload generators for the paper's evaluation.
+//!
+//! The evaluation of the paper uses three workload families:
+//!
+//! * **Dicke states** `|D^k_n⟩` (Table IV) — uniform superpositions of all
+//!   basis states with exactly `k` ones.
+//! * **Random dense states** with cardinality `m = 2^(n-1)` (Table V, top).
+//! * **Random sparse states** with cardinality `m = n` (Table V, bottom).
+//!
+//! GHZ, W and product states are provided as well; they appear as examples in
+//! the paper (Sec. II, V-A) and make useful unit-test fixtures.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::basis::BasisIndex;
+use crate::error::StateError;
+use crate::sparse::SparseState;
+
+/// Generates the `n`-qubit GHZ state `(|0…0⟩ + |1…1⟩)/√2`.
+///
+/// # Errors
+///
+/// Returns an error when `n < 2` (a one-qubit "GHZ" state is not entangled).
+///
+/// # Example
+///
+/// ```
+/// let ghz = qsp_state::generators::ghz(4)?;
+/// assert_eq!(ghz.cardinality(), 2);
+/// # Ok::<(), qsp_state::StateError>(())
+/// ```
+pub fn ghz(n: usize) -> Result<SparseState, StateError> {
+    if n < 2 {
+        return Err(StateError::InvalidParameter {
+            reason: "ghz states need at least two qubits".to_string(),
+        });
+    }
+    let all_ones = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    SparseState::uniform_superposition(n, [BasisIndex::ZERO, BasisIndex::new(all_ones)])
+}
+
+/// Generates the `n`-qubit W state: uniform superposition of all basis states
+/// with Hamming weight one.
+///
+/// # Errors
+///
+/// Returns an error when `n < 2`.
+pub fn w_state(n: usize) -> Result<SparseState, StateError> {
+    if n < 2 {
+        return Err(StateError::InvalidParameter {
+            reason: "w states need at least two qubits".to_string(),
+        });
+    }
+    SparseState::uniform_superposition(n, (0..n).map(|q| BasisIndex::new(1u64 << q)))
+}
+
+/// Generates the Dicke state `|D^k_n⟩`: the uniform superposition of all
+/// `C(n, k)` basis states with exactly `k` qubits at `|1⟩` (Sec. VI-B).
+///
+/// # Errors
+///
+/// Returns an error when `k` is zero, `k > n`, or `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// let dicke = qsp_state::generators::dicke(4, 2)?;
+/// assert_eq!(dicke.cardinality(), 6); // C(4, 2)
+/// # Ok::<(), qsp_state::StateError>(())
+/// ```
+pub fn dicke(n: usize, k: usize) -> Result<SparseState, StateError> {
+    if n == 0 || k == 0 || k > n {
+        return Err(StateError::InvalidParameter {
+            reason: format!("dicke state requires 0 < k <= n, got n = {n}, k = {k}"),
+        });
+    }
+    if n > 30 {
+        return Err(StateError::InvalidParameter {
+            reason: "dicke generator enumerates C(n, k) indices; n > 30 is not supported"
+                .to_string(),
+        });
+    }
+    let indices = (0u64..(1u64 << n))
+        .filter(|x| x.count_ones() as usize == k)
+        .map(BasisIndex::new);
+    SparseState::uniform_superposition(n, indices)
+}
+
+/// The CNOT count of the best published manual Dicke-state design,
+/// `5nk − 5k² − 2n` (Mukherjee et al. [7], as quoted in Sec. VI-B).
+pub fn manual_dicke_cnot_count(n: usize, k: usize) -> usize {
+    let (n, k) = (n as i64, k as i64);
+    (5 * n * k - 5 * k * k - 2 * n).max(0) as usize
+}
+
+/// Generates a computational basis (product) state `|x⟩`.
+///
+/// # Errors
+///
+/// Returns an error if the index does not fit in the register.
+pub fn basis_state(n: usize, index: BasisIndex) -> Result<SparseState, StateError> {
+    SparseState::from_amplitudes(n, [(index, 1.0)])
+}
+
+/// Generates a uniform superposition over `m` random distinct basis indices
+/// of an `n`-qubit register — the random uniform states of Table V.
+///
+/// # Errors
+///
+/// Returns an error if `m` is zero or exceeds `2^n`.
+///
+/// # Panics
+///
+/// Panics if `n > 63` (the dense index range would overflow).
+pub fn random_uniform_state<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<SparseState, StateError> {
+    assert!(n <= 63, "random uniform states support at most 63 qubits");
+    let total: u64 = 1u64 << n;
+    if m == 0 || m as u64 > total {
+        return Err(StateError::InvalidParameter {
+            reason: format!("cardinality {m} is not in 1..=2^{n}"),
+        });
+    }
+    let indices = sample_distinct_indices(total, m, rng);
+    SparseState::uniform_superposition(n, indices.into_iter().map(BasisIndex::new))
+}
+
+/// Generates a random *dense* uniform state with `m = 2^(n-1)` (Table V, top half).
+///
+/// # Errors
+///
+/// Propagates the errors of [`random_uniform_state`].
+pub fn random_dense_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<SparseState, StateError> {
+    if n < 2 {
+        return Err(StateError::InvalidParameter {
+            reason: "dense benchmark states need at least two qubits".to_string(),
+        });
+    }
+    random_uniform_state(n, 1 << (n - 1), rng)
+}
+
+/// Generates a random *sparse* uniform state with `m = n` (Table V, bottom half).
+///
+/// # Errors
+///
+/// Propagates the errors of [`random_uniform_state`].
+pub fn random_sparse_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<SparseState, StateError> {
+    random_uniform_state(n, n, rng)
+}
+
+/// Generates a random state with distinct support and random (non-uniform)
+/// real amplitudes, normalized. Useful for exercising the amplitude-aware
+/// code paths beyond the paper's uniform benchmarks.
+///
+/// # Errors
+///
+/// Returns an error if `m` is zero or exceeds `2^n`.
+pub fn random_real_state<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<SparseState, StateError> {
+    assert!(n <= 63, "random states support at most 63 qubits");
+    let total: u64 = 1u64 << n;
+    if m == 0 || m as u64 > total {
+        return Err(StateError::InvalidParameter {
+            reason: format!("cardinality {m} is not in 1..=2^{n}"),
+        });
+    }
+    let indices = sample_distinct_indices(total, m, rng);
+    let state = SparseState::from_amplitudes(
+        n,
+        indices
+            .into_iter()
+            .map(|i| (BasisIndex::new(i), rng.gen_range(0.1..1.0))),
+    )?;
+    state.normalize()
+}
+
+/// Samples `m` distinct values from `0..total`.
+fn sample_distinct_indices<R: Rng + ?Sized>(total: u64, m: usize, rng: &mut R) -> Vec<u64> {
+    if total <= 4 * m as u64 || total <= 1 << 20 {
+        // Dense regime: shuffle the full range (bounded by 2^20 entries).
+        let mut all: Vec<u64> = (0..total).collect();
+        all.shuffle(rng);
+        all.truncate(m);
+        all
+    } else {
+        // Sparse regime: rejection sampling.
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < m {
+            chosen.insert(rng.gen_range(0..total));
+        }
+        chosen.into_iter().collect()
+    }
+}
+
+/// A named benchmark workload, used by the benchmark harness and examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Workload {
+    /// `|D^k_n⟩` Dicke state.
+    Dicke {
+        /// Number of qubits.
+        n: usize,
+        /// Hamming weight of the superposed basis states.
+        k: usize,
+    },
+    /// GHZ state on `n` qubits.
+    Ghz {
+        /// Number of qubits.
+        n: usize,
+    },
+    /// W state on `n` qubits.
+    W {
+        /// Number of qubits.
+        n: usize,
+    },
+    /// Random dense uniform state (`m = 2^(n-1)`) with a seed.
+    RandomDense {
+        /// Number of qubits.
+        n: usize,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Random sparse uniform state (`m = n`) with a seed.
+    RandomSparse {
+        /// Number of qubits.
+        n: usize,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// Instantiates the workload as a concrete state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (invalid parameters).
+    pub fn instantiate(&self) -> Result<SparseState, StateError> {
+        use rand::SeedableRng;
+        match *self {
+            Workload::Dicke { n, k } => dicke(n, k),
+            Workload::Ghz { n } => ghz(n),
+            Workload::W { n } => w_state(n),
+            Workload::RandomDense { n, seed } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                random_dense_state(n, &mut rng)
+            }
+            Workload::RandomSparse { n, seed } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                random_sparse_state(n, &mut rng)
+            }
+        }
+    }
+
+    /// A short human-readable name (used in benchmark reports).
+    pub fn name(&self) -> String {
+        match *self {
+            Workload::Dicke { n, k } => format!("dicke_{n}_{k}"),
+            Workload::Ghz { n } => format!("ghz_{n}"),
+            Workload::W { n } => format!("w_{n}"),
+            Workload::RandomDense { n, seed } => format!("dense_{n}_s{seed}"),
+            Workload::RandomSparse { n, seed } => format!("sparse_{n}_s{seed}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ghz_and_w_shapes() {
+        let ghz = ghz(5).unwrap();
+        assert_eq!(ghz.cardinality(), 2);
+        assert!(ghz.is_normalized(1e-12));
+        let w = w_state(5).unwrap();
+        assert_eq!(w.cardinality(), 5);
+        assert!(w.support().iter().all(|i| i.hamming_weight() == 1));
+        assert!(super::ghz(1).is_err());
+        assert!(super::w_state(1).is_err());
+    }
+
+    #[test]
+    fn dicke_cardinality_is_binomial() {
+        assert_eq!(dicke(4, 2).unwrap().cardinality(), 6);
+        assert_eq!(dicke(6, 3).unwrap().cardinality(), 20);
+        assert_eq!(dicke(5, 1).unwrap().cardinality(), 5);
+        assert!(dicke(3, 0).is_err());
+        assert!(dicke(3, 4).is_err());
+        // |D^1_n> is the W state.
+        assert_eq!(dicke(4, 1).unwrap(), w_state(4).unwrap());
+    }
+
+    #[test]
+    fn manual_dicke_formula_matches_table4() {
+        // Manual column of Table IV.
+        assert_eq!(manual_dicke_cnot_count(3, 1), 4);
+        assert_eq!(manual_dicke_cnot_count(4, 1), 7);
+        assert_eq!(manual_dicke_cnot_count(4, 2), 12);
+        assert_eq!(manual_dicke_cnot_count(5, 1), 10);
+        assert_eq!(manual_dicke_cnot_count(5, 2), 20);
+        assert_eq!(manual_dicke_cnot_count(6, 1), 13);
+        assert_eq!(manual_dicke_cnot_count(6, 2), 28);
+        assert_eq!(manual_dicke_cnot_count(6, 3), 33);
+    }
+
+    #[test]
+    fn random_states_have_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dense = random_dense_state(6, &mut rng).unwrap();
+        assert_eq!(dense.cardinality(), 32);
+        assert!(!dense.is_sparse());
+        let sparse = random_sparse_state(10, &mut rng).unwrap();
+        assert_eq!(sparse.cardinality(), 10);
+        assert!(sparse.is_sparse());
+        assert!(sparse.is_normalized(1e-9));
+        assert!(random_uniform_state(3, 0, &mut rng).is_err());
+        assert!(random_uniform_state(3, 9, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_states_are_reproducible_by_seed() {
+        let a = Workload::RandomSparse { n: 8, seed: 42 }.instantiate().unwrap();
+        let b = Workload::RandomSparse { n: 8, seed: 42 }.instantiate().unwrap();
+        assert_eq!(a, b);
+        let c = Workload::RandomSparse { n: 8, seed: 43 }.instantiate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_real_state_is_normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = random_real_state(5, 7, &mut rng).unwrap();
+        assert_eq!(s.cardinality(), 7);
+        assert!(s.is_normalized(1e-9));
+    }
+
+    #[test]
+    fn workload_names_and_instantiation() {
+        let w = Workload::Dicke { n: 4, k: 2 };
+        assert_eq!(w.name(), "dicke_4_2");
+        assert_eq!(w.instantiate().unwrap().cardinality(), 6);
+        assert_eq!(Workload::Ghz { n: 3 }.name(), "ghz_3");
+        assert_eq!(Workload::W { n: 3 }.name(), "w_3");
+        assert!(Workload::RandomDense { n: 5, seed: 1 }.name().starts_with("dense_5"));
+    }
+
+    #[test]
+    fn basis_state_is_cardinality_one() {
+        let s = basis_state(3, BasisIndex::new(0b101)).unwrap();
+        assert_eq!(s.cardinality(), 1);
+        assert!((s.amplitude(BasisIndex::new(0b101)) - 1.0).abs() < 1e-12);
+    }
+}

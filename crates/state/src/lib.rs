@@ -1,0 +1,60 @@
+//! # qsp-state
+//!
+//! Quantum state representation and analysis substrate for CNOT-optimal
+//! quantum state preparation (QSP).
+//!
+//! This crate provides the data structures that the exact CNOT synthesis
+//! formulation of Wang et al. (DATE 2024) operates on:
+//!
+//! * [`BasisIndex`] — a computational basis vector `|x⟩`, `x ∈ {0,1}^n`,
+//!   stored as a bit mask.
+//! * [`SparseState`] — an `n`-qubit quantum state with real amplitudes stored
+//!   sparsely as a map from basis index to amplitude (the "index set"
+//!   representation of the paper, Sec. II-A).
+//! * [`cofactor`] — cofactor extraction and the entanglement analysis used by
+//!   the admissible A* heuristic (Sec. V-A).
+//! * [`canonical`] — canonical forms under zero-cost single-qubit gates and
+//!   qubit permutation used for state compression (Sec. V-B, Table III).
+//! * [`generators`] — workload generators for Dicke, GHZ, W, product and
+//!   random dense/sparse states used throughout the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use qsp_state::{BasisIndex, SparseState};
+//!
+//! # fn main() -> Result<(), qsp_state::StateError> {
+//! // The motivating example of the paper: (|000> + |011> + |101> + |110>)/2.
+//! let state = SparseState::uniform_superposition(
+//!     3,
+//!     [0b000u64, 0b011, 0b101, 0b110].iter().map(|&x| BasisIndex::new(x)),
+//! )?;
+//! assert_eq!(state.cardinality(), 4);
+//! assert_eq!(state.num_qubits(), 3);
+//! assert!(state.is_normalized(1e-9));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amplitude;
+pub mod basis;
+pub mod canonical;
+pub mod cofactor;
+pub mod dense;
+pub mod error;
+pub mod generators;
+pub mod sparse;
+
+pub use amplitude::Amplitude;
+pub use basis::BasisIndex;
+pub use canonical::{CanonicalForm, CanonicalOptions};
+pub use cofactor::{entangled_qubits, is_qubit_separable, Cofactors};
+pub use dense::DenseState;
+pub use error::StateError;
+pub use sparse::SparseState;
+
+/// Numerical tolerance used by default for amplitude comparisons.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;

@@ -1,0 +1,643 @@
+//! Sparse representation of real-amplitude quantum states.
+//!
+//! A [`SparseState`] stores the index set `S(ψ)` and the associated real
+//! amplitudes (Sec. II-A of the paper). Only nonzero amplitudes are stored,
+//! so states with cardinality `m ≪ 2^n` stay compact — the `n × m` encoding
+//! the paper credits for the scalability of its implementation (Sec. VI-D).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::basis::BasisIndex;
+use crate::error::StateError;
+use crate::DEFAULT_TOLERANCE;
+
+/// An `n`-qubit quantum state with real amplitudes, stored sparsely.
+///
+/// Amplitudes below the construction tolerance are dropped. Iteration order
+/// is deterministic (ascending basis index), which keeps the synthesis
+/// algorithms and tests reproducible.
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::{BasisIndex, SparseState};
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// // GHZ state on 3 qubits: (|000> + |111>)/sqrt(2).
+/// let ghz = SparseState::from_amplitudes(
+///     3,
+///     [
+///         (BasisIndex::new(0b000), std::f64::consts::FRAC_1_SQRT_2),
+///         (BasisIndex::new(0b111), std::f64::consts::FRAC_1_SQRT_2),
+///     ],
+/// )?;
+/// assert_eq!(ghz.cardinality(), 2);
+/// assert!(ghz.is_normalized(1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseState {
+    num_qubits: usize,
+    amplitudes: BTreeMap<BasisIndex, f64>,
+}
+
+impl SparseState {
+    /// Creates the ground state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::TooManyQubits`] if `num_qubits` exceeds
+    /// [`BasisIndex::MAX_QUBITS`] and [`StateError::InvalidParameter`] when
+    /// `num_qubits` is zero.
+    pub fn ground_state(num_qubits: usize) -> Result<Self, StateError> {
+        Self::check_width(num_qubits)?;
+        let mut amplitudes = BTreeMap::new();
+        amplitudes.insert(BasisIndex::ZERO, 1.0);
+        Ok(SparseState {
+            num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Creates a state from `(basis index, amplitude)` pairs.
+    ///
+    /// Amplitudes on the same index are summed; entries whose magnitude falls
+    /// below the default tolerance are dropped. The result is **not**
+    /// renormalized; use [`SparseState::normalize`] or
+    /// [`SparseState::is_normalized`] as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an index does not fit in the register, an
+    /// amplitude is not finite, or the resulting state is empty.
+    pub fn from_amplitudes<I>(num_qubits: usize, entries: I) -> Result<Self, StateError>
+    where
+        I: IntoIterator<Item = (BasisIndex, f64)>,
+    {
+        Self::check_width(num_qubits)?;
+        let limit = Self::index_limit(num_qubits);
+        let mut amplitudes: BTreeMap<BasisIndex, f64> = BTreeMap::new();
+        for (index, amplitude) in entries {
+            if index.value() >= limit {
+                return Err(StateError::IndexOutOfRange {
+                    index: index.value(),
+                    num_qubits,
+                });
+            }
+            if !amplitude.is_finite() {
+                return Err(StateError::InvalidAmplitude { value: amplitude });
+            }
+            *amplitudes.entry(index).or_insert(0.0) += amplitude;
+        }
+        amplitudes.retain(|_, a| a.abs() > DEFAULT_TOLERANCE);
+        if amplitudes.is_empty() {
+            return Err(StateError::EmptyState);
+        }
+        Ok(SparseState {
+            num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Creates a uniform superposition over the given basis indices:
+    /// every index receives amplitude `1/sqrt(m)`.
+    ///
+    /// This is the state family used by every experiment in the paper
+    /// ("we test uniform states to compare with related works", Sec. VI-A).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`SparseState::from_amplitudes`]; duplicate
+    /// indices are rejected via [`StateError::InvalidParameter`].
+    pub fn uniform_superposition<I>(num_qubits: usize, indices: I) -> Result<Self, StateError>
+    where
+        I: IntoIterator<Item = BasisIndex>,
+    {
+        let indices: Vec<BasisIndex> = indices.into_iter().collect();
+        if indices.is_empty() {
+            return Err(StateError::EmptyState);
+        }
+        let mut unique = indices.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        if unique.len() != indices.len() {
+            return Err(StateError::InvalidParameter {
+                reason: "uniform superposition indices must be distinct".to_string(),
+            });
+        }
+        let amp = 1.0 / (indices.len() as f64).sqrt();
+        Self::from_amplitudes(num_qubits, indices.into_iter().map(|i| (i, amp)))
+    }
+
+    fn check_width(num_qubits: usize) -> Result<(), StateError> {
+        if num_qubits == 0 {
+            return Err(StateError::InvalidParameter {
+                reason: "a state needs at least one qubit".to_string(),
+            });
+        }
+        if num_qubits > BasisIndex::MAX_QUBITS {
+            return Err(StateError::TooManyQubits {
+                requested: num_qubits,
+                max: BasisIndex::MAX_QUBITS,
+            });
+        }
+        Ok(())
+    }
+
+    fn index_limit(num_qubits: usize) -> u64 {
+        if num_qubits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << num_qubits
+        }
+    }
+
+    /// Number of qubits of the register.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Cardinality `|S(ψ)|`: the number of basis states with nonzero amplitude.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Whether the state is *sparse* in the sense of the paper's workflow
+    /// (Fig. 5): `n·m < 2^n`.
+    pub fn is_sparse(&self) -> bool {
+        let n = self.num_qubits;
+        let m = self.cardinality();
+        if n >= 63 {
+            return true;
+        }
+        ((n * m) as u128) < (1u128 << n)
+    }
+
+    /// The amplitude of a basis index (zero if absent).
+    #[inline]
+    pub fn amplitude(&self, index: BasisIndex) -> f64 {
+        self.amplitudes.get(&index).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(basis index, amplitude)` pairs in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (BasisIndex, f64)> + '_ {
+        self.amplitudes.iter().map(|(&i, &a)| (i, a))
+    }
+
+    /// The index set `S(ψ)` in ascending order.
+    pub fn support(&self) -> Vec<BasisIndex> {
+        self.amplitudes.keys().copied().collect()
+    }
+
+    /// Sum of squared amplitudes.
+    pub fn norm_squared(&self) -> f64 {
+        self.amplitudes.values().map(|a| a * a).sum()
+    }
+
+    /// Whether the state is normalized within `tolerance`.
+    pub fn is_normalized(&self, tolerance: f64) -> bool {
+        (self.norm_squared() - 1.0).abs() <= tolerance
+    }
+
+    /// Returns a normalized copy of the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NotNormalized`] if the norm is numerically zero.
+    pub fn normalize(&self) -> Result<Self, StateError> {
+        let norm = self.norm_squared().sqrt();
+        if norm <= DEFAULT_TOLERANCE {
+            return Err(StateError::NotNormalized {
+                norm_squared: norm * norm,
+            });
+        }
+        let amplitudes = self
+            .amplitudes
+            .iter()
+            .map(|(&i, &a)| (i, a / norm))
+            .collect();
+        Ok(SparseState {
+            num_qubits: self.num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Inner product `⟨self|other⟩` (real, since amplitudes are real).
+    pub fn inner_product(&self, other: &SparseState) -> f64 {
+        // Iterate over the smaller support for efficiency.
+        let (small, large) = if self.cardinality() <= other.cardinality() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .amplitudes
+            .iter()
+            .map(|(i, a)| a * large.amplitude(*i))
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another state.
+    pub fn fidelity(&self, other: &SparseState) -> f64 {
+        let ip = self.inner_product(other);
+        ip * ip
+    }
+
+    /// Whether this state equals `other` up to tolerance (same register width
+    /// and same amplitudes on every basis index, allowing a global sign).
+    pub fn approx_eq(&self, other: &SparseState, tolerance: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        let direct = self.support() == other.support()
+            && self
+                .iter()
+                .all(|(i, a)| (a - other.amplitude(i)).abs() <= tolerance);
+        if direct {
+            return true;
+        }
+        // Allow a global sign flip (|ψ⟩ and -|ψ⟩ are the same physical state).
+        self.support() == other.support()
+            && self
+                .iter()
+                .all(|(i, a)| (a + other.amplitude(i)).abs() <= tolerance)
+    }
+
+    /// Whether the state is the ground state `|0…0⟩` (up to global sign).
+    pub fn is_ground_state(&self, tolerance: f64) -> bool {
+        self.cardinality() == 1
+            && self.amplitudes.contains_key(&BasisIndex::ZERO)
+            && (self.amplitude(BasisIndex::ZERO).abs() - 1.0).abs() <= tolerance
+    }
+
+    /// Applies a Pauli-X gate on `qubit`, returning the new state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] if `qubit` is outside the register.
+    pub fn apply_x(&self, qubit: usize) -> Result<Self, StateError> {
+        self.check_qubit(qubit)?;
+        let amplitudes = self
+            .amplitudes
+            .iter()
+            .map(|(&i, &a)| (i.flip_bit(qubit), a))
+            .collect();
+        Ok(SparseState {
+            num_qubits: self.num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Applies a CNOT gate (classical basis permutation), returning the new state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] if a qubit is outside the
+    /// register or [`StateError::InvalidParameter`] if control equals target.
+    pub fn apply_cnot(&self, control: usize, target: usize) -> Result<Self, StateError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(StateError::InvalidParameter {
+                reason: "cnot control and target must differ".to_string(),
+            });
+        }
+        let amplitudes = self
+            .amplitudes
+            .iter()
+            .map(|(&i, &a)| (i.apply_cnot(control, target), a))
+            .collect();
+        Ok(SparseState {
+            num_qubits: self.num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Applies a Y rotation `Ry(θ)` on `qubit`, returning the new state.
+    ///
+    /// `Ry(θ) = [[cos(θ/2), sin(θ/2)], [-sin(θ/2), cos(θ/2)]]` as in Eq. (1)
+    /// of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] if `qubit` is outside the register.
+    pub fn apply_ry(&self, qubit: usize, theta: f64) -> Result<Self, StateError> {
+        self.apply_controlled_ry(&[], qubit, theta)
+    }
+
+    /// Applies a multi-controlled Y rotation: the rotation acts on `target`
+    /// only for basis states where every `(qubit, polarity)` control is
+    /// satisfied (`polarity = true` means the control fires on `|1⟩`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any qubit is out of range or the target appears in
+    /// the control list.
+    pub fn apply_controlled_ry(
+        &self,
+        controls: &[(usize, bool)],
+        target: usize,
+        theta: f64,
+    ) -> Result<Self, StateError> {
+        self.check_qubit(target)?;
+        for &(c, _) in controls {
+            self.check_qubit(c)?;
+            if c == target {
+                return Err(StateError::InvalidParameter {
+                    reason: "rotation target cannot also be a control".to_string(),
+                });
+            }
+        }
+        let cos = (theta / 2.0).cos();
+        let sin = (theta / 2.0).sin();
+        let mut amplitudes: BTreeMap<BasisIndex, f64> = BTreeMap::new();
+        for (&index, &amp) in &self.amplitudes {
+            let fires = controls
+                .iter()
+                .all(|&(c, polarity)| index.bit(c) == polarity);
+            if !fires {
+                *amplitudes.entry(index).or_insert(0.0) += amp;
+                continue;
+            }
+            let zero_index = index.with_bit(target, false);
+            let one_index = index.with_bit(target, true);
+            if index.bit(target) {
+                // |1⟩ component: contributes sin to |0⟩ and cos to |1⟩.
+                *amplitudes.entry(zero_index).or_insert(0.0) += sin * amp;
+                *amplitudes.entry(one_index).or_insert(0.0) += cos * amp;
+            } else {
+                // |0⟩ component: contributes cos to |0⟩ and -sin to |1⟩.
+                *amplitudes.entry(zero_index).or_insert(0.0) += cos * amp;
+                *amplitudes.entry(one_index).or_insert(0.0) += -sin * amp;
+            }
+        }
+        amplitudes.retain(|_, a| a.abs() > DEFAULT_TOLERANCE);
+        if amplitudes.is_empty() {
+            return Err(StateError::EmptyState);
+        }
+        Ok(SparseState {
+            num_qubits: self.num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Applies a qubit permutation: qubit `i` of the result takes the value of
+    /// qubit `perm[i]` of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InvalidParameter`] if `perm` is not a permutation
+    /// of `0..num_qubits`.
+    pub fn permute_qubits(&self, perm: &[usize]) -> Result<Self, StateError> {
+        if perm.len() != self.num_qubits {
+            return Err(StateError::InvalidParameter {
+                reason: format!(
+                    "permutation length {} does not match register width {}",
+                    perm.len(),
+                    self.num_qubits
+                ),
+            });
+        }
+        let mut seen = vec![false; self.num_qubits];
+        for &p in perm {
+            if p >= self.num_qubits || seen[p] {
+                return Err(StateError::InvalidParameter {
+                    reason: "permutation must map 0..n bijectively".to_string(),
+                });
+            }
+            seen[p] = true;
+        }
+        let amplitudes = self
+            .amplitudes
+            .iter()
+            .map(|(&i, &a)| (i.permute(perm), a))
+            .collect();
+        Ok(SparseState {
+            num_qubits: self.num_qubits,
+            amplitudes,
+        })
+    }
+
+    fn check_qubit(&self, qubit: usize) -> Result<(), StateError> {
+        if qubit >= self.num_qubits {
+            Err(StateError::QubitOutOfRange {
+                qubit,
+                num_qubits: self.num_qubits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for SparseState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (index, amp) in self.iter() {
+            if !first {
+                if amp >= 0.0 {
+                    write!(f, " + ")?;
+                } else {
+                    write!(f, " - ")?;
+                }
+            } else if amp < 0.0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{:.4}{}", amp.abs(), index.to_ket(self.num_qubits))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(BasisIndex, f64)> for SparseState {
+    /// Collects `(index, amplitude)` pairs into a state, inferring the
+    /// register width from the largest index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or contains non-finite amplitudes;
+    /// prefer [`SparseState::from_amplitudes`] for fallible construction.
+    fn from_iter<T: IntoIterator<Item = (BasisIndex, f64)>>(iter: T) -> Self {
+        let entries: Vec<(BasisIndex, f64)> = iter.into_iter().collect();
+        let max_index = entries
+            .iter()
+            .map(|(i, _)| i.value())
+            .max()
+            .expect("cannot collect an empty state");
+        let num_qubits = (64 - max_index.leading_zeros()).max(1) as usize;
+        SparseState::from_amplitudes(num_qubits, entries).expect("invalid state entries")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> SparseState {
+        SparseState::uniform_superposition(2, [BasisIndex::new(0), BasisIndex::new(3)]).unwrap()
+    }
+
+    #[test]
+    fn ground_state_properties() {
+        let g = SparseState::ground_state(4).unwrap();
+        assert_eq!(g.num_qubits(), 4);
+        assert_eq!(g.cardinality(), 1);
+        assert!(g.is_ground_state(1e-9));
+        assert!(g.is_normalized(1e-12));
+    }
+
+    #[test]
+    fn construction_rejects_bad_input() {
+        assert!(SparseState::ground_state(0).is_err());
+        assert!(SparseState::ground_state(65).is_err());
+        assert!(
+            SparseState::from_amplitudes(2, [(BasisIndex::new(4), 1.0)]).is_err(),
+            "index 4 does not fit in 2 qubits"
+        );
+        assert!(SparseState::from_amplitudes(2, [(BasisIndex::new(1), f64::NAN)]).is_err());
+        assert!(SparseState::from_amplitudes(2, std::iter::empty()).is_err());
+        assert!(SparseState::uniform_superposition(
+            2,
+            [BasisIndex::new(1), BasisIndex::new(1)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed_and_zeros_dropped() {
+        let s = SparseState::from_amplitudes(
+            2,
+            [
+                (BasisIndex::new(1), 0.5),
+                (BasisIndex::new(1), 0.5),
+                (BasisIndex::new(2), 1.0),
+                (BasisIndex::new(2), -1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.cardinality(), 1);
+        assert!((s.amplitude(BasisIndex::new(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_classification_matches_paper_definition() {
+        // n = 4, m = 8 (dense: nm = 32 >= 16).
+        let dense = SparseState::uniform_superposition(4, (0..8).map(BasisIndex::new)).unwrap();
+        assert!(!dense.is_sparse());
+        // n = 6, m = 6 (sparse: nm = 36 < 64).
+        let sparse = SparseState::uniform_superposition(6, (0..6).map(BasisIndex::new)).unwrap();
+        assert!(sparse.is_sparse());
+    }
+
+    #[test]
+    fn x_and_cnot_permute_the_support() {
+        let s = bell();
+        let flipped = s.apply_x(0).unwrap();
+        assert_eq!(
+            flipped.support(),
+            vec![BasisIndex::new(1), BasisIndex::new(2)]
+        );
+        let unentangled = s.apply_cnot(0, 1).unwrap();
+        assert_eq!(
+            unentangled.support(),
+            vec![BasisIndex::new(0), BasisIndex::new(1)]
+        );
+        assert!(s.apply_cnot(0, 0).is_err());
+        assert!(s.apply_x(5).is_err());
+    }
+
+    #[test]
+    fn ry_rotates_a_single_qubit() {
+        let g = SparseState::ground_state(1).unwrap();
+        let plus = g.apply_ry(0, -std::f64::consts::FRAC_PI_2).unwrap();
+        assert_eq!(plus.cardinality(), 2);
+        assert!((plus.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((plus.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        // Rotating back yields the ground state again.
+        let back = plus.apply_ry(0, std::f64::consts::FRAC_PI_2).unwrap();
+        assert!(back.is_ground_state(1e-9));
+    }
+
+    #[test]
+    fn controlled_ry_only_touches_control_satisfied_branch() {
+        let s = bell();
+        // Control on qubit 0 = |1>, rotate qubit 1 by π (maps |11> -> -|10>).
+        let rotated = s
+            .apply_controlled_ry(&[(0, true)], 1, std::f64::consts::PI)
+            .unwrap();
+        // With the paper's Ry convention (Eq. 1) the |1⟩ component maps to +|0⟩ at θ = π.
+        assert!((rotated.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((rotated.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(rotated.amplitude(BasisIndex::new(3)).abs() < 1e-12);
+        assert!(s.apply_controlled_ry(&[(1, true)], 1, 0.3).is_err());
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let s = bell();
+        assert!((s.fidelity(&s) - 1.0).abs() < 1e-12);
+        let g = SparseState::ground_state(2).unwrap();
+        assert!((s.fidelity(&g) - 0.5).abs() < 1e-12);
+        let orthogonal =
+            SparseState::uniform_superposition(2, [BasisIndex::new(1), BasisIndex::new(2)])
+                .unwrap();
+        assert!(s.fidelity(&orthogonal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_allows_global_sign() {
+        let s = bell();
+        let negated = SparseState::from_amplitudes(
+            2,
+            s.iter().map(|(i, a)| (i, -a)),
+        )
+        .unwrap();
+        assert!(s.approx_eq(&negated, 1e-12));
+        let different =
+            SparseState::uniform_superposition(2, [BasisIndex::new(0), BasisIndex::new(1)])
+                .unwrap();
+        assert!(!s.approx_eq(&different, 1e-12));
+    }
+
+    #[test]
+    fn permutation_of_qubits() {
+        let s = SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b110)])
+            .unwrap();
+        let swapped = s.permute_qubits(&[1, 0, 2]).unwrap();
+        assert_eq!(
+            swapped.support(),
+            vec![BasisIndex::new(0b010), BasisIndex::new(0b101)]
+        );
+        assert!(s.permute_qubits(&[0, 0, 1]).is_err());
+        assert!(s.permute_qubits(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let s = SparseState::from_amplitudes(2, [(BasisIndex::new(0), 3.0), (BasisIndex::new(1), 4.0)])
+            .unwrap();
+        assert!(!s.is_normalized(1e-9));
+        let n = s.normalize().unwrap();
+        assert!(n.is_normalized(1e-12));
+        assert!((n.amplitude(BasisIndex::new(0)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_kets() {
+        let s = bell();
+        let rendered = s.to_string();
+        assert!(rendered.contains("|00⟩"));
+        assert!(rendered.contains("|11⟩"));
+    }
+
+    #[test]
+    fn collect_from_iterator_infers_width() {
+        let s: SparseState = [(BasisIndex::new(0b101), 1.0)].into_iter().collect();
+        assert_eq!(s.num_qubits(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the state substrate: bit-level basis operations,
+//! sparse-state algebra, cofactor analysis and canonical forms.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use qsp_state::canonical::{CanonicalForm, CanonicalOptions};
+use qsp_state::cofactor::{entangled_qubits, entanglement_lower_bound, mutual_information};
+use qsp_state::{BasisIndex, DenseState, SparseState};
+
+/// Strategy: a register width between 1 and 6 qubits.
+fn width() -> impl Strategy<Value = usize> {
+    1usize..=6
+}
+
+/// Strategy: a width together with a non-empty set of in-range basis indices.
+fn width_and_indices() -> impl Strategy<Value = (usize, Vec<u64>)> {
+    width().prop_flat_map(|n| {
+        let limit = 1u64 << n;
+        (
+            Just(n),
+            proptest::collection::btree_set(0..limit, 1..=(limit as usize).min(12))
+                .prop_map(|set| set.into_iter().collect::<Vec<_>>()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// remove/insert of a qubit round-trips a basis index.
+    #[test]
+    fn basis_remove_insert_roundtrip(value in 0u64..(1 << 12), qubit in 0usize..12) {
+        let index = BasisIndex::new(value);
+        let restored = index.remove_qubit(qubit).insert_qubit(qubit, index.bit(qubit));
+        prop_assert_eq!(restored, index);
+    }
+
+    /// A CNOT applied twice is the identity on basis indices, and it never
+    /// changes the control bit.
+    #[test]
+    fn cnot_is_an_involution(value in 0u64..(1 << 10), c in 0usize..10, t in 0usize..10) {
+        prop_assume!(c != t);
+        let index = BasisIndex::new(value);
+        let once = index.apply_cnot(c, t);
+        prop_assert_eq!(once.bit(c), index.bit(c));
+        prop_assert_eq!(once.apply_cnot(c, t), index);
+    }
+
+    /// Hamming distance is a metric on basis indices (symmetry + triangle
+    /// inequality + identity of indiscernibles).
+    #[test]
+    fn hamming_distance_is_a_metric(a in 0u64..1024, b in 0u64..1024, c in 0u64..1024) {
+        let (a, b, c) = (BasisIndex::new(a), BasisIndex::new(b), BasisIndex::new(c));
+        prop_assert_eq!(a.hamming_distance(b), b.hamming_distance(a));
+        prop_assert_eq!(a.hamming_distance(a), 0);
+        prop_assert!((a.hamming_distance(b) == 0) == (a == b));
+        prop_assert!(a.hamming_distance(c) <= a.hamming_distance(b) + b.hamming_distance(c));
+    }
+
+    /// Uniform superpositions are normalized, report the right cardinality and
+    /// round-trip through the dense representation.
+    #[test]
+    fn uniform_states_are_normalized_and_roundtrip((n, indices) in width_and_indices()) {
+        let state = SparseState::uniform_superposition(
+            n,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid uniform state");
+        prop_assert!(state.is_normalized(1e-9));
+        prop_assert_eq!(state.cardinality(), indices.len());
+        let dense = DenseState::from_sparse(&state);
+        prop_assert!((dense.norm_squared() - 1.0).abs() < 1e-9);
+        let back = dense.to_sparse(1e-12).expect("non-empty");
+        prop_assert!(back.approx_eq(&state, 1e-12));
+    }
+
+    /// X and CNOT gates preserve normalization and cardinality (they only
+    /// permute the support).
+    #[test]
+    fn permutation_gates_preserve_support_size((n, indices) in width_and_indices(), q in 0usize..6, c in 0usize..6) {
+        let q = q % n;
+        let state = SparseState::uniform_superposition(
+            n,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid uniform state");
+        let flipped = state.apply_x(q).expect("in range");
+        prop_assert_eq!(flipped.cardinality(), state.cardinality());
+        prop_assert!(flipped.is_normalized(1e-9));
+        if n >= 2 {
+            let c = c % n;
+            let t = (c + 1) % n;
+            let after = state.apply_cnot(c, t).expect("in range");
+            prop_assert_eq!(after.cardinality(), state.cardinality());
+            prop_assert!(after.is_normalized(1e-9));
+            prop_assert!(after.apply_cnot(c, t).expect("in range").approx_eq(&state, 1e-12));
+        }
+    }
+
+    /// Y rotations preserve normalization, and a rotation followed by its
+    /// inverse restores the state.
+    #[test]
+    fn ry_preserves_norm_and_inverts((n, indices) in width_and_indices(), q in 0usize..6, theta in -3.0f64..3.0) {
+        let q = q % n;
+        let state = SparseState::uniform_superposition(
+            n,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid uniform state");
+        let rotated = state.apply_ry(q, theta).expect("in range");
+        prop_assert!(rotated.is_normalized(1e-9));
+        let back = rotated.apply_ry(q, -theta).expect("in range");
+        prop_assert!(back.approx_eq(&state, 1e-9));
+    }
+
+    /// The entanglement lower bound is at most the number of qubits over two,
+    /// and vanishes exactly when no qubit is flagged entangled.
+    #[test]
+    fn entanglement_bound_is_consistent((n, indices) in width_and_indices()) {
+        let state = SparseState::uniform_superposition(
+            n,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid uniform state");
+        let entangled = entangled_qubits(&state);
+        let bound = entanglement_lower_bound(&state);
+        prop_assert!(bound <= n.div_ceil(2));
+        prop_assert_eq!(bound, entangled.len().div_ceil(2));
+        prop_assert!(entangled.iter().all(|&q| q < n));
+    }
+
+    /// Mutual information is symmetric, non-negative and bounded by one bit
+    /// for measurement outcomes of two qubits.
+    #[test]
+    fn mutual_information_is_symmetric_and_bounded((n, indices) in width_and_indices(), a in 0usize..6, b in 0usize..6) {
+        prop_assume!(n >= 2);
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let state = SparseState::uniform_superposition(
+            n,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid uniform state");
+        let ab = mutual_information(&state, a, b);
+        let ba = mutual_information(&state, b, a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= -1e-12);
+        prop_assert!(ab <= 1.0 + 1e-9);
+    }
+
+    /// Canonicalization is invariant under X flips and qubit permutations of
+    /// the input, and idempotent.
+    #[test]
+    fn canonical_form_is_invariant((n, indices) in width_and_indices(), mask in 0u64..64, rotation in 0usize..6) {
+        let set: BTreeSet<BasisIndex> = indices.iter().map(|&x| BasisIndex::new(x)).collect();
+        let mask = mask & ((1u64 << n) - 1);
+        let flipped: BTreeSet<BasisIndex> =
+            set.iter().map(|i| BasisIndex::new(i.value() ^ mask)).collect();
+        let options = CanonicalOptions::layout_variant();
+        prop_assert_eq!(
+            CanonicalForm::of_index_set(&set, n, options),
+            CanonicalForm::of_index_set(&flipped, n, options)
+        );
+
+        // A cyclic relabelling of the qubits must not change the
+        // layout-invariant form.
+        let rotation = rotation % n;
+        let perm: Vec<usize> = (0..n).map(|i| (i + rotation) % n).collect();
+        let permuted: BTreeSet<BasisIndex> = set.iter().map(|i| i.permute(&perm)).collect();
+        let invariant = CanonicalOptions::layout_invariant();
+        prop_assert_eq!(
+            CanonicalForm::of_index_set(&set, n, invariant),
+            CanonicalForm::of_index_set(&permuted, n, invariant)
+        );
+    }
+
+    /// Fidelity is symmetric, bounded by one and equals one exactly for
+    /// identical states.
+    #[test]
+    fn fidelity_properties((n, indices) in width_and_indices(), (m, other) in width_and_indices()) {
+        prop_assume!(n == m);
+        let a = SparseState::uniform_superposition(
+            n,
+            indices.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid");
+        let b = SparseState::uniform_superposition(
+            n,
+            other.iter().map(|&x| BasisIndex::new(x)),
+        ).expect("valid");
+        let ab = a.fidelity(&b);
+        prop_assert!((ab - b.fidelity(&a)).abs() < 1e-12);
+        prop_assert!(ab <= 1.0 + 1e-9);
+        prop_assert!((a.fidelity(&a) - 1.0).abs() < 1e-9);
+        if indices == other {
+            prop_assert!((ab - 1.0).abs() < 1e-9);
+        }
+    }
+}

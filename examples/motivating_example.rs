@@ -1,0 +1,46 @@
+//! The motivating example of the paper (Sec. III, Figures 1–3): the same
+//! 3-qubit state prepared with qubit reduction (6 CNOTs), cardinality
+//! reduction (7 CNOTs) and exact synthesis (2 CNOTs).
+//!
+//! Run with `cargo run -p qsp-examples --bin motivating_example`.
+
+use qsp_baselines::{CardinalityReduction, QubitReduction, StatePreparator};
+use qsp_core::QspWorkflow;
+use qsp_sim::verify_preparation;
+use qsp_state::{BasisIndex, SparseState};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = SparseState::uniform_superposition(
+        3,
+        [0b000u64, 0b011, 0b101, 0b110].map(BasisIndex::new),
+    )?;
+    println!("target: {target}\n");
+
+    let methods: Vec<(&str, Box<dyn StatePreparator>)> = vec![
+        ("qubit reduction (Fig. 1, paper: 6 CNOTs)", Box::new(QubitReduction::new())),
+        (
+            "cardinality reduction (Fig. 2, paper: 7 CNOTs)",
+            Box::new(CardinalityReduction::new()),
+        ),
+        ("exact synthesis (Fig. 3, paper: 2 CNOTs)", Box::new(QspWorkflow::new())),
+    ];
+
+    for (label, method) in methods {
+        let circuit = method.prepare(&target)?;
+        let report = verify_preparation(&circuit, &target)?;
+        println!(
+            "{label:55}  ->  {:2} CNOTs, {:2} gates, fidelity {:.6}",
+            circuit.cnot_cost(),
+            circuit.len(),
+            report.fidelity
+        );
+        assert!(report.is_correct(), "{label} produced an incorrect circuit");
+    }
+
+    println!(
+        "\nthe exact formulation explores state transitions without the structural\n\
+         constraints of the heuristics, which is how it reaches the 2-CNOT solution\n\
+         of Fig. 3 that neither reduction flow can represent."
+    );
+    Ok(())
+}

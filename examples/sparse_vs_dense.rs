@@ -1,0 +1,43 @@
+//! Sparse vs dense random states (the Table V workloads): how the workflow
+//! picks its divide-and-conquer strategy (Fig. 5) and how it compares with
+//! the specialized baselines in each regime.
+//!
+//! Run with `cargo run --release -p qsp-examples --bin sparse_vs_dense`.
+
+use qsp_baselines::{CardinalityReduction, QubitReduction, StatePreparator};
+use qsp_core::QspWorkflow;
+use qsp_sim::verify_preparation;
+use qsp_state::generators::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>8} {:>3} {:>6} {:>8} {:>8} {:>8} {:>10}",
+        "regime", "n", "m", "m-flow", "n-flow", "ours", "verified"
+    );
+    for n in [6usize, 8, 10] {
+        for (regime, workload) in [
+            ("sparse", Workload::RandomSparse { n, seed: 7 }),
+            ("dense", Workload::RandomDense { n, seed: 7 }),
+        ] {
+            let target = workload.instantiate()?;
+            let mflow = CardinalityReduction::new().prepare(&target)?;
+            let nflow = QubitReduction::new().prepare(&target)?;
+            let ours = QspWorkflow::new().prepare(&target)?;
+            let verified = verify_preparation(&ours, &target)?.is_correct();
+            println!(
+                "{regime:>8} {n:>3} {:>6} {:>8} {:>8} {:>8} {:>10}",
+                target.cardinality(),
+                mflow.cnot_cost(),
+                nflow.cnot_cost(),
+                ours.cnot_cost(),
+                if verified { "yes" } else { "NO" }
+            );
+        }
+    }
+    println!(
+        "\nthe workflow (Fig. 5) reduces sparse states with cardinality reduction and\n\
+         dense states with qubit reduction before running exact synthesis, so it\n\
+         tracks the better baseline in each regime and improves on it."
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Shared nothing: the runnable examples are standalone binaries.

@@ -1,0 +1,151 @@
+//! Integration tests pinning the *shape* of the paper's headline claims:
+//! the motivating example, the Table III canonical-state counts, the
+//! Table IV Dicke results and the Table V scaling relations.
+
+use qsp_baselines::dicke::manual_cnot_count;
+use qsp_baselines::{CardinalityReduction, QubitReduction, StatePreparator};
+use qsp_core::{ExactSynthesizer, QspWorkflow};
+use qsp_sim::verify_preparation;
+use qsp_state::canonical::{count_canonical_states, CanonicalOptions};
+use qsp_state::{generators, BasisIndex, SparseState};
+
+fn motivating_example() -> SparseState {
+    SparseState::uniform_superposition(
+        3,
+        [0b000u64, 0b011, 0b101, 0b110].map(BasisIndex::new),
+    )
+    .unwrap()
+}
+
+/// Sec. III: exact synthesis finds the 2-CNOT circuit of Fig. 3 while the
+/// qubit-reduction heuristic spends 6 CNOTs (Fig. 1) and the cardinality
+/// reduction about 7 (Fig. 2).
+#[test]
+fn motivating_example_matches_figures_1_to_3() {
+    let target = motivating_example();
+
+    let exact = ExactSynthesizer::new().synthesize(&target).unwrap();
+    assert_eq!(exact.cnot_cost, 2, "Fig. 3: exact synthesis finds 2 CNOTs");
+    assert!(verify_preparation(&exact.circuit, &target).unwrap().is_correct());
+
+    let nflow = QubitReduction::new().prepare(&target).unwrap();
+    assert_eq!(nflow.cnot_cost(), 6, "Fig. 1: qubit reduction spends 2^3 - 2 = 6");
+
+    let mflow = CardinalityReduction::new().prepare(&target).unwrap();
+    assert!(
+        (3..=10).contains(&mflow.cnot_cost()),
+        "Fig. 2 ballpark: cardinality reduction spends a handful of CNOTs, got {}",
+        mflow.cnot_cost()
+    );
+    assert!(mflow.cnot_cost() > exact.cnot_cost);
+}
+
+/// Table III, small-cardinality rows: the canonicalization reproduces the
+/// published equivalence-class counts.
+#[test]
+fn table3_counts_for_small_cardinalities() {
+    // |V_G/U(2)| for m = 1, 2 and |V_G/PU(2)| for m = 1, 2, 3.
+    assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_variant()), 1);
+    assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_variant()), 11);
+    assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_invariant()), 1);
+    assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_invariant()), 3);
+}
+
+/// Table IV: the exact-synthesis workflow matches or beats the manual design
+/// on every Dicke benchmark it can verify quickly, and beats it strictly on
+/// |D^2_4⟩ (the paper's 2× headline).
+#[test]
+fn table4_ours_vs_manual_design() {
+    for (n, k) in [(3usize, 1usize), (4, 1), (4, 2), (5, 1)] {
+        let target = generators::dicke(n, k).unwrap();
+        let ours = QspWorkflow::new().prepare(&target).unwrap();
+        assert!(
+            verify_preparation(&ours, &target).unwrap().is_correct(),
+            "circuit for |D^{k}_{n}> is wrong"
+        );
+        assert!(
+            ours.cnot_cost() <= manual_cnot_count(n, k),
+            "|D^{k}_{n}>: ours {} vs manual {}",
+            ours.cnot_cost(),
+            manual_cnot_count(n, k)
+        );
+    }
+    let d42 = QspWorkflow::new()
+        .prepare(&generators::dicke(4, 2).unwrap())
+        .unwrap();
+    assert!(
+        d42.cnot_cost() < manual_cnot_count(4, 2),
+        "|D^2_4>: ours {} must strictly beat the manual 12",
+        d42.cnot_cost()
+    );
+}
+
+/// Table V scaling relations: the n-flow cost is exactly `2^n − 2`, the
+/// m-flow cost on sparse states stays `O(nm)`, and the workflow improves on
+/// the stronger baseline in each regime for the sizes tested here.
+#[test]
+fn table5_scaling_relations() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    for n in [6usize, 8] {
+        // Sparse regime.
+        let sparse = generators::random_sparse_state(n, &mut rng).unwrap();
+        let mflow = CardinalityReduction::new().prepare(&sparse).unwrap().cnot_cost();
+        let nflow = QubitReduction::new().prepare(&sparse).unwrap().cnot_cost();
+        let ours = QspWorkflow::new().prepare(&sparse).unwrap().cnot_cost();
+        assert_eq!(nflow, (1 << n) - 2);
+        assert!(mflow < nflow, "sparse n = {n}: m-flow must beat n-flow");
+        assert!(ours <= mflow, "sparse n = {n}: ours must not lose to m-flow");
+
+        // Dense regime.
+        let dense = generators::random_dense_state(n, &mut rng).unwrap();
+        let nflow_dense = QubitReduction::new().prepare(&dense).unwrap().cnot_cost();
+        let mflow_dense = CardinalityReduction::new().prepare(&dense).unwrap().cnot_cost();
+        let ours_dense = QspWorkflow::new().prepare(&dense).unwrap().cnot_cost();
+        assert_eq!(nflow_dense, (1 << n) - 2);
+        assert!(
+            mflow_dense > nflow_dense,
+            "dense n = {n}: the m-flow must degrade on dense states"
+        );
+        assert!(
+            ours_dense <= nflow_dense,
+            "dense n = {n}: ours must not lose to n-flow"
+        );
+    }
+}
+
+/// GHZ states: the well-known optimum of `n − 1` CNOTs is recovered through
+/// the whole workflow stack for registers small and large.
+#[test]
+fn ghz_optimum_is_recovered_at_scale() {
+    for n in [3usize, 5, 8, 12] {
+        let target = generators::ghz(n).unwrap();
+        let circuit = QspWorkflow::new().prepare(&target).unwrap();
+        assert_eq!(circuit.cnot_cost(), n - 1, "ghz({n})");
+        if n <= 10 {
+            assert!(verify_preparation(&circuit, &target).unwrap().is_correct());
+        }
+    }
+}
+
+/// The heuristic of Sec. V-A is admissible on the states it is evaluated on:
+/// it never exceeds the optimal CNOT count found by the exact solver.
+#[test]
+fn heuristic_is_admissible_on_small_states() {
+    use qsp_state::cofactor::entanglement_lower_bound;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..10 {
+        let target = generators::random_uniform_state(4, 6, &mut rng).unwrap();
+        let bound = entanglement_lower_bound(&target);
+        let exact = ExactSynthesizer::new().synthesize(&target).unwrap();
+        assert!(
+            bound <= exact.cnot_cost,
+            "heuristic {bound} exceeds the optimum {}",
+            exact.cnot_cost
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based integration tests (proptest): correctness invariants of the
+//! whole stack on randomly generated states and circuits.
+
+use proptest::prelude::*;
+
+use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
+use qsp_circuit::apply::prepare_from_ground;
+use qsp_circuit::decompose::decompose_circuit;
+use qsp_circuit::optimizer::optimize;
+use qsp_circuit::{Circuit, Gate};
+use qsp_core::{ExactSynthesizer, QspWorkflow};
+use qsp_sim::verify_preparation;
+use qsp_state::{BasisIndex, SparseState};
+
+/// Strategy: a uniform superposition over `m` distinct indices of an
+/// `n`-qubit register, with 2 ≤ n ≤ 5 and 2 ≤ m ≤ 2^n.
+fn uniform_state_strategy() -> impl Strategy<Value = SparseState> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            let max_m = 1usize << n;
+            (Just(n), 2usize..=max_m)
+        })
+        .prop_flat_map(|(n, m)| {
+            proptest::sample::subsequence((0..(1u64 << n)).collect::<Vec<u64>>(), m)
+                .prop_map(move |indices| {
+                    SparseState::uniform_superposition(
+                        n,
+                        indices.into_iter().map(BasisIndex::new),
+                    )
+                    .expect("valid uniform state")
+                })
+        })
+}
+
+/// Strategy: a random circuit over the paper's gate library.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    let gate = (0usize..4, 0usize..4, 0usize..4, -3.0f64..3.0).prop_map(
+        |(kind, a, b, theta)| {
+            let target = a % 4;
+            let control = if b % 4 == target { (target + 1) % 4 } else { b % 4 };
+            match kind {
+                0 => Gate::ry(target, theta),
+                1 => Gate::x(target),
+                2 => Gate::cnot(control, target),
+                _ => Gate::cry(control, target, theta),
+            }
+        },
+    );
+    proptest::collection::vec(gate, 0..20).prop_map(|gates| {
+        Circuit::from_gates(4, gates).expect("gates are valid for 4 qubits")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every flow prepares every random uniform state it accepts, and the
+    /// exact workflow is never worse than any baseline on these small states.
+    #[test]
+    fn all_flows_prepare_random_uniform_states(target in uniform_state_strategy()) {
+        let ours = QspWorkflow::new().prepare(&target).expect("workflow succeeds");
+        let report = verify_preparation(&ours, &target).expect("simulation succeeds");
+        prop_assert!(report.is_correct(), "fidelity {}", report.fidelity);
+
+        let baselines: Vec<Box<dyn StatePreparator>> = vec![
+            Box::new(CardinalityReduction::new()),
+            Box::new(QubitReduction::new()),
+            Box::new(HybridPreparator::new()),
+        ];
+        for baseline in baselines {
+            let circuit = baseline.prepare(&target).expect("baseline succeeds");
+            let report = verify_preparation(&circuit, &target).expect("simulation succeeds");
+            prop_assert!(report.is_correct(), "{} incorrect", baseline.name());
+            prop_assert!(
+                ours.cnot_cost() <= circuit.cnot_cost(),
+                "ours ({}) worse than {} ({})",
+                ours.cnot_cost(),
+                baseline.name(),
+                circuit.cnot_cost()
+            );
+        }
+    }
+
+    /// Exact synthesis of small states is idempotent with respect to cost:
+    /// re-synthesizing the state prepared by its own circuit gives the same
+    /// optimal CNOT count.
+    #[test]
+    fn exact_synthesis_cost_is_stable(target in uniform_state_strategy()) {
+        prop_assume!(target.cardinality() <= 16 && target.num_qubits() <= 4);
+        let synthesizer = ExactSynthesizer::new();
+        let first = synthesizer.synthesize(&target).expect("synthesis succeeds");
+        let prepared = prepare_from_ground(&first.circuit).expect("circuit applies");
+        let second = synthesizer.synthesize(&prepared.normalize().expect("normalizable"));
+        if let Ok(second) = second {
+            prop_assert_eq!(first.cnot_cost, second.cnot_cost);
+        }
+    }
+
+    /// Lowering to {Ry, X, CNOT} and peephole optimization never change the
+    /// prepared state, and optimization never increases the CNOT cost.
+    #[test]
+    fn lowering_and_optimization_preserve_semantics(circuit in circuit_strategy()) {
+        let reference = prepare_from_ground(&circuit).expect("circuit applies");
+
+        let lowered = decompose_circuit(&circuit).expect("lowering succeeds");
+        let lowered_state = prepare_from_ground(&lowered).expect("lowered circuit applies");
+        prop_assert!(lowered_state.approx_eq(&reference, 1e-6));
+        prop_assert_eq!(lowered.cnot_gate_count(), circuit.cnot_cost());
+
+        let (optimized, _) = optimize(&circuit);
+        let optimized_state = prepare_from_ground(&optimized).expect("optimized circuit applies");
+        prop_assert!(optimized_state.approx_eq(&reference, 1e-6));
+        prop_assert!(optimized.cnot_cost() <= circuit.cnot_cost());
+    }
+
+    /// A circuit followed by its inverse is the identity on the ground state.
+    #[test]
+    fn circuit_inverse_round_trips(circuit in circuit_strategy()) {
+        let state = prepare_from_ground(&circuit).expect("circuit applies");
+        let back = qsp_circuit::apply_circuit(&state, &circuit.inverse()).expect("inverse applies");
+        prop_assert!(back.is_ground_state(1e-6));
+    }
+}
