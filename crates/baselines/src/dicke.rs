@@ -93,7 +93,7 @@ impl StatePreparator for ManualDicke {
     /// Produces *a* correct Dicke preparation circuit (via cardinality
     /// reduction). The CNOT count reported in Table IV for the manual design
     /// is [`ManualDicke::reference_cnot_count`], not this circuit's cost.
-    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+    fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
         CardinalityReduction::new().prepare(target)
     }
 }

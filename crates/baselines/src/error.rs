@@ -35,7 +35,10 @@ impl fmt::Display for BaselineError {
                 write!(f, "target state not supported: {reason}")
             }
             BaselineError::RegisterTooWide { requested, max } => {
-                write!(f, "register of {requested} qubits exceeds the supported maximum {max}")
+                write!(
+                    f,
+                    "register of {requested} qubits exceeds the supported maximum {max}"
+                )
             }
             BaselineError::State(e) => write!(f, "state error: {e}"),
             BaselineError::Circuit(e) => write!(f, "circuit error: {e}"),

@@ -69,7 +69,8 @@ impl HybridPreparator {
         depth: usize,
     ) -> std::collections::BTreeMap<u64, [f64; 2]> {
         let mask = (1u64 << depth) - 1;
-        let mut probs: std::collections::BTreeMap<u64, [f64; 2]> = std::collections::BTreeMap::new();
+        let mut probs: std::collections::BTreeMap<u64, [f64; 2]> =
+            std::collections::BTreeMap::new();
         for (index, amplitude) in target.iter() {
             let prefix = index.value() & mask;
             let entry = probs.entry(prefix).or_insert([0.0, 0.0]);
@@ -82,17 +83,15 @@ impl HybridPreparator {
     /// active path at the same depth.
     fn distinguishing_controls(node: &PathNode, peers: &[PathNode]) -> Vec<Control> {
         let reference = BasisIndex::new(node.prefix);
-        let mut remaining: Vec<&PathNode> = peers
-            .iter()
-            .filter(|p| p.prefix != node.prefix)
-            .collect();
+        let mut remaining: Vec<&PathNode> =
+            peers.iter().filter(|p| p.prefix != node.prefix).collect();
         let mut controls = Vec::new();
         let mut used = vec![false; node.depth];
         while !remaining.is_empty() {
             let mut best_qubit = None;
             let mut best_eliminated = 0usize;
-            for q in 0..node.depth {
-                if used[q] {
+            for (q, &used_q) in used.iter().enumerate() {
+                if used_q {
                     continue;
                 }
                 let eliminated = remaining
@@ -121,7 +120,7 @@ impl StatePreparator for HybridPreparator {
         "hybrid"
     }
 
-    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+    fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
         require_nonnegative_amplitudes(target, "hybrid preparation")?;
         let n = target.num_qubits();
         let mut circuit = Circuit::new(n);
@@ -223,8 +222,14 @@ mod tests {
         use crate::mflow::CardinalityReduction;
         let mut rng = StdRng::seed_from_u64(9);
         let sparse = generators::random_sparse_state(8, &mut rng).unwrap();
-        let hybrid_cost = HybridPreparator::new().prepare(&sparse).unwrap().cnot_cost();
-        let mflow_cost = CardinalityReduction::new().prepare(&sparse).unwrap().cnot_cost();
+        let hybrid_cost = HybridPreparator::new()
+            .prepare(&sparse)
+            .unwrap()
+            .cnot_cost();
+        let mflow_cost = CardinalityReduction::new()
+            .prepare(&sparse)
+            .unwrap()
+            .cnot_cost();
         // The qualitative relation of Table V (sparse rows): hybrid uses more
         // CNOTs than the cardinality reduction flow.
         assert!(
@@ -252,6 +257,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let target = generators::random_uniform_state(14, 1 << 13, &mut rng).unwrap();
         let result = HybridPreparator::new().prepare(&target);
-        assert!(matches!(result, Err(BaselineError::UnsupportedState { .. })));
+        assert!(matches!(
+            result,
+            Err(BaselineError::UnsupportedState { .. })
+        ));
     }
 }

@@ -64,9 +64,8 @@ impl CardinalityReduction {
     /// heuristic for large ones). Returns indices into `entries`.
     fn select_pair(entries: &[Entry], num_qubits: usize) -> (usize, usize) {
         debug_assert!(entries.len() >= 2);
-        let distance = |a: usize, b: usize| -> u32 {
-            entries[a].index.hamming_distance(entries[b].index)
-        };
+        let distance =
+            |a: usize, b: usize| -> u32 { entries[a].index.hamming_distance(entries[b].index) };
         if entries.len() <= EXHAUSTIVE_PAIR_LIMIT {
             let mut best = (0, 1);
             let mut best_distance = u32::MAX;
@@ -121,8 +120,8 @@ impl CardinalityReduction {
             // largest number of remaining entries.
             let mut best_qubit = None;
             let mut best_eliminated = 0usize;
-            for q in 0..num_qubits {
-                if used[q] {
+            for (q, &used_q) in used.iter().enumerate() {
+                if used_q {
                     continue;
                 }
                 let eliminated = remaining
@@ -203,10 +202,8 @@ impl CardinalityReduction {
         let mut reduction = Circuit::new(n);
 
         while entries.len() > 1 {
-            let current = SparseState::from_amplitudes(
-                n,
-                entries.iter().map(|e| (e.index, e.amplitude)),
-            )?;
+            let current =
+                SparseState::from_amplitudes(n, entries.iter().map(|e| (e.index, e.amplitude)))?;
             if stop(&current) {
                 return Ok((reduction, current));
             }
@@ -251,10 +248,8 @@ impl CardinalityReduction {
             entries[first] = merged;
         }
 
-        let reduced = SparseState::from_amplitudes(
-            n,
-            entries.iter().map(|e| (e.index, e.amplitude)),
-        )?;
+        let reduced =
+            SparseState::from_amplitudes(n, entries.iter().map(|e| (e.index, e.amplitude)))?;
         Ok((reduction, reduced))
     }
 }
@@ -264,7 +259,7 @@ impl StatePreparator for CardinalityReduction {
         "m-flow"
     }
 
-    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+    fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
         let (mut reduction, reduced) = self.reduce_until(target, |_| false)?;
         // Map the last remaining basis state to |0…0⟩ with X gates.
         let last = reduced
@@ -345,7 +340,10 @@ mod tests {
                 (BasisIndex::new(0b0001), 0.3),
                 (BasisIndex::new(0b0110), 0.5),
                 (BasisIndex::new(0b1110), 0.4),
-                (BasisIndex::new(0b1000), (1.0f64 - 0.09 - 0.25 - 0.16).sqrt()),
+                (
+                    BasisIndex::new(0b1000),
+                    (1.0f64 - 0.09 - 0.25 - 0.16).sqrt(),
+                ),
             ],
         )
         .unwrap();

@@ -143,7 +143,7 @@ impl StatePreparator for QubitReduction {
         "n-flow"
     }
 
-    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+    fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
         require_nonnegative_amplitudes(target, "qubit reduction")?;
         let n = target.num_qubits();
         if n > MAX_QUBITS {

@@ -1,9 +1,16 @@
 //! The common interface implemented by every preparation algorithm.
+//!
+//! [`StatePreparator`] is generic over the [`QuantumState`] backend trait:
+//! algorithms implement [`StatePreparator::prepare_sparse`] against the
+//! sparse representation they all operate on internally, and callers hand in
+//! *any* backend (sparse, dense, adaptive) through the blanket
+//! [`StatePreparator::prepare`] front door, which converts zero-copy when the
+//! target is already sparse.
 
 use std::time::Duration;
 
 use qsp_circuit::Circuit;
-use qsp_state::SparseState;
+use qsp_state::{QuantumState, SparseState};
 
 use crate::error::BaselineError;
 
@@ -39,20 +46,44 @@ pub trait StatePreparator {
     /// A short name used in benchmark tables (e.g. `"m-flow"`).
     fn name(&self) -> &str;
 
-    /// Synthesizes a circuit preparing `target` from the ground state.
+    /// Synthesizes a circuit preparing the sparse `target` from the ground
+    /// state. This is the method algorithms implement; most callers go
+    /// through the backend-generic [`StatePreparator::prepare`] instead.
     ///
     /// # Errors
     ///
     /// Returns an error when the algorithm cannot handle the target state
     /// (unsupported amplitudes, register too wide, internal failure).
-    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError>;
+    fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError>;
+
+    /// Synthesizes a circuit preparing `target` — any [`QuantumState`]
+    /// backend — from the ground state. Sparse targets are borrowed without
+    /// copying; other backends are converted once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion failures and the errors of
+    /// [`StatePreparator::prepare_sparse`].
+    fn prepare<S: QuantumState>(&self, target: &S) -> Result<Circuit, BaselineError>
+    where
+        Self: Sized,
+    {
+        let sparse = target.as_sparse()?;
+        self.prepare_sparse(sparse.as_ref())
+    }
 
     /// Runs [`StatePreparator::prepare`] and measures elapsed wall-clock time.
     ///
     /// # Errors
     ///
     /// Propagates the errors of [`StatePreparator::prepare`].
-    fn prepare_timed(&self, target: &SparseState) -> Result<PreparationOutcome, BaselineError> {
+    fn prepare_timed<S: QuantumState>(
+        &self,
+        target: &S,
+    ) -> Result<PreparationOutcome, BaselineError>
+    where
+        Self: Sized,
+    {
         let start = std::time::Instant::now();
         let circuit = self.prepare(target)?;
         Ok(PreparationOutcome::new(circuit, start.elapsed()))
@@ -68,9 +99,7 @@ pub(crate) fn require_nonnegative_amplitudes(
 ) -> Result<(), BaselineError> {
     if target.iter().any(|(_, a)| a < 0.0) {
         Err(BaselineError::UnsupportedState {
-            reason: format!(
-                "{algorithm} only supports states with non-negative real amplitudes"
-            ),
+            reason: format!("{algorithm} only supports states with non-negative real amplitudes"),
         })
     } else {
         Ok(())
@@ -88,7 +117,7 @@ mod tests {
         fn name(&self) -> &str {
             "identity"
         }
-        fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+        fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
             Ok(Circuit::new(target.num_qubits()))
         }
     }

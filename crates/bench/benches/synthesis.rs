@@ -1,144 +1,171 @@
-//! Criterion micro-benchmarks backing Fig. 7 (runtime scaling) and the
-//! per-method synthesis costs of Tables IV/V.
+//! Micro-benchmarks backing Fig. 7 (runtime scaling) and the per-method
+//! synthesis costs of Tables IV/V.
 //!
-//! Run with `cargo bench -p qsp-bench`. Each group sweeps the number of
-//! qubits for one workload family and one synthesis method, so the Criterion
-//! report reproduces the runtime *series* of Fig. 7 (the paper's absolute
-//! numbers are Python; only the shape is comparable).
+//! The offline build has no `criterion`, so this is a plain `harness = false`
+//! benchmark: each case is repeated a fixed number of times and the minimum,
+//! mean and maximum wall-clock times are printed as a table.
+//!
+//! Run with `cargo bench -p qsp-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
-use qsp_core::{ExactSynthesizer, QspWorkflow};
+use qsp_core::{BatchSynthesizer, ExactSynthesizer, QspWorkflow};
 use qsp_state::generators::{self, Workload};
+use qsp_state::SparseState;
+
+const SAMPLES: usize = 10;
+
+fn measure<F: FnMut()>(mut f: F) -> (Duration, Duration, Duration) {
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        min = min.min(elapsed);
+        max = max.max(elapsed);
+        total += elapsed;
+    }
+    (min, total / SAMPLES as u32, max)
+}
+
+fn report(group: &str, case: &str, times: (Duration, Duration, Duration)) {
+    println!(
+        "{group:<28} {case:<16} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}",
+        times.0, times.1, times.2
+    );
+}
 
 /// Fig. 7b / Table V (sparse): synthesis runtime on random sparse states.
-fn bench_sparse_states(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7b_sparse_states");
-    group.sample_size(10);
+fn bench_sparse_states() {
     for n in [6usize, 8, 10, 12] {
         let target = Workload::RandomSparse { n, seed: 42 }
             .instantiate()
             .expect("workload generation succeeds");
-        group.bench_with_input(BenchmarkId::new("m-flow", n), &target, |b, t| {
-            b.iter(|| CardinalityReduction::new().prepare(t).expect("m-flow succeeds"))
-        });
-        group.bench_with_input(BenchmarkId::new("ours", n), &target, |b, t| {
-            b.iter(|| QspWorkflow::new().prepare(t).expect("workflow succeeds"))
-        });
+        report(
+            "fig7b_sparse_states",
+            &format!("m-flow/{n}"),
+            measure(|| {
+                CardinalityReduction::new()
+                    .prepare(&target)
+                    .expect("m-flow succeeds");
+            }),
+        );
+        report(
+            "fig7b_sparse_states",
+            &format!("ours/{n}"),
+            measure(|| {
+                QspWorkflow::new()
+                    .prepare(&target)
+                    .expect("workflow succeeds");
+            }),
+        );
         if n <= 10 {
-            group.bench_with_input(BenchmarkId::new("n-flow", n), &target, |b, t| {
-                b.iter(|| QubitReduction::new().prepare(t).expect("n-flow succeeds"))
-            });
+            report(
+                "fig7b_sparse_states",
+                &format!("n-flow/{n}"),
+                measure(|| {
+                    QubitReduction::new()
+                        .prepare(&target)
+                        .expect("n-flow succeeds");
+                }),
+            );
         }
     }
-    group.finish();
 }
 
 /// Fig. 7a / Table V (dense): synthesis runtime on random dense states.
-fn bench_dense_states(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7a_dense_states");
-    group.sample_size(10);
-    for n in [6usize, 8, 10] {
+fn bench_dense_states() {
+    for n in [5usize, 6, 7, 8] {
         let target = Workload::RandomDense { n, seed: 42 }
             .instantiate()
             .expect("workload generation succeeds");
-        group.bench_with_input(BenchmarkId::new("n-flow", n), &target, |b, t| {
-            b.iter(|| QubitReduction::new().prepare(t).expect("n-flow succeeds"))
-        });
-        group.bench_with_input(BenchmarkId::new("ours", n), &target, |b, t| {
-            b.iter(|| QspWorkflow::new().prepare(t).expect("workflow succeeds"))
-        });
-        if n <= 8 {
-            group.bench_with_input(BenchmarkId::new("m-flow", n), &target, |b, t| {
-                b.iter(|| CardinalityReduction::new().prepare(t).expect("m-flow succeeds"))
-            });
-            group.bench_with_input(BenchmarkId::new("hybrid", n), &target, |b, t| {
-                b.iter(|| HybridPreparator::new().prepare(t).expect("hybrid succeeds"))
-            });
+        report(
+            "fig7a_dense_states",
+            &format!("n-flow/{n}"),
+            measure(|| {
+                QubitReduction::new()
+                    .prepare(&target)
+                    .expect("n-flow succeeds");
+            }),
+        );
+        report(
+            "fig7a_dense_states",
+            &format!("ours/{n}"),
+            measure(|| {
+                QspWorkflow::new()
+                    .prepare(&target)
+                    .expect("workflow succeeds");
+            }),
+        );
+        if n <= 7 {
+            report(
+                "fig7a_dense_states",
+                &format!("hybrid/{n}"),
+                measure(|| {
+                    HybridPreparator::new()
+                        .prepare(&target)
+                        .expect("hybrid succeeds");
+                }),
+            );
         }
     }
-    group.finish();
 }
 
-/// Table IV: Dicke-state synthesis (the exact solver is exercised directly).
-fn bench_dicke_states(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_dicke_states");
-    group.sample_size(10);
-    for (n, k) in [(4usize, 1usize), (4, 2), (5, 2), (6, 2)] {
-        let target = generators::dicke(n, k).expect("valid Dicke parameters");
-        group.bench_with_input(
-            BenchmarkId::new("ours", format!("d{n}_{k}")),
-            &target,
-            |b, t| b.iter(|| QspWorkflow::new().prepare(t).expect("workflow succeeds")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("m-flow", format!("d{n}_{k}")),
-            &target,
-            |b, t| b.iter(|| CardinalityReduction::new().prepare(t).expect("m-flow succeeds")),
+/// Table IV: exact synthesis on the Dicke benchmarks.
+fn bench_dicke_states() {
+    for (n, k) in [(4usize, 1usize), (4, 2), (5, 1), (5, 2)] {
+        let target = generators::dicke(n, k).expect("dicke state");
+        report(
+            "table4_dicke",
+            &format!("exact/{n}_{k}"),
+            measure(|| {
+                ExactSynthesizer::new()
+                    .synthesize(&target)
+                    .expect("exact succeeds");
+            }),
         );
     }
-    group.finish();
 }
 
-/// Ablation: A* with and without the admissible heuristic and with and
-/// without permutation compression (Sec. V-A/V-B design choices).
-fn bench_ablations(c: &mut Criterion) {
-    use qsp_core::SearchConfig;
-    let mut group = c.benchmark_group("ablation_exact_search");
-    group.sample_size(10);
-    let target = generators::dicke(4, 2).expect("valid Dicke parameters");
-    let configurations = [
-        ("astar_heuristic", SearchConfig::default()),
-        (
-            "dijkstra_no_heuristic",
-            SearchConfig {
-                use_heuristic: false,
-                ..SearchConfig::default()
-            },
-        ),
-        (
-            "astar_permutation_compression",
-            SearchConfig {
-                permutation_compression: true,
-                ..SearchConfig::default()
-            },
-        ),
-    ];
-    for (label, config) in configurations {
-        group.bench_with_input(BenchmarkId::new(label, "d4_2"), &target, |b, t| {
-            b.iter(|| {
-                ExactSynthesizer::with_config(config)
-                    .synthesize(t)
-                    .expect("exact synthesis succeeds")
-            })
-        });
-    }
-    // Removing the CRy merges makes |D^2_4> unreachable, so the restricted
-    // library is benchmarked on the GHZ state instead.
-    let ghz = generators::ghz(4).expect("valid GHZ state");
-    group.bench_with_input(
-        BenchmarkId::new("astar_no_controlled_merges", "ghz4"),
-        &ghz,
-        |b, t| {
-            b.iter(|| {
-                ExactSynthesizer::with_config(SearchConfig {
-                    enable_controlled_merges: false,
-                    ..SearchConfig::default()
-                })
-                .synthesize(t)
-                .expect("exact synthesis succeeds")
-            })
-        },
+/// Batch engine: 32 random sparse targets, sequential workflow vs the
+/// parallel deduplicating batch engine.
+fn bench_batch_engine() {
+    let targets: Vec<SparseState> = (0..32)
+        .map(|seed| {
+            Workload::RandomSparse { n: 8, seed }
+                .instantiate()
+                .expect("workload generation succeeds")
+        })
+        .collect();
+    report(
+        "batch_engine",
+        "sequential/32",
+        measure(|| {
+            for target in &targets {
+                QspWorkflow::new()
+                    .prepare(target)
+                    .expect("workflow succeeds");
+            }
+        }),
     );
-    group.finish();
+    report(
+        "batch_engine",
+        "batched/32",
+        measure(|| {
+            let engine = BatchSynthesizer::new();
+            let outcome = engine.synthesize_batch(&targets);
+            assert_eq!(outcome.stats.errors, 0);
+        }),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_sparse_states,
-    bench_dense_states,
-    bench_dicke_states,
-    bench_ablations
-);
-criterion_main!(benches);
+fn main() {
+    println!("qsp-bench micro-benchmarks ({SAMPLES} samples per case)\n");
+    bench_sparse_states();
+    bench_dense_states();
+    bench_dicke_states();
+    bench_batch_engine();
+}

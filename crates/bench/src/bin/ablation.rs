@@ -51,10 +51,22 @@ fn workloads() -> Vec<(String, SparseState)> {
             )
             .expect("valid state"),
         ),
-        ("dicke(3,1)".to_string(), Workload::Dicke { n: 3, k: 1 }.instantiate().unwrap()),
-        ("dicke(4,1)".to_string(), Workload::Dicke { n: 4, k: 1 }.instantiate().unwrap()),
-        ("dicke(4,2)".to_string(), Workload::Dicke { n: 4, k: 2 }.instantiate().unwrap()),
-        ("ghz(4)".to_string(), Workload::Ghz { n: 4 }.instantiate().unwrap()),
+        (
+            "dicke(3,1)".to_string(),
+            Workload::Dicke { n: 3, k: 1 }.instantiate().unwrap(),
+        ),
+        (
+            "dicke(4,1)".to_string(),
+            Workload::Dicke { n: 4, k: 1 }.instantiate().unwrap(),
+        ),
+        (
+            "dicke(4,2)".to_string(),
+            Workload::Dicke { n: 4, k: 2 }.instantiate().unwrap(),
+        ),
+        (
+            "ghz(4)".to_string(),
+            Workload::Ghz { n: 4 }.instantiate().unwrap(),
+        ),
     ];
     for seed in 0..3u64 {
         list.push((
@@ -82,7 +94,10 @@ fn main() {
                     if config.enable_controlled_merges {
                         full_library_costs.push(outcome.cnot_cost);
                     }
-                    cells.push(format!("{} | {}", outcome.cnot_cost, outcome.stats.expanded));
+                    cells.push(format!(
+                        "{} | {}",
+                        outcome.cnot_cost, outcome.stats.expanded
+                    ));
                 }
                 Err(e) => cells.push(format!("error: {e}")),
             }

@@ -1,0 +1,141 @@
+//! Compares sequential vs. batched synthesis wall-time on random sparse
+//! targets and emits a machine-readable `BENCH_batch.json`.
+//!
+//! The workload is ≥100 random sparse uniform states (`m = n`, the Table V
+//! bottom-half regime) across several register widths, plus a slice of
+//! repeated targets so the canonical cache has something to deduplicate —
+//! the shape production traffic actually has.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p qsp-bench --bin batch_bench -- \
+//!     [--targets 120] [--min-n 8] [--max-n 12] [--repeat-every 6] [--out BENCH_batch.json]
+//! ```
+
+use std::time::Instant;
+
+use qsp_baselines::StatePreparator;
+use qsp_bench::report::parse_flag;
+use qsp_core::{BatchSynthesizer, QspWorkflow};
+use qsp_state::generators::Workload;
+use qsp_state::SparseState;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let total = parse_flag(&args, "--targets", 120).max(100);
+    let min_n = parse_flag(&args, "--min-n", 8);
+    let max_n = parse_flag(&args, "--max-n", 12).max(min_n);
+    let repeat_every = parse_flag(&args, "--repeat-every", 6).max(2);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+
+    // Workload: every `repeat_every`-th target repeats an earlier one, the
+    // rest are fresh random sparse states sweeping the register widths.
+    let mut targets: Vec<SparseState> = Vec::with_capacity(total);
+    let widths = max_n - min_n + 1;
+    for i in 0..total {
+        if i % repeat_every == repeat_every - 1 && i > 0 {
+            targets.push(targets[i / 2].clone());
+        } else {
+            let n = min_n + (i % widths);
+            let workload = Workload::RandomSparse {
+                n,
+                seed: 10_000 + i as u64,
+            };
+            targets.push(
+                workload
+                    .instantiate()
+                    .expect("workload generation succeeds"),
+            );
+        }
+    }
+    let expected_duplicates = targets.len()
+        - targets
+            .iter()
+            .map(|t| format!("{t}"))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+
+    eprintln!(
+        "benchmarking {} targets (n = {min_n}..={max_n}, ~{expected_duplicates} duplicates)...",
+        targets.len()
+    );
+
+    // Sequential: one QspWorkflow call per target.
+    let workflow = QspWorkflow::new();
+    let sequential_start = Instant::now();
+    let sequential: Vec<_> = targets
+        .iter()
+        .map(|t| workflow.prepare(t).expect("sequential synthesis succeeds"))
+        .collect();
+    let sequential_elapsed = sequential_start.elapsed();
+
+    // Batched: one synthesize_batch call over the whole workload.
+    let engine = BatchSynthesizer::new();
+    let batch_start = Instant::now();
+    let outcome = engine.synthesize_batch(&targets);
+    let batch_elapsed = batch_start.elapsed();
+    assert_eq!(outcome.stats.errors, 0, "batched synthesis must not fail");
+
+    // The batch must match the per-target runs CNOT for CNOT.
+    let mut total_cnot_sequential = 0usize;
+    let mut total_cnot_batch = 0usize;
+    for (i, (seq, bat)) in sequential.iter().zip(&outcome.results).enumerate() {
+        let bat = bat.as_ref().expect("no per-target errors");
+        assert_eq!(
+            seq.cnot_cost(),
+            bat.cnot_cost(),
+            "target {i}: batch CNOT cost diverged from the sequential workflow"
+        );
+        total_cnot_sequential += seq.cnot_cost();
+        total_cnot_batch += bat.cnot_cost();
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sequential_ms = sequential_elapsed.as_secs_f64() * 1e3;
+    let batch_ms = batch_elapsed.as_secs_f64() * 1e3;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"batch_vs_sequential_synthesis\",\n",
+            "  \"workload\": \"random_sparse_uniform\",\n",
+            "  \"targets\": {},\n",
+            "  \"min_qubits\": {},\n",
+            "  \"max_qubits\": {},\n",
+            "  \"duplicate_targets\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"sequential_ms\": {:.3},\n",
+            "  \"batch_ms\": {:.3},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"solver_runs\": {},\n",
+            "  \"cache_hits\": {},\n",
+            "  \"total_cnot_sequential\": {},\n",
+            "  \"total_cnot_batch\": {},\n",
+            "  \"costs_identical\": true\n",
+            "}}\n"
+        ),
+        targets.len(),
+        min_n,
+        max_n,
+        expected_duplicates,
+        threads,
+        sequential_ms,
+        batch_ms,
+        sequential_ms / batch_ms.max(1e-9),
+        outcome.stats.solver_runs,
+        outcome.stats.cache_hits,
+        total_cnot_sequential,
+        total_cnot_batch,
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -15,7 +15,9 @@ use qsp_state::generators::Workload;
 
 fn measure(regime: &str, n: usize, samples: usize, method: Method) -> Option<f64> {
     // The same blow-up guards as table5 (the paper's one-hour TLE cells).
-    if regime == "dense" && ((method == Method::MFlow && n > 12) || (method == Method::Hybrid && n > 11)) {
+    if regime == "dense"
+        && ((method == Method::MFlow && n > 12) || (method == Method::Hybrid && n > 11))
+    {
         return None;
     }
     let mut total = 0.0;

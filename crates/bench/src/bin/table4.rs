@@ -6,10 +6,10 @@
 //! Run with `cargo run --release -p qsp-bench --bin table4 [-- --show-circuit]`.
 
 use qsp_baselines::dicke::{manual_cnot_count, TABLE4_CASES};
+use qsp_baselines::StatePreparator;
 use qsp_bench::harness::{run_method, Method};
 use qsp_bench::report::{format_markdown_table, geometric_mean, has_switch};
 use qsp_core::QspWorkflow;
-use qsp_baselines::StatePreparator;
 use qsp_state::generators;
 
 fn main() {
@@ -17,7 +17,16 @@ fn main() {
     let show_circuit = has_switch(&args, "--show-circuit");
 
     println!("Table IV — CNOT counts for Dicke state preparation |D^k_n>\n");
-    let headers = ["n", "k", "manual [7]", "m-flow", "n-flow", "hybrid", "ours", "verified"];
+    let headers = [
+        "n",
+        "k",
+        "manual [7]",
+        "m-flow",
+        "n-flow",
+        "hybrid",
+        "ours",
+        "verified",
+    ];
     let mut rows = Vec::new();
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); Method::ALL.len()];
     let mut manual_counts = Vec::new();
@@ -41,14 +50,26 @@ fn main() {
                 verified = false;
             }
         }
-        cells.push(if verified { "yes".to_string() } else { "NO".to_string() });
+        cells.push(if verified {
+            "yes".to_string()
+        } else {
+            "NO".to_string()
+        });
         rows.push(cells);
     }
 
     // Geometric means and improvement vs the manual design (as in the paper).
     let manual_geo = geometric_mean(manual_counts.iter().copied());
-    let mut geo_cells = vec!["geo. mean".to_string(), String::new(), format!("{manual_geo:.1}")];
-    let mut improvement_cells = vec!["impr. vs manual".to_string(), String::new(), "-".to_string()];
+    let mut geo_cells = vec![
+        "geo. mean".to_string(),
+        String::new(),
+        format!("{manual_geo:.1}"),
+    ];
+    let mut improvement_cells = vec![
+        "impr. vs manual".to_string(),
+        String::new(),
+        "-".to_string(),
+    ];
     for values in &per_method {
         let geo = geometric_mean(values.iter().copied());
         geo_cells.push(format!("{geo:.1}"));
@@ -68,8 +89,13 @@ fn main() {
     if show_circuit {
         // Fig. 6: the circuit found for |D^2_4>.
         let target = generators::dicke(4, 2).expect("valid Dicke parameters");
-        let circuit = QspWorkflow::new().prepare(&target).expect("synthesis succeeds");
-        println!("\nFig. 6 — circuit prepared for |D^2_4> ({} CNOTs):", circuit.cnot_cost());
+        let circuit = QspWorkflow::new()
+            .prepare(&target)
+            .expect("synthesis succeeds");
+        println!(
+            "\nFig. 6 — circuit prepared for |D^2_4> ({} CNOTs):",
+            circuit.cnot_cost()
+        );
         println!("{circuit}");
     }
 }

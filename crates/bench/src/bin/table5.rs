@@ -19,12 +19,7 @@ use qsp_bench::harness::{run_method, Method};
 use qsp_bench::report::{format_markdown_table, geometric_mean, parse_flag};
 use qsp_state::generators::Workload;
 
-fn average_costs(
-    regime: &str,
-    n: usize,
-    samples: usize,
-    methods: &[Method],
-) -> Vec<Option<f64>> {
+fn average_costs(regime: &str, n: usize, samples: usize, methods: &[Method]) -> Vec<Option<f64>> {
     let mut sums = vec![0.0f64; methods.len()];
     let mut counts = vec![0usize; methods.len()];
     for sample in 0..samples {
@@ -38,7 +33,9 @@ fn average_costs(
                 seed: 2000 + sample as u64,
             },
         };
-        let target = workload.instantiate().expect("workload generation succeeds");
+        let target = workload
+            .instantiate()
+            .expect("workload generation succeeds");
         for (i, method) in methods.iter().enumerate() {
             // Skip methods that are known to blow up well beyond the paper's
             // own time limit in this regime (m-flow and hybrid on large dense
@@ -56,22 +53,44 @@ fn average_costs(
     }
     sums.iter()
         .zip(counts)
-        .map(|(sum, count)| if count == 0 { None } else { Some(sum / count as f64) })
+        .map(|(sum, count)| {
+            if count == 0 {
+                None
+            } else {
+                Some(sum / count as f64)
+            }
+        })
         .collect()
 }
 
 fn run_regime(regime: &str, max_n: usize, samples: usize) {
-    let reference = if regime == "dense" { Method::NFlow } else { Method::MFlow };
+    let reference = if regime == "dense" {
+        Method::NFlow
+    } else {
+        Method::MFlow
+    };
     println!(
         "Table V ({regime} states, m = {}) — average CNOT count over {samples} samples\n",
         if regime == "dense" { "2^(n-1)" } else { "n" }
     );
-    let headers = ["n", "m", "m-flow", "n-flow", "hybrid", "ours", "impr% vs best baseline"];
+    let headers = [
+        "n",
+        "m",
+        "m-flow",
+        "n-flow",
+        "hybrid",
+        "ours",
+        "impr% vs best baseline",
+    ];
     let mut rows = Vec::new();
     let mut ours_geo = Vec::new();
     let mut reference_geo = Vec::new();
     for n in 3..=max_n {
-        let m = if regime == "dense" { 1usize << (n - 1) } else { n };
+        let m = if regime == "dense" {
+            1usize << (n - 1)
+        } else {
+            n
+        };
         let averages = average_costs(regime, n, samples, &Method::ALL);
         let mut cells = vec![n.to_string(), m.to_string()];
         for avg in &averages {
@@ -80,8 +99,14 @@ fn run_regime(regime: &str, max_n: usize, samples: usize) {
                 None => "—".to_string(),
             });
         }
-        let reference_index = Method::ALL.iter().position(|m| *m == reference).expect("present");
-        let ours_index = Method::ALL.iter().position(|m| *m == Method::Ours).expect("present");
+        let reference_index = Method::ALL
+            .iter()
+            .position(|m| *m == reference)
+            .expect("present");
+        let ours_index = Method::ALL
+            .iter()
+            .position(|m| *m == Method::Ours)
+            .expect("present");
         let improvement = match (averages[reference_index], averages[ours_index]) {
             (Some(baseline), Some(ours)) if baseline > 0.0 => {
                 ours_geo.push(ours);
@@ -102,7 +127,10 @@ fn run_regime(regime: &str, max_n: usize, samples: usize) {
         String::new(),
         String::new(),
         format!("{geo_ours:.1}"),
-        format!("{:.0}%", 100.0 * (1.0 - geo_ours / geo_reference.max(f64::MIN_POSITIVE))),
+        format!(
+            "{:.0}%",
+            100.0 * (1.0 - geo_ours / geo_reference.max(f64::MIN_POSITIVE))
+        ),
     ]);
     println!("{}", format_markdown_table(&headers, &rows));
     if regime == "dense" {

@@ -5,7 +5,7 @@ use std::time::Duration;
 use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
 use qsp_core::QspWorkflow;
 use qsp_sim::verify_preparation;
-use qsp_state::SparseState;
+use qsp_state::QuantumState;
 
 /// The methods compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +57,11 @@ pub struct BenchmarkRow {
 /// reported as `cnot_cost: None` rather than panicking so the harness can
 /// keep filling the remaining table cells, as the paper does with its "TLE"
 /// entries.
-pub fn run_method(method: Method, target: &SparseState, verify_up_to: usize) -> BenchmarkRow {
+pub fn run_method<S: QuantumState>(
+    method: Method,
+    target: &S,
+    verify_up_to: usize,
+) -> BenchmarkRow {
     let preparator: Box<dyn StatePreparator> = match method {
         Method::MFlow => Box::new(CardinalityReduction::new()),
         Method::NFlow => Box::new(QubitReduction::new()),
@@ -65,7 +69,18 @@ pub fn run_method(method: Method, target: &SparseState, verify_up_to: usize) -> 
         Method::Ours => Box::new(QspWorkflow::new()),
     };
     let start = std::time::Instant::now();
-    match preparator.prepare(target) {
+    let sparse = match target.as_sparse() {
+        Ok(sparse) => sparse,
+        Err(_) => {
+            return BenchmarkRow {
+                method,
+                cnot_cost: None,
+                elapsed: start.elapsed(),
+                verified: None,
+            }
+        }
+    };
+    match preparator.prepare_sparse(sparse.as_ref()) {
         Ok(circuit) => {
             let elapsed = start.elapsed();
             let verified = if target.num_qubits() <= verify_up_to {

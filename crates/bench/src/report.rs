@@ -68,10 +68,8 @@ mod tests {
 
     #[test]
     fn markdown_table_shape() {
-        let table = format_markdown_table(
-            &["n", "ours"],
-            &[vec!["3".to_string(), "5".to_string()]],
-        );
+        let table =
+            format_markdown_table(&["n", "ours"], &[vec!["3".to_string(), "5".to_string()]]);
         assert!(table.contains("| n | ours |"));
         assert!(table.contains("| 3 | 5 |"));
         assert_eq!(table.lines().count(), 3);

@@ -92,11 +92,9 @@ mod tests {
         circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
         circuit.push(Gate::cnot(0, 1));
         let state = prepare_from_ground(&circuit).unwrap();
-        let expected = SparseState::uniform_superposition(
-            2,
-            [BasisIndex::new(0b00), BasisIndex::new(0b11)],
-        )
-        .unwrap();
+        let expected =
+            SparseState::uniform_superposition(2, [BasisIndex::new(0b00), BasisIndex::new(0b11)])
+                .unwrap();
         assert!(state.approx_eq(&expected, 1e-9), "got {state}");
     }
 

@@ -122,7 +122,8 @@ impl Circuit {
     /// Panics if the gate is invalid for this register; use
     /// [`Circuit::try_push`] for fallible insertion.
     pub fn push(&mut self, gate: Gate) {
-        self.try_push(gate).expect("gate is invalid for this circuit");
+        self.try_push(gate)
+            .expect("gate is invalid for this circuit");
     }
 
     /// Appends all gates of `other` (registers must have equal width).
@@ -196,7 +197,11 @@ impl Circuit {
     ///
     /// Returns an error if the mapping is shorter than the register, not
     /// injective, or maps outside `new_width`.
-    pub fn remap_qubits(&self, mapping: &[usize], new_width: usize) -> Result<Circuit, CircuitError> {
+    pub fn remap_qubits(
+        &self,
+        mapping: &[usize],
+        new_width: usize,
+    ) -> Result<Circuit, CircuitError> {
         if mapping.len() < self.num_qubits {
             return Err(CircuitError::InvalidMapping {
                 reason: format!(

@@ -178,9 +178,7 @@ mod tests {
         let mut probes: Vec<SparseState> = (0..8u64)
             .map(|x| SparseState::from_amplitudes(3, [(BasisIndex::new(x), 1.0)]).unwrap())
             .collect();
-        probes.push(
-            SparseState::uniform_superposition(3, (0..8).map(BasisIndex::new)).unwrap(),
-        );
+        probes.push(SparseState::uniform_superposition(3, (0..8).map(BasisIndex::new)).unwrap());
         probes.push(
             SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b110)])
                 .unwrap(),
@@ -251,9 +249,7 @@ mod tests {
             let index = BasisIndex::new(pattern);
             let input = SparseState::from_amplitudes(3, [(index, 1.0)]).unwrap();
             let output = apply_gates(&input, &gates);
-            let expected = input
-                .apply_ry(2, angles[pattern as usize])
-                .unwrap();
+            let expected = input.apply_ry(2, angles[pattern as usize]).unwrap();
             assert!(
                 output.approx_eq(&expected, 1e-9),
                 "pattern {pattern:#b}: got {output}, expected {expected}"

@@ -107,7 +107,11 @@ fn cancel_adjacent_pairs(gates: &mut Vec<Gate>, stats: &mut OptimizeStats) {
                     continue 'outer;
                 }
                 // Stop scanning forward once a gate blocks qubit adjacency.
-                if gates[j].qubits().iter().any(|q| gates[i].qubits().contains(q)) {
+                if gates[j]
+                    .qubits()
+                    .iter()
+                    .any(|q| gates[i].qubits().contains(q))
+                {
                     break;
                 }
             }
@@ -129,9 +133,12 @@ fn merge_adjacent_rotations(gates: &mut Vec<Gate>, stats: &mut OptimizeStats) {
             for j in (i + 1)..gates.len() {
                 let same_kind = match (&gates[i], &gates[j]) {
                     (Gate::Ry { .. }, Gate::Ry { target, .. }) => *target == target_i,
-                    (Gate::Mcry { .. }, Gate::Mcry { target, controls, .. }) => {
-                        *target == target_i && *controls == controls_i
-                    }
+                    (
+                        Gate::Mcry { .. },
+                        Gate::Mcry {
+                            target, controls, ..
+                        },
+                    ) => *target == target_i && *controls == controls_i,
                     _ => false,
                 };
                 if same_kind && adjacent(gates, i, j) {
@@ -147,7 +154,11 @@ fn merge_adjacent_rotations(gates: &mut Vec<Gate>, stats: &mut OptimizeStats) {
                     stats.rotations_merged += 1;
                     continue 'outer;
                 }
-                if gates[j].qubits().iter().any(|q| gates[i].qubits().contains(q)) {
+                if gates[j]
+                    .qubits()
+                    .iter()
+                    .any(|q| gates[i].qubits().contains(q))
+                {
                     break;
                 }
             }

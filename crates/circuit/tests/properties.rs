@@ -1,7 +1,11 @@
-//! Property-based tests for the circuit IR: cost model consistency, inverse
-//! circuits, multiplexor lowering and the peephole optimizer.
+//! Randomized property tests for the circuit IR: cost model consistency,
+//! inverse circuits, multiplexor lowering and the peephole optimizer.
+//!
+//! The offline build cannot depend on `proptest`, so each property is checked
+//! on a seeded stream of random cases (the deterministic `qsp-rand` shim).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use qsp_circuit::apply::{apply_circuit, prepare_from_ground};
 use qsp_circuit::decompose::{decompose_circuit, multiplexed_ry};
@@ -10,137 +14,159 @@ use qsp_circuit::{Circuit, CnotCostModel, Gate};
 use qsp_state::{BasisIndex, SparseState};
 
 const WIDTH: usize = 4;
+const CASES: usize = 48;
 
-/// Strategy: one random gate over a 4-qubit register from the paper's library.
-fn gate_strategy() -> impl Strategy<Value = Gate> {
-    (0usize..5, 0usize..WIDTH, 0usize..WIDTH, 0usize..WIDTH, -3.0f64..3.0).prop_map(
-        |(kind, a, b, c, theta)| {
-            let target = a;
-            let control = if b == target { (target + 1) % WIDTH } else { b };
-            let second = if c == target || c == control {
-                (target + 2) % WIDTH
+/// One random gate over a 4-qubit register from the paper's library.
+fn random_gate(rng: &mut StdRng) -> Gate {
+    let kind = rng.gen_range(0usize..5);
+    let target = rng.gen_range(0usize..WIDTH);
+    let b = rng.gen_range(0usize..WIDTH);
+    let c = rng.gen_range(0usize..WIDTH);
+    let theta = rng.gen_range(-3.0f64..3.0);
+    let control = if b == target { (target + 1) % WIDTH } else { b };
+    let second = if c == target || c == control {
+        (target + 2) % WIDTH
+    } else {
+        c
+    };
+    match kind {
+        0 => Gate::ry(target, theta),
+        1 => Gate::x(target),
+        2 => Gate::cnot(control, target),
+        3 => Gate::cry(control, target, theta),
+        _ => {
+            if second == control || second == target {
+                Gate::cry(control, target, theta)
             } else {
-                c
-            };
-            match kind {
-                0 => Gate::ry(target, theta),
-                1 => Gate::x(target),
-                2 => Gate::cnot(control, target),
-                3 => Gate::cry(control, target, theta),
-                _ => {
-                    if second == control || second == target {
-                        Gate::cry(control, target, theta)
-                    } else {
-                        Gate::mcry(&[control, second], target, theta)
-                    }
-                }
+                Gate::mcry(&[control, second], target, theta)
             }
-        },
-    )
-}
-
-/// Strategy: a random circuit of up to 16 gates.
-fn circuit_strategy() -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(gate_strategy(), 0..16)
-        .prop_map(|gates| Circuit::from_gates(WIDTH, gates).expect("gates fit the register"))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The circuit cost equals the sum of the per-gate costs and matches the
-    /// paper's cost model for every gate in the library.
-    #[test]
-    fn circuit_cost_is_additive(circuit in circuit_strategy()) {
-        let sum: usize = circuit.gates().iter().map(Gate::cnot_cost).sum();
-        prop_assert_eq!(circuit.cnot_cost(), sum);
-        let model = CnotCostModel::paper();
-        prop_assert_eq!(circuit.cnot_cost_with(&model), sum);
+        }
     }
+}
 
-    /// A circuit followed by its inverse acts as the identity on every basis
-    /// state of the register.
-    #[test]
-    fn inverse_undoes_the_circuit(circuit in circuit_strategy(), start in 0u64..(1 << WIDTH)) {
+/// A random circuit of up to 16 gates.
+fn random_circuit(rng: &mut StdRng) -> Circuit {
+    let len = rng.gen_range(0usize..16);
+    let gates: Vec<Gate> = (0..len).map(|_| random_gate(rng)).collect();
+    Circuit::from_gates(WIDTH, gates).expect("gates fit the register")
+}
+
+#[test]
+fn circuit_cost_is_additive() {
+    let mut rng = StdRng::seed_from_u64(0x2001);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
+        let sum: usize = circuit.gates().iter().map(Gate::cnot_cost).sum();
+        assert_eq!(circuit.cnot_cost(), sum);
+        let model = CnotCostModel::paper();
+        assert_eq!(circuit.cnot_cost_with(&model), sum);
+    }
+}
+
+#[test]
+fn inverse_undoes_the_circuit() {
+    let mut rng = StdRng::seed_from_u64(0x2002);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
+        let start = rng.gen_range(0u64..(1 << WIDTH));
         let input = SparseState::from_amplitudes(WIDTH, [(BasisIndex::new(start), 1.0)])
             .expect("basis state");
         let forward = apply_circuit(&input, &circuit).expect("circuit applies");
         let back = apply_circuit(&forward, &circuit.inverse()).expect("inverse applies");
-        prop_assert!(back.approx_eq(&input, 1e-7), "got {back}, expected {input}");
+        assert!(back.approx_eq(&input, 1e-7), "got {back}, expected {input}");
     }
+}
 
-    /// Lowering to {Ry, X, CNOT} preserves the prepared state and realizes the
-    /// cost model as literal CNOT gates.
-    #[test]
-    fn lowering_preserves_semantics_and_cost(circuit in circuit_strategy()) {
+#[test]
+fn lowering_preserves_semantics_and_cost() {
+    let mut rng = StdRng::seed_from_u64(0x2003);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
         let lowered = decompose_circuit(&circuit).expect("lowering succeeds");
-        prop_assert_eq!(lowered.cnot_gate_count(), circuit.cnot_cost());
+        assert_eq!(lowered.cnot_gate_count(), circuit.cnot_cost());
         let only_primitive_gates = lowered
             .gates()
             .iter()
             .all(|g| matches!(g, Gate::Ry { .. } | Gate::X { .. } | Gate::Cnot { .. }));
-        prop_assert!(only_primitive_gates);
+        assert!(only_primitive_gates);
         let reference = prepare_from_ground(&circuit).expect("circuit applies");
         let via_lowering = prepare_from_ground(&lowered).expect("lowered applies");
-        prop_assert!(via_lowering.approx_eq(&reference, 1e-7));
+        assert!(via_lowering.approx_eq(&reference, 1e-7));
     }
+}
 
-    /// The peephole optimizer never changes the prepared state and never
-    /// increases the CNOT cost or the gate count.
-    #[test]
-    fn optimizer_is_sound(circuit in circuit_strategy()) {
+#[test]
+fn optimizer_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x2004);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
         let (optimized, stats) = optimize(&circuit);
-        prop_assert!(optimized.cnot_cost() <= circuit.cnot_cost());
-        prop_assert!(optimized.len() + stats.gates_removed() == circuit.len());
+        assert!(optimized.cnot_cost() <= circuit.cnot_cost());
+        assert!(optimized.len() + stats.gates_removed() == circuit.len());
         let reference = prepare_from_ground(&circuit).expect("circuit applies");
         let after = prepare_from_ground(&optimized).expect("optimized applies");
-        prop_assert!(after.approx_eq(&reference, 1e-7));
+        assert!(after.approx_eq(&reference, 1e-7));
     }
+}
 
-    /// The optimizer is idempotent: a second pass finds nothing to remove.
-    #[test]
-    fn optimizer_is_idempotent(circuit in circuit_strategy()) {
+#[test]
+fn optimizer_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x2005);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
         let (once, _) = optimize(&circuit);
         let (twice, stats) = optimize(&once);
-        prop_assert_eq!(stats.gates_removed(), 0);
-        prop_assert_eq!(once, twice);
+        assert_eq!(stats.gates_removed(), 0);
+        assert_eq!(once, twice);
     }
+}
 
-    /// Remapping a circuit onto permuted qubit labels preserves its cost and
-    /// commutes with simulation up to the same permutation of the state.
-    #[test]
-    fn remapping_preserves_cost(circuit in circuit_strategy(), rotation in 0usize..WIDTH) {
+#[test]
+fn remapping_preserves_cost() {
+    let mut rng = StdRng::seed_from_u64(0x2006);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
+        let rotation = rng.gen_range(0usize..WIDTH);
         let mapping: Vec<usize> = (0..WIDTH).map(|q| (q + rotation) % WIDTH).collect();
-        let remapped = circuit.remap_qubits(&mapping, WIDTH).expect("bijective mapping");
-        prop_assert_eq!(remapped.cnot_cost(), circuit.cnot_cost());
-        prop_assert_eq!(remapped.len(), circuit.len());
+        let remapped = circuit
+            .remap_qubits(&mapping, WIDTH)
+            .expect("bijective mapping");
+        assert_eq!(remapped.cnot_cost(), circuit.cnot_cost());
+        assert_eq!(remapped.len(), circuit.len());
         let direct = prepare_from_ground(&circuit).expect("applies");
-        let permuted_direct = direct.permute_qubits(&{
-            // permute_qubits expects perm[i] = source qubit for destination i,
-            // which is the inverse of `mapping`.
-            let mut inverse = vec![0usize; WIDTH];
-            for (src, &dst) in mapping.iter().enumerate() {
-                inverse[dst] = src;
-            }
-            inverse
-        }).expect("valid permutation");
+        let permuted_direct = direct
+            .permute_qubits(&{
+                // permute_qubits expects perm[i] = source qubit for destination
+                // i, which is the inverse of `mapping`.
+                let mut inverse = vec![0usize; WIDTH];
+                for (src, &dst) in mapping.iter().enumerate() {
+                    inverse[dst] = src;
+                }
+                inverse
+            })
+            .expect("valid permutation");
         let via_remap = prepare_from_ground(&remapped).expect("applies");
-        prop_assert!(via_remap.approx_eq(&permuted_direct, 1e-7));
+        assert!(via_remap.approx_eq(&permuted_direct, 1e-7));
     }
+}
 
-    /// A multiplexed Ry realizes exactly its angle table: for every control
-    /// pattern the target is rotated by the corresponding angle.
-    #[test]
-    fn multiplexor_realizes_its_angle_table(angles in proptest::collection::vec(-3.0f64..3.0, 4), pattern in 0u64..4) {
+#[test]
+fn multiplexor_realizes_its_angle_table() {
+    let mut rng = StdRng::seed_from_u64(0x2007);
+    for _ in 0..CASES {
+        let angles: Vec<f64> = (0..4).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+        let pattern = rng.gen_range(0u64..4);
         let gates = multiplexed_ry(&[0, 1], 2, &angles).expect("valid multiplexor");
-        prop_assert_eq!(gates.len(), 8);
+        assert_eq!(gates.len(), 8);
         let input = SparseState::from_amplitudes(3, [(BasisIndex::new(pattern), 1.0)])
             .expect("basis state");
         let mut state = input.clone();
         for gate in &gates {
             state = qsp_circuit::apply_gate(&state, gate).expect("gate applies");
         }
-        let expected = input.apply_ry(2, angles[pattern as usize]).expect("rotation applies");
-        prop_assert!(state.approx_eq(&expected, 1e-7));
+        let expected = input
+            .apply_ry(2, angles[pattern as usize])
+            .expect("rotation applies");
+        assert!(state.approx_eq(&expected, 1e-7));
     }
 }

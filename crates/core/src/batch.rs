@@ -1,0 +1,666 @@
+//! The parallel batch-synthesis engine.
+//!
+//! A production deployment does not prepare one state at a time: it receives
+//! *many* targets, and a large fraction of them are equivalent to each other
+//! under the zero-cost operations of Sec. V-B (qubit relabelling and Pauli-X
+//! "negation" flips). [`BatchSynthesizer`] exploits both observations:
+//!
+//! * **Parallelism** — targets are fanned out over a scoped worker pool
+//!   (`std::thread`; the offline build has no rayon, so the pool is a small
+//!   work-stealing loop over an atomic index).
+//! * **Canonical deduplication** — every target is reduced to an
+//!   amplitude-aware canonical key together with the *witness transform*
+//!   (qubit permutation + X-flip mask) that maps the target onto the
+//!   canonical representative. Targets sharing a key are solved **once**;
+//!   every other member of the class gets its circuit reconstructed from the
+//!   solved one by relabelling qubits and appending zero-CNOT-cost X gates,
+//!   so the reconstructed circuit has exactly the same CNOT cost.
+//! * **A shared concurrent cache** — solved classes are kept in an
+//!   `Arc<Mutex<HashMap>>` that is shared across worker threads *and* across
+//!   batches submitted to the same synthesizer, so repeat traffic never
+//!   reaches the solver again.
+//!
+//! Determinism: a target that is solved fresh goes through the exact same
+//! [`QspWorkflow`] as a sequential call, so its circuit is bit-identical to a
+//! per-target run; a target that hits the cache with the *identical* state
+//! reuses the stored circuit unchanged (the witness composition is the
+//! identity).
+//!
+//! # Example
+//!
+//! ```
+//! use qsp_core::batch::{BatchSynthesizer, DedupPolicy};
+//! use qsp_state::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let targets = vec![
+//!     generators::ghz(4)?,
+//!     generators::w_state(4)?,
+//!     generators::ghz(4)?, // duplicate: solved once, served from cache
+//! ];
+//! let engine = BatchSynthesizer::new();
+//! let outcome = engine.synthesize_batch(&targets);
+//! assert_eq!(outcome.stats.targets, 3);
+//! assert_eq!(outcome.stats.solver_runs, 2);
+//! assert_eq!(outcome.stats.cache_hits, 1);
+//! let ghz_circuit = outcome.results[0].as_ref().unwrap();
+//! assert_eq!(ghz_circuit.cnot_cost(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use qsp_circuit::{Circuit, Gate};
+use qsp_state::canonical::for_each_permutation;
+use qsp_state::{BasisIndex, QuantumState, SparseState};
+
+use crate::error::SynthesisError;
+use crate::workflow::{QspWorkflow, WorkflowConfig};
+
+/// Exhaustive enumeration limits for the canonical-key search. Wider
+/// registers fall back to the identity permutation and *greedy* flips (one
+/// candidate per qubit instead of `2^n` masks) — still deterministic and
+/// sound, just compressing less. The limits are deliberately tight: keying
+/// must stay far cheaper than the solves it deduplicates, and for sparse
+/// workloads the workflow solves an `n`-qubit target in tens of
+/// microseconds.
+const EXHAUSTIVE_PERMUTATION_QUBITS: usize = 5;
+const EXHAUSTIVE_FLIP_QUBITS: usize = 6;
+
+/// How aggressively the batch engine deduplicates targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupPolicy {
+    /// No deduplication: every target is solved independently (still in
+    /// parallel).
+    Off,
+    /// Deduplicate exactly identical states only.
+    Exact,
+    /// Deduplicate the Sec. V-B equivalence class: states identical up to
+    /// qubit permutation and Pauli-X flips are solved once. Coverage is
+    /// width-bounded to keep keying cheap: the full permutation × flip space
+    /// is searched up to 5 qubits, flips alone up to 6, and a greedy flip
+    /// canonicalization beyond — wider equivalent-but-not-identical targets
+    /// may therefore be solved separately (exact duplicates always hit).
+    #[default]
+    Canonical,
+}
+
+/// Tunables of the batch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+    /// Deduplication policy.
+    pub dedup: DedupPolicy,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 0,
+            dedup: DedupPolicy::Canonical,
+        }
+    }
+}
+
+/// Aggregate statistics of one batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Number of targets submitted.
+    pub targets: usize,
+    /// Number of fresh solver (workflow) invocations.
+    pub solver_runs: usize,
+    /// Number of targets served from the cache (exact or canonical hits,
+    /// including duplicates within the batch and hits from earlier batches).
+    pub cache_hits: usize,
+    /// Number of targets that failed (conversion or synthesis error).
+    pub errors: usize,
+    /// Wall-clock time of the whole batch call.
+    pub elapsed: Duration,
+}
+
+/// The result of one batch run: per-target circuits in submission order plus
+/// aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One entry per submitted target, in order.
+    pub results: Vec<Result<Circuit, SynthesisError>>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+/// A keyed target: canonical key, witness transform, and the (possibly
+/// borrowed) sparse view the solver runs on.
+type KeyedTarget<'a> = Result<(BatchKey, StateTransform, Cow<'a, SparseState>), SynthesisError>;
+
+/// An amplitude-aware state fingerprint: `(index, amplitude bits)` sorted by
+/// index, plus the register width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BatchKey {
+    num_qubits: usize,
+    entries: Vec<(u64, u64)>,
+}
+
+/// A zero-cost transform `t(x) = permute(x, perm) ^ mask` mapping a target
+/// state onto its canonical representative (index-wise; amplitudes ride
+/// along unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StateTransform {
+    perm: Vec<usize>,
+    mask: u64,
+}
+
+impl StateTransform {
+    fn identity(num_qubits: usize) -> Self {
+        StateTransform {
+            perm: (0..num_qubits).collect(),
+            mask: 0,
+        }
+    }
+
+    fn apply(&self, index: u64) -> u64 {
+        BasisIndex::new(index).permute(&self.perm).value() ^ self.mask
+    }
+
+    /// The inverse permutation array: `inv[perm[q]] = q`.
+    fn inverse_perm(perm: &[usize]) -> Vec<usize> {
+        let mut inv = vec![0usize; perm.len()];
+        for (q, &p) in perm.iter().enumerate() {
+            inv[p] = q;
+        }
+        inv
+    }
+}
+
+/// Permutes the bits of a mask: bit `i` of the result is bit `perm[i]` of
+/// `mask` (same convention as [`BasisIndex::permute`]).
+fn permute_mask(mask: u64, perm: &[usize]) -> u64 {
+    BasisIndex::new(mask).permute(perm).value()
+}
+
+/// Builds the raw `(index, amplitude bits)` fingerprint of a sparse state.
+fn raw_entries(state: &SparseState) -> Vec<(u64, u64)> {
+    state
+        .iter()
+        .map(|(index, amplitude)| (index.value(), amplitude.to_bits()))
+        .collect()
+}
+
+fn transformed_entries(base: &[(u64, u64)], transform: &StateTransform) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = base
+        .iter()
+        .map(|&(index, amp)| (transform.apply(index), amp))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Computes the canonical key of a state together with the witness transform
+/// mapping the state onto the key's entries.
+fn canonicalize(state: &SparseState, policy: DedupPolicy) -> (BatchKey, StateTransform) {
+    let n = state.num_qubits();
+    let base = raw_entries(state);
+    let identity = StateTransform::identity(n);
+    if matches!(policy, DedupPolicy::Off | DedupPolicy::Exact) {
+        let mut entries = base;
+        entries.sort_unstable();
+        return (
+            BatchKey {
+                num_qubits: n,
+                entries,
+            },
+            identity,
+        );
+    }
+
+    let mut best_entries = transformed_entries(&base, &identity);
+    let mut best_transform = identity;
+
+    fn consider(
+        base: &[(u64, u64)],
+        transform: StateTransform,
+        best_entries: &mut Vec<(u64, u64)>,
+        best_transform: &mut StateTransform,
+    ) {
+        let candidate = transformed_entries(base, &transform);
+        if candidate < *best_entries {
+            *best_entries = candidate;
+            *best_transform = transform;
+        }
+    }
+
+    if n <= EXHAUSTIVE_PERMUTATION_QUBITS {
+        for_each_permutation(n, &mut |perm| {
+            for mask in 0u64..(1u64 << n) {
+                consider(
+                    &base,
+                    StateTransform {
+                        perm: perm.to_vec(),
+                        mask,
+                    },
+                    &mut best_entries,
+                    &mut best_transform,
+                );
+            }
+        });
+    } else if n <= EXHAUSTIVE_FLIP_QUBITS {
+        for mask in 0u64..(1u64 << n) {
+            consider(
+                &base,
+                StateTransform {
+                    perm: (0..n).collect(),
+                    mask,
+                },
+                &mut best_entries,
+                &mut best_transform,
+            );
+        }
+    } else {
+        // Greedy flips: flip each qubit if it lowers the fingerprint.
+        for qubit in 0..n {
+            consider(
+                &base,
+                StateTransform {
+                    perm: (0..n).collect(),
+                    mask: best_transform.mask ^ (1u64 << qubit),
+                },
+                &mut best_entries,
+                &mut best_transform,
+            );
+        }
+    }
+
+    (
+        BatchKey {
+            num_qubits: n,
+            entries: best_entries,
+        },
+        best_transform,
+    )
+}
+
+/// Reconstructs the circuit for a target from the solved circuit of another
+/// member of the same canonical class.
+///
+/// `solved_transform` maps the solved state onto the canonical
+/// representative, `target_transform` maps the target onto the same
+/// representative. The reconstruction relabels the solved circuit's qubits
+/// and appends an X layer — both zero CNOT cost, so the reconstructed
+/// circuit's CNOT cost equals the solved one's.
+fn reconstruct_circuit(
+    solved: &Circuit,
+    solved_transform: &StateTransform,
+    target_transform: &StateTransform,
+) -> Result<Circuit, SynthesisError> {
+    let n = target_transform.perm.len();
+    // Combined index map from the solved state A to the target B:
+    //   i_B = inv(t_B)(t_A(i_A)) = permute(i_A, r) ^ m
+    // with r[i] = p_A[inv_B[i]] and m = permute_mask(m_A ^ m_B, inv_B).
+    let inv_b = StateTransform::inverse_perm(&target_transform.perm);
+    let r: Vec<usize> = (0..n).map(|i| solved_transform.perm[inv_b[i]]).collect();
+    let mask = permute_mask(solved_transform.mask ^ target_transform.mask, &inv_b);
+
+    if r.iter().enumerate().all(|(i, &v)| i == v) && mask == 0 {
+        return Ok(solved.clone());
+    }
+
+    // A circuit remapped by `sigma` prepares the permuted state with
+    // bit sigma(q) = bit q of the original; matching `permute(·, r)` needs
+    // sigma = r^{-1}.
+    let sigma = StateTransform::inverse_perm(&r);
+    let mut circuit = solved.remap_qubits(&sigma, n)?;
+    for qubit in 0..n {
+        if mask & (1u64 << qubit) != 0 {
+            circuit.try_push(Gate::x(qubit))?;
+        }
+    }
+    Ok(circuit)
+}
+
+/// A minimal scoped-thread parallel map (the offline build has no rayon):
+/// workers pull indices from an atomic counter and results are reassembled
+/// in input order.
+fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in chunks.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// One solved canonical class: the circuit of the first-seen member and the
+/// witness transform of that member.
+#[derive(Debug)]
+struct CacheEntry {
+    circuit: Result<Circuit, SynthesisError>,
+    transform: StateTransform,
+}
+
+type SharedCache = Arc<Mutex<HashMap<BatchKey, Arc<CacheEntry>>>>;
+
+/// The parallel, deduplicating batch front door to the preparation workflow.
+///
+/// See the [module docs](self) for the architecture. The synthesizer is
+/// cheap to clone; clones share the same cache.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSynthesizer {
+    config: WorkflowConfig,
+    options: BatchOptions,
+    cache: SharedCache,
+}
+
+impl BatchSynthesizer {
+    /// Creates a batch synthesizer with the paper's workflow defaults and
+    /// canonical deduplication.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch synthesizer with custom workflow and batch options.
+    pub fn with_options(config: WorkflowConfig, options: BatchOptions) -> Self {
+        BatchSynthesizer {
+            config,
+            options,
+            cache: Arc::default(),
+        }
+    }
+
+    /// The active batch options.
+    pub fn options(&self) -> &BatchOptions {
+        &self.options
+    }
+
+    /// Number of solved canonical classes currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Drops every cached solution.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.options.threads > 0 {
+            self.options.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Synthesizes preparation circuits for every target, in parallel,
+    /// solving each canonical equivalence class once.
+    ///
+    /// Results are returned in submission order; a failing target yields an
+    /// `Err` entry without affecting the others.
+    pub fn synthesize_batch<S: QuantumState + Sync>(&self, targets: &[S]) -> BatchOutcome {
+        let start = std::time::Instant::now();
+        let threads = self.thread_count();
+
+        // Phase 1 (parallel): get a sparse view (zero-copy for sparse
+        // backends) and compute canonical keys. The closure indexes
+        // `targets` directly (rather than using its `&S` argument) so the
+        // returned Cow can borrow for the whole batch.
+        let keyed: Vec<KeyedTarget<'_>> = par_map(targets, threads, |i, _| {
+            let sparse = targets[i].as_sparse()?;
+            let (key, transform) = canonicalize(sparse.as_ref(), self.options.dedup);
+            Ok((key, transform, sparse))
+        });
+
+        // Phase 2 (sequential): plan which targets need a fresh solve. With
+        // dedup off, every valid target is solved independently.
+        let mut to_solve: Vec<usize> = Vec::new();
+        let mut reused = vec![false; targets.len()];
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            let mut planned: std::collections::HashSet<&BatchKey> =
+                std::collections::HashSet::new();
+            for (i, entry) in keyed.iter().enumerate() {
+                let Ok((key, _, _)) = entry else { continue };
+                if self.options.dedup == DedupPolicy::Off {
+                    to_solve.push(i);
+                } else if cache.contains_key(key) || planned.contains(key) {
+                    reused[i] = true;
+                } else {
+                    planned.insert(key);
+                    to_solve.push(i);
+                }
+            }
+        }
+
+        // Phase 3 (parallel): solve one representative per class and publish
+        // it to the shared cache as soon as it is ready.
+        let workflow = QspWorkflow::with_config(self.config);
+        let solved: Vec<(usize, Arc<CacheEntry>)> = par_map(&to_solve, threads, |_, &i| {
+            let (key, transform, sparse) = keyed[i].as_ref().expect("planned targets are valid");
+            let entry = Arc::new(CacheEntry {
+                circuit: workflow.synthesize(sparse.as_ref()),
+                transform: transform.clone(),
+            });
+            if self.options.dedup != DedupPolicy::Off {
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key.clone(), Arc::clone(&entry));
+            }
+            (i, entry)
+        });
+        let own_solution: HashMap<usize, Arc<CacheEntry>> = solved.into_iter().collect();
+
+        // Phase 4 (parallel): assemble per-target circuits. Freshly solved
+        // targets take their own circuit; cache hits reconstruct through the
+        // witness transforms (identity composition ⇒ identical circuit).
+        let results: Vec<Result<Circuit, SynthesisError>> =
+            par_map(targets, threads, |i, _| match &keyed[i] {
+                Err(e) => Err(e.clone()),
+                Ok((key, transform, _)) => {
+                    let entry = match own_solution.get(&i) {
+                        Some(entry) => Arc::clone(entry),
+                        None => {
+                            let cache = self.cache.lock().expect("cache poisoned");
+                            Arc::clone(cache.get(key).expect("planned or cached"))
+                        }
+                    };
+                    match &entry.circuit {
+                        Err(e) => Err(e.clone()),
+                        Ok(circuit) => reconstruct_circuit(circuit, &entry.transform, transform),
+                    }
+                }
+            });
+
+        let errors = results.iter().filter(|r| r.is_err()).count();
+        let stats = BatchStats {
+            targets: targets.len(),
+            solver_runs: to_solve.len(),
+            cache_hits: reused.iter().filter(|&&r| r).count(),
+            errors,
+            elapsed: start.elapsed(),
+        };
+        BatchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn verify(circuit: &Circuit, target: &SparseState) {
+        let report = qsp_sim::verify_preparation(circuit, target).expect("simulates");
+        assert!(
+            report.is_correct(),
+            "batch circuit does not prepare the target (fidelity {})",
+            report.fidelity
+        );
+    }
+
+    #[test]
+    fn transform_round_trips_indices() {
+        let t = StateTransform {
+            perm: vec![2, 0, 1, 3],
+            mask: 0b0101,
+        };
+        let inv = StateTransform::inverse_perm(&t.perm);
+        for index in 0u64..16 {
+            let forward = t.apply(index);
+            let back = BasisIndex::new(forward ^ t.mask).permute(&inv).value();
+            assert_eq!(back, index);
+        }
+    }
+
+    #[test]
+    fn canonical_keys_identify_equivalent_states() {
+        let ghz = generators::ghz(4).unwrap();
+        // A permuted and flipped GHZ: |0101> + |1010>.
+        let variant = ghz
+            .permute_qubits(&[1, 0, 3, 2])
+            .unwrap()
+            .apply_x(0)
+            .unwrap()
+            .apply_x(2)
+            .unwrap();
+        let (key_a, _) = canonicalize(&ghz, DedupPolicy::Canonical);
+        let (key_b, _) = canonicalize(&variant, DedupPolicy::Canonical);
+        assert_eq!(key_a, key_b);
+        // Exact policy distinguishes them.
+        let (exact_a, _) = canonicalize(&ghz, DedupPolicy::Exact);
+        let (exact_b, _) = canonicalize(&variant, DedupPolicy::Exact);
+        assert_ne!(exact_a, exact_b);
+        // A genuinely different state gets a different canonical key.
+        let (key_w, _) = canonicalize(&generators::w_state(4).unwrap(), DedupPolicy::Canonical);
+        assert_ne!(key_a, key_w);
+    }
+
+    #[test]
+    fn reconstruction_prepares_the_equivalent_target() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..8 {
+            let base = generators::random_uniform_state(4, 5, &mut rng).unwrap();
+            let variant = base
+                .permute_qubits(&[3, 1, 0, 2])
+                .unwrap()
+                .apply_x(1)
+                .unwrap();
+            let (key_a, t_a) = canonicalize(&base, DedupPolicy::Canonical);
+            let (key_b, t_b) = canonicalize(&variant, DedupPolicy::Canonical);
+            assert_eq!(key_a, key_b);
+            let solved = QspWorkflow::new().synthesize(&base).unwrap();
+            verify(&solved, &base);
+            let reconstructed = reconstruct_circuit(&solved, &t_a, &t_b).unwrap();
+            verify(&reconstructed, &variant);
+            assert_eq!(reconstructed.cnot_cost(), solved.cnot_cost());
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_reuse_the_identical_circuit() {
+        let targets = vec![
+            generators::dicke(4, 2).unwrap(),
+            generators::ghz(4).unwrap(),
+            generators::dicke(4, 2).unwrap(),
+        ];
+        let engine = BatchSynthesizer::new();
+        let outcome = engine.synthesize_batch(&targets);
+        assert_eq!(outcome.stats.solver_runs, 2);
+        assert_eq!(outcome.stats.cache_hits, 1);
+        assert_eq!(outcome.stats.errors, 0);
+        let first = outcome.results[0].as_ref().unwrap();
+        let third = outcome.results[2].as_ref().unwrap();
+        assert_eq!(
+            first, third,
+            "duplicate targets must get identical circuits"
+        );
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let engine = BatchSynthesizer::new();
+        let first = engine.synthesize_batch(&[generators::ghz(3).unwrap()]);
+        assert_eq!(first.stats.solver_runs, 1);
+        assert_eq!(engine.cache_len(), 1);
+        let second = engine.synthesize_batch(&[generators::ghz(3).unwrap()]);
+        assert_eq!(second.stats.solver_runs, 0);
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(
+            first.results[0].as_ref().unwrap(),
+            second.results[0].as_ref().unwrap()
+        );
+        engine.clear_cache();
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn dedup_off_solves_every_target() {
+        let targets = vec![generators::ghz(3).unwrap(), generators::ghz(3).unwrap()];
+        let engine = BatchSynthesizer::with_options(
+            WorkflowConfig::default(),
+            BatchOptions {
+                threads: 2,
+                dedup: DedupPolicy::Off,
+            },
+        );
+        let outcome = engine.synthesize_batch(&targets);
+        assert_eq!(outcome.stats.solver_runs, 2);
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn errors_are_per_target() {
+        let negative = SparseState::from_amplitudes(
+            2,
+            [(BasisIndex::new(0), 0.6), (BasisIndex::new(3), -0.8)],
+        )
+        .unwrap();
+        let targets = vec![generators::ghz(2).unwrap(), negative];
+        let outcome = BatchSynthesizer::new().synthesize_batch(&targets);
+        assert!(outcome.results[0].is_ok());
+        assert!(outcome.results[1].is_err());
+        assert_eq!(outcome.stats.errors, 1);
+    }
+}

@@ -14,7 +14,7 @@
 use std::time::Duration;
 
 use qsp_circuit::{apply_gate, Circuit, Control, Gate};
-use qsp_state::{BasisIndex, Cofactors, SparseState, DEFAULT_TOLERANCE};
+use qsp_state::{BasisIndex, Cofactors, QuantumState, SparseState, DEFAULT_TOLERANCE};
 
 use crate::error::SynthesisError;
 use crate::search::astar::shortest_reduction;
@@ -88,15 +88,21 @@ impl ExactSynthesizer {
         &self.config
     }
 
-    /// Synthesizes the CNOT-optimal preparation circuit for `target`.
+    /// Synthesizes the CNOT-optimal preparation circuit for `target` (any
+    /// [`QuantumState`] backend).
     ///
     /// # Errors
     ///
     /// Returns an error when the target has negative amplitudes, exceeds the
     /// configured limits on active qubits / cardinality, or the search budget
     /// is exhausted.
-    pub fn synthesize(&self, target: &SparseState) -> Result<ExactSynthesisOutcome, SynthesisError> {
+    pub fn synthesize<S: QuantumState>(
+        &self,
+        state: &S,
+    ) -> Result<ExactSynthesisOutcome, SynthesisError> {
         let start = std::time::Instant::now();
+        let sparse = state.as_sparse()?;
+        let target = sparse.as_ref();
         if target.iter().any(|(_, a)| a < 0.0) {
             return Err(SynthesisError::UnsupportedState {
                 reason: "exact synthesis requires non-negative real amplitudes".to_string(),
@@ -140,7 +146,7 @@ impl ExactSynthesizer {
         }
 
         let compact = compact_state(target, &active)?;
-        let search_target = SearchState::from_sparse(&compact);
+        let search_target = SearchState::from_state(&compact);
         let outcome = shortest_reduction(&search_target, &self.config)?;
         let reduction = replay_reduction(&compact, &outcome.reduction_ops)?;
         let compact_circuit = reduction.inverse();

@@ -4,7 +4,10 @@
 //! "Quantum State Preparation Using an Exact CNOT Synthesis Formulation"
 //! (Wang, Tan, Cong, De Micheli — DATE 2024).
 //!
-//! The crate implements the paper's contribution end to end:
+//! The crate implements the paper's contribution end to end and scales it
+//! into a batch-serving engine. Every entry point is generic over the
+//! [`qsp_state::QuantumState`] backend trait, so sparse, dense and adaptive
+//! targets flow through the same code paths:
 //!
 //! * [`search`] — the state transition graph over **amplitude-preserving**
 //!   single-target transitions (Sec. IV) together with the A* shortest-path
@@ -16,6 +19,10 @@
 //! * [`workflow`] — the scalable workflow of Fig. 5: sparse states are first
 //!   shrunk with cardinality reduction, dense states with qubit reduction,
 //!   until the residual problem fits the exact solver's thresholds.
+//! * [`batch`] — the parallel batch-synthesis engine: many targets at once,
+//!   deduplicated under the Sec. V-B canonical key through a shared
+//!   concurrent cache, solved on a worker pool, with per-target circuits and
+//!   aggregate statistics returned in submission order.
 //!
 //! # Quickstart
 //!
@@ -36,11 +43,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod error;
 pub mod exact;
 pub mod search;
 pub mod workflow;
 
+pub use batch::{BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy};
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};
 pub use search::config::SearchConfig;

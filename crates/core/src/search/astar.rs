@@ -95,10 +95,7 @@ pub fn shortest_reduction(
     let mut expanded = 0usize;
     let mut pushed = 0usize;
 
-    dist.insert(
-        canonical_key(target, config.permutation_compression),
-        0,
-    );
+    dist.insert(canonical_key(target, config.permutation_compression), 0);
     queue.push(QueueItem {
         f: heuristic(target),
         g: 0,
@@ -175,7 +172,7 @@ mod tests {
     use qsp_state::{generators, BasisIndex, SparseState};
 
     fn search_state(state: &SparseState) -> SearchState {
-        SearchState::from_sparse(state)
+        SearchState::from_state(state)
     }
 
     fn solve(state: &SparseState) -> SearchOutcome {
@@ -184,8 +181,7 @@ mod tests {
 
     #[test]
     fn product_states_need_no_transitions() {
-        let plus =
-            SparseState::uniform_superposition(2, (0..4).map(BasisIndex::new)).unwrap();
+        let plus = SparseState::uniform_superposition(2, (0..4).map(BasisIndex::new)).unwrap();
         let outcome = solve(&plus);
         assert_eq!(outcome.cnot_cost, 0);
         assert!(outcome.reduction_ops.is_empty());

@@ -129,7 +129,7 @@ mod tests {
             indices.iter().map(|&x| BasisIndex::new(x)),
         )
         .unwrap();
-        SearchState::from_sparse(&state)
+        SearchState::from_state(&state)
     }
 
     #[test]

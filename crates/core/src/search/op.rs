@@ -170,7 +170,10 @@ mod tests {
             target: 2,
         };
         assert_eq!(op.to_string(), "cnot(!q0 -> q2)");
-        assert_eq!(TransitionOp::RyMerge { target: 1 }.to_string(), "ry-merge(q1)");
+        assert_eq!(
+            TransitionOp::RyMerge { target: 1 }.to_string(),
+            "ry-merge(q1)"
+        );
         assert_eq!(op.target(), 2);
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use qsp_state::{BasisIndex, SparseState};
+use qsp_state::{BasisIndex, QuantumState};
 
 use super::op::TransitionOp;
 
@@ -33,15 +33,16 @@ pub struct SearchState {
 }
 
 impl SearchState {
-    /// Builds the search state of a sparse target state.
+    /// Builds the search state of a target state (any [`QuantumState`]
+    /// backend).
     ///
     /// # Panics
     ///
     /// Panics if the state has negative amplitudes (the exact solver rejects
     /// those earlier with a proper error).
-    pub fn from_sparse(state: &SparseState) -> Self {
+    pub fn from_state<S: QuantumState>(state: &S) -> Self {
         let mut entries: BTreeMap<BasisIndex, u64> = BTreeMap::new();
-        for (index, amplitude) in state.iter() {
+        for (index, amplitude) in state.amplitudes() {
             assert!(
                 amplitude >= 0.0,
                 "search states require non-negative amplitudes"
@@ -282,6 +283,7 @@ impl SearchState {
 mod tests {
     use super::*;
     use qsp_state::generators;
+    use qsp_state::SparseState;
 
     fn uniform(num_qubits: usize, indices: &[u64]) -> SearchState {
         let state = SparseState::uniform_superposition(
@@ -289,7 +291,7 @@ mod tests {
             indices.iter().map(|&x| BasisIndex::new(x)),
         )
         .unwrap();
-        SearchState::from_sparse(&state)
+        SearchState::from_state(&state)
     }
 
     #[test]
@@ -327,7 +329,10 @@ mod tests {
         };
         let next = ghz.apply(&op).unwrap();
         assert_eq!(
-            next.entries().iter().map(|e| e.0.value()).collect::<Vec<_>>(),
+            next.entries()
+                .iter()
+                .map(|e| e.0.value())
+                .collect::<Vec<_>>(),
             vec![0b00, 0b01]
         );
         assert!(next.is_product());
@@ -353,7 +358,9 @@ mod tests {
         let ghz = uniform(2, &[0b00, 0b11]);
         assert!(ghz.apply(&TransitionOp::RyMerge { target: 0 }).is_none());
         // Constant qubit: nothing to merge (p1 == 0).
-        assert!(separable.apply(&TransitionOp::RyMerge { target: 1 }).is_none());
+        assert!(separable
+            .apply(&TransitionOp::RyMerge { target: 1 })
+            .is_none());
     }
 
     #[test]
@@ -370,7 +377,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let search = SearchState::from_sparse(&state);
+        let search = SearchState::from_state(&state);
         // Controlled on qubit 2 (=1), merge qubit 1: the |110> entry becomes |100>.
         let op = TransitionOp::CryMerge {
             control: 2,
@@ -379,7 +386,10 @@ mod tests {
         };
         let next = search.apply(&op).unwrap();
         assert_eq!(
-            next.entries().iter().map(|e| e.0.value()).collect::<Vec<_>>(),
+            next.entries()
+                .iter()
+                .map(|e| e.0.value())
+                .collect::<Vec<_>>(),
             vec![0b000, 0b100]
         );
 
@@ -401,7 +411,7 @@ mod tests {
 
     #[test]
     fn dicke_state_entanglement() {
-        let dicke = SearchState::from_sparse(&generators::dicke(4, 2).unwrap());
+        let dicke = SearchState::from_state(&generators::dicke(4, 2).unwrap());
         assert_eq!(dicke.cardinality(), 6);
         assert_eq!(dicke.entangled_qubits().len(), 4);
         assert_eq!(dicke.heuristic(), 2);
@@ -410,7 +420,7 @@ mod tests {
 
     #[test]
     fn probability_is_conserved_by_transitions() {
-        let dicke = SearchState::from_sparse(&generators::dicke(3, 1).unwrap());
+        let dicke = SearchState::from_state(&generators::dicke(3, 1).unwrap());
         let total: u64 = dicke.entries().iter().map(|e| e.1).sum();
         let after = dicke
             .apply(&TransitionOp::Cnot {
@@ -425,7 +435,7 @@ mod tests {
 
     #[test]
     fn flips_and_permutations_for_canonicalization() {
-        let w = SearchState::from_sparse(&generators::w_state(3).unwrap());
+        let w = SearchState::from_state(&generators::w_state(3).unwrap());
         let flipped = w.flip_qubit(0);
         assert_ne!(w, flipped);
         assert_eq!(flipped.flip_qubit(0), w);
@@ -441,6 +451,6 @@ mod tests {
             [(BasisIndex::new(0), 0.6), (BasisIndex::new(1), -0.8)],
         )
         .unwrap();
-        let _ = SearchState::from_sparse(&state);
+        let _ = SearchState::from_state(&state);
     }
 }

@@ -12,10 +12,12 @@
 //! * the residual problem is solved exactly, and the final circuit is the
 //!   exact circuit followed by the inverse of the reduction.
 
-use qsp_baselines::{BaselineError, CardinalityReduction, QubitReduction, StatePreparator};
 use qsp_baselines::preparator::PreparationOutcome;
+use qsp_baselines::{
+    BaselineError, CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator,
+};
 use qsp_circuit::Circuit;
-use qsp_state::SparseState;
+use qsp_state::{QuantumState, SparseState};
 
 use crate::error::SynthesisError;
 use crate::exact::ExactSynthesizer;
@@ -25,28 +27,28 @@ use crate::search::config::SearchConfig;
 /// qubit reduction; beyond it the workflow keeps the n-flow tail instead.
 const DENSE_RESIDUAL_NODE_BUDGET: usize = 25_000;
 
+/// Register width up to which the workflow double-checks its result against
+/// every baseline flow and keeps the cheapest circuit. The exact library
+/// (`{Ry, CNOT, CRy}`) can lose to the multiplexor-based flows on *small
+/// dense* states (a 3-qubit dense state costs at most `2^3 − 2 = 6` with the
+/// n-flow, which the exact solver cannot always match), and the workflow's
+/// contract is to never be worse than the better baseline. The baselines are
+/// cheap at these widths; wider targets are already guarded branch-locally.
+const BASELINE_GUARD_QUBITS: usize = 6;
+
 /// Configuration of the preparation workflow.
 ///
 /// The defaults activate exact synthesis for residual problems with at most
 /// 4 active qubits and cardinality at most 16, matching Sec. VI-C of the
 /// paper ("we set fixed thresholds (n ≤ 4 and m ≤ 16) to activate the exact
 /// synthesis in our workflow").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WorkflowConfig {
     /// Search configuration (also provides the activation thresholds).
     pub search: SearchConfig,
     /// Whether to run the peephole optimizer on the final circuit. Off by
     /// default: the paper reports raw flow outputs.
     pub optimize: bool,
-}
-
-impl Default for WorkflowConfig {
-    fn default() -> Self {
-        WorkflowConfig {
-            search: SearchConfig::default(),
-            optimize: false,
-        }
-    }
 }
 
 /// The end-to-end preparation workflow (Fig. 5), usable through the same
@@ -103,13 +105,18 @@ impl QspWorkflow {
             && Self::active_qubits(state) <= self.config.search.max_qubits
     }
 
-    /// Runs the full workflow and returns the circuit.
+    /// Runs the full workflow on any [`QuantumState`] backend and returns
+    /// the circuit. Sparse targets are borrowed zero-copy; dense and adaptive
+    /// targets are converted once at the boundary and then follow the exact
+    /// same code path.
     ///
     /// # Errors
     ///
     /// Returns an error for unsupported states (negative amplitudes) or when
     /// a reduction stage fails.
-    pub fn synthesize(&self, target: &SparseState) -> Result<Circuit, SynthesisError> {
+    pub fn synthesize<S: QuantumState>(&self, state: &S) -> Result<Circuit, SynthesisError> {
+        let sparse = state.as_sparse()?;
+        let target = sparse.as_ref();
         if target.iter().any(|(_, a)| a < 0.0) {
             return Err(SynthesisError::UnsupportedState {
                 reason: "the workflow requires non-negative real amplitudes".to_string(),
@@ -117,16 +124,17 @@ impl QspWorkflow {
         }
         let exact = ExactSynthesizer::with_config(self.config.search);
 
-        let circuit = if self.fits_exact(target) {
+        let mut circuit = if self.fits_exact(target) {
             exact.synthesize(target)?.circuit
         } else if target.is_sparse() {
             // Sparse branch: cardinality reduction until the residual problem
             // fits the exact solver.
             let thresholds = self.config.search;
-            let (reduction, residual) = CardinalityReduction::new().reduce_until(target, |state| {
-                state.cardinality() <= thresholds.max_cardinality
-                    && Self::active_qubits(state) <= thresholds.max_qubits
-            })?;
+            let (reduction, residual) =
+                CardinalityReduction::new().reduce_until(target, |state| {
+                    state.cardinality() <= thresholds.max_cardinality
+                        && Self::active_qubits(state) <= thresholds.max_qubits
+                })?;
             // The exact solver handles the residual; if the plain cardinality
             // reduction happens to finish the residual cheaper (its library
             // contains multi-controlled rotations the exact library does
@@ -176,6 +184,30 @@ impl QspWorkflow {
             circuit
         };
 
+        // The guard is skipped when the circuit already meets the admissible
+        // entanglement lower bound (nothing can beat it), and the n-flow —
+        // the expensive guard, a full 2^n multiplexor chain — is only
+        // synthesized when its closed-form cost of 2^n − 2 would win.
+        let n = target.num_qubits();
+        if n <= BASELINE_GUARD_QUBITS
+            && circuit.cnot_cost() > qsp_state::cofactor::entanglement_lower_bound(target)
+        {
+            let mut guards: Vec<Box<dyn StatePreparator>> = vec![
+                Box::new(CardinalityReduction::new()),
+                Box::new(HybridPreparator::new()),
+            ];
+            if (1usize << n) - 2 < circuit.cnot_cost() {
+                guards.push(Box::new(QubitReduction::new()));
+            }
+            for guard in guards {
+                if let Ok(candidate) = guard.prepare_sparse(target) {
+                    if candidate.cnot_cost() < circuit.cnot_cost() {
+                        circuit = candidate;
+                    }
+                }
+            }
+        }
+
         if self.config.optimize {
             let (optimized, _) = qsp_circuit::optimizer::optimize(&circuit);
             Ok(optimized)
@@ -190,7 +222,7 @@ impl StatePreparator for QspWorkflow {
         "exact-synthesis"
     }
 
-    fn prepare(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
+    fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
         self.synthesize(target).map_err(|e| match e {
             SynthesisError::Baseline(inner) => inner,
             other => BaselineError::UnsupportedState {
@@ -219,7 +251,7 @@ impl StatePreparator for QspWorkflow {
 /// # Ok(())
 /// # }
 /// ```
-pub fn prepare_state(target: &SparseState) -> Result<PreparationOutcome, SynthesisError> {
+pub fn prepare_state<S: QuantumState>(target: &S) -> Result<PreparationOutcome, SynthesisError> {
     let start = std::time::Instant::now();
     let circuit = QspWorkflow::new().synthesize(target)?;
     Ok(PreparationOutcome::new(circuit, start.elapsed()))

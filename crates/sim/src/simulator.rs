@@ -1,7 +1,7 @@
 //! In-place dense state-vector simulation of `{Ry, X, CNOT, MCRy}` circuits.
 
 use qsp_circuit::{Circuit, Control, Gate};
-use qsp_state::{DenseState, SparseState};
+use qsp_state::{DenseState, QuantumState};
 
 use crate::error::SimulatorError;
 
@@ -72,15 +72,16 @@ impl StateVectorSimulator {
         Ok(state)
     }
 
-    /// Runs `circuit` on the ground state of a *sparse* initial state's
-    /// register and compares widths; convenience for verification flows.
+    /// Runs `circuit` on the ground state of a template state's register
+    /// (any backend) after comparing widths; convenience for verification
+    /// flows.
     ///
     /// # Errors
     ///
     /// Same conditions as [`StateVectorSimulator::run`].
-    pub fn run_on_register_of(
+    pub fn run_on_register_of<S: QuantumState>(
         &self,
-        template: &SparseState,
+        template: &S,
         circuit: &Circuit,
     ) -> Result<DenseState, SimulatorError> {
         if circuit.num_qubits() != template.num_qubits() {
@@ -178,7 +179,7 @@ fn apply_controlled_ry(state: &mut DenseState, controls: &[Control], target: usi
 mod tests {
     use super::*;
     use qsp_circuit::apply::prepare_from_ground;
-    use qsp_state::BasisIndex;
+    use qsp_state::{BasisIndex, SparseState};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -207,8 +208,12 @@ mod tests {
         let mut circuit = Circuit::new(1);
         circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
         let state = simulator().run(&circuit).unwrap();
-        assert!((state.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
-        assert!((state.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(
+            (state.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
+        assert!(
+            (state.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -281,7 +286,9 @@ mod tests {
         ));
         let template = SparseState::ground_state(3).unwrap();
         let mismatched = Circuit::new(2);
-        assert!(simulator().run_on_register_of(&template, &mismatched).is_err());
+        assert!(simulator()
+            .run_on_register_of(&template, &mismatched)
+            .is_err());
         let matched = Circuit::new(3);
         assert!(simulator().run_on_register_of(&template, &matched).is_ok());
     }

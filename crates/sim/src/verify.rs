@@ -1,11 +1,12 @@
-//! Verification of preparation circuits against target states.
+//! Verification of preparation circuits against target states (any
+//! [`QuantumState`] backend).
 //!
 //! This is the Rust stand-in for the Qiskit-based verification step of the
 //! paper's workflow (Fig. 5, "verify the correctness of the circuits
 //! returned by the QSP solver").
 
 use qsp_circuit::Circuit;
-use qsp_state::{DenseState, SparseState};
+use qsp_state::QuantumState;
 
 use crate::error::SimulatorError;
 use crate::simulator::StateVectorSimulator;
@@ -63,9 +64,9 @@ impl VerificationReport {
 /// # Ok(())
 /// # }
 /// ```
-pub fn verify_preparation(
+pub fn verify_preparation<S: QuantumState>(
     circuit: &Circuit,
-    target: &SparseState,
+    target: &S,
 ) -> Result<VerificationReport, SimulatorError> {
     verify_preparation_with_threshold(circuit, target, DEFAULT_FIDELITY_THRESHOLD)
 }
@@ -75,9 +76,9 @@ pub fn verify_preparation(
 /// # Errors
 ///
 /// Same conditions as [`verify_preparation`].
-pub fn verify_preparation_with_threshold(
+pub fn verify_preparation_with_threshold<S: QuantumState>(
     circuit: &Circuit,
-    target: &SparseState,
+    target: &S,
     threshold: f64,
 ) -> Result<VerificationReport, SimulatorError> {
     if circuit.num_qubits() != target.num_qubits() {
@@ -87,8 +88,13 @@ pub fn verify_preparation_with_threshold(
         });
     }
     let prepared = StateVectorSimulator::new().run(circuit)?;
-    let target_dense = DenseState::from_sparse(target);
-    let fidelity = prepared.fidelity(&target_dense);
+    let target_dense = target
+        .as_dense()
+        .map_err(|_| SimulatorError::RegisterTooWide {
+            requested: target.num_qubits(),
+            max: qsp_state::DenseState::MAX_QUBITS,
+        })?;
+    let fidelity = prepared.fidelity(target_dense.as_ref());
     Ok(VerificationReport {
         fidelity,
         cnot_cost: circuit.cnot_cost(),
@@ -101,7 +107,7 @@ pub fn verify_preparation_with_threshold(
 mod tests {
     use super::*;
     use qsp_circuit::Gate;
-    use qsp_state::BasisIndex;
+    use qsp_state::{BasisIndex, SparseState};
 
     fn bell_target() -> SparseState {
         SparseState::uniform_superposition(2, [BasisIndex::new(0), BasisIndex::new(3)]).unwrap()
@@ -132,11 +138,8 @@ mod tests {
     fn global_sign_does_not_affect_acceptance() {
         // The circuit prepares (|00⟩+|11⟩)/√2; the target carries a global
         // minus sign. Fidelity |⟨target|prepared⟩|² is sign-invariant.
-        let negated_target = SparseState::from_amplitudes(
-            2,
-            bell_target().iter().map(|(i, a)| (i, -a)),
-        )
-        .unwrap();
+        let negated_target =
+            SparseState::from_amplitudes(2, bell_target().iter().map(|(i, a)| (i, -a))).unwrap();
         let mut circuit = Circuit::new(2);
         circuit.push(Gate::ry(0, -std::f64::consts::FRAC_PI_2));
         circuit.push(Gate::cnot(0, 1));

@@ -1,0 +1,333 @@
+//! An adaptive state backend that switches between sparse and dense storage
+//! automatically.
+//!
+//! [`AdaptiveState`] holds either a [`SparseState`] or a [`DenseState`] and
+//! picks the representation from the state's **density** (occupied fraction
+//! of the `2^n` basis states): above [`AdaptiveState::DENSITY_THRESHOLD`] the
+//! dense vector wins (O(1) amplitude lookup, cache-friendly iteration),
+//! below it the sparse map wins (`n × m` memory as in Sec. VI-D of the
+//! paper). Promotion and demotion move the underlying storage — no amplitude
+//! is copied unless the representation actually changes.
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::backend::{AmplitudeIter, QuantumState};
+use crate::basis::BasisIndex;
+use crate::dense::DenseState;
+use crate::error::StateError;
+use crate::sparse::SparseState;
+use crate::DEFAULT_TOLERANCE;
+
+/// Which concrete representation an [`AdaptiveState`] currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateRepr {
+    /// Backed by a [`SparseState`] (index-set map).
+    Sparse,
+    /// Backed by a [`DenseState`] (full `2^n` vector).
+    Dense,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    Sparse(SparseState),
+    Dense(DenseState),
+}
+
+/// A quantum state that automatically chooses between sparse and dense
+/// storage by density threshold.
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::{AdaptiveState, BasisIndex, QuantumState, SparseState, StateRepr};
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// // 2 of 8 basis states occupied: density 0.25 stays sparse.
+/// let ghz = SparseState::uniform_superposition(
+///     3,
+///     [BasisIndex::new(0), BasisIndex::new(7)],
+/// )?;
+/// let adaptive = AdaptiveState::from_sparse(ghz);
+/// assert_eq!(adaptive.repr(), StateRepr::Sparse);
+///
+/// // All 8 basis states occupied: density 1.0 promotes to dense.
+/// let full = SparseState::uniform_superposition(3, (0..8).map(BasisIndex::new))?;
+/// let adaptive = AdaptiveState::from_sparse(full);
+/// assert_eq!(adaptive.repr(), StateRepr::Dense);
+/// assert_eq!(adaptive.cardinality(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveState {
+    repr: Repr,
+}
+
+impl AdaptiveState {
+    /// Density at or above which the dense representation is preferred.
+    ///
+    /// At density `d` the sparse map stores roughly `2·d·2^n` words (index +
+    /// amplitude, ignoring node overhead) against the dense vector's flat
+    /// `2^n`, so the break-even sits at `d = 0.5`; the threshold is kept
+    /// slightly below to account for the sparse map's per-node overhead.
+    pub const DENSITY_THRESHOLD: f64 = 0.4;
+
+    /// Wraps a sparse state, promoting to dense storage when the density
+    /// threshold says so (and the register fits a dense vector).
+    pub fn from_sparse(state: SparseState) -> Self {
+        AdaptiveState {
+            repr: Repr::Sparse(state),
+        }
+        .rebalance()
+    }
+
+    /// Wraps a dense state, demoting to sparse storage when the density
+    /// threshold says so.
+    pub fn from_dense(state: DenseState) -> Self {
+        AdaptiveState {
+            repr: Repr::Dense(state),
+        }
+        .rebalance()
+    }
+
+    /// The ground state `|0…0⟩`, stored in the threshold-preferred
+    /// representation (sparse for every register wider than one qubit).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SparseState::ground_state`].
+    pub fn ground_state(num_qubits: usize) -> Result<Self, StateError> {
+        Ok(AdaptiveState::from_sparse(SparseState::ground_state(
+            num_qubits,
+        )?))
+    }
+
+    /// The representation currently backing the state.
+    pub fn repr(&self) -> StateRepr {
+        match self.repr {
+            Repr::Sparse(_) => StateRepr::Sparse,
+            Repr::Dense(_) => StateRepr::Dense,
+        }
+    }
+
+    /// Whether the density threshold prefers dense storage for this state.
+    fn wants_dense(&self) -> bool {
+        self.num_qubits() <= DenseState::MAX_QUBITS && self.density() >= Self::DENSITY_THRESHOLD
+    }
+
+    /// Re-applies the density threshold, converting the underlying storage if
+    /// (and only if) the preferred representation changed. Conversions move
+    /// the existing buffer out; nothing is copied when the representation is
+    /// already the preferred one.
+    pub fn rebalance(self) -> Self {
+        let wants_dense = self.wants_dense();
+        match (self.repr, wants_dense) {
+            (Repr::Sparse(s), true) => AdaptiveState {
+                repr: Repr::Dense(DenseState::from_sparse(&s)),
+            },
+            (Repr::Dense(d), false) => match d.to_sparse(DEFAULT_TOLERANCE) {
+                Ok(s) => AdaptiveState {
+                    repr: Repr::Sparse(s),
+                },
+                // A numerically zero vector has no sparse form; keep it dense.
+                Err(_) => AdaptiveState {
+                    repr: Repr::Dense(d),
+                },
+            },
+            (repr, _) => AdaptiveState { repr },
+        }
+    }
+
+    /// Forces dense storage regardless of the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::TooManyQubits`] when the register does not fit a
+    /// dense vector.
+    pub fn promote(self) -> Result<Self, StateError> {
+        match self.repr {
+            Repr::Dense(d) => Ok(AdaptiveState {
+                repr: Repr::Dense(d),
+            }),
+            Repr::Sparse(s) => {
+                if s.num_qubits() > DenseState::MAX_QUBITS {
+                    return Err(StateError::TooManyQubits {
+                        requested: s.num_qubits(),
+                        max: DenseState::MAX_QUBITS,
+                    });
+                }
+                Ok(AdaptiveState {
+                    repr: Repr::Dense(DenseState::from_sparse(&s)),
+                })
+            }
+        }
+    }
+
+    /// Forces sparse storage regardless of the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::EmptyState`] for a numerically zero dense vector.
+    pub fn demote(self) -> Result<Self, StateError> {
+        match self.repr {
+            Repr::Sparse(s) => Ok(AdaptiveState {
+                repr: Repr::Sparse(s),
+            }),
+            Repr::Dense(d) => Ok(AdaptiveState {
+                repr: Repr::Sparse(d.to_sparse(DEFAULT_TOLERANCE)?),
+            }),
+        }
+    }
+}
+
+impl QuantumState for AdaptiveState {
+    fn num_qubits(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(s) => s.num_qubits(),
+            Repr::Dense(d) => d.num_qubits(),
+        }
+    }
+
+    fn cardinality(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(s) => s.cardinality(),
+            Repr::Dense(d) => d.cardinality(),
+        }
+    }
+
+    fn amplitude(&self, index: BasisIndex) -> f64 {
+        match &self.repr {
+            Repr::Sparse(s) => s.amplitude(index),
+            Repr::Dense(d) => d.amplitude(index),
+        }
+    }
+
+    fn amplitudes(&self) -> AmplitudeIter<'_> {
+        match &self.repr {
+            Repr::Sparse(s) => QuantumState::amplitudes(s),
+            Repr::Dense(d) => QuantumState::amplitudes(d),
+        }
+    }
+
+    fn as_sparse(&self) -> Result<Cow<'_, SparseState>, StateError> {
+        match &self.repr {
+            Repr::Sparse(s) => Ok(Cow::Borrowed(s)),
+            Repr::Dense(d) => d.as_sparse(),
+        }
+    }
+
+    fn as_dense(&self) -> Result<Cow<'_, DenseState>, StateError> {
+        match &self.repr {
+            Repr::Sparse(s) => s.as_dense(),
+            Repr::Dense(d) => Ok(Cow::Borrowed(d)),
+        }
+    }
+
+    fn norm_squared(&self) -> f64 {
+        match &self.repr {
+            Repr::Sparse(s) => s.norm_squared(),
+            Repr::Dense(d) => d.norm_squared(),
+        }
+    }
+}
+
+impl fmt::Display for AdaptiveState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.repr {
+            Repr::Sparse(s) => write!(f, "{s}"),
+            Repr::Dense(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<SparseState> for AdaptiveState {
+    fn from(state: SparseState) -> Self {
+        AdaptiveState::from_sparse(state)
+    }
+}
+
+impl From<DenseState> for AdaptiveState {
+    fn from(state: DenseState) -> Self {
+        AdaptiveState::from_dense(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, indices: impl IntoIterator<Item = u64>) -> SparseState {
+        SparseState::uniform_superposition(n, indices.into_iter().map(BasisIndex::new)).unwrap()
+    }
+
+    #[test]
+    fn threshold_picks_the_representation() {
+        // density 0.25 < threshold: sparse.
+        let low = AdaptiveState::from_sparse(uniform(3, [0, 7]));
+        assert_eq!(low.repr(), StateRepr::Sparse);
+        // density 0.75 >= threshold: dense.
+        let high = AdaptiveState::from_sparse(uniform(3, 0..6));
+        assert_eq!(high.repr(), StateRepr::Dense);
+        // The same state arriving densely is demoted when it is sparse enough.
+        let demoted = AdaptiveState::from_dense(DenseState::from_sparse(&uniform(3, [0, 7])));
+        assert_eq!(demoted.repr(), StateRepr::Sparse);
+    }
+
+    #[test]
+    fn wide_registers_never_promote() {
+        let wide = uniform(40, [0, 1]);
+        let adaptive = AdaptiveState::from_sparse(wide);
+        assert_eq!(adaptive.repr(), StateRepr::Sparse);
+        assert!(adaptive.clone().promote().is_err());
+        assert_eq!(adaptive.num_qubits(), 40);
+    }
+
+    #[test]
+    fn promotion_round_trip_preserves_amplitudes() {
+        let original = uniform(4, [1, 6, 9, 14]);
+        let adaptive = AdaptiveState::from_sparse(original.clone());
+        let promoted = adaptive.promote().unwrap();
+        assert_eq!(promoted.repr(), StateRepr::Dense);
+        let demoted = promoted.demote().unwrap();
+        assert_eq!(demoted.repr(), StateRepr::Sparse);
+        assert!(demoted.as_sparse().unwrap().approx_eq(&original, 1e-12));
+    }
+
+    #[test]
+    fn trait_views_agree_with_the_backing_storage() {
+        for state in [
+            AdaptiveState::from_sparse(uniform(3, [0, 7])),
+            AdaptiveState::from_sparse(uniform(3, 0..8)),
+        ] {
+            assert_eq!(state.num_qubits(), 3);
+            assert!(state.is_normalized(1e-9));
+            let via_iter: f64 = state.amplitudes().map(|(_, a)| a * a).sum();
+            assert!((via_iter - 1.0).abs() < 1e-9);
+            let sparse = state.as_sparse().unwrap().into_owned();
+            let dense = state.as_dense().unwrap().into_owned();
+            assert!(dense.to_sparse(1e-12).unwrap().approx_eq(&sparse, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rebalance_is_idempotent() {
+        let state = AdaptiveState::from_sparse(uniform(4, 0..10));
+        let repr = state.repr();
+        let rebalanced = state.clone().rebalance();
+        assert_eq!(rebalanced.repr(), repr);
+        assert_eq!(rebalanced, state);
+    }
+
+    #[test]
+    fn ground_state_and_conversions() {
+        let g = AdaptiveState::ground_state(3).unwrap();
+        assert_eq!(g.repr(), StateRepr::Sparse);
+        assert_eq!(g.cardinality(), 1);
+        let from: AdaptiveState = uniform(2, [0, 3]).into();
+        assert_eq!(from.num_qubits(), 2);
+        let from_dense: AdaptiveState = DenseState::ground_state(2).unwrap().into();
+        assert_eq!(from_dense.cardinality(), 1);
+        assert_eq!(from_dense.to_string(), "1.0000|00⟩");
+    }
+}

@@ -1,0 +1,288 @@
+//! The [`QuantumState`] backend trait: one interface over every state
+//! representation.
+//!
+//! The synthesis stack (cofactor analysis, canonicalization, the exact A*
+//! solver, the scalable workflow, the batch engine, verification) is written
+//! against this trait rather than against a concrete representation, so
+//! [`SparseState`], [`DenseState`] and the auto-switching
+//! [`AdaptiveState`](crate::adaptive::AdaptiveState) all flow through the
+//! same code paths.
+//!
+//! Two conversion hooks make this cheap:
+//!
+//! * [`QuantumState::as_sparse`] / [`QuantumState::as_dense`] return
+//!   [`Cow`]s — a backend that *is already* the requested representation
+//!   hands out a zero-copy borrow, everything else materializes once.
+//! * [`QuantumState::canonical_form`] exposes the Sec. V-B equivalence-class
+//!   key used for state compression and batch deduplication.
+
+use std::borrow::Cow;
+
+use crate::basis::BasisIndex;
+use crate::canonical::{CanonicalForm, CanonicalOptions};
+use crate::dense::DenseState;
+use crate::error::StateError;
+use crate::sparse::SparseState;
+use crate::DEFAULT_TOLERANCE;
+
+/// A boxed iterator over the nonzero `(basis index, amplitude)` entries of a
+/// state, in ascending index order.
+pub type AmplitudeIter<'a> = Box<dyn Iterator<Item = (BasisIndex, f64)> + 'a>;
+
+/// The common interface of every quantum-state backend.
+///
+/// Implementations must iterate amplitudes in **ascending basis-index order**
+/// and must only yield entries whose magnitude exceeds the representation's
+/// tolerance, so that all backends agree on `cardinality` and on derived
+/// analyses (cofactors, canonical forms, search-state encodings).
+///
+/// # Example
+///
+/// ```
+/// use qsp_state::{BasisIndex, DenseState, QuantumState, SparseState};
+///
+/// fn support_size<S: QuantumState>(state: &S) -> usize {
+///     state.amplitudes().count()
+/// }
+///
+/// # fn main() -> Result<(), qsp_state::StateError> {
+/// let sparse = SparseState::uniform_superposition(
+///     2,
+///     [BasisIndex::new(0), BasisIndex::new(3)],
+/// )?;
+/// let dense = DenseState::from_sparse(&sparse);
+/// assert_eq!(support_size(&sparse), 2);
+/// assert_eq!(support_size(&dense), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub trait QuantumState: Clone + std::fmt::Debug {
+    /// Number of qubits of the register.
+    fn num_qubits(&self) -> usize;
+
+    /// Cardinality `|S(ψ)|`: the number of basis states with nonzero
+    /// amplitude.
+    fn cardinality(&self) -> usize;
+
+    /// The amplitude of one basis index (zero if absent).
+    fn amplitude(&self, index: BasisIndex) -> f64;
+
+    /// Iterates over the nonzero `(basis index, amplitude)` entries in
+    /// ascending index order.
+    fn amplitudes(&self) -> AmplitudeIter<'_>;
+
+    /// A borrowed or converted sparse view of the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state cannot be expressed sparsely (e.g. a
+    /// numerically zero dense vector).
+    fn as_sparse(&self) -> Result<Cow<'_, SparseState>, StateError>;
+
+    /// A borrowed or converted dense view of the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the register is too wide for a dense vector
+    /// ([`DenseState::MAX_QUBITS`]).
+    fn as_dense(&self) -> Result<Cow<'_, DenseState>, StateError>;
+
+    /// Sum of squared amplitudes.
+    fn norm_squared(&self) -> f64 {
+        self.amplitudes().map(|(_, a)| a * a).sum()
+    }
+
+    /// Whether the state is normalized within `tolerance`.
+    fn is_normalized(&self, tolerance: f64) -> bool {
+        (self.norm_squared() - 1.0).abs() <= tolerance
+    }
+
+    /// Fraction of the `2^n` basis states carrying nonzero amplitude, in
+    /// `[0, 1]`. This is the quantity the adaptive backend thresholds on.
+    fn density(&self) -> f64 {
+        let n = self.num_qubits();
+        if n >= 64 {
+            return 0.0;
+        }
+        self.cardinality() as f64 / (1u64 << n) as f64
+    }
+
+    /// Whether the state is *sparse* in the sense of the paper's workflow
+    /// (Fig. 5): `n·m < 2^n`.
+    fn is_sparse(&self) -> bool {
+        let n = self.num_qubits();
+        let m = self.cardinality();
+        if n >= 63 {
+            return true;
+        }
+        ((n * m) as u128) < (1u128 << n)
+    }
+
+    /// The canonical equivalence-class key of the state's support under
+    /// zero-cost operations (Sec. V-B) — the hook the batch engine and the
+    /// search-layer compression build on.
+    fn canonical_form(&self, options: CanonicalOptions) -> CanonicalForm {
+        CanonicalForm::of_state(self, options)
+    }
+
+    /// Materializes the state as an owned [`SparseState`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantumState::as_sparse`].
+    fn to_sparse_state(&self) -> Result<SparseState, StateError> {
+        Ok(self.as_sparse()?.into_owned())
+    }
+
+    /// Materializes the state as an owned [`DenseState`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantumState::as_dense`].
+    fn to_dense_state(&self) -> Result<DenseState, StateError> {
+        Ok(self.as_dense()?.into_owned())
+    }
+}
+
+impl QuantumState for SparseState {
+    fn num_qubits(&self) -> usize {
+        SparseState::num_qubits(self)
+    }
+
+    fn cardinality(&self) -> usize {
+        SparseState::cardinality(self)
+    }
+
+    fn amplitude(&self, index: BasisIndex) -> f64 {
+        SparseState::amplitude(self, index)
+    }
+
+    fn amplitudes(&self) -> AmplitudeIter<'_> {
+        Box::new(self.iter())
+    }
+
+    fn as_sparse(&self) -> Result<Cow<'_, SparseState>, StateError> {
+        Ok(Cow::Borrowed(self))
+    }
+
+    fn as_dense(&self) -> Result<Cow<'_, DenseState>, StateError> {
+        if SparseState::num_qubits(self) > DenseState::MAX_QUBITS {
+            return Err(StateError::TooManyQubits {
+                requested: SparseState::num_qubits(self),
+                max: DenseState::MAX_QUBITS,
+            });
+        }
+        Ok(Cow::Owned(DenseState::from_sparse(self)))
+    }
+
+    fn norm_squared(&self) -> f64 {
+        SparseState::norm_squared(self)
+    }
+
+    fn is_sparse(&self) -> bool {
+        SparseState::is_sparse(self)
+    }
+}
+
+impl QuantumState for DenseState {
+    fn num_qubits(&self) -> usize {
+        DenseState::num_qubits(self)
+    }
+
+    fn cardinality(&self) -> usize {
+        DenseState::cardinality(self)
+    }
+
+    fn amplitude(&self, index: BasisIndex) -> f64 {
+        DenseState::amplitude(self, index)
+    }
+
+    fn amplitudes(&self) -> AmplitudeIter<'_> {
+        Box::new(
+            self.as_slice()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.abs() > DEFAULT_TOLERANCE)
+                .map(|(i, &a)| (BasisIndex::new(i as u64), a)),
+        )
+    }
+
+    fn as_sparse(&self) -> Result<Cow<'_, SparseState>, StateError> {
+        Ok(Cow::Owned(self.to_sparse(DEFAULT_TOLERANCE)?))
+    }
+
+    fn as_dense(&self) -> Result<Cow<'_, DenseState>, StateError> {
+        Ok(Cow::Borrowed(self))
+    }
+
+    fn norm_squared(&self) -> f64 {
+        DenseState::norm_squared(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> SparseState {
+        SparseState::uniform_superposition(2, [BasisIndex::new(0), BasisIndex::new(3)]).unwrap()
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_through_the_trait() {
+        let sparse = bell();
+        let dense = DenseState::from_sparse(&sparse);
+        assert_eq!(
+            QuantumState::num_qubits(&sparse),
+            QuantumState::num_qubits(&dense)
+        );
+        assert_eq!(
+            QuantumState::cardinality(&sparse),
+            QuantumState::cardinality(&dense)
+        );
+        let a: Vec<_> = sparse.amplitudes().collect();
+        let b: Vec<_> = dense.amplitudes().collect();
+        assert_eq!(a, b);
+        assert!(QuantumState::is_normalized(&sparse, 1e-9));
+        assert!(QuantumState::is_normalized(&dense, 1e-9));
+        assert!((QuantumState::density(&sparse) - 0.5).abs() < 1e-12);
+        assert!((QuantumState::density(&dense) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_hooks_borrow_when_possible() {
+        let sparse = bell();
+        assert!(matches!(sparse.as_sparse().unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(sparse.as_dense().unwrap(), Cow::Owned(_)));
+        let dense = DenseState::from_sparse(&sparse);
+        assert!(matches!(dense.as_dense().unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(dense.as_sparse().unwrap(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn round_trips_preserve_the_state() {
+        let sparse = bell();
+        let back = sparse.as_dense().unwrap().as_sparse().unwrap().into_owned();
+        assert!(back.approx_eq(&sparse, 1e-12));
+    }
+
+    #[test]
+    fn canonical_form_is_representation_independent() {
+        let sparse = bell();
+        let dense = DenseState::from_sparse(&sparse);
+        let options = CanonicalOptions::layout_invariant();
+        assert_eq!(
+            sparse.canonical_form(options),
+            dense.canonical_form(options)
+        );
+    }
+
+    #[test]
+    fn wide_sparse_states_refuse_dense_conversion() {
+        let wide =
+            SparseState::uniform_superposition(40, [BasisIndex::ZERO, BasisIndex::new(1u64 << 39)])
+                .unwrap();
+        assert!(wide.as_dense().is_err());
+        assert!(wide.as_sparse().is_ok());
+    }
+}

@@ -19,8 +19,8 @@
 
 use std::collections::BTreeSet;
 
+use crate::backend::QuantumState;
 use crate::basis::BasisIndex;
-use crate::sparse::SparseState;
 
 /// Which equivalence relations to apply during canonicalization.
 ///
@@ -113,7 +113,10 @@ impl CanonicalForm {
         num_qubits: usize,
         options: CanonicalOptions,
     ) -> Self {
-        assert!(!indices.is_empty(), "cannot canonicalize an empty index set");
+        assert!(
+            !indices.is_empty(),
+            "cannot canonicalize an empty index set"
+        );
         let limit = if num_qubits >= 64 {
             u64::MAX
         } else {
@@ -146,11 +149,11 @@ impl CanonicalForm {
         }
     }
 
-    /// Canonicalizes the support of a sparse state (amplitudes are ignored;
-    /// this is the uniform-state equivalence of Table III). Use the search
-    /// layer of `qsp-core` for amplitude-aware compression.
-    pub fn of_state(state: &SparseState, options: CanonicalOptions) -> Self {
-        let set: BTreeSet<BasisIndex> = state.support().into_iter().collect();
+    /// Canonicalizes the support of any state backend (amplitudes are
+    /// ignored; this is the uniform-state equivalence of Table III). Use the
+    /// search layer of `qsp-core` for amplitude-aware compression.
+    pub fn of_state<S: QuantumState>(state: &S, options: CanonicalOptions) -> Self {
+        let set: BTreeSet<BasisIndex> = state.amplitudes().map(|(i, _)| i).collect();
         Self::of_index_set(&set, state.num_qubits(), options)
     }
 
@@ -192,8 +195,8 @@ fn clear_separable_qubits(
     let mut active: Vec<bool> = vec![true; num_qubits];
     loop {
         let mut changed = false;
-        for qubit in 0..num_qubits {
-            if !active[qubit] {
+        for (qubit, slot) in active.iter_mut().enumerate() {
+            if !*slot {
                 continue;
             }
             let negative: BTreeSet<BasisIndex> = set
@@ -209,7 +212,7 @@ fn clear_separable_qubits(
             let separable = negative.is_empty() || positive.is_empty() || negative == positive;
             if separable {
                 set = set.iter().map(|i| i.with_bit(qubit, false)).collect();
-                active[qubit] = false;
+                *slot = false;
                 changed = true;
             }
         }
@@ -279,8 +282,7 @@ fn minimize_over_permutations(
         };
     }
     let mut best: Option<Vec<BasisIndex>> = None;
-    let mut perm: Vec<usize> = (0..num_qubits).collect();
-    permute_recursive(&mut perm, 0, &mut |p| {
+    for_each_permutation(num_qubits, &mut |p| {
         let permuted: BTreeSet<BasisIndex> = indices.iter().map(|i| i.permute(p)).collect();
         let candidate = if x_flips {
             minimize_over_flips(&permuted, num_qubits)
@@ -309,16 +311,23 @@ fn weight_sorted_permutation(indices: &BTreeSet<BasisIndex>, num_qubits: usize) 
     keys.into_iter().map(|(_, _, q)| q).collect()
 }
 
-fn permute_recursive<F: FnMut(&[usize])>(perm: &mut Vec<usize>, start: usize, visit: &mut F) {
-    if start == perm.len() {
-        visit(perm);
-        return;
+/// Visits every permutation of `0..n` exactly once (recursive swap
+/// enumeration). Shared by the canonicalization here and the batch engine's
+/// canonical-key search in `qsp-core`.
+pub fn for_each_permutation<F: FnMut(&[usize])>(n: usize, visit: &mut F) {
+    fn rec<F: FnMut(&[usize])>(perm: &mut Vec<usize>, start: usize, visit: &mut F) {
+        if start == perm.len() {
+            visit(perm);
+            return;
+        }
+        for i in start..perm.len() {
+            perm.swap(start, i);
+            rec(perm, start + 1, visit);
+            perm.swap(start, i);
+        }
     }
-    for i in start..perm.len() {
-        perm.swap(start, i);
-        permute_recursive(perm, start + 1, visit);
-        perm.swap(start, i);
-    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    rec(&mut perm, 0, visit);
 }
 
 /// Counts equivalence classes among all cardinality-`m` uniform states of an
@@ -328,8 +337,15 @@ fn permute_recursive<F: FnMut(&[usize])>(perm: &mut Vec<usize>, start: usize, vi
 /// Returns the number of classes whose canonical representative still has
 /// cardinality `m` — classes that reduce to a smaller cardinality are counted
 /// in that smaller row instead, exactly once.
-pub fn count_canonical_states(num_qubits: usize, cardinality: usize, options: CanonicalOptions) -> usize {
-    assert!(num_qubits <= 5, "exhaustive enumeration limited to 5 qubits");
+pub fn count_canonical_states(
+    num_qubits: usize,
+    cardinality: usize,
+    options: CanonicalOptions,
+) -> usize {
+    assert!(
+        num_qubits <= 5,
+        "exhaustive enumeration limited to 5 qubits"
+    );
     let total = 1usize << num_qubits;
     assert!(cardinality >= 1 && cardinality <= total);
     let mut classes: BTreeSet<CanonicalForm> = BTreeSet::new();
@@ -365,6 +381,7 @@ fn enumerate_subsets<F: FnMut(&[usize])>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sparse::SparseState;
 
     fn set(values: &[u64]) -> BTreeSet<BasisIndex> {
         values.iter().map(|&v| BasisIndex::new(v)).collect()
@@ -373,8 +390,16 @@ mod tests {
     #[test]
     fn x_flips_translate_the_support() {
         // {|100⟩+|010⟩} and {|000⟩+|110⟩} are equivalent via an X flip (paper example ψ1).
-        let a = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
-        let b = CanonicalForm::of_index_set(&set(&[0b000, 0b011]), 3, CanonicalOptions::layout_variant());
+        let a = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b010]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
+        let b = CanonicalForm::of_index_set(
+            &set(&[0b000, 0b011]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
         assert_eq!(a, b);
     }
 
@@ -382,7 +407,11 @@ mod tests {
     fn separable_qubit_removal_matches_paper_example_psi2() {
         // φ = (|100⟩+|010⟩)/√2 is equivalent to ψ2 = (|000⟩+|001⟩+|110⟩+|111⟩)/2
         // because an Ry(π/2) on the last qubit maps one to the other.
-        let phi = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
+        let phi = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b010]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
         let psi2 = CanonicalForm::of_index_set(
             &set(&[0b000, 0b100, 0b011, 0b111]),
             3,
@@ -395,13 +424,29 @@ mod tests {
     #[test]
     fn permutation_equivalence_matches_paper_example_psi3() {
         // φ = (|100⟩+|010⟩)/√2 equivalent to ψ3 = (|100⟩+|001⟩)/√2 by swapping qubits.
-        let phi = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_invariant());
-        let psi3 = CanonicalForm::of_index_set(&set(&[0b001, 0b100]), 3, CanonicalOptions::layout_invariant());
+        let phi = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b010]),
+            3,
+            CanonicalOptions::layout_invariant(),
+        );
+        let psi3 = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b100]),
+            3,
+            CanonicalOptions::layout_invariant(),
+        );
         assert_eq!(phi, psi3);
         // Without permutations they differ only if the flip canonicalization
         // cannot align them; here a relabelling is genuinely required.
-        let phi_lv = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
-        let psi3_lv = CanonicalForm::of_index_set(&set(&[0b001, 0b100]), 3, CanonicalOptions::layout_variant());
+        let phi_lv = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b010]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
+        let psi3_lv = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b100]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
         assert_ne!(phi_lv, psi3_lv);
     }
 
@@ -428,26 +473,46 @@ mod tests {
     fn table3_small_cardinalities_match_paper() {
         // Table III, rows m = 1 and m = 2 (4-qubit register):
         //   |V_G/U(2)| = 1, 11    |V_G/PU(2)| = 1, 3
-        assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_variant()), 1);
-        assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_invariant()), 1);
-        assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_variant()), 11);
-        assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_invariant()), 3);
+        assert_eq!(
+            count_canonical_states(4, 1, CanonicalOptions::layout_variant()),
+            1
+        );
+        assert_eq!(
+            count_canonical_states(4, 1, CanonicalOptions::layout_invariant()),
+            1
+        );
+        assert_eq!(
+            count_canonical_states(4, 2, CanonicalOptions::layout_variant()),
+            11
+        );
+        assert_eq!(
+            count_canonical_states(4, 2, CanonicalOptions::layout_invariant()),
+            3
+        );
     }
 
     #[test]
     fn canonicalization_without_options_is_identity() {
         let s = set(&[0b01, 0b10]);
         let form = CanonicalForm::of_index_set(&s, 2, CanonicalOptions::none());
-        assert_eq!(form.indices(), &[BasisIndex::new(0b01), BasisIndex::new(0b10)]);
+        assert_eq!(
+            form.indices(),
+            &[BasisIndex::new(0b01), BasisIndex::new(0b10)]
+        );
         assert_eq!(form.core_qubits(), 2);
     }
 
     #[test]
     fn of_state_uses_the_support() {
-        let state = SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b010)])
-            .unwrap();
+        let state =
+            SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b010)])
+                .unwrap();
         let via_state = CanonicalForm::of_state(&state, CanonicalOptions::layout_variant());
-        let via_set = CanonicalForm::of_index_set(&set(&[0b001, 0b010]), 3, CanonicalOptions::layout_variant());
+        let via_set = CanonicalForm::of_index_set(
+            &set(&[0b001, 0b010]),
+            3,
+            CanonicalOptions::layout_variant(),
+        );
         assert_eq!(via_state, via_set);
     }
 

@@ -7,12 +7,15 @@
 //! separable; a qubit whose cofactor index sets differ is certainly entangled
 //! with the rest of the register, and disentangling it requires at least one
 //! two-qubit interaction.
+//!
+//! Every function here is generic over [`QuantumState`], so sparse, dense
+//! and adaptive backends share one implementation of the analysis.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
+use crate::backend::QuantumState;
 use crate::basis::BasisIndex;
-use crate::sparse::SparseState;
 use crate::DEFAULT_TOLERANCE;
 
 /// The two cofactors of a state with respect to one qubit.
@@ -51,7 +54,7 @@ impl Cofactors {
     /// # Panics
     ///
     /// Panics if `qubit` is outside the register.
-    pub fn of(state: &SparseState, qubit: usize) -> Self {
+    pub fn of<S: QuantumState>(state: &S, qubit: usize) -> Self {
         assert!(
             qubit < state.num_qubits(),
             "qubit {qubit} out of range for {}-qubit state",
@@ -59,7 +62,7 @@ impl Cofactors {
         );
         let mut negative = BTreeMap::new();
         let mut positive = BTreeMap::new();
-        for (index, amp) in state.iter() {
+        for (index, amp) in state.amplitudes() {
             let reduced = index.remove_qubit(qubit);
             if index.bit(qubit) {
                 *positive.entry(reduced).or_insert(0.0) += amp;
@@ -160,7 +163,7 @@ impl Cofactors {
 /// # Ok(())
 /// # }
 /// ```
-pub fn is_qubit_separable(state: &SparseState, qubit: usize, tolerance: f64) -> bool {
+pub fn is_qubit_separable<S: QuantumState>(state: &S, qubit: usize, tolerance: f64) -> bool {
     Cofactors::of(state, qubit).separation(tolerance).is_some()
 }
 
@@ -169,7 +172,7 @@ pub fn is_qubit_separable(state: &SparseState, qubit: usize, tolerance: f64) -> 
 /// sets differ and neither is empty.
 ///
 /// This is the quantity `E` feeding the admissible A* heuristic `⌈E/2⌉`.
-pub fn entangled_qubits(state: &SparseState) -> Vec<usize> {
+pub fn entangled_qubits<S: QuantumState>(state: &S) -> Vec<usize> {
     (0..state.num_qubits())
         .filter(|&q| {
             let cof = Cofactors::of(state, q);
@@ -184,15 +187,15 @@ pub fn entangled_qubits(state: &SparseState) -> Vec<usize> {
 ///
 /// For the 4-qubit GHZ state this returns 2 while the true cost is 3 — an
 /// underestimate, as required for A* optimality.
-pub fn entanglement_lower_bound(state: &SparseState) -> usize {
+pub fn entanglement_lower_bound<S: QuantumState>(state: &S) -> usize {
     entangled_qubits(state).len().div_ceil(2)
 }
 
 /// Marginal probability distribution of a single qubit: `(P[q=0], P[q=1])`.
-pub fn qubit_marginal(state: &SparseState, qubit: usize) -> (f64, f64) {
+pub fn qubit_marginal<S: QuantumState>(state: &S, qubit: usize) -> (f64, f64) {
     let mut p0 = 0.0;
     let mut p1 = 0.0;
-    for (index, amp) in state.iter() {
+    for (index, amp) in state.amplitudes() {
         if index.bit(qubit) {
             p1 += amp * amp;
         } else {
@@ -204,9 +207,9 @@ pub fn qubit_marginal(state: &SparseState, qubit: usize) -> (f64, f64) {
 
 /// Joint probability distribution of two qubits in measurement basis:
 /// `[P(00), P(01), P(10), P(11)]` where the first bit is `a` and the second `b`.
-pub fn pairwise_joint_distribution(state: &SparseState, a: usize, b: usize) -> [f64; 4] {
+pub fn pairwise_joint_distribution<S: QuantumState>(state: &S, a: usize, b: usize) -> [f64; 4] {
     let mut joint = [0.0; 4];
-    for (index, amp) in state.iter() {
+    for (index, amp) in state.amplitudes() {
         let idx = (index.bit(a) as usize) << 1 | index.bit(b) as usize;
         joint[idx] += amp * amp;
     }
@@ -216,7 +219,7 @@ pub fn pairwise_joint_distribution(state: &SparseState, a: usize, b: usize) -> [
 /// Classical mutual information (in bits) between the measurement outcomes of
 /// qubits `a` and `b` — the quantity the paper references for detecting
 /// entangled qubit pairs (Sec. V-A, citing Shannon).
-pub fn mutual_information(state: &SparseState, a: usize, b: usize) -> f64 {
+pub fn mutual_information<S: QuantumState>(state: &S, a: usize, b: usize) -> f64 {
     let joint = pairwise_joint_distribution(state, a, b);
     let pa = [joint[0] + joint[1], joint[2] + joint[3]];
     let pb = [joint[0] + joint[2], joint[1] + joint[3]];
@@ -231,7 +234,7 @@ pub fn mutual_information(state: &SparseState, a: usize, b: usize) -> f64 {
 }
 
 /// All unordered qubit pairs with nonzero mutual information above `threshold`.
-pub fn entangled_pairs(state: &SparseState, threshold: f64) -> Vec<(usize, usize)> {
+pub fn entangled_pairs<S: QuantumState>(state: &S, threshold: f64) -> Vec<(usize, usize)> {
     let n = state.num_qubits();
     let mut pairs = Vec::new();
     for a in 0..n {
@@ -247,6 +250,7 @@ pub fn entangled_pairs(state: &SparseState, threshold: f64) -> Vec<(usize, usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sparse::SparseState;
 
     fn ghz(n: usize) -> SparseState {
         SparseState::uniform_superposition(
@@ -312,11 +316,9 @@ mod tests {
 
     #[test]
     fn constant_qubits_are_separable() {
-        let state = SparseState::uniform_superposition(
-            3,
-            [BasisIndex::new(0b000), BasisIndex::new(0b010)],
-        )
-        .unwrap();
+        let state =
+            SparseState::uniform_superposition(3, [BasisIndex::new(0b000), BasisIndex::new(0b010)])
+                .unwrap();
         let cof = Cofactors::of(&state, 0);
         assert!(cof.is_constant());
         assert_eq!(cof.separation(1e-9), Some((1.0, 0.0)));

@@ -54,10 +54,9 @@ impl fmt::Display for StateError {
                 "basis index {index:#b} does not fit in a {num_qubits}-qubit register"
             ),
             StateError::EmptyState => write!(f, "state has no nonzero amplitude"),
-            StateError::NotNormalized { norm_squared } => write!(
-                f,
-                "state is not normalized: squared norm is {norm_squared}"
-            ),
+            StateError::NotNormalized { norm_squared } => {
+                write!(f, "state is not normalized: squared norm is {norm_squared}")
+            }
             StateError::QubitOutOfRange { qubit, num_qubits } => write!(
                 f,
                 "qubit {qubit} is out of range for a {num_qubits}-qubit register"

@@ -134,7 +134,10 @@ pub fn random_uniform_state<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates the errors of [`random_uniform_state`].
-pub fn random_dense_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<SparseState, StateError> {
+pub fn random_dense_state<R: Rng + ?Sized>(
+    n: usize,
+    rng: &mut R,
+) -> Result<SparseState, StateError> {
     if n < 2 {
         return Err(StateError::InvalidParameter {
             reason: "dense benchmark states need at least two qubits".to_string(),
@@ -148,7 +151,10 @@ pub fn random_dense_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Spar
 /// # Errors
 ///
 /// Propagates the errors of [`random_uniform_state`].
-pub fn random_sparse_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<SparseState, StateError> {
+pub fn random_sparse_state<R: Rng + ?Sized>(
+    n: usize,
+    rng: &mut R,
+) -> Result<SparseState, StateError> {
     random_uniform_state(n, n, rng)
 }
 
@@ -328,10 +334,16 @@ mod tests {
 
     #[test]
     fn random_states_are_reproducible_by_seed() {
-        let a = Workload::RandomSparse { n: 8, seed: 42 }.instantiate().unwrap();
-        let b = Workload::RandomSparse { n: 8, seed: 42 }.instantiate().unwrap();
+        let a = Workload::RandomSparse { n: 8, seed: 42 }
+            .instantiate()
+            .unwrap();
+        let b = Workload::RandomSparse { n: 8, seed: 42 }
+            .instantiate()
+            .unwrap();
         assert_eq!(a, b);
-        let c = Workload::RandomSparse { n: 8, seed: 43 }.instantiate().unwrap();
+        let c = Workload::RandomSparse { n: 8, seed: 43 }
+            .instantiate()
+            .unwrap();
         assert_ne!(a, c);
     }
 
@@ -350,7 +362,9 @@ mod tests {
         assert_eq!(w.instantiate().unwrap().cardinality(), 6);
         assert_eq!(Workload::Ghz { n: 3 }.name(), "ghz_3");
         assert_eq!(Workload::W { n: 3 }.name(), "w_3");
-        assert!(Workload::RandomDense { n: 5, seed: 1 }.name().starts_with("dense_5"));
+        assert!(Workload::RandomDense { n: 5, seed: 1 }
+            .name()
+            .starts_with("dense_5"));
     }
 
     #[test]

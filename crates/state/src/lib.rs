@@ -1,27 +1,41 @@
 //! # qsp-state
 //!
-//! Quantum state representation and analysis substrate for CNOT-optimal
-//! quantum state preparation (QSP).
+//! Quantum state **backends** and analysis substrate for CNOT-optimal
+//! quantum state preparation (QSP), reproducing and extending the exact
+//! CNOT synthesis formulation of Wang et al. (DATE 2024).
 //!
-//! This crate provides the data structures that the exact CNOT synthesis
-//! formulation of Wang et al. (DATE 2024) operates on:
+//! The crate is organized around one abstraction:
 //!
-//! * [`BasisIndex`] — a computational basis vector `|x⟩`, `x ∈ {0,1}^n`,
-//!   stored as a bit mask.
-//! * [`SparseState`] — an `n`-qubit quantum state with real amplitudes stored
-//!   sparsely as a map from basis index to amplitude (the "index set"
-//!   representation of the paper, Sec. II-A).
+//! * [`QuantumState`] — the backend trait every representation implements:
+//!   qubit count, cardinality, amplitude iteration, zero-copy
+//!   sparse/dense views and the Sec. V-B canonicalization hook. The whole
+//!   synthesis stack (`qsp-core`, `qsp-baselines`, `qsp-sim`, `qsp-bench`)
+//!   is generic over it.
+//!
+//! Three backends implement the trait:
+//!
+//! * [`SparseState`] — the `n × m` index-set representation of the paper
+//!   (Sec. II-A); the synthesis workhorse.
+//! * [`DenseState`] — a full `2^n` state vector; the verification and
+//!   qubit-reduction workhorse.
+//! * [`AdaptiveState`] — holds either of the two and switches automatically
+//!   by density threshold (promotion/demotion without copying unless the
+//!   representation changes).
+//!
+//! On top of the backends:
+//!
 //! * [`cofactor`] — cofactor extraction and the entanglement analysis used by
-//!   the admissible A* heuristic (Sec. V-A).
+//!   the admissible A* heuristic (Sec. V-A), generic over any backend.
 //! * [`canonical`] — canonical forms under zero-cost single-qubit gates and
-//!   qubit permutation used for state compression (Sec. V-B, Table III).
+//!   qubit permutation used for state compression and batch deduplication
+//!   (Sec. V-B, Table III).
 //! * [`generators`] — workload generators for Dicke, GHZ, W, product and
 //!   random dense/sparse states used throughout the paper's evaluation.
 //!
 //! # Example
 //!
 //! ```
-//! use qsp_state::{BasisIndex, SparseState};
+//! use qsp_state::{BasisIndex, QuantumState, SparseState};
 //!
 //! # fn main() -> Result<(), qsp_state::StateError> {
 //! // The motivating example of the paper: (|000> + |011> + |101> + |110>)/2.
@@ -32,6 +46,9 @@
 //! assert_eq!(state.cardinality(), 4);
 //! assert_eq!(state.num_qubits(), 3);
 //! assert!(state.is_normalized(1e-9));
+//! // Any backend exposes the same trait surface:
+//! let dense = state.as_dense()?;
+//! assert_eq!(dense.cardinality(), 4);
 //! # Ok(())
 //! # }
 //! ```
@@ -39,7 +56,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod amplitude;
+pub mod backend;
 pub mod basis;
 pub mod canonical;
 pub mod cofactor;
@@ -48,7 +67,9 @@ pub mod error;
 pub mod generators;
 pub mod sparse;
 
+pub use adaptive::{AdaptiveState, StateRepr};
 pub use amplitude::Amplitude;
+pub use backend::{AmplitudeIter, QuantumState};
 pub use basis::BasisIndex;
 pub use canonical::{CanonicalForm, CanonicalOptions};
 pub use cofactor::{entangled_qubits, is_qubit_separable, Cofactors};

@@ -501,11 +501,10 @@ mod tests {
         );
         assert!(SparseState::from_amplitudes(2, [(BasisIndex::new(1), f64::NAN)]).is_err());
         assert!(SparseState::from_amplitudes(2, std::iter::empty()).is_err());
-        assert!(SparseState::uniform_superposition(
-            2,
-            [BasisIndex::new(1), BasisIndex::new(1)]
-        )
-        .is_err());
+        assert!(
+            SparseState::uniform_superposition(2, [BasisIndex::new(1), BasisIndex::new(1)])
+                .is_err()
+        );
     }
 
     #[test]
@@ -556,8 +555,12 @@ mod tests {
         let g = SparseState::ground_state(1).unwrap();
         let plus = g.apply_ry(0, -std::f64::consts::FRAC_PI_2).unwrap();
         assert_eq!(plus.cardinality(), 2);
-        assert!((plus.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
-        assert!((plus.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(
+            (plus.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
+        assert!(
+            (plus.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
         // Rotating back yields the ground state again.
         let back = plus.apply_ry(0, std::f64::consts::FRAC_PI_2).unwrap();
         assert!(back.is_ground_state(1e-9));
@@ -571,8 +574,12 @@ mod tests {
             .apply_controlled_ry(&[(0, true)], 1, std::f64::consts::PI)
             .unwrap();
         // With the paper's Ry convention (Eq. 1) the |1⟩ component maps to +|0⟩ at θ = π.
-        assert!((rotated.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
-        assert!((rotated.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(
+            (rotated.amplitude(BasisIndex::new(0)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
+        assert!(
+            (rotated.amplitude(BasisIndex::new(1)) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
         assert!(rotated.amplitude(BasisIndex::new(3)).abs() < 1e-12);
         assert!(s.apply_controlled_ry(&[(1, true)], 1, 0.3).is_err());
     }
@@ -592,11 +599,7 @@ mod tests {
     #[test]
     fn approx_eq_allows_global_sign() {
         let s = bell();
-        let negated = SparseState::from_amplitudes(
-            2,
-            s.iter().map(|(i, a)| (i, -a)),
-        )
-        .unwrap();
+        let negated = SparseState::from_amplitudes(2, s.iter().map(|(i, a)| (i, -a))).unwrap();
         assert!(s.approx_eq(&negated, 1e-12));
         let different =
             SparseState::uniform_superposition(2, [BasisIndex::new(0), BasisIndex::new(1)])
@@ -606,8 +609,9 @@ mod tests {
 
     #[test]
     fn permutation_of_qubits() {
-        let s = SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b110)])
-            .unwrap();
+        let s =
+            SparseState::uniform_superposition(3, [BasisIndex::new(0b001), BasisIndex::new(0b110)])
+                .unwrap();
         let swapped = s.permute_qubits(&[1, 0, 2]).unwrap();
         assert_eq!(
             swapped.support(),
@@ -619,8 +623,9 @@ mod tests {
 
     #[test]
     fn normalization() {
-        let s = SparseState::from_amplitudes(2, [(BasisIndex::new(0), 3.0), (BasisIndex::new(1), 4.0)])
-            .unwrap();
+        let s =
+            SparseState::from_amplitudes(2, [(BasisIndex::new(0), 3.0), (BasisIndex::new(1), 4.0)])
+                .unwrap();
         assert!(!s.is_normalized(1e-9));
         let n = s.normalize().unwrap();
         assert!(n.is_normalized(1e-12));

@@ -12,7 +12,10 @@ use qsp_state::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Dicke state preparation |D^k_n> — ours vs the manual design [7]\n");
-    println!("{:>3} {:>3} {:>12} {:>8} {:>10}", "n", "k", "manual", "ours", "verified");
+    println!(
+        "{:>3} {:>3} {:>12} {:>8} {:>10}",
+        "n", "k", "manual", "ours", "verified"
+    );
     for (n, k) in [(3usize, 1usize), (4, 1), (4, 2), (5, 1), (5, 2), (6, 1)] {
         let target = generators::dicke(n, k)?;
         let circuit = QspWorkflow::new().prepare(&target)?;

@@ -17,16 +17,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("target: {target}\n");
 
     let methods: Vec<(&str, Box<dyn StatePreparator>)> = vec![
-        ("qubit reduction (Fig. 1, paper: 6 CNOTs)", Box::new(QubitReduction::new())),
+        (
+            "qubit reduction (Fig. 1, paper: 6 CNOTs)",
+            Box::new(QubitReduction::new()),
+        ),
         (
             "cardinality reduction (Fig. 2, paper: 7 CNOTs)",
             Box::new(CardinalityReduction::new()),
         ),
-        ("exact synthesis (Fig. 3, paper: 2 CNOTs)", Box::new(QspWorkflow::new())),
+        (
+            "exact synthesis (Fig. 3, paper: 2 CNOTs)",
+            Box::new(QspWorkflow::new()),
+        ),
     ];
 
     for (label, method) in methods {
-        let circuit = method.prepare(&target)?;
+        let circuit = method.prepare_sparse(&target)?;
         let report = verify_preparation(&circuit, &target)?;
         println!(
             "{label:55}  ->  {:2} CNOTs, {:2} gates, fidelity {:.6}",

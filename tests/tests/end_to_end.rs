@@ -3,9 +3,7 @@
 //! the exact-synthesis workflow must never lose to the baselines on the
 //! paper's headline comparisons.
 
-use qsp_baselines::{
-    CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator,
-};
+use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
 use qsp_circuit::decompose::decompose_circuit;
 use qsp_circuit::Circuit;
 use qsp_core::QspWorkflow;
@@ -61,7 +59,7 @@ fn every_method_prepares_every_workload_correctly() {
     for (name, target) in workload_suite() {
         for (label, method) in all_methods() {
             let circuit = method
-                .prepare(&target)
+                .prepare_sparse(&target)
                 .unwrap_or_else(|e| panic!("{label} failed on {name}: {e}"));
             verify_circuit(&format!("{label}/{name}"), &circuit, &target);
         }
@@ -75,7 +73,7 @@ fn lowered_circuits_still_prepare_the_target() {
     // cost model's prediction (how the paper counts CNOTs, Sec. VI-A).
     for (name, target) in workload_suite().into_iter().take(8) {
         for (label, method) in all_methods() {
-            let circuit = method.prepare(&target).expect("synthesis succeeds");
+            let circuit = method.prepare_sparse(&target).expect("synthesis succeeds");
             let lowered = decompose_circuit(&circuit).expect("lowering succeeds");
             assert_eq!(
                 lowered.cnot_gate_count(),
@@ -125,7 +123,7 @@ fn dicke_headline_result_beats_the_manual_design() {
     );
     // ... and no baseline does better.
     for (label, method) in all_methods().into_iter().take(3) {
-        let baseline = method.prepare(&target).unwrap().cnot_cost();
+        let baseline = method.prepare_sparse(&target).unwrap().cnot_cost();
         assert!(
             baseline >= ours.cnot_cost(),
             "{label} ({baseline}) unexpectedly beats exact synthesis ({})",
@@ -155,7 +153,10 @@ fn mflow_scales_with_cardinality_not_register_width() {
     let mut rng = StdRng::seed_from_u64(5);
     for n in [8usize, 10, 12] {
         let target = generators::random_sparse_state(n, &mut rng).unwrap();
-        let mflow = CardinalityReduction::new().prepare(&target).unwrap().cnot_cost();
+        let mflow = CardinalityReduction::new()
+            .prepare(&target)
+            .unwrap()
+            .cnot_cost();
         assert!(
             mflow < (1 << n) / 2,
             "n = {n}: m-flow cost {mflow} does not reflect sparsity"

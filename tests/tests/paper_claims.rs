@@ -10,11 +10,8 @@ use qsp_state::canonical::{count_canonical_states, CanonicalOptions};
 use qsp_state::{generators, BasisIndex, SparseState};
 
 fn motivating_example() -> SparseState {
-    SparseState::uniform_superposition(
-        3,
-        [0b000u64, 0b011, 0b101, 0b110].map(BasisIndex::new),
-    )
-    .unwrap()
+    SparseState::uniform_superposition(3, [0b000u64, 0b011, 0b101, 0b110].map(BasisIndex::new))
+        .unwrap()
 }
 
 /// Sec. III: exact synthesis finds the 2-CNOT circuit of Fig. 3 while the
@@ -26,10 +23,16 @@ fn motivating_example_matches_figures_1_to_3() {
 
     let exact = ExactSynthesizer::new().synthesize(&target).unwrap();
     assert_eq!(exact.cnot_cost, 2, "Fig. 3: exact synthesis finds 2 CNOTs");
-    assert!(verify_preparation(&exact.circuit, &target).unwrap().is_correct());
+    assert!(verify_preparation(&exact.circuit, &target)
+        .unwrap()
+        .is_correct());
 
     let nflow = QubitReduction::new().prepare(&target).unwrap();
-    assert_eq!(nflow.cnot_cost(), 6, "Fig. 1: qubit reduction spends 2^3 - 2 = 6");
+    assert_eq!(
+        nflow.cnot_cost(),
+        6,
+        "Fig. 1: qubit reduction spends 2^3 - 2 = 6"
+    );
 
     let mflow = CardinalityReduction::new().prepare(&target).unwrap();
     assert!(
@@ -45,10 +48,22 @@ fn motivating_example_matches_figures_1_to_3() {
 #[test]
 fn table3_counts_for_small_cardinalities() {
     // |V_G/U(2)| for m = 1, 2 and |V_G/PU(2)| for m = 1, 2, 3.
-    assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_variant()), 1);
-    assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_variant()), 11);
-    assert_eq!(count_canonical_states(4, 1, CanonicalOptions::layout_invariant()), 1);
-    assert_eq!(count_canonical_states(4, 2, CanonicalOptions::layout_invariant()), 3);
+    assert_eq!(
+        count_canonical_states(4, 1, CanonicalOptions::layout_variant()),
+        1
+    );
+    assert_eq!(
+        count_canonical_states(4, 2, CanonicalOptions::layout_variant()),
+        11
+    );
+    assert_eq!(
+        count_canonical_states(4, 1, CanonicalOptions::layout_invariant()),
+        1
+    );
+    assert_eq!(
+        count_canonical_states(4, 2, CanonicalOptions::layout_invariant()),
+        3
+    );
 }
 
 /// Table IV: the exact-synthesis workflow matches or beats the manual design
@@ -92,17 +107,26 @@ fn table5_scaling_relations() {
     for n in [6usize, 8] {
         // Sparse regime.
         let sparse = generators::random_sparse_state(n, &mut rng).unwrap();
-        let mflow = CardinalityReduction::new().prepare(&sparse).unwrap().cnot_cost();
+        let mflow = CardinalityReduction::new()
+            .prepare(&sparse)
+            .unwrap()
+            .cnot_cost();
         let nflow = QubitReduction::new().prepare(&sparse).unwrap().cnot_cost();
         let ours = QspWorkflow::new().prepare(&sparse).unwrap().cnot_cost();
         assert_eq!(nflow, (1 << n) - 2);
         assert!(mflow < nflow, "sparse n = {n}: m-flow must beat n-flow");
-        assert!(ours <= mflow, "sparse n = {n}: ours must not lose to m-flow");
+        assert!(
+            ours <= mflow,
+            "sparse n = {n}: ours must not lose to m-flow"
+        );
 
         // Dense regime.
         let dense = generators::random_dense_state(n, &mut rng).unwrap();
         let nflow_dense = QubitReduction::new().prepare(&dense).unwrap().cnot_cost();
-        let mflow_dense = CardinalityReduction::new().prepare(&dense).unwrap().cnot_cost();
+        let mflow_dense = CardinalityReduction::new()
+            .prepare(&dense)
+            .unwrap()
+            .cnot_cost();
         let ours_dense = QspWorkflow::new().prepare(&dense).unwrap().cnot_cost();
         assert_eq!(nflow_dense, (1 << n) - 2);
         assert!(

@@ -1,7 +1,13 @@
-//! Property-based integration tests (proptest): correctness invariants of the
-//! whole stack on randomly generated states and circuits.
+//! Randomized property tests: correctness invariants of the whole stack on
+//! randomly generated states and circuits.
+//!
+//! The offline build cannot depend on `proptest`, so each property is checked
+//! on a seeded stream of random cases (the deterministic `qsp-rand` shim);
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
 use qsp_circuit::apply::prepare_from_ground;
@@ -12,55 +18,59 @@ use qsp_core::{ExactSynthesizer, QspWorkflow};
 use qsp_sim::verify_preparation;
 use qsp_state::{BasisIndex, SparseState};
 
-/// Strategy: a uniform superposition over `m` distinct indices of an
-/// `n`-qubit register, with 2 ≤ n ≤ 5 and 2 ≤ m ≤ 2^n.
-fn uniform_state_strategy() -> impl Strategy<Value = SparseState> {
-    (2usize..=5)
-        .prop_flat_map(|n| {
-            let max_m = 1usize << n;
-            (Just(n), 2usize..=max_m)
-        })
-        .prop_flat_map(|(n, m)| {
-            proptest::sample::subsequence((0..(1u64 << n)).collect::<Vec<u64>>(), m)
-                .prop_map(move |indices| {
-                    SparseState::uniform_superposition(
-                        n,
-                        indices.into_iter().map(BasisIndex::new),
-                    )
-                    .expect("valid uniform state")
-                })
-        })
+const CASES: usize = 32;
+
+/// A uniform superposition over `m` distinct indices of an `n`-qubit
+/// register, with 2 ≤ n ≤ 5 and 2 ≤ m ≤ 2^n.
+fn random_uniform_state(rng: &mut StdRng) -> SparseState {
+    let n = rng.gen_range(2usize..=5);
+    let max_m = 1usize << n;
+    let m = rng.gen_range(2usize..=max_m);
+    let mut all: Vec<u64> = (0..(1u64 << n)).collect();
+    all.shuffle(rng);
+    all.truncate(m);
+    SparseState::uniform_superposition(n, all.into_iter().map(BasisIndex::new))
+        .expect("valid uniform state")
 }
 
-/// Strategy: a random circuit over the paper's gate library.
-fn circuit_strategy() -> impl Strategy<Value = Circuit> {
-    let gate = (0usize..4, 0usize..4, 0usize..4, -3.0f64..3.0).prop_map(
-        |(kind, a, b, theta)| {
+/// A random circuit over the paper's gate library on 4 qubits.
+fn random_circuit(rng: &mut StdRng) -> Circuit {
+    let len = rng.gen_range(0usize..20);
+    let gates: Vec<Gate> = (0..len)
+        .map(|_| {
+            let kind = rng.gen_range(0usize..4);
+            let a = rng.gen_range(0usize..4);
+            let b = rng.gen_range(0usize..4);
+            let theta = rng.gen_range(-3.0f64..3.0);
             let target = a % 4;
-            let control = if b % 4 == target { (target + 1) % 4 } else { b % 4 };
+            let control = if b % 4 == target {
+                (target + 1) % 4
+            } else {
+                b % 4
+            };
             match kind {
                 0 => Gate::ry(target, theta),
                 1 => Gate::x(target),
                 2 => Gate::cnot(control, target),
                 _ => Gate::cry(control, target, theta),
             }
-        },
-    );
-    proptest::collection::vec(gate, 0..20).prop_map(|gates| {
-        Circuit::from_gates(4, gates).expect("gates are valid for 4 qubits")
-    })
+        })
+        .collect();
+    Circuit::from_gates(4, gates).expect("gates are valid for 4 qubits")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every flow prepares every random uniform state it accepts, and the
-    /// exact workflow is never worse than any baseline on these small states.
-    #[test]
-    fn all_flows_prepare_random_uniform_states(target in uniform_state_strategy()) {
-        let ours = QspWorkflow::new().prepare(&target).expect("workflow succeeds");
+/// Every flow prepares every random uniform state it accepts, and the exact
+/// workflow is never worse than any baseline on these small states.
+#[test]
+fn all_flows_prepare_random_uniform_states() {
+    let mut rng = StdRng::seed_from_u64(0x3001);
+    for _ in 0..CASES {
+        let target = random_uniform_state(&mut rng);
+        let ours = QspWorkflow::new()
+            .prepare(&target)
+            .expect("workflow succeeds");
         let report = verify_preparation(&ours, &target).expect("simulation succeeds");
-        prop_assert!(report.is_correct(), "fidelity {}", report.fidelity);
+        assert!(report.is_correct(), "fidelity {}", report.fidelity);
 
         let baselines: Vec<Box<dyn StatePreparator>> = vec![
             Box::new(CardinalityReduction::new()),
@@ -68,10 +78,10 @@ proptest! {
             Box::new(HybridPreparator::new()),
         ];
         for baseline in baselines {
-            let circuit = baseline.prepare(&target).expect("baseline succeeds");
+            let circuit = baseline.prepare_sparse(&target).expect("baseline succeeds");
             let report = verify_preparation(&circuit, &target).expect("simulation succeeds");
-            prop_assert!(report.is_correct(), "{} incorrect", baseline.name());
-            prop_assert!(
+            assert!(report.is_correct(), "{} incorrect", baseline.name());
+            assert!(
                 ours.cnot_cost() <= circuit.cnot_cost(),
                 "ours ({}) worse than {} ({})",
                 ours.cnot_cost(),
@@ -80,44 +90,60 @@ proptest! {
             );
         }
     }
+}
 
-    /// Exact synthesis of small states is idempotent with respect to cost:
-    /// re-synthesizing the state prepared by its own circuit gives the same
-    /// optimal CNOT count.
-    #[test]
-    fn exact_synthesis_cost_is_stable(target in uniform_state_strategy()) {
-        prop_assume!(target.cardinality() <= 16 && target.num_qubits() <= 4);
+/// Exact synthesis of small states is idempotent with respect to cost:
+/// re-synthesizing the state prepared by its own circuit gives the same
+/// optimal CNOT count.
+#[test]
+fn exact_synthesis_cost_is_stable() {
+    let mut rng = StdRng::seed_from_u64(0x3002);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let target = random_uniform_state(&mut rng);
+        if target.cardinality() > 16 || target.num_qubits() > 4 {
+            continue;
+        }
+        checked += 1;
         let synthesizer = ExactSynthesizer::new();
         let first = synthesizer.synthesize(&target).expect("synthesis succeeds");
         let prepared = prepare_from_ground(&first.circuit).expect("circuit applies");
         let second = synthesizer.synthesize(&prepared.normalize().expect("normalizable"));
         if let Ok(second) = second {
-            prop_assert_eq!(first.cnot_cost, second.cnot_cost);
+            assert_eq!(first.cnot_cost, second.cnot_cost);
         }
     }
+}
 
-    /// Lowering to {Ry, X, CNOT} and peephole optimization never change the
-    /// prepared state, and optimization never increases the CNOT cost.
-    #[test]
-    fn lowering_and_optimization_preserve_semantics(circuit in circuit_strategy()) {
+/// Lowering to {Ry, X, CNOT} and peephole optimization never change the
+/// prepared state, and optimization never increases the CNOT cost.
+#[test]
+fn lowering_and_optimization_preserve_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x3003);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
         let reference = prepare_from_ground(&circuit).expect("circuit applies");
 
         let lowered = decompose_circuit(&circuit).expect("lowering succeeds");
         let lowered_state = prepare_from_ground(&lowered).expect("lowered circuit applies");
-        prop_assert!(lowered_state.approx_eq(&reference, 1e-6));
-        prop_assert_eq!(lowered.cnot_gate_count(), circuit.cnot_cost());
+        assert!(lowered_state.approx_eq(&reference, 1e-6));
+        assert_eq!(lowered.cnot_gate_count(), circuit.cnot_cost());
 
         let (optimized, _) = optimize(&circuit);
         let optimized_state = prepare_from_ground(&optimized).expect("optimized circuit applies");
-        prop_assert!(optimized_state.approx_eq(&reference, 1e-6));
-        prop_assert!(optimized.cnot_cost() <= circuit.cnot_cost());
+        assert!(optimized_state.approx_eq(&reference, 1e-6));
+        assert!(optimized.cnot_cost() <= circuit.cnot_cost());
     }
+}
 
-    /// A circuit followed by its inverse is the identity on the ground state.
-    #[test]
-    fn circuit_inverse_round_trips(circuit in circuit_strategy()) {
+/// A circuit followed by its inverse is the identity on the ground state.
+#[test]
+fn circuit_inverse_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x3004);
+    for _ in 0..CASES {
+        let circuit = random_circuit(&mut rng);
         let state = prepare_from_ground(&circuit).expect("circuit applies");
         let back = qsp_circuit::apply_circuit(&state, &circuit.inverse()).expect("inverse applies");
-        prop_assert!(back.is_ground_state(1e-6));
+        assert!(back.is_ground_state(1e-6));
     }
 }
