@@ -88,6 +88,14 @@ pub trait StatePreparator {
         let circuit = self.prepare(target)?;
         Ok(PreparationOutcome::new(circuit, start.elapsed()))
     }
+
+    /// Prepares every target one after another, returning per-target results
+    /// in submission order. This is the sequential reference the batch
+    /// engine (and the batch benchmark) compares against; engines with a
+    /// real batch fast path override it.
+    fn prepare_many(&self, targets: &[SparseState]) -> Vec<Result<Circuit, BaselineError>> {
+        targets.iter().map(|t| self.prepare_sparse(t)).collect()
+    }
 }
 
 /// Rejects states with negative amplitudes, which the flows derived from
@@ -129,6 +137,20 @@ mod tests {
         assert_eq!(outcome.cnot_cost, 0);
         assert!(outcome.circuit.is_empty());
         assert_eq!(Identity.name(), "identity");
+    }
+
+    #[test]
+    fn prepare_many_preserves_submission_order() {
+        let targets = vec![
+            SparseState::ground_state(1).unwrap(),
+            SparseState::ground_state(2).unwrap(),
+            SparseState::ground_state(3).unwrap(),
+        ];
+        let results = Identity.prepare_many(&targets);
+        assert_eq!(results.len(), 3);
+        for (target, result) in targets.iter().zip(&results) {
+            assert_eq!(result.as_ref().unwrap().num_qubits(), target.num_qubits());
+        }
     }
 
     #[test]

@@ -1,32 +1,239 @@
-//! Compares sequential vs. batched synthesis wall-time on random sparse
-//! targets and emits a machine-readable `BENCH_batch.json`.
+//! Compares sequential vs. batched synthesis wall-time across three workload
+//! families and emits a machine-readable `BENCH_batch.json`.
 //!
-//! The workload is ≥100 random sparse uniform states (`m = n`, the Table V
-//! bottom-half regime) across several register widths, plus a slice of
-//! repeated targets so the canonical cache has something to deduplicate —
-//! the shape production traffic actually has.
+//! Families (per the paper's evaluation regimes):
+//!
+//! * `random_sparse_uniform` — random sparse uniform states (`m = n`, the
+//!   Table V bottom-half regime) across several register widths,
+//! * `random_dense` — random dense states (the Table V top-half regime),
+//! * `dicke_families` — the named Dicke/GHZ/W workloads of Table IV, cycled
+//!   so the canonical cache sees the high-duplication shape named-state
+//!   traffic actually has.
+//!
+//! Every family mixes in repeated targets so deduplication has something to
+//! do. The sequential arm drives the workflow through
+//! [`StatePreparator::prepare_many`]; the batch arm is one
+//! `synthesize_batch` call. Per-stage timings (keying / planning / solving /
+//! assembly) come from [`BatchStats`].
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p qsp-bench --bin batch_bench -- \
-//!     [--targets 120] [--min-n 8] [--max-n 12] [--repeat-every 6] [--out BENCH_batch.json]
+//!     [--threads 0] [--targets 120] [--min-n 8] [--max-n 12] \
+//!     [--repeat-every 6] [--shards 0] [--capacity 0] [--smoke] \
+//!     [--out BENCH_batch.json]
 //! ```
+//!
+//! `--threads 0` (the default) uses the machine's available parallelism.
+//! `--smoke` shrinks every family for CI smoke runs.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use qsp_baselines::StatePreparator;
-use qsp_bench::report::parse_flag;
-use qsp_core::{BatchSynthesizer, QspWorkflow};
+use qsp_bench::report::{has_switch, parse_flag};
+use qsp_core::{BatchOptions, BatchStats, BatchSynthesizer, CacheConfig, QspWorkflow};
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
 
+struct FamilyReport {
+    name: &'static str,
+    targets: usize,
+    duplicates: usize,
+    min_qubits: usize,
+    max_qubits: usize,
+    sequential_ms: f64,
+    batch_ms: f64,
+    stats: BatchStats,
+    total_cnot_sequential: usize,
+    total_cnot_batch: usize,
+    costs_identical: bool,
+}
+
+fn count_duplicates(targets: &[SparseState]) -> usize {
+    targets.len()
+        - targets
+            .iter()
+            .map(|t| format!("{t}"))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+}
+
+fn qubit_range(targets: &[SparseState]) -> (usize, usize) {
+    let min = targets
+        .iter()
+        .map(SparseState::num_qubits)
+        .min()
+        .unwrap_or(0);
+    let max = targets
+        .iter()
+        .map(SparseState::num_qubits)
+        .max()
+        .unwrap_or(0);
+    (min, max)
+}
+
+/// Random states sweeping `min_n..=max_n` (built by `make` from a width and
+/// seed), with every `repeat_every`-th target repeating an earlier one.
+fn random_family(
+    total: usize,
+    min_n: usize,
+    max_n: usize,
+    repeat_every: usize,
+    make: impl Fn(usize, u64) -> Workload,
+) -> Vec<SparseState> {
+    let widths = max_n - min_n + 1;
+    let mut targets: Vec<SparseState> = Vec::with_capacity(total);
+    for i in 0..total {
+        if i % repeat_every == repeat_every - 1 && i > 0 {
+            targets.push(targets[i / 2].clone());
+        } else {
+            let n = min_n + (i % widths);
+            targets.push(
+                make(n, i as u64)
+                    .instantiate()
+                    .expect("random workload generates"),
+            );
+        }
+    }
+    targets
+}
+
+/// The named Table IV workloads cycled to `total` targets: the
+/// high-duplication shape of named-state traffic.
+fn dicke_family(total: usize) -> Vec<SparseState> {
+    let named = [
+        Workload::Dicke { n: 3, k: 1 },
+        Workload::Dicke { n: 4, k: 1 },
+        Workload::Dicke { n: 4, k: 2 },
+        Workload::Dicke { n: 5, k: 1 },
+        Workload::Dicke { n: 5, k: 2 },
+        Workload::Dicke { n: 6, k: 2 },
+        Workload::Dicke { n: 6, k: 3 },
+        Workload::Ghz { n: 8 },
+        Workload::W { n: 6 },
+    ];
+    (0..total)
+        .map(|i| {
+            named[i % named.len()]
+                .instantiate()
+                .expect("dicke workload generates")
+        })
+        .collect()
+}
+
+fn run_family(
+    name: &'static str,
+    targets: Vec<SparseState>,
+    engine: &BatchSynthesizer,
+) -> FamilyReport {
+    let duplicates = count_duplicates(&targets);
+    let (min_qubits, max_qubits) = qubit_range(&targets);
+    eprintln!(
+        "family {name}: {} targets (n = {min_qubits}..={max_qubits}, ~{duplicates} duplicates)...",
+        targets.len()
+    );
+
+    // Sequential arm: the workflow driven one target at a time.
+    let workflow = QspWorkflow::new();
+    let sequential_start = Instant::now();
+    let sequential = workflow.prepare_many(&targets);
+    let sequential_elapsed = sequential_start.elapsed();
+
+    // Batch arm: one synthesize_batch call over the whole family.
+    let batch_start = Instant::now();
+    let outcome = engine.synthesize_batch(&targets);
+    let batch_elapsed = batch_start.elapsed();
+    assert_eq!(outcome.stats.errors, 0, "batched synthesis must not fail");
+
+    // The batch must match the per-target runs CNOT for CNOT. The flag is
+    // computed (and emitted into the JSON) before the hard assert so the
+    // report can never claim an identity the data does not show.
+    let mut total_cnot_sequential = 0usize;
+    let mut total_cnot_batch = 0usize;
+    let mut costs_identical = true;
+    for (i, (seq, bat)) in sequential.iter().zip(&outcome.results).enumerate() {
+        let seq = seq.as_ref().expect("sequential synthesis succeeds");
+        let bat = bat.as_ref().expect("no per-target errors");
+        if seq.cnot_cost() != bat.cnot_cost() {
+            costs_identical = false;
+            eprintln!("{name} target {i}: batch CNOT cost diverged from the sequential workflow");
+        }
+        total_cnot_sequential += seq.cnot_cost();
+        total_cnot_batch += bat.cnot_cost();
+    }
+    assert!(costs_identical, "{name}: batch CNOT costs diverged");
+
+    FamilyReport {
+        name,
+        targets: targets.len(),
+        duplicates,
+        min_qubits,
+        max_qubits,
+        sequential_ms: sequential_elapsed.as_secs_f64() * 1e3,
+        batch_ms: batch_elapsed.as_secs_f64() * 1e3,
+        stats: outcome.stats,
+        total_cnot_sequential,
+        total_cnot_batch,
+        costs_identical,
+    }
+}
+
+fn family_json(report: &FamilyReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        concat!(
+            "    {{\n",
+            "      \"workload\": \"{}\",\n",
+            "      \"targets\": {},\n",
+            "      \"min_qubits\": {},\n",
+            "      \"max_qubits\": {},\n",
+            "      \"duplicate_targets\": {},\n",
+            "      \"sequential_ms\": {:.3},\n",
+            "      \"batch_ms\": {:.3},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"solver_runs\": {},\n",
+            "      \"cache_hits\": {},\n",
+            "      \"stage_ms\": {{ \"keying\": {:.3}, \"planning\": {:.3}, \"solving\": {:.3}, \"assembly\": {:.3} }},\n",
+            "      \"total_cnot_sequential\": {},\n",
+            "      \"total_cnot_batch\": {},\n",
+            "      \"costs_identical\": {}\n",
+            "    }}"
+        ),
+        report.name,
+        report.targets,
+        report.min_qubits,
+        report.max_qubits,
+        report.duplicates,
+        report.sequential_ms,
+        report.batch_ms,
+        report.sequential_ms / report.batch_ms.max(1e-9),
+        report.stats.solver_runs,
+        report.stats.cache_hits,
+        report.stats.keying.as_secs_f64() * 1e3,
+        report.stats.planning.as_secs_f64() * 1e3,
+        report.stats.solving.as_secs_f64() * 1e3,
+        report.stats.assembly.as_secs_f64() * 1e3,
+        report.total_cnot_sequential,
+        report.total_cnot_batch,
+        report.costs_identical,
+    );
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let total = parse_flag(&args, "--targets", 120).max(100);
-    let min_n = parse_flag(&args, "--min-n", 8);
-    let max_n = parse_flag(&args, "--max-n", 12).max(min_n);
+    let smoke = has_switch(&args, "--smoke");
+    let threads = parse_flag(&args, "--threads", 0);
+    let default_targets = if smoke { 60 } else { 120 };
+    let total = parse_flag(&args, "--targets", default_targets).max(if smoke { 20 } else { 100 });
+    let min_n = parse_flag(&args, "--min-n", if smoke { 6 } else { 8 });
+    let max_n = parse_flag(&args, "--max-n", if smoke { 8 } else { 12 }).max(min_n);
     let repeat_every = parse_flag(&args, "--repeat-every", 6).max(2);
+    let shards = parse_flag(&args, "--shards", 0);
+    let capacity = parse_flag(&args, "--capacity", 0);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -34,83 +241,73 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_batch.json".to_string());
 
-    // Workload: every `repeat_every`-th target repeats an earlier one, the
-    // rest are fresh random sparse states sweeping the register widths.
-    let mut targets: Vec<SparseState> = Vec::with_capacity(total);
-    let widths = max_n - min_n + 1;
-    for i in 0..total {
-        if i % repeat_every == repeat_every - 1 && i > 0 {
-            targets.push(targets[i / 2].clone());
-        } else {
-            let n = min_n + (i % widths);
-            let workload = Workload::RandomSparse {
-                n,
-                seed: 10_000 + i as u64,
-            };
-            targets.push(
-                workload
-                    .instantiate()
-                    .expect("workload generation succeeds"),
-            );
-        }
-    }
-    let expected_duplicates = targets.len()
-        - targets
-            .iter()
-            .map(|t| format!("{t}"))
-            .collect::<std::collections::BTreeSet<_>>()
-            .len();
+    let options = BatchOptions {
+        threads,
+        cache: CacheConfig { shards, capacity },
+        ..BatchOptions::default()
+    };
 
-    eprintln!(
-        "benchmarking {} targets (n = {min_n}..={max_n}, ~{expected_duplicates} duplicates)...",
-        targets.len()
-    );
+    // Dense solves are orders of magnitude heavier than sparse ones (the
+    // capped residual search dominates), so the dense family is kept small
+    // enough that the benchmark finishes in tens of seconds.
+    let dense_total = if smoke { 6 } else { (total / 6).max(12) };
+    let dicke_total = total / 2;
+    let (dense_min, dense_max) = if smoke { (4, 4) } else { (4, 6) };
 
-    // Sequential: one QspWorkflow call per target.
-    let workflow = QspWorkflow::new();
-    let sequential_start = Instant::now();
-    let sequential: Vec<_> = targets
-        .iter()
-        .map(|t| workflow.prepare(t).expect("sequential synthesis succeeds"))
-        .collect();
-    let sequential_elapsed = sequential_start.elapsed();
+    let families = [
+        (
+            "random_sparse_uniform",
+            random_family(total, min_n, max_n, repeat_every, |n, i| {
+                Workload::RandomSparse {
+                    n,
+                    seed: 10_000 + i,
+                }
+            }),
+        ),
+        (
+            "random_dense",
+            random_family(dense_total, dense_min, dense_max, repeat_every, |n, i| {
+                Workload::RandomDense {
+                    n,
+                    seed: 20_000 + i,
+                }
+            }),
+        ),
+        ("dicke_families", dicke_family(dicke_total)),
+    ];
 
-    // Batched: one synthesize_batch call over the whole workload.
-    let engine = BatchSynthesizer::new();
-    let batch_start = Instant::now();
-    let outcome = engine.synthesize_batch(&targets);
-    let batch_elapsed = batch_start.elapsed();
-    assert_eq!(outcome.stats.errors, 0, "batched synthesis must not fail");
-
-    // The batch must match the per-target runs CNOT for CNOT.
-    let mut total_cnot_sequential = 0usize;
-    let mut total_cnot_batch = 0usize;
-    for (i, (seq, bat)) in sequential.iter().zip(&outcome.results).enumerate() {
-        let bat = bat.as_ref().expect("no per-target errors");
-        assert_eq!(
-            seq.cnot_cost(),
-            bat.cnot_cost(),
-            "target {i}: batch CNOT cost diverged from the sequential workflow"
-        );
-        total_cnot_sequential += seq.cnot_cost();
-        total_cnot_batch += bat.cnot_cost();
+    let mut reports = Vec::new();
+    for (name, targets) in families {
+        // A fresh engine per family: cross-batch warm hits are measured by
+        // the snapshot tests, not the benchmark.
+        let engine = BatchSynthesizer::with_options(Default::default(), options);
+        reports.push(run_family(name, targets, &engine));
     }
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let sequential_ms = sequential_elapsed.as_secs_f64() * 1e3;
-    let batch_ms = batch_elapsed.as_secs_f64() * 1e3;
-    let json = format!(
+    let sequential_ms: f64 = reports.iter().map(|r| r.sequential_ms).sum();
+    let batch_ms: f64 = reports.iter().map(|r| r.batch_ms).sum();
+    let total_targets: usize = reports.iter().map(|r| r.targets).sum();
+    let solver_runs: usize = reports.iter().map(|r| r.stats.solver_runs).sum();
+    let cache_hits: usize = reports.iter().map(|r| r.stats.cache_hits).sum();
+    let cnot_sequential: usize = reports.iter().map(|r| r.total_cnot_sequential).sum();
+    let cnot_batch: usize = reports.iter().map(|r| r.total_cnot_batch).sum();
+    let all_costs_identical = reports.iter().all(|r| r.costs_identical);
+    // The engine reports the pool width it actually ran (configured or
+    // auto-detected, capped at the family size); the widest family is the
+    // benchmark's effective parallelism.
+    let resolved_threads = reports.iter().map(|r| r.stats.threads).max().unwrap_or(1);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
         concat!(
             "{{\n",
             "  \"benchmark\": \"batch_vs_sequential_synthesis\",\n",
-            "  \"workload\": \"random_sparse_uniform\",\n",
-            "  \"targets\": {},\n",
-            "  \"min_qubits\": {},\n",
-            "  \"max_qubits\": {},\n",
-            "  \"duplicate_targets\": {},\n",
+            "  \"smoke\": {},\n",
             "  \"threads\": {},\n",
+            "  \"cache_shards\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"targets\": {},\n",
             "  \"sequential_ms\": {:.3},\n",
             "  \"batch_ms\": {:.3},\n",
             "  \"speedup\": {:.3},\n",
@@ -118,22 +315,30 @@ fn main() {
             "  \"cache_hits\": {},\n",
             "  \"total_cnot_sequential\": {},\n",
             "  \"total_cnot_batch\": {},\n",
-            "  \"costs_identical\": true\n",
-            "}}\n"
+            "  \"costs_identical\": {},\n",
+            "  \"families\": [\n"
         ),
-        targets.len(),
-        min_n,
-        max_n,
-        expected_duplicates,
-        threads,
+        smoke,
+        resolved_threads,
+        options.cache.resolved_shards(),
+        capacity,
+        total_targets,
         sequential_ms,
         batch_ms,
         sequential_ms / batch_ms.max(1e-9),
-        outcome.stats.solver_runs,
-        outcome.stats.cache_hits,
-        total_cnot_sequential,
-        total_cnot_batch,
+        solver_runs,
+        cache_hits,
+        cnot_sequential,
+        cnot_batch,
+        all_costs_identical,
     );
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&family_json(report));
+    }
+    json.push_str("\n  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
     println!("{json}");

@@ -15,10 +15,18 @@
 //!   every other member of the class gets its circuit reconstructed from the
 //!   solved one by relabelling qubits and appending zero-CNOT-cost X gates,
 //!   so the reconstructed circuit has exactly the same CNOT cost.
-//! * **A shared concurrent cache** — solved classes are kept in an
-//!   `Arc<Mutex<HashMap>>` that is shared across worker threads *and* across
-//!   batches submitted to the same synthesizer, so repeat traffic never
-//!   reaches the solver again.
+//! * **A sharded, eviction-aware cache** — solved classes live in a
+//!   [`ShardedCache`](crate::cache::ShardedCache): N-way sharded by key hash
+//!   (no global lock on the hot path), optionally size-bounded with LRU
+//!   eviction, shared across worker threads *and* across batches, and
+//!   persistable as a JSON warm-start snapshot for cross-process reuse
+//!   ([`BatchSynthesizer::save_cache_snapshot`] /
+//!   [`BatchSynthesizer::load_cache_snapshot`]).
+//!
+//! Within one batch, followers of a canonical class resolve through the
+//! representative solved *in that batch* rather than through the cache, so
+//! eviction between the solve and assembly phases can never lose an entry a
+//! result still needs.
 //!
 //! Determinism: a target that is solved fresh goes through the exact same
 //! [`QspWorkflow`] as a sequential call, so its circuit is bit-identical to a
@@ -52,14 +60,17 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
-use qsp_circuit::{Circuit, Gate};
+use qsp_circuit::Circuit;
 use qsp_state::canonical::for_each_permutation;
-use qsp_state::{BasisIndex, QuantumState, SparseState};
+use qsp_state::{QuantumState, SparseState};
 
+use crate::cache::{CacheEntry, CacheStats, ClassKey, ShardedCache};
+use crate::engine::{reconstruct_circuit, StateTransform};
 use crate::error::SynthesisError;
+use crate::search::config::CacheConfig;
 use crate::workflow::{QspWorkflow, WorkflowConfig};
 
 /// Exhaustive enumeration limits for the canonical-key search. Wider
@@ -76,7 +87,7 @@ const EXHAUSTIVE_FLIP_QUBITS: usize = 6;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DedupPolicy {
     /// No deduplication: every target is solved independently (still in
-    /// parallel).
+    /// parallel). The cache is bypassed entirely.
     Off,
     /// Deduplicate exactly identical states only.
     Exact,
@@ -97,6 +108,8 @@ pub struct BatchOptions {
     pub threads: usize,
     /// Deduplication policy.
     pub dedup: DedupPolicy,
+    /// Sharding and eviction policy of the canonical cache.
+    pub cache: CacheConfig,
 }
 
 impl Default for BatchOptions {
@@ -104,6 +117,7 @@ impl Default for BatchOptions {
         BatchOptions {
             threads: 0,
             dedup: DedupPolicy::Canonical,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -115,13 +129,27 @@ pub struct BatchStats {
     pub targets: usize,
     /// Number of fresh solver (workflow) invocations.
     pub solver_runs: usize,
-    /// Number of targets served from the cache (exact or canonical hits,
-    /// including duplicates within the batch and hits from earlier batches).
+    /// Number of targets served without a fresh solve (within-batch
+    /// canonical duplicates plus hits from earlier batches or a loaded
+    /// snapshot).
     pub cache_hits: usize,
     /// Number of targets that failed (conversion or synthesis error).
     pub errors: usize,
+    /// Worker threads the batch ran on: the configured (or auto-detected)
+    /// pool width, capped at the target count — the parallelism the keying
+    /// and assembly phases actually used (the solve phase may use fewer
+    /// when deduplication leaves fewer representatives than workers).
+    pub threads: usize,
     /// Wall-clock time of the whole batch call.
     pub elapsed: Duration,
+    /// Time spent computing canonical keys (parallel phase 1).
+    pub keying: Duration,
+    /// Time spent planning solves against the cache (sequential phase 2).
+    pub planning: Duration,
+    /// Time spent in fresh workflow solves (parallel phase 3).
+    pub solving: Duration,
+    /// Time spent assembling per-target circuits (parallel phase 4).
+    pub assembly: Duration,
 }
 
 /// The result of one batch run: per-target circuits in submission order plus
@@ -136,51 +164,18 @@ pub struct BatchOutcome {
 
 /// A keyed target: canonical key, witness transform, and the (possibly
 /// borrowed) sparse view the solver runs on.
-type KeyedTarget<'a> = Result<(BatchKey, StateTransform, Cow<'a, SparseState>), SynthesisError>;
+type KeyedTarget<'a> = Result<(ClassKey, StateTransform, Cow<'a, SparseState>), SynthesisError>;
 
-/// An amplitude-aware state fingerprint: `(index, amplitude bits)` sorted by
-/// index, plus the register width.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct BatchKey {
-    num_qubits: usize,
-    entries: Vec<(u64, u64)>,
-}
-
-/// A zero-cost transform `t(x) = permute(x, perm) ^ mask` mapping a target
-/// state onto its canonical representative (index-wise; amplitudes ride
-/// along unchanged).
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct StateTransform {
-    perm: Vec<usize>,
-    mask: u64,
-}
-
-impl StateTransform {
-    fn identity(num_qubits: usize) -> Self {
-        StateTransform {
-            perm: (0..num_qubits).collect(),
-            mask: 0,
-        }
-    }
-
-    fn apply(&self, index: u64) -> u64 {
-        BasisIndex::new(index).permute(&self.perm).value() ^ self.mask
-    }
-
-    /// The inverse permutation array: `inv[perm[q]] = q`.
-    fn inverse_perm(perm: &[usize]) -> Vec<usize> {
-        let mut inv = vec![0usize; perm.len()];
-        for (q, &p) in perm.iter().enumerate() {
-            inv[p] = q;
-        }
-        inv
-    }
-}
-
-/// Permutes the bits of a mask: bit `i` of the result is bit `perm[i]` of
-/// `mask` (same convention as [`BasisIndex::permute`]).
-fn permute_mask(mask: u64, perm: &[usize]) -> u64 {
-    BasisIndex::new(mask).permute(perm).value()
+/// How one target's circuit will be produced.
+enum Plan {
+    /// Solve it fresh (it is its class's representative, or dedup is off).
+    Fresh,
+    /// Reuse the in-batch representative at this index.
+    Follow(usize),
+    /// Reuse an entry found in the cross-batch cache during planning.
+    Cached(Arc<CacheEntry>),
+    /// Keying failed; the error is reported from the keyed slot.
+    Invalid,
 }
 
 /// Builds the raw `(index, amplitude bits)` fingerprint of a sparse state.
@@ -202,20 +197,14 @@ fn transformed_entries(base: &[(u64, u64)], transform: &StateTransform) -> Vec<(
 
 /// Computes the canonical key of a state together with the witness transform
 /// mapping the state onto the key's entries.
-fn canonicalize(state: &SparseState, policy: DedupPolicy) -> (BatchKey, StateTransform) {
+fn canonicalize(state: &SparseState, policy: DedupPolicy) -> (ClassKey, StateTransform) {
     let n = state.num_qubits();
     let base = raw_entries(state);
     let identity = StateTransform::identity(n);
     if matches!(policy, DedupPolicy::Off | DedupPolicy::Exact) {
         let mut entries = base;
         entries.sort_unstable();
-        return (
-            BatchKey {
-                num_qubits: n,
-                entries,
-            },
-            identity,
-        );
+        return (ClassKey::new(n, entries), identity);
     }
 
     let mut best_entries = transformed_entries(&base, &identity);
@@ -275,51 +264,7 @@ fn canonicalize(state: &SparseState, policy: DedupPolicy) -> (BatchKey, StateTra
         }
     }
 
-    (
-        BatchKey {
-            num_qubits: n,
-            entries: best_entries,
-        },
-        best_transform,
-    )
-}
-
-/// Reconstructs the circuit for a target from the solved circuit of another
-/// member of the same canonical class.
-///
-/// `solved_transform` maps the solved state onto the canonical
-/// representative, `target_transform` maps the target onto the same
-/// representative. The reconstruction relabels the solved circuit's qubits
-/// and appends an X layer — both zero CNOT cost, so the reconstructed
-/// circuit's CNOT cost equals the solved one's.
-fn reconstruct_circuit(
-    solved: &Circuit,
-    solved_transform: &StateTransform,
-    target_transform: &StateTransform,
-) -> Result<Circuit, SynthesisError> {
-    let n = target_transform.perm.len();
-    // Combined index map from the solved state A to the target B:
-    //   i_B = inv(t_B)(t_A(i_A)) = permute(i_A, r) ^ m
-    // with r[i] = p_A[inv_B[i]] and m = permute_mask(m_A ^ m_B, inv_B).
-    let inv_b = StateTransform::inverse_perm(&target_transform.perm);
-    let r: Vec<usize> = (0..n).map(|i| solved_transform.perm[inv_b[i]]).collect();
-    let mask = permute_mask(solved_transform.mask ^ target_transform.mask, &inv_b);
-
-    if r.iter().enumerate().all(|(i, &v)| i == v) && mask == 0 {
-        return Ok(solved.clone());
-    }
-
-    // A circuit remapped by `sigma` prepares the permuted state with
-    // bit sigma(q) = bit q of the original; matching `permute(·, r)` needs
-    // sigma = r^{-1}.
-    let sigma = StateTransform::inverse_perm(&r);
-    let mut circuit = solved.remap_qubits(&sigma, n)?;
-    for qubit in 0..n {
-        if mask & (1u64 << qubit) != 0 {
-            circuit.try_push(Gate::x(qubit))?;
-        }
-    }
-    Ok(circuit)
+    (ClassKey::new(n, best_entries), best_transform)
 }
 
 /// A minimal scoped-thread parallel map (the offline build has no rayon):
@@ -369,25 +314,21 @@ where
         .collect()
 }
 
-/// One solved canonical class: the circuit of the first-seen member and the
-/// witness transform of that member.
-#[derive(Debug)]
-struct CacheEntry {
-    circuit: Result<Circuit, SynthesisError>,
-    transform: StateTransform,
-}
-
-type SharedCache = Arc<Mutex<HashMap<BatchKey, Arc<CacheEntry>>>>;
-
 /// The parallel, deduplicating batch front door to the preparation workflow.
 ///
 /// See the [module docs](self) for the architecture. The synthesizer is
 /// cheap to clone; clones share the same cache.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BatchSynthesizer {
     config: WorkflowConfig,
     options: BatchOptions,
-    cache: SharedCache,
+    cache: Arc<ShardedCache>,
+}
+
+impl Default for BatchSynthesizer {
+    fn default() -> Self {
+        Self::with_options(WorkflowConfig::default(), BatchOptions::default())
+    }
 }
 
 impl BatchSynthesizer {
@@ -397,12 +338,13 @@ impl BatchSynthesizer {
         Self::default()
     }
 
-    /// Creates a batch synthesizer with custom workflow and batch options.
+    /// Creates a batch synthesizer with custom workflow and batch options
+    /// (including the cache's sharding and eviction policy).
     pub fn with_options(config: WorkflowConfig, options: BatchOptions) -> Self {
         BatchSynthesizer {
             config,
             options,
-            cache: Arc::default(),
+            cache: Arc::new(ShardedCache::new(options.cache)),
         }
     }
 
@@ -411,14 +353,46 @@ impl BatchSynthesizer {
         &self.options
     }
 
+    /// The underlying sharded cache (shared by clones of this synthesizer).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
     /// Number of solved canonical classes currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        self.cache.len()
+    }
+
+    /// A snapshot of the cache's hit/miss/insert/evict counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Drops every cached solution.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache poisoned").clear();
+        self.cache.clear();
+    }
+
+    /// Persists the solved classes as a JSON warm-start snapshot. Returns
+    /// the number of classes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_cache_snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        self.cache.save_snapshot(path.as_ref())
+    }
+
+    /// Warm-starts the cache from a snapshot produced by
+    /// [`BatchSynthesizer::save_cache_snapshot`] (entries flow through the
+    /// normal eviction-aware insert path). Returns the number of classes
+    /// loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and rejects malformed snapshots.
+    pub fn load_cache_snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        self.cache.load_snapshot(path.as_ref())
     }
 
     fn thread_count(&self) -> usize {
@@ -438,41 +412,56 @@ impl BatchSynthesizer {
     /// `Err` entry without affecting the others.
     pub fn synthesize_batch<S: QuantumState + Sync>(&self, targets: &[S]) -> BatchOutcome {
         let start = std::time::Instant::now();
-        let threads = self.thread_count();
+        let threads = self.thread_count().clamp(1, targets.len().max(1));
 
         // Phase 1 (parallel): get a sparse view (zero-copy for sparse
         // backends) and compute canonical keys. The closure indexes
         // `targets` directly (rather than using its `&S` argument) so the
         // returned Cow can borrow for the whole batch.
+        let keying_start = std::time::Instant::now();
         let keyed: Vec<KeyedTarget<'_>> = par_map(targets, threads, |i, _| {
             let sparse = targets[i].as_sparse()?;
             let (key, transform) = canonicalize(sparse.as_ref(), self.options.dedup);
             Ok((key, transform, sparse))
         });
+        let keying = keying_start.elapsed();
 
         // Phase 2 (sequential): plan which targets need a fresh solve. With
-        // dedup off, every valid target is solved independently.
+        // dedup off, every valid target is solved independently and the
+        // cache is bypassed. Cross-batch hits pin their entry here, so a
+        // bounded cache can evict freely afterwards without losing them.
+        let planning_start = std::time::Instant::now();
         let mut to_solve: Vec<usize> = Vec::new();
-        let mut reused = vec![false; targets.len()];
+        let mut cache_hits = 0usize;
+        let mut plans: Vec<Plan> = Vec::with_capacity(targets.len());
         {
-            let cache = self.cache.lock().expect("cache poisoned");
-            let mut planned: std::collections::HashSet<&BatchKey> =
-                std::collections::HashSet::new();
+            let mut planned: HashMap<&ClassKey, usize> = HashMap::new();
             for (i, entry) in keyed.iter().enumerate() {
-                let Ok((key, _, _)) = entry else { continue };
+                let Ok((key, _, _)) = entry else {
+                    plans.push(Plan::Invalid);
+                    continue;
+                };
                 if self.options.dedup == DedupPolicy::Off {
                     to_solve.push(i);
-                } else if cache.contains_key(key) || planned.contains(key) {
-                    reused[i] = true;
+                    plans.push(Plan::Fresh);
+                } else if let Some(&representative) = planned.get(key) {
+                    cache_hits += 1;
+                    plans.push(Plan::Follow(representative));
+                } else if let Some(cached) = self.cache.lookup(key) {
+                    cache_hits += 1;
+                    plans.push(Plan::Cached(cached));
                 } else {
-                    planned.insert(key);
+                    planned.insert(key, i);
                     to_solve.push(i);
+                    plans.push(Plan::Fresh);
                 }
             }
         }
+        let planning = planning_start.elapsed();
 
         // Phase 3 (parallel): solve one representative per class and publish
         // it to the shared cache as soon as it is ready.
+        let solving_start = std::time::Instant::now();
         let workflow = QspWorkflow::with_config(self.config);
         let solved: Vec<(usize, Arc<CacheEntry>)> = par_map(&to_solve, threads, |_, &i| {
             let (key, transform, sparse) = keyed[i].as_ref().expect("planned targets are valid");
@@ -481,28 +470,34 @@ impl BatchSynthesizer {
                 transform: transform.clone(),
             });
             if self.options.dedup != DedupPolicy::Off {
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(key.clone(), Arc::clone(&entry));
+                self.cache.insert(key.clone(), Arc::clone(&entry));
             }
             (i, entry)
         });
         let own_solution: HashMap<usize, Arc<CacheEntry>> = solved.into_iter().collect();
+        let solving = solving_start.elapsed();
 
         // Phase 4 (parallel): assemble per-target circuits. Freshly solved
-        // targets take their own circuit; cache hits reconstruct through the
-        // witness transforms (identity composition ⇒ identical circuit).
+        // targets take their own circuit; followers resolve through their
+        // in-batch representative; cross-batch hits use the entry pinned at
+        // planning time. No cache locks are taken here, and eviction cannot
+        // invalidate any plan.
+        let assembly_start = std::time::Instant::now();
         let results: Vec<Result<Circuit, SynthesisError>> =
             par_map(targets, threads, |i, _| match &keyed[i] {
                 Err(e) => Err(e.clone()),
-                Ok((key, transform, _)) => {
-                    let entry = match own_solution.get(&i) {
-                        Some(entry) => Arc::clone(entry),
-                        None => {
-                            let cache = self.cache.lock().expect("cache poisoned");
-                            Arc::clone(cache.get(key).expect("planned or cached"))
+                Ok((_, transform, _)) => {
+                    let entry = match &plans[i] {
+                        Plan::Fresh => {
+                            Arc::clone(own_solution.get(&i).expect("fresh targets were solved"))
                         }
+                        Plan::Follow(representative) => Arc::clone(
+                            own_solution
+                                .get(representative)
+                                .expect("representatives were solved"),
+                        ),
+                        Plan::Cached(entry) => Arc::clone(entry),
+                        Plan::Invalid => unreachable!("invalid targets are handled above"),
                     };
                     match &entry.circuit {
                         Err(e) => Err(e.clone()),
@@ -510,14 +505,20 @@ impl BatchSynthesizer {
                     }
                 }
             });
+        let assembly = assembly_start.elapsed();
 
         let errors = results.iter().filter(|r| r.is_err()).count();
         let stats = BatchStats {
             targets: targets.len(),
             solver_runs: to_solve.len(),
-            cache_hits: reused.iter().filter(|&&r| r).count(),
+            cache_hits,
             errors,
+            threads,
             elapsed: start.elapsed(),
+            keying,
+            planning,
+            solving,
+            assembly,
         };
         BatchOutcome { results, stats }
     }
@@ -526,7 +527,7 @@ impl BatchSynthesizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsp_state::generators;
+    use qsp_state::{generators, BasisIndex};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -609,6 +610,7 @@ mod tests {
         assert_eq!(outcome.stats.solver_runs, 2);
         assert_eq!(outcome.stats.cache_hits, 1);
         assert_eq!(outcome.stats.errors, 0);
+        assert!(outcome.stats.threads >= 1);
         let first = outcome.results[0].as_ref().unwrap();
         let third = outcome.results[2].as_ref().unwrap();
         assert_eq!(
@@ -630,6 +632,10 @@ mod tests {
             first.results[0].as_ref().unwrap(),
             second.results[0].as_ref().unwrap()
         );
+        // Store-level counters: one planning miss, one planning hit.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
         engine.clear_cache();
         assert_eq!(engine.cache_len(), 0);
     }
@@ -642,6 +648,7 @@ mod tests {
             BatchOptions {
                 threads: 2,
                 dedup: DedupPolicy::Off,
+                ..BatchOptions::default()
             },
         );
         let outcome = engine.synthesize_batch(&targets);
@@ -662,5 +669,48 @@ mod tests {
         assert!(outcome.results[0].is_ok());
         assert!(outcome.results[1].is_err());
         assert_eq!(outcome.stats.errors, 1);
+    }
+
+    #[test]
+    fn stage_timings_sum_to_less_than_elapsed() {
+        let targets = vec![generators::ghz(3).unwrap(), generators::w_state(4).unwrap()];
+        let outcome = BatchSynthesizer::new().synthesize_batch(&targets);
+        let staged = outcome.stats.keying
+            + outcome.stats.planning
+            + outcome.stats.solving
+            + outcome.stats.assembly;
+        assert!(staged <= outcome.stats.elapsed);
+        assert!(outcome.stats.solving > Duration::ZERO);
+    }
+
+    #[test]
+    fn bounded_cache_still_produces_correct_batches() {
+        // A cache bounded far below the class count: every batch result must
+        // still be correct even though most classes get evicted.
+        let engine = BatchSynthesizer::with_options(
+            WorkflowConfig::default(),
+            BatchOptions {
+                threads: 2,
+                dedup: DedupPolicy::Canonical,
+                cache: CacheConfig {
+                    shards: 2,
+                    capacity: 2,
+                },
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut targets = Vec::new();
+        for _ in 0..8 {
+            targets.push(generators::random_uniform_state(4, 5, &mut rng).unwrap());
+        }
+        targets.push(targets[0].clone());
+        targets.push(targets[3].clone());
+        let outcome = engine.synthesize_batch(&targets);
+        assert_eq!(outcome.stats.errors, 0);
+        assert!(engine.cache_len() <= engine.cache().capacity());
+        assert!(engine.cache_stats().evictions > 0);
+        for (target, result) in targets.iter().zip(&outcome.results) {
+            verify(result.as_ref().unwrap(), target);
+        }
     }
 }

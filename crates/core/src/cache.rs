@@ -1,0 +1,831 @@
+//! The sharded, eviction-aware synthesis cache.
+//!
+//! [`ShardedCache`] maps Sec. V-B canonical class keys to solved circuits
+//! (plus the witness transform of the solved representative). It replaces the
+//! single `Mutex<HashMap>` of the original batch engine with:
+//!
+//! * **N-way sharding** — the key hash selects one of `shards` independent
+//!   `Mutex<HashMap>` shards (shard count is a power of two, so selection is
+//!   a mask), removing the global lock from the batch hot path.
+//! * **LRU eviction** — when a [`CacheConfig`] capacity is set, each shard is
+//!   bounded to its slice of the capacity and evicts its least-recently-used
+//!   class on overflow. Recency is a global atomic tick stamped on every
+//!   lookup and insert.
+//! * **Atomic hit/miss/insert/evict counters** — cheap relaxed counters that
+//!   stay consistent under arbitrary thread interleavings:
+//!   `hits + misses == lookups`, and `entries ≤ insertions − evictions`
+//!   (strictly below when racing writers re-insert an existing class, which
+//!   replaces the slot but still counts as an insertion).
+//! * **JSON warm-start snapshots** — [`ShardedCache::save_snapshot`] /
+//!   [`ShardedCache::load_snapshot`] persist solved classes (rotation angles
+//!   as exact `f64` bit patterns) so a fresh process can start warm. The
+//!   format is hand-rolled JSON; the offline build has no serde.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qsp_circuit::{Circuit, Control, Gate};
+
+use crate::engine::StateTransform;
+use crate::error::SynthesisError;
+use crate::search::config::CacheConfig;
+
+/// An amplitude-aware canonical class fingerprint: `(index, amplitude bits)`
+/// sorted by index, plus the register width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    pub(crate) num_qubits: usize,
+    pub(crate) entries: Vec<(u64, u64)>,
+}
+
+impl ClassKey {
+    /// Builds a key from the register width and `(index, amplitude bits)`
+    /// entries (sorted by the caller).
+    pub(crate) fn new(num_qubits: usize, entries: Vec<(u64, u64)>) -> Self {
+        ClassKey {
+            num_qubits,
+            entries,
+        }
+    }
+}
+
+/// One solved canonical class: the circuit of the first-seen member and the
+/// witness transform of that member.
+#[derive(Debug)]
+pub struct CacheEntry {
+    pub(crate) circuit: Result<Circuit, SynthesisError>,
+    pub(crate) transform: StateTransform,
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a cached class.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Classes inserted (including snapshot loads).
+    pub insertions: u64,
+    /// Classes evicted by the size bound.
+    pub evictions: u64,
+    /// Classes currently cached across all shards.
+    pub entries: usize,
+}
+
+struct Slot {
+    entry: Arc<CacheEntry>,
+    last_used: u64,
+}
+
+/// The sharded, size-bounded canonical-class cache. See the [module
+/// docs](self).
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Box<[Mutex<HashMap<ClassKey, Slot>>]>,
+    shard_mask: usize,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("last_used", &self.last_used)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedCache {
+    /// Creates a cache with the given sharding and eviction policy.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.resolved_shards();
+        let per_shard_capacity = if config.capacity == 0 {
+            0
+        } else {
+            config.capacity.div_ceil(shards)
+        };
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            shard_mask: shards - 1,
+            per_shard_capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The effective size bound: the configured capacity rounded up to a
+    /// multiple of the shard count (`0` = unbounded). The cache never holds
+    /// more classes than this.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Number of solved canonical classes currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no classes.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().expect("cache shard poisoned").is_empty())
+    }
+
+    /// Drops every cached class (counters are preserved).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// A consistent-enough snapshot of the counters plus the current entry
+    /// count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    fn shard_of(&self, key: &ClassKey) -> &Mutex<HashMap<ClassKey, Slot>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & self.shard_mask]
+    }
+
+    /// Looks up a class, recording a hit or miss and refreshing the entry's
+    /// recency on a hit.
+    pub fn lookup(&self, key: &ClassKey) -> Option<Arc<CacheEntry>> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        match shard.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a solved class, evicting the shard's
+    /// least-recently-used class first when the shard is at its bound.
+    pub fn insert(&self, key: ClassKey, entry: Arc<CacheEntry>) {
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if self.per_shard_capacity > 0
+            && shard.len() >= self.per_shard_capacity
+            && !shard.contains_key(&key)
+        {
+            let victim = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key, Slot { entry, last_used });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serializes every cached class whose synthesis succeeded into the
+    /// writer as JSON. Rotation angles are written as `f64` bit patterns, so
+    /// a round-trip is lossless.
+    pub fn write_snapshot<W: Write>(&self, mut writer: W) -> io::Result<usize> {
+        let mut body = String::from("{\"version\":1,\"entries\":[");
+        let mut written = 0usize;
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for (key, slot) in shard.iter() {
+                let Ok(circuit) = &slot.entry.circuit else {
+                    continue; // errors are session-local; never persisted
+                };
+                if written > 0 {
+                    body.push(',');
+                }
+                write_entry(&mut body, key, &slot.entry.transform, circuit);
+                written += 1;
+            }
+        }
+        body.push_str("]}\n");
+        writer.write_all(body.as_bytes())?;
+        Ok(written)
+    }
+
+    /// Saves a warm-start snapshot to `path`. Returns the number of classes
+    /// written.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> io::Result<usize> {
+        let file = std::fs::File::create(path)?;
+        self.write_snapshot(io::BufWriter::new(file))
+    }
+
+    /// Loads classes from a snapshot produced by
+    /// [`ShardedCache::write_snapshot`], inserting them through the normal
+    /// eviction-aware path. Returns the number of classes loaded.
+    pub fn read_snapshot<R: Read>(&self, mut reader: R) -> io::Result<usize> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let value = json::parse(&text).map_err(invalid_data)?;
+        let root = value
+            .as_object()
+            .ok_or_else(|| invalid_data("snapshot root must be an object"))?;
+        let version = get(root, "version")?
+            .as_u64()
+            .ok_or_else(|| invalid_data("version"))?;
+        if version != 1 {
+            return Err(invalid_data(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let entries = get(root, "entries")?
+            .as_array()
+            .ok_or_else(|| invalid_data("entries must be an array"))?;
+        let mut loaded = 0usize;
+        for entry in entries {
+            let (key, cache_entry) = parse_entry(entry).map_err(invalid_data)?;
+            self.insert(key, Arc::new(cache_entry));
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Loads a warm-start snapshot from `path`. Returns the number of
+    /// classes loaded.
+    pub fn load_snapshot(&self, path: &std::path::Path) -> io::Result<usize> {
+        let file = std::fs::File::open(path)?;
+        self.read_snapshot(io::BufReader::new(file))
+    }
+}
+
+fn invalid_data<E: Into<Box<dyn std::error::Error + Send + Sync>>>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+fn get<'a>(object: &'a [(String, json::Value)], field: &str) -> io::Result<&'a json::Value> {
+    object
+        .iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| invalid_data(format!("missing field `{field}`")))
+}
+
+fn write_entry(out: &mut String, key: &ClassKey, transform: &StateTransform, circuit: &Circuit) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"n\":{},\"key\":[", key.num_qubits);
+    for (i, (index, bits)) in key.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{index},{bits}]");
+    }
+    out.push_str("],\"perm\":[");
+    for (i, p) in transform.perm.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{p}");
+    }
+    let _ = write!(out, "],\"mask\":{},\"gates\":[", transform.mask);
+    for (i, gate) in circuit.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match gate {
+            Gate::X { target } => {
+                let _ = write!(out, "{{\"g\":\"x\",\"t\":{target}}}");
+            }
+            Gate::Ry { target, theta } => {
+                let _ = write!(
+                    out,
+                    "{{\"g\":\"ry\",\"t\":{target},\"a\":{}}}",
+                    theta.to_bits()
+                );
+            }
+            Gate::Cnot { control, target } => {
+                let _ = write!(
+                    out,
+                    "{{\"g\":\"cx\",\"c\":{},\"p\":{},\"t\":{target}}}",
+                    control.qubit, control.polarity
+                );
+            }
+            Gate::Mcry {
+                controls,
+                target,
+                theta,
+            } => {
+                let _ = write!(out, "{{\"g\":\"mcry\",\"cs\":[");
+                for (j, c) in controls.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{},{}]", c.qubit, c.polarity);
+                }
+                let _ = write!(out, "],\"t\":{target},\"a\":{}}}", theta.to_bits());
+            }
+        }
+    }
+    out.push_str("]}");
+}
+
+fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
+    let object = value.as_object().ok_or("entry must be an object")?;
+    let field = |name: &str| -> Result<&json::Value, String> {
+        object
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{name}`"))
+    };
+    let n = field("n")?.as_u64().ok_or("n")? as usize;
+    let key_entries = field("key")?
+        .as_array()
+        .ok_or("key")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().ok_or("key pair")?;
+            match pair {
+                [a, b] => Ok((
+                    a.as_u64().ok_or("key index")?,
+                    b.as_u64().ok_or("key bits")?,
+                )),
+                _ => Err("key pair arity".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let perm = field("perm")?
+        .as_array()
+        .ok_or("perm")?
+        .iter()
+        .map(|p| {
+            p.as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| "perm entry".to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if perm.len() != n {
+        return Err("perm length must match the register width".to_string());
+    }
+    let mut seen = vec![false; n];
+    for &p in &perm {
+        if p >= n || seen[p] {
+            return Err("perm must be a bijection on 0..n".to_string());
+        }
+        seen[p] = true;
+    }
+    let mask = field("mask")?.as_u64().ok_or("mask")?;
+    let gates = field("gates")?
+        .as_array()
+        .ok_or("gates")?
+        .iter()
+        .map(parse_gate)
+        .collect::<Result<Vec<_>, String>>()?;
+    let circuit = Circuit::from_gates(n, gates).map_err(|e| e.to_string())?;
+    Ok((
+        ClassKey::new(n, key_entries),
+        CacheEntry {
+            circuit: Ok(circuit),
+            transform: StateTransform { perm, mask },
+        },
+    ))
+}
+
+fn parse_gate(value: &json::Value) -> Result<Gate, String> {
+    let object = value.as_object().ok_or("gate must be an object")?;
+    let field = |name: &str| -> Result<&json::Value, String> {
+        object
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing gate field `{name}`"))
+    };
+    let kind = field("g")?.as_str().ok_or("g")?;
+    let target = field("t")?.as_u64().ok_or("t")? as usize;
+    match kind {
+        "x" => Ok(Gate::X { target }),
+        "ry" => Ok(Gate::Ry {
+            target,
+            theta: f64::from_bits(field("a")?.as_u64().ok_or("a")?),
+        }),
+        "cx" => Ok(Gate::Cnot {
+            control: Control {
+                qubit: field("c")?.as_u64().ok_or("c")? as usize,
+                polarity: field("p")?.as_bool().ok_or("p")?,
+            },
+            target,
+        }),
+        "mcry" => {
+            let controls = field("cs")?
+                .as_array()
+                .ok_or("cs")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().ok_or("control pair")?;
+                    match pair {
+                        [q, p] => Ok(Control {
+                            qubit: q.as_u64().ok_or("control qubit")? as usize,
+                            polarity: p.as_bool().ok_or("control polarity")?,
+                        }),
+                        _ => Err("control pair arity".to_string()),
+                    }
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Gate::Mcry {
+                controls,
+                target,
+                theta: f64::from_bits(field("a")?.as_u64().ok_or("a")?),
+            })
+        }
+        other => Err(format!("unknown gate kind `{other}`")),
+    }
+}
+
+/// A minimal JSON reader for the snapshot subset this module emits: objects,
+/// arrays, strings without escapes, unsigned integers and booleans. The
+/// offline image has no serde; this stays deliberately tiny.
+mod json {
+    /// A parsed JSON value (snapshot subset).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Key-value pairs in document order.
+        Object(Vec<(String, Value)>),
+        /// Array elements.
+        Array(Vec<Value>),
+        /// A string literal.
+        Str(String),
+        /// An unsigned integer (the only number form the snapshot uses).
+        Num(u64),
+        /// A boolean.
+        Bool(bool),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a snapshot-subset JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&byte) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", byte as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') | Some(b'f') => parse_bool(bytes, pos),
+            Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
+            _ => Err(format!("unexpected byte at {pos}")),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let start = *pos;
+        while let Some(&c) = bytes.get(*pos) {
+            if c == b'"' {
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?
+                    .to_string();
+                *pos += 1;
+                return Ok(s);
+            }
+            if c == b'\\' {
+                return Err("escape sequences are not part of the snapshot subset".to_string());
+            }
+            *pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ascii");
+        text.parse::<u64>()
+            .map(Value::Num)
+            .map_err(|e| format!("invalid number `{text}`: {e}"))
+    }
+
+    fn parse_bool(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(b"true") {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        } else if bytes[*pos..].starts_with(b"false") {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize, seed: u64) -> ClassKey {
+        ClassKey::new(
+            n,
+            vec![(seed, seed.wrapping_mul(31)), (seed + 7, seed ^ 42)],
+        )
+    }
+
+    fn entry(n: usize) -> Arc<CacheEntry> {
+        let mut circuit = Circuit::new(n);
+        circuit.push(Gate::cnot(0, 1));
+        circuit.push(Gate::ry(0, 0.25));
+        Arc::new(CacheEntry {
+            circuit: Ok(circuit),
+            transform: StateTransform::identity(n),
+        })
+    }
+
+    #[test]
+    fn lookup_and_counters() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 4,
+            capacity: 0,
+        });
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
+        assert!(cache.lookup(&key(3, 1)).is_none());
+        cache.insert(key(3, 1), entry(3));
+        assert!(cache.lookup(&key(3, 1)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn eviction_respects_the_bound_and_prefers_stale_entries() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity: 3,
+        });
+        assert_eq!(cache.capacity(), 3);
+        for seed in 0..3 {
+            cache.insert(key(3, seed), entry(3));
+        }
+        // Touch seeds 1 and 2 so seed 0 is the LRU victim.
+        assert!(cache.lookup(&key(3, 1)).is_some());
+        assert!(cache.lookup(&key(3, 2)).is_some());
+        cache.insert(key(3, 99), entry(3));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.lookup(&key(3, 0)).is_none(),
+            "LRU entry must be evicted"
+        );
+        assert!(cache.lookup(&key(3, 99)).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        cache.insert(key(3, 1), entry(3));
+        cache.insert(key(3, 2), entry(3));
+        cache.insert(key(3, 1), entry(3)); // replace, not insert
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_losslessly() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 2,
+            capacity: 0,
+        });
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::x(2));
+        circuit.push(Gate::cnot_negated(1, 0));
+        circuit.push(Gate::ry(1, std::f64::consts::FRAC_PI_3));
+        circuit.push(Gate::Mcry {
+            controls: vec![Control::positive(0), Control::negative(2)],
+            target: 1,
+            theta: -1.234567891011e-3,
+        });
+        let transform = StateTransform {
+            perm: vec![2, 0, 1],
+            mask: 0b101,
+        };
+        cache.insert(
+            key(3, 5),
+            Arc::new(CacheEntry {
+                circuit: Ok(circuit.clone()),
+                transform: transform.clone(),
+            }),
+        );
+        // Failed classes never reach the snapshot.
+        cache.insert(
+            key(3, 6),
+            Arc::new(CacheEntry {
+                circuit: Err(SynthesisError::UnsupportedState {
+                    reason: "test".to_string(),
+                }),
+                transform: StateTransform::identity(3),
+            }),
+        );
+
+        let mut buffer = Vec::new();
+        let written = cache.write_snapshot(&mut buffer).unwrap();
+        assert_eq!(written, 1);
+
+        let restored = ShardedCache::new(CacheConfig {
+            shards: 8,
+            capacity: 0,
+        });
+        let loaded = restored.read_snapshot(buffer.as_slice()).unwrap();
+        assert_eq!(loaded, 1);
+        let entry = restored.lookup(&key(3, 5)).expect("loaded class present");
+        assert_eq!(entry.circuit.as_ref().unwrap(), &circuit);
+        assert_eq!(entry.transform, transform);
+        assert!(restored.lookup(&key(3, 6)).is_none());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        let cache = ShardedCache::new(CacheConfig::default());
+        assert!(cache.read_snapshot("not json".as_bytes()).is_err());
+        assert!(cache
+            .read_snapshot("{\"version\":2,\"entries\":[]}".as_bytes())
+            .is_err());
+        // A perm that is not a bijection is rejected.
+        let bad = "{\"version\":1,\"entries\":[{\"n\":2,\"key\":[[0,1]],\"perm\":[0,0],\"mask\":0,\"gates\":[]}]}";
+        assert!(cache.read_snapshot(bad.as_bytes()).is_err());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_counters_stay_consistent() {
+        let cache = Arc::new(ShardedCache::new(CacheConfig {
+            shards: 4,
+            capacity: 0,
+        }));
+        let threads = 8;
+        let per_thread = 200;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let k = key(4, (i % 50) as u64);
+                        if cache.lookup(&k).is_none() {
+                            cache.insert(k, entry(4));
+                        }
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            (threads * per_thread) as u64,
+            "every lookup is counted exactly once"
+        );
+        assert_eq!(stats.entries, 50);
+        assert!(stats.insertions >= 50);
+    }
+}

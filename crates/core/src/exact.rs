@@ -1,10 +1,13 @@
 //! The exact CNOT synthesizer: from a target state to a CNOT-optimal circuit.
 //!
-//! [`ExactSynthesizer`] wraps the A* search of [`crate::search`]:
+//! [`ExactSynthesizer`] is the public face of the [`crate::engine::SolverEngine`]
+//! pipeline:
 //!
 //! 1. the target's constant-`|0⟩` qubits are compacted away (the search then
 //!    runs on the active register only),
-//! 2. the A* solver finds the cheapest backward reduction to a product state,
+//! 2. the A* solver finds the cheapest backward reduction to a product state
+//!    — sequentially or as a portfolio race over canonical variants,
+//!    depending on [`SearchConfig::strategy`],
 //! 3. the abstract transitions are *replayed* on the concrete state to derive
 //!    the exact rotation angles, and a zero-cost single-qubit layer finishes
 //!    the reduction to `|0…0⟩`,
@@ -14,23 +17,27 @@
 use std::time::Duration;
 
 use qsp_circuit::{apply_gate, Circuit, Control, Gate};
-use qsp_state::{BasisIndex, Cofactors, QuantumState, SparseState, DEFAULT_TOLERANCE};
+use qsp_state::{Cofactors, QuantumState, SparseState, DEFAULT_TOLERANCE};
 
+use crate::engine::SolverEngine;
 use crate::error::SynthesisError;
-use crate::search::astar::shortest_reduction;
 use crate::search::config::SearchConfig;
 use crate::search::op::TransitionOp;
-use crate::search::state::SearchState;
 
 /// Statistics of one exact synthesis run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SynthesisStats {
-    /// States expanded by the A* search.
+    /// States expanded by the A* search (the winning worker's count under
+    /// portfolio search).
     pub expanded: usize,
-    /// States pushed onto the priority queue.
+    /// States pushed onto the priority queue (winning worker under portfolio
+    /// search).
     pub pushed: usize,
     /// Number of active (non constant-`|0⟩`) qubits the search ran on.
     pub active_qubits: usize,
+    /// Number of canonical variants the solver raced (1 for sequential
+    /// search or a degenerate portfolio).
+    pub variants: usize,
 }
 
 /// The result of an exact synthesis run.
@@ -67,25 +74,33 @@ pub struct ExactSynthesisOutcome {
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactSynthesizer {
-    config: SearchConfig,
+    engine: SolverEngine,
 }
 
 impl ExactSynthesizer {
     /// Creates a synthesizer with the paper's default configuration.
     pub fn new() -> Self {
         ExactSynthesizer {
-            config: SearchConfig::default(),
+            engine: SolverEngine::new(SearchConfig::default()),
         }
     }
 
-    /// Creates a synthesizer with a custom search configuration.
+    /// Creates a synthesizer with a custom search configuration (including
+    /// the sequential-vs-portfolio [`crate::SearchStrategy`]).
     pub fn with_config(config: SearchConfig) -> Self {
-        ExactSynthesizer { config }
+        ExactSynthesizer {
+            engine: SolverEngine::new(config),
+        }
     }
 
     /// The active search configuration.
     pub fn config(&self) -> &SearchConfig {
-        &self.config
+        self.engine.config()
+    }
+
+    /// The underlying solver engine.
+    pub fn engine(&self) -> &SolverEngine {
+        &self.engine
     }
 
     /// Synthesizes the CNOT-optimal preparation circuit for `target` (any
@@ -100,83 +115,8 @@ impl ExactSynthesizer {
         &self,
         state: &S,
     ) -> Result<ExactSynthesisOutcome, SynthesisError> {
-        let start = std::time::Instant::now();
-        let sparse = state.as_sparse()?;
-        let target = sparse.as_ref();
-        if target.iter().any(|(_, a)| a < 0.0) {
-            return Err(SynthesisError::UnsupportedState {
-                reason: "exact synthesis requires non-negative real amplitudes".to_string(),
-            });
-        }
-        if target.cardinality() > self.config.max_cardinality {
-            return Err(SynthesisError::ProblemTooLarge {
-                reason: format!(
-                    "cardinality {} exceeds the limit {}",
-                    target.cardinality(),
-                    self.config.max_cardinality
-                ),
-            });
-        }
-
-        // Compact away constant-|0⟩ qubits: the search runs on the active
-        // register, the circuit is remapped back at the end.
-        let active: Vec<usize> = (0..target.num_qubits())
-            .filter(|&q| target.iter().any(|(index, _)| index.bit(q)))
-            .collect();
-        if active.len() > self.config.max_qubits {
-            return Err(SynthesisError::ProblemTooLarge {
-                reason: format!(
-                    "{} active qubits exceed the limit {}",
-                    active.len(),
-                    self.config.max_qubits
-                ),
-            });
-        }
-        if active.is_empty() {
-            // The target is |0…0⟩ already.
-            return Ok(ExactSynthesisOutcome {
-                circuit: Circuit::new(target.num_qubits()),
-                cnot_cost: 0,
-                stats: SynthesisStats {
-                    active_qubits: 0,
-                    ..SynthesisStats::default()
-                },
-                elapsed: start.elapsed(),
-            });
-        }
-
-        let compact = compact_state(target, &active)?;
-        let search_target = SearchState::from_state(&compact);
-        let outcome = shortest_reduction(&search_target, &self.config)?;
-        let reduction = replay_reduction(&compact, &outcome.reduction_ops)?;
-        let compact_circuit = reduction.inverse();
-        let circuit = compact_circuit.remap_qubits(&active, target.num_qubits())?;
-
-        Ok(ExactSynthesisOutcome {
-            cnot_cost: circuit.cnot_cost(),
-            circuit,
-            stats: SynthesisStats {
-                expanded: outcome.expanded,
-                pushed: outcome.pushed,
-                active_qubits: active.len(),
-            },
-            elapsed: start.elapsed(),
-        })
+        self.engine.synthesize(state)
     }
-}
-
-/// Restricts `target` to the `active` qubits (every other qubit is `|0⟩`).
-fn compact_state(target: &SparseState, active: &[usize]) -> Result<SparseState, SynthesisError> {
-    let entries = target.iter().map(|(index, amplitude)| {
-        let mut compact = 0u64;
-        for (new_pos, &old_pos) in active.iter().enumerate() {
-            if index.bit(old_pos) {
-                compact |= 1 << new_pos;
-            }
-        }
-        (BasisIndex::new(compact), amplitude)
-    });
-    Ok(SparseState::from_amplitudes(active.len(), entries)?)
 }
 
 /// Replays the abstract reduction operations on the concrete state, deriving
@@ -284,7 +224,7 @@ fn merge_angle(
 mod tests {
     use super::*;
     use qsp_sim::verify_preparation;
-    use qsp_state::generators;
+    use qsp_state::{generators, BasisIndex};
 
     fn synthesize_and_verify(target: &SparseState) -> ExactSynthesisOutcome {
         let outcome = ExactSynthesizer::new().synthesize(target).unwrap();
@@ -375,6 +315,7 @@ mod tests {
         let wide_config = ExactSynthesizer::with_config(SearchConfig::extended());
         assert!(wide_config.synthesize(&generators::ghz(5).unwrap()).is_ok());
         assert_eq!(wide_config.config().max_qubits, 5);
+        assert_eq!(wide_config.engine().config().max_qubits, 5);
     }
 
     #[test]

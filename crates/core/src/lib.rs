@@ -13,16 +13,24 @@
 //!   single-target transitions (Sec. IV) together with the A* shortest-path
 //!   solver, its admissible entanglement heuristic and the canonicalization
 //!   based state compression (Sec. V).
+//! * [`engine`] — the [`SolverEngine`]: one dispatch point that schedules
+//!   the A* search sequentially or as a *portfolio* race over canonically
+//!   equivalent target variants (shared atomic incumbent bound,
+//!   first-optimal-wins cancellation), selected by
+//!   [`SearchConfig::strategy`]. Every entry point below solves through it.
 //! * [`exact`] — the user-facing exact synthesizer: give it a state, get back
 //!   the CNOT-optimal circuit (with respect to the paper's gate library) plus
 //!   search statistics.
 //! * [`workflow`] — the scalable workflow of Fig. 5: sparse states are first
 //!   shrunk with cardinality reduction, dense states with qubit reduction,
 //!   until the residual problem fits the exact solver's thresholds.
+//! * [`cache`] — the sharded, eviction-aware synthesis cache: canonical
+//!   classes keyed by hash shard, LRU-bounded by [`CacheConfig`], with JSON
+//!   warm-start snapshots for cross-process reuse.
 //! * [`batch`] — the parallel batch-synthesis engine: many targets at once,
-//!   deduplicated under the Sec. V-B canonical key through a shared
-//!   concurrent cache, solved on a worker pool, with per-target circuits and
-//!   aggregate statistics returned in submission order.
+//!   deduplicated under the Sec. V-B canonical key through the sharded
+//!   cache, solved on a worker pool, with per-target circuits and aggregate
+//!   statistics returned in submission order.
 //!
 //! # Quickstart
 //!
@@ -44,13 +52,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod search;
 pub mod workflow;
 
 pub use batch::{BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy};
+pub use cache::{CacheStats, ShardedCache};
+pub use engine::SolverEngine;
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};
-pub use search::config::SearchConfig;
+pub use search::config::{CacheConfig, SearchConfig, SearchStrategy};
 pub use workflow::{prepare_state, QspWorkflow, WorkflowConfig};

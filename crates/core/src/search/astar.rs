@@ -2,14 +2,21 @@
 //!
 //! The search runs backwards from the target state and stops at the first
 //! *product* state it settles: from there zero-cost single-qubit rotations
-//! finish the reduction to `|0…0⟩`. Distances are stored per canonical key
-//! (state compression, Sec. V-B) and the priority queue is ordered by
-//! `g + h` where `h` is the admissible entanglement heuristic of Sec. V-A,
-//! so the first settled product state is CNOT-optimal with respect to the
-//! transition library.
+//! finish the reduction to `|0…0⟩`. Distances are stored per concrete state
+//! by default (or per Sec. V-B equivalence class when the approximate
+//! `permutation_compression` ablation is on) and the priority queue is
+//! ordered by `g + h` where `h` is the admissible entanglement heuristic of
+//! Sec. V-A, so the first settled product state is CNOT-optimal with respect
+//! to the transition library.
+//!
+//! The search can also run as one worker of a *portfolio* (see
+//! [`SearchCoordination`]): racing searches on zero-cost variants of the
+//! same target share an atomic incumbent bound and a cancellation flag.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 
 use crate::error::SynthesisError;
 
@@ -17,6 +24,53 @@ use super::canonical::{canonical_key, CanonicalKey};
 use super::config::SearchConfig;
 use super::op::TransitionOp;
 use super::state::SearchState;
+
+/// Shared coordination state of a portfolio of racing A* searches.
+///
+/// Workers publish their solution cost into the atomic *incumbent bound* and
+/// raise the cancellation flag as soon as one of them settles an optimal
+/// solution (first-optimal-wins). Other workers prune queue entries that
+/// cannot beat the incumbent and exit at the next poll of the flag.
+#[derive(Debug, Default)]
+pub struct SearchCoordination {
+    best: AtomicUsize,
+    cancelled: AtomicBool,
+}
+
+impl SearchCoordination {
+    /// Fresh coordination state with an infinite incumbent bound.
+    pub fn new() -> Self {
+        SearchCoordination {
+            best: AtomicUsize::new(usize::MAX),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Publishes a settled solution cost and cancels the remaining workers.
+    pub fn record_solution(&self, cost: usize) {
+        self.best.fetch_min(cost, AtomicOrdering::SeqCst);
+        self.cancelled.store(true, AtomicOrdering::SeqCst);
+    }
+
+    /// The current incumbent bound (`usize::MAX` before any solution).
+    pub fn bound(&self) -> usize {
+        self.best.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Whether some worker already settled an optimal solution.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// Why a coordinated search returned without a reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchFailure {
+    /// Another portfolio worker won the race; this search was cancelled.
+    Cancelled,
+    /// The search itself failed (budget exhaustion).
+    Error(SynthesisError),
+}
 
 /// Statistics and result of one A* run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +124,23 @@ pub fn shortest_reduction(
     target: &SearchState,
     config: &SearchConfig,
 ) -> Result<SearchOutcome, SynthesisError> {
+    shortest_reduction_coordinated(target, config, None).map_err(|failure| match failure {
+        // Without coordination a search can never be cancelled.
+        SearchFailure::Cancelled => unreachable!("uncoordinated search cancelled"),
+        SearchFailure::Error(e) => e,
+    })
+}
+
+/// [`shortest_reduction`] with optional portfolio coordination: the search
+/// polls the cancellation flag on every pop and prunes successors whose `f`
+/// value already exceeds the shared incumbent bound (such a node can at best
+/// *match* the settled optimum, never beat it, so dropping it preserves the
+/// first-optimal-wins contract).
+pub fn shortest_reduction_coordinated(
+    target: &SearchState,
+    config: &SearchConfig,
+    coordination: Option<&SearchCoordination>,
+) -> Result<SearchOutcome, SearchFailure> {
     if target.is_product() {
         return Ok(SearchOutcome {
             reduction_ops: Vec::new(),
@@ -103,12 +174,31 @@ pub fn shortest_reduction(
         state: target.clone(),
     });
 
+    // With compression off (the default) the key IS the state, so lookups
+    // borrow the state directly and the clone is paid only on inserts.
+    let compression = config.permutation_compression;
+    let lookup = |dist: &HashMap<CanonicalKey, usize>, state: &SearchState| -> usize {
+        let best = if compression {
+            dist.get(&canonical_key(state, true))
+        } else {
+            dist.get(state)
+        };
+        best.copied().unwrap_or(usize::MAX)
+    };
+
     while let Some(QueueItem { g, state, .. }) = queue.pop() {
-        let key = canonical_key(&state, config.permutation_compression);
-        if dist.get(&key).copied().unwrap_or(usize::MAX) < g {
+        if let Some(coordination) = coordination {
+            if coordination.is_cancelled() {
+                return Err(SearchFailure::Cancelled);
+            }
+        }
+        if lookup(&dist, &state) < g {
             continue; // stale entry
         }
         if state.is_product() {
+            if let Some(coordination) = coordination {
+                coordination.record_solution(g);
+            }
             let reduction_ops = reconstruct_path(&parent, target, &state);
             return Ok(SearchOutcome {
                 reduction_ops,
@@ -119,22 +209,36 @@ pub fn shortest_reduction(
         }
         expanded += 1;
         if expanded > config.max_expanded_nodes {
-            return Err(SynthesisError::SearchBudgetExhausted { expanded });
+            return Err(SearchFailure::Error(
+                SynthesisError::SearchBudgetExhausted { expanded },
+            ));
         }
+        let incumbent = coordination.map_or(usize::MAX, SearchCoordination::bound);
         for op in &library {
             let Some(next) = state.apply(op) else {
                 continue;
             };
             let tentative = g + op.cnot_cost();
-            let next_key = canonical_key(&next, config.permutation_compression);
-            let best = dist.get(&next_key).copied().unwrap_or(usize::MAX);
+            let next_key: Cow<'_, CanonicalKey> = if compression {
+                Cow::Owned(canonical_key(&next, true))
+            } else {
+                Cow::Borrowed(&next)
+            };
+            let best = dist.get(next_key.as_ref()).copied().unwrap_or(usize::MAX);
             if tentative < best {
-                dist.insert(next_key, tentative);
+                let f = tentative + heuristic(&next);
+                // A node with f > incumbent cannot beat the already settled
+                // optimum of an equivalent variant; prune it without touching
+                // the distance map so a later, cheaper path stays admissible.
+                if f > incumbent {
+                    continue;
+                }
+                dist.insert(next_key.into_owned(), tentative);
                 parent.insert(next.clone(), (state.clone(), *op));
                 seq += 1;
                 pushed += 1;
                 queue.push(QueueItem {
-                    f: tentative + heuristic(&next),
+                    f,
                     g: tentative,
                     seq,
                     state: next,
@@ -143,7 +247,14 @@ pub fn shortest_reduction(
         }
     }
 
-    Err(SynthesisError::SearchBudgetExhausted { expanded })
+    // A drained queue in coordinated mode means every remaining branch was
+    // pruned against the incumbent: the race has a winner, this worker lost.
+    if coordination.is_some_and(SearchCoordination::is_cancelled) {
+        return Err(SearchFailure::Cancelled);
+    }
+    Err(SearchFailure::Error(
+        SynthesisError::SearchBudgetExhausted { expanded },
+    ))
 }
 
 /// Walks the parent map from `goal` back to `start` and returns the
@@ -224,7 +335,7 @@ mod tests {
     }
 
     #[test]
-    fn heuristic_and_compression_do_not_change_the_optimum() {
+    fn heuristic_does_not_change_the_optimum_and_compression_never_improves_it() {
         let target = generators::dicke(3, 1).unwrap();
         let base = shortest_reduction(&search_state(&target), &SearchConfig::default()).unwrap();
         let no_heuristic = shortest_reduction(
@@ -244,9 +355,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(base.cnot_cost, no_heuristic.cnot_cost);
-        assert_eq!(base.cnot_cost, with_permutations.cnot_cost);
+        // The approximate PU(2) compression reconstructs genuine reduction
+        // paths, so it can never report a better-than-optimal cost — only
+        // fewer expansions at the risk of a slightly larger one.
+        assert!(with_permutations.cnot_cost >= base.cnot_cost);
         // The heuristic can only reduce the number of expansions.
         assert!(base.expanded <= no_heuristic.expanded);
+    }
+
+    #[test]
+    fn exact_keys_find_the_table4_optimum_in_every_flip_frame() {
+        // The Sec. V-B compressed search settles |D^2_4> at 7 CNOTs in some
+        // X-flip frames; the exact default must find the paper's 6 in all of
+        // them (this is the frame-independence the portfolio relies on).
+        let dicke = generators::dicke(4, 2).unwrap();
+        for mask in 0u64..16 {
+            let mut variant = dicke.clone();
+            for q in 0..4 {
+                if mask >> q & 1 == 1 {
+                    variant = variant.apply_x(q).unwrap();
+                }
+            }
+            let outcome =
+                shortest_reduction(&search_state(&variant), &SearchConfig::default()).unwrap();
+            assert_eq!(outcome.cnot_cost, 6, "flip frame {mask:04b}");
+        }
+    }
+
+    #[test]
+    fn coordinated_search_is_cancelled_by_a_settled_solution() {
+        let coordination = SearchCoordination::new();
+        assert!(!coordination.is_cancelled());
+        assert_eq!(coordination.bound(), usize::MAX);
+        coordination.record_solution(5);
+        assert!(coordination.is_cancelled());
+        assert_eq!(coordination.bound(), 5);
+        let target = search_state(&generators::dicke(4, 2).unwrap());
+        let result =
+            shortest_reduction_coordinated(&target, &SearchConfig::default(), Some(&coordination));
+        assert_eq!(result, Err(SearchFailure::Cancelled));
     }
 
     #[test]

@@ -1,4 +1,113 @@
-//! Configuration of the exact synthesis search.
+//! Configuration of the exact synthesis search and the engine-wide policies
+//! built on top of it: the sequential-vs-portfolio solver strategy and the
+//! eviction policy of the sharded synthesis cache.
+
+/// How the exact solver schedules its A* search.
+///
+/// Every entry point — [`crate::ExactSynthesizer`], [`crate::QspWorkflow`]
+/// and [`crate::BatchSynthesizer`] — resolves its solver through this one
+/// policy, so switching a whole deployment between sequential and portfolio
+/// search is a single-field change on [`SearchConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// One A* search on the target itself (the paper's Algorithm 1).
+    #[default]
+    Sequential,
+    /// Portfolio search: several A* workers race on canonically-equivalent
+    /// variants of the target (zero-cost qubit permutations and X-flip
+    /// witnesses), sharing an atomic incumbent bound. The first worker to
+    /// settle an optimal solution cancels the rest. Because every variant is
+    /// reachable through zero-CNOT-cost operations, every worker's optimum
+    /// equals the sequential optimum — the returned `cnot_cost` is
+    /// bit-identical to [`SearchStrategy::Sequential`] under the default
+    /// exact distance keys. Portfolio workers always use exact keys: the
+    /// approximate `permutation_compression` is frame-dependent and is
+    /// ignored while racing (it still applies to sequential runs).
+    Portfolio {
+        /// Number of racing workers; `0` uses the machine's available
+        /// parallelism. A resolved worker count of 1 degenerates to the
+        /// sequential search.
+        workers: usize,
+    },
+}
+
+impl SearchStrategy {
+    /// The number of racing A* workers this strategy asks for (`1` for
+    /// sequential search, the configured or auto-detected count otherwise).
+    pub fn resolved_workers(&self) -> usize {
+        match *self {
+            SearchStrategy::Sequential => 1,
+            SearchStrategy::Portfolio { workers: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            SearchStrategy::Portfolio { workers } => workers,
+        }
+    }
+}
+
+/// Sharding and eviction policy of the canonical synthesis cache used by
+/// [`crate::BatchSynthesizer`].
+///
+/// # Example
+///
+/// ```
+/// use qsp_core::CacheConfig;
+///
+/// let bounded = CacheConfig { shards: 4, capacity: 1024 };
+/// assert_eq!(bounded.resolved_shards(), 4);
+/// let auto = CacheConfig::default();
+/// assert_eq!(auto.capacity, 0); // unbounded by default
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independent lock shards; `0` picks a power of two based on
+    /// the machine's available parallelism. Values are rounded up to the next
+    /// power of two so shard selection is a mask of the key hash.
+    pub shards: usize,
+    /// Maximum number of cached canonical classes across all shards; `0`
+    /// disables eviction (unbounded cache). The bound is distributed evenly
+    /// over the shards (rounded up per shard), and each shard evicts its
+    /// least-recently-used entry when it would exceed its slice.
+    pub capacity: usize,
+}
+
+impl CacheConfig {
+    /// An unbounded cache with automatic shard selection.
+    pub const fn unbounded() -> Self {
+        CacheConfig {
+            shards: 0,
+            capacity: 0,
+        }
+    }
+
+    /// A size-bounded cache with automatic shard selection.
+    pub const fn bounded(capacity: usize) -> Self {
+        CacheConfig {
+            shards: 0,
+            capacity,
+        }
+    }
+
+    /// The effective shard count: the configured count (or a parallelism
+    /// based default for `0`), rounded up to a power of two.
+    pub fn resolved_shards(&self) -> usize {
+        let raw = if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get() * 2)
+                .unwrap_or(8)
+                .max(8)
+        };
+        raw.next_power_of_two()
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::unbounded()
+    }
+}
 
 /// Tunables of the A* exact synthesis solver.
 ///
@@ -9,12 +118,13 @@
 /// # Example
 ///
 /// ```
-/// use qsp_core::SearchConfig;
+/// use qsp_core::{SearchConfig, SearchStrategy};
 ///
 /// let config = SearchConfig::default();
 /// assert_eq!(config.max_qubits, 4);
 /// assert_eq!(config.max_cardinality, 16);
 /// assert!(config.use_heuristic);
+/// assert_eq!(config.strategy, SearchStrategy::Sequential);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchConfig {
@@ -28,15 +138,22 @@ pub struct SearchConfig {
     /// Disabling it turns A* into Dijkstra — useful for ablations, never
     /// changes the result.
     pub use_heuristic: bool,
-    /// Whether the zero-cost equivalence used for state compression also
-    /// quotients by qubit permutations (`V_G / PU(2)`), which assumes a
-    /// symmetric coupling graph as in the paper. X flips and separable-qubit
-    /// clearing (`V_G / U(2)`) are always applied.
+    /// Whether to compress the distance map with the paper's layout-invariant
+    /// zero-cost equivalence (`V_G / PU(2)`: separable-qubit clearing, X
+    /// flips and qubit permutations). **Approximate**: with CRy merges in
+    /// the library this equivalence is not an exact graph isomorphism, so
+    /// the compressed search may return a slightly suboptimal CNOT count
+    /// (see `crate::search::canonical`). Off by default — the default search
+    /// keys distances by the concrete state, which is exact and
+    /// frame-independent (required for the portfolio's bit-identical-cost
+    /// guarantee).
     pub permutation_compression: bool,
     /// Whether singly controlled Y-rotation merges (CRy, cost 2) are part of
     /// the transition library. Disabling restricts the library to
     /// `{Ry, CNOT}` merges — an ablation that can only increase CNOT counts.
     pub enable_controlled_merges: bool,
+    /// Sequential or portfolio solver scheduling (see [`SearchStrategy`]).
+    pub strategy: SearchStrategy,
 }
 
 impl SearchConfig {
@@ -49,6 +166,7 @@ impl SearchConfig {
             use_heuristic: true,
             permutation_compression: false,
             enable_controlled_merges: true,
+            strategy: SearchStrategy::Sequential,
         }
     }
 
@@ -62,7 +180,16 @@ impl SearchConfig {
             use_heuristic: true,
             permutation_compression: false,
             enable_controlled_merges: true,
+            strategy: SearchStrategy::Sequential,
         }
+    }
+
+    /// The paper configuration with a portfolio of `workers` racing A*
+    /// searches (`0` = available parallelism).
+    pub const fn portfolio(workers: usize) -> Self {
+        let mut config = SearchConfig::paper();
+        config.strategy = SearchStrategy::Portfolio { workers };
+        config
     }
 }
 
@@ -84,6 +211,7 @@ mod tests {
         assert_eq!(config.max_cardinality, 16);
         assert!(config.enable_controlled_merges);
         assert!(!config.permutation_compression);
+        assert_eq!(config.strategy, SearchStrategy::Sequential);
     }
 
     #[test]
@@ -91,5 +219,33 @@ mod tests {
         let extended = SearchConfig::extended();
         assert!(extended.max_qubits > SearchConfig::paper().max_qubits);
         assert!(extended.max_cardinality > SearchConfig::paper().max_cardinality);
+    }
+
+    #[test]
+    fn strategy_resolution() {
+        assert_eq!(SearchStrategy::Sequential.resolved_workers(), 1);
+        assert_eq!(
+            SearchStrategy::Portfolio { workers: 3 }.resolved_workers(),
+            3
+        );
+        assert!(SearchStrategy::Portfolio { workers: 0 }.resolved_workers() >= 1);
+        let portfolio = SearchConfig::portfolio(4);
+        assert_eq!(portfolio.strategy, SearchStrategy::Portfolio { workers: 4 });
+        assert_eq!(portfolio.max_qubits, SearchConfig::paper().max_qubits);
+    }
+
+    #[test]
+    fn cache_config_resolution() {
+        assert!(CacheConfig::default().resolved_shards().is_power_of_two());
+        assert_eq!(
+            CacheConfig {
+                shards: 5,
+                capacity: 0
+            }
+            .resolved_shards(),
+            8
+        );
+        assert_eq!(CacheConfig::bounded(64).capacity, 64);
+        assert_eq!(CacheConfig::unbounded().capacity, 0);
     }
 }

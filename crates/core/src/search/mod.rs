@@ -17,7 +17,10 @@ pub mod config;
 pub mod op;
 pub mod state;
 
-pub use astar::{shortest_reduction, SearchOutcome};
-pub use config::SearchConfig;
+pub use astar::{
+    shortest_reduction, shortest_reduction_coordinated, SearchCoordination, SearchFailure,
+    SearchOutcome,
+};
+pub use config::{CacheConfig, SearchConfig, SearchStrategy};
 pub use op::TransitionOp;
 pub use state::SearchState;

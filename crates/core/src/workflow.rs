@@ -44,11 +44,28 @@ const BASELINE_GUARD_QUBITS: usize = 6;
 /// synthesis in our workflow").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WorkflowConfig {
-    /// Search configuration (also provides the activation thresholds).
+    /// Search configuration (also provides the activation thresholds and the
+    /// sequential-vs-portfolio [`crate::SearchStrategy`] every exact solve
+    /// inside the workflow is scheduled with).
     pub search: SearchConfig,
     /// Whether to run the peephole optimizer on the final circuit. Off by
     /// default: the paper reports raw flow outputs.
     pub optimize: bool,
+}
+
+impl WorkflowConfig {
+    /// The paper's defaults with the given solver scheduling strategy —
+    /// the one-line switch that turns a whole workflow (and any
+    /// [`crate::BatchSynthesizer`] built on it) into a portfolio deployment.
+    pub fn with_strategy(strategy: crate::SearchStrategy) -> Self {
+        WorkflowConfig {
+            search: SearchConfig {
+                strategy,
+                ..SearchConfig::default()
+            },
+            optimize: false,
+        }
+    }
 }
 
 /// The end-to-end preparation workflow (Fig. 5), usable through the same

@@ -141,6 +141,7 @@ fn exact_dedup_policy_only_merges_identical_states() {
         BatchOptions {
             threads: 2,
             dedup: DedupPolicy::Exact,
+            ..BatchOptions::default()
         },
     );
     let outcome = engine.synthesize_batch(&targets);
