@@ -22,18 +22,25 @@
 //! cargo run --release -p qsp-bench --bin batch_bench -- \
 //!     [--threads 0] [--targets 120] [--min-n 8] [--max-n 12] \
 //!     [--repeat-every 6] [--shards 0] [--capacity 0] [--smoke] \
+//!     [--warm-start warm.json] [--save-cache warm.json] \
 //!     [--out BENCH_batch.json]
 //! ```
 //!
 //! `--threads 0` (the default) uses the machine's available parallelism.
-//! `--smoke` shrinks every family for CI smoke runs.
+//! `--smoke` shrinks every family for CI smoke runs. `--warm-start` merges a
+//! cache snapshot into every family's engine before it runs (cheaper entry
+//! wins on collision); `--save-cache` writes the merged union of all family
+//! caches back out — together they are the cross-process warm-start loop of
+//! the distributed-cache roadmap item.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use qsp_baselines::StatePreparator;
-use qsp_bench::report::{has_switch, parse_flag};
-use qsp_core::{BatchOptions, BatchStats, BatchSynthesizer, CacheConfig, QspWorkflow};
+use qsp_bench::report::{has_switch, parse_flag, parse_path};
+use qsp_core::{
+    BatchOptions, BatchStats, BatchSynthesizer, CacheConfig, QspWorkflow, ShardedCache,
+};
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
 
@@ -234,12 +241,9 @@ fn main() {
     let repeat_every = parse_flag(&args, "--repeat-every", 6).max(2);
     let shards = parse_flag(&args, "--shards", 0);
     let capacity = parse_flag(&args, "--capacity", 0);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let out_path = parse_path(&args, "--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let warm_start = parse_path(&args, "--warm-start");
+    let save_cache = parse_path(&args, "--save-cache");
 
     let options = BatchOptions {
         threads,
@@ -276,12 +280,34 @@ fn main() {
         ("dicke_families", dicke_family(dicke_total)),
     ];
 
+    // The merged union of every family's solved classes (cheaper entry wins)
+    // when `--save-cache` asks for a warm-start snapshot to be written.
+    let merged = ShardedCache::new(CacheConfig {
+        shards: 0,
+        capacity: 0,
+    });
     let mut reports = Vec::new();
     for (name, targets) in families {
         // A fresh engine per family: cross-batch warm hits are measured by
         // the snapshot tests, not the benchmark.
         let engine = BatchSynthesizer::with_options(Default::default(), options);
+        if let Some(path) = &warm_start {
+            let adopted = engine
+                .cache()
+                .merge_snapshot(std::path::Path::new(path))
+                .expect("merge --warm-start snapshot");
+            eprintln!("family {name}: warm-started {adopted} classes from {path}");
+        }
         reports.push(run_family(name, targets, &engine));
+        if save_cache.is_some() {
+            merged.merge_from(engine.cache());
+        }
+    }
+    if let Some(path) = &save_cache {
+        let written = merged
+            .save_snapshot(std::path::Path::new(path))
+            .expect("write --save-cache snapshot");
+        eprintln!("saved {written} merged classes to {path}");
     }
 
     let sequential_ms: f64 = reports.iter().map(|r| r.sequential_ms).sum();

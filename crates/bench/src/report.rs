@@ -53,6 +53,15 @@ pub fn has_switch(args: &[String], switch: &str) -> bool {
     args.iter().any(|a| a == switch)
 }
 
+/// Parses a `--flag value` style string option (e.g. a file path), `None`
+/// when the flag is absent.
+pub fn parse_path(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

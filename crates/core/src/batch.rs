@@ -405,6 +405,76 @@ impl BatchSynthesizer {
         }
     }
 
+    /// Computes the canonical class key of a target under this engine's
+    /// dedup policy, together with the witness transform mapping the target
+    /// onto the class fingerprint.
+    ///
+    /// This is the seam the serving layer's in-flight dedup is built on: two
+    /// concurrent requests with equal keys can share one solve, and either
+    /// request's circuit reconstructs the other's via
+    /// [`BatchSynthesizer::reconstruct_for`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sparse-conversion error of unsupported targets.
+    pub fn canonical_class<S: QuantumState>(
+        &self,
+        target: &S,
+    ) -> Result<(ClassKey, StateTransform), SynthesisError> {
+        let sparse = target.as_sparse()?;
+        Ok(canonicalize(sparse.as_ref(), self.options.dedup))
+    }
+
+    /// Looks up a solved class in the cross-batch cache (always `None` when
+    /// deduplication is off). Counts a cache hit or miss.
+    pub fn lookup_class(&self, key: &ClassKey) -> Option<Arc<CacheEntry>> {
+        if self.options.dedup == DedupPolicy::Off {
+            return None;
+        }
+        self.cache.lookup(key)
+    }
+
+    /// Solves one class representative through the workflow and publishes it
+    /// to the cache (unless deduplication is off). `transform` must be the
+    /// witness returned by [`BatchSynthesizer::canonical_class`] for
+    /// `target`. A synthesis failure is cached too (so repeated bad requests
+    /// fail fast) but is never persisted to snapshots.
+    pub fn solve_class(
+        &self,
+        key: &ClassKey,
+        transform: &StateTransform,
+        target: &SparseState,
+    ) -> Arc<CacheEntry> {
+        let workflow = QspWorkflow::with_config(self.config);
+        let entry = Arc::new(CacheEntry {
+            circuit: workflow.synthesize(target),
+            transform: transform.clone(),
+        });
+        if self.options.dedup != DedupPolicy::Off {
+            self.cache.insert(key.clone(), Arc::clone(&entry));
+        }
+        entry
+    }
+
+    /// Reconstructs the circuit for a target from a solved entry of the same
+    /// canonical class: the solved circuit's qubits are relabelled and an X
+    /// layer appended (both zero CNOT cost, so the CNOT cost is identical).
+    /// `target_transform` must be the target's own witness from
+    /// [`BatchSynthesizer::canonical_class`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the representative's synthesis error, if it failed.
+    pub fn reconstruct_for(
+        entry: &CacheEntry,
+        target_transform: &StateTransform,
+    ) -> Result<Circuit, SynthesisError> {
+        match &entry.circuit {
+            Err(e) => Err(e.clone()),
+            Ok(circuit) => reconstruct_circuit(circuit, &entry.transform, target_transform),
+        }
+    }
+
     /// Synthesizes preparation circuits for every target, in parallel,
     /// solving each canonical equivalence class once.
     ///
@@ -459,20 +529,13 @@ impl BatchSynthesizer {
         }
         let planning = planning_start.elapsed();
 
-        // Phase 3 (parallel): solve one representative per class and publish
-        // it to the shared cache as soon as it is ready.
+        // Phase 3 (parallel): solve one representative per class through the
+        // canonical-class seam, publishing to the shared cache as soon as
+        // each is ready.
         let solving_start = std::time::Instant::now();
-        let workflow = QspWorkflow::with_config(self.config);
         let solved: Vec<(usize, Arc<CacheEntry>)> = par_map(&to_solve, threads, |_, &i| {
             let (key, transform, sparse) = keyed[i].as_ref().expect("planned targets are valid");
-            let entry = Arc::new(CacheEntry {
-                circuit: workflow.synthesize(sparse.as_ref()),
-                transform: transform.clone(),
-            });
-            if self.options.dedup != DedupPolicy::Off {
-                self.cache.insert(key.clone(), Arc::clone(&entry));
-            }
-            (i, entry)
+            (i, self.solve_class(key, transform, sparse.as_ref()))
         });
         let own_solution: HashMap<usize, Arc<CacheEntry>> = solved.into_iter().collect();
         let solving = solving_start.elapsed();
@@ -499,10 +562,7 @@ impl BatchSynthesizer {
                         Plan::Cached(entry) => Arc::clone(entry),
                         Plan::Invalid => unreachable!("invalid targets are handled above"),
                     };
-                    match &entry.circuit {
-                        Err(e) => Err(e.clone()),
-                        Ok(circuit) => reconstruct_circuit(circuit, &entry.transform, transform),
-                    }
+                    Self::reconstruct_for(&entry, transform)
                 }
             });
         let assembly = assembly_start.elapsed();

@@ -18,8 +18,12 @@
 //!   replaces the slot but still counts as an insertion).
 //! * **JSON warm-start snapshots** — [`ShardedCache::save_snapshot`] /
 //!   [`ShardedCache::load_snapshot`] persist solved classes (rotation angles
-//!   as exact `f64` bit patterns) so a fresh process can start warm. The
-//!   format is hand-rolled JSON; the offline build has no serde.
+//!   as exact `f64` bit patterns) so a fresh process can start warm, and
+//!   [`ShardedCache::merge_snapshot`] folds a snapshot into a *non-empty*
+//!   cache, keeping the cheaper circuit when a class is present on both
+//!   sides — the building block for fleet-wide cache exchange. The format
+//!   rides on the workspace-shared [`crate::json`] reader/writer (the
+//!   offline build has no serde).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -31,6 +35,7 @@ use qsp_circuit::{Circuit, Control, Gate};
 
 use crate::engine::StateTransform;
 use crate::error::SynthesisError;
+use crate::json::{self, Value};
 use crate::search::config::CacheConfig;
 
 /// An amplitude-aware canonical class fingerprint: `(index, amplitude bits)`
@@ -58,6 +63,25 @@ impl ClassKey {
 pub struct CacheEntry {
     pub(crate) circuit: Result<Circuit, SynthesisError>,
     pub(crate) transform: StateTransform,
+}
+
+impl CacheEntry {
+    /// The solved circuit of the class representative, or the synthesis
+    /// error the representative failed with.
+    pub fn circuit(&self) -> Result<&Circuit, &SynthesisError> {
+        self.circuit.as_ref()
+    }
+
+    /// The witness transform mapping the solved representative onto the
+    /// canonical class fingerprint.
+    pub fn transform(&self) -> &StateTransform {
+        &self.transform
+    }
+
+    /// The representative's CNOT cost, if its synthesis succeeded.
+    pub fn cnot_cost(&self) -> Option<usize> {
+        self.circuit.as_ref().ok().map(Circuit::cnot_cost)
+    }
 }
 
 /// A point-in-time view of the cache counters.
@@ -200,9 +224,15 @@ impl ShardedCache {
     pub fn insert(&self, key: ClassKey, entry: Arc<CacheEntry>) {
         let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        self.evict_if_full(&mut shard, &key);
+        shard.insert(key, Slot { entry, last_used });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn evict_if_full(&self, shard: &mut HashMap<ClassKey, Slot>, incoming: &ClassKey) {
         if self.per_shard_capacity > 0
             && shard.len() >= self.per_shard_capacity
-            && !shard.contains_key(&key)
+            && !shard.contains_key(incoming)
         {
             let victim = shard
                 .iter()
@@ -213,30 +243,53 @@ impl ShardedCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Inserts a solved class unless the cache already holds a cheaper (or
+    /// equally cheap) successful circuit for the same key. Returns whether
+    /// the incoming entry was kept. A successful circuit always beats a
+    /// failed one; ties keep the resident entry.
+    pub fn merge_entry(&self, key: ClassKey, entry: Arc<CacheEntry>) -> bool {
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if let Some(existing) = shard.get(&key) {
+            let keep_resident = match (&existing.entry.circuit, &entry.circuit) {
+                (Ok(old), Ok(new)) => old.cnot_cost() <= new.cnot_cost(),
+                (Ok(_), Err(_)) | (Err(_), Err(_)) => true,
+                (Err(_), Ok(_)) => false,
+            };
+            if keep_resident {
+                return false;
+            }
+        } else {
+            self.evict_if_full(&mut shard, &key);
+        }
         shard.insert(key, Slot { entry, last_used });
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Serializes every cached class whose synthesis succeeded into the
     /// writer as JSON. Rotation angles are written as `f64` bit patterns, so
     /// a round-trip is lossless.
     pub fn write_snapshot<W: Write>(&self, mut writer: W) -> io::Result<usize> {
-        let mut body = String::from("{\"version\":1,\"entries\":[");
-        let mut written = 0usize;
+        let mut entries = Vec::new();
         for shard in self.shards.iter() {
             let shard = shard.lock().expect("cache shard poisoned");
             for (key, slot) in shard.iter() {
                 let Ok(circuit) = &slot.entry.circuit else {
                     continue; // errors are session-local; never persisted
                 };
-                if written > 0 {
-                    body.push(',');
-                }
-                write_entry(&mut body, key, &slot.entry.transform, circuit);
-                written += 1;
+                entries.push(entry_value(key, &slot.entry.transform, circuit));
             }
         }
-        body.push_str("]}\n");
+        let written = entries.len();
+        let root = Value::Object(vec![
+            ("version".to_string(), Value::Num(1)),
+            ("entries".to_string(), Value::Array(entries)),
+        ]);
+        let mut body = root.to_json();
+        body.push('\n');
         writer.write_all(body.as_bytes())?;
         Ok(written)
     }
@@ -250,30 +303,13 @@ impl ShardedCache {
 
     /// Loads classes from a snapshot produced by
     /// [`ShardedCache::write_snapshot`], inserting them through the normal
-    /// eviction-aware path. Returns the number of classes loaded.
-    pub fn read_snapshot<R: Read>(&self, mut reader: R) -> io::Result<usize> {
-        let mut text = String::new();
-        reader.read_to_string(&mut text)?;
-        let value = json::parse(&text).map_err(invalid_data)?;
-        let root = value
-            .as_object()
-            .ok_or_else(|| invalid_data("snapshot root must be an object"))?;
-        let version = get(root, "version")?
-            .as_u64()
-            .ok_or_else(|| invalid_data("version"))?;
-        if version != 1 {
-            return Err(invalid_data(format!(
-                "unsupported snapshot version {version}"
-            )));
-        }
-        let entries = get(root, "entries")?
-            .as_array()
-            .ok_or_else(|| invalid_data("entries must be an array"))?;
-        let mut loaded = 0usize;
-        for entry in entries {
-            let (key, cache_entry) = parse_entry(entry).map_err(invalid_data)?;
+    /// eviction-aware path (resident entries with the same key are
+    /// replaced). Returns the number of classes loaded.
+    pub fn read_snapshot<R: Read>(&self, reader: R) -> io::Result<usize> {
+        let entries = parse_snapshot(reader)?;
+        let loaded = entries.len();
+        for (key, cache_entry) in entries {
             self.insert(key, Arc::new(cache_entry));
-            loaded += 1;
         }
         Ok(loaded)
     }
@@ -284,76 +320,141 @@ impl ShardedCache {
         let file = std::fs::File::open(path)?;
         self.read_snapshot(io::BufReader::new(file))
     }
+
+    /// Merges a snapshot into this (possibly non-empty) cache: every
+    /// snapshot class flows through [`ShardedCache::merge_entry`], so a key
+    /// collision keeps whichever circuit is cheaper. Returns the number of
+    /// classes actually adopted.
+    pub fn merge_from_reader<R: Read>(&self, reader: R) -> io::Result<usize> {
+        let mut adopted = 0usize;
+        for (key, cache_entry) in parse_snapshot(reader)? {
+            if self.merge_entry(key, Arc::new(cache_entry)) {
+                adopted += 1;
+            }
+        }
+        Ok(adopted)
+    }
+
+    /// Merges a snapshot file into this cache (see
+    /// [`ShardedCache::merge_from_reader`]). Returns the number of classes
+    /// adopted.
+    pub fn merge_snapshot(&self, path: &std::path::Path) -> io::Result<usize> {
+        let file = std::fs::File::open(path)?;
+        self.merge_from_reader(io::BufReader::new(file))
+    }
+
+    /// Merges another in-process cache into this one (cheaper circuit wins,
+    /// like [`ShardedCache::merge_from_reader`], but sharing the entries by
+    /// `Arc` instead of round-tripping through JSON). Returns the number of
+    /// classes adopted.
+    pub fn merge_from(&self, other: &ShardedCache) -> usize {
+        let mut adopted = 0usize;
+        for shard in other.shards.iter() {
+            // Collect under the source shard lock, merge outside it, so the
+            // two caches' locks are never held together (self == other
+            // would deadlock otherwise, and lock order stays trivial).
+            let entries: Vec<(ClassKey, Arc<CacheEntry>)> = shard
+                .lock()
+                .expect("cache shard poisoned")
+                .iter()
+                .map(|(key, slot)| (key.clone(), Arc::clone(&slot.entry)))
+                .collect();
+            for (key, entry) in entries {
+                if self.merge_entry(key, entry) {
+                    adopted += 1;
+                }
+            }
+        }
+        adopted
+    }
 }
 
 fn invalid_data<E: Into<Box<dyn std::error::Error + Send + Sync>>>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
-fn get<'a>(object: &'a [(String, json::Value)], field: &str) -> io::Result<&'a json::Value> {
-    object
+/// Parses and validates a full snapshot document into `(key, entry)` pairs.
+fn parse_snapshot<R: Read>(mut reader: R) -> io::Result<Vec<(ClassKey, CacheEntry)>> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let value = json::parse(&text).map_err(invalid_data)?;
+    if !matches!(value, Value::Object(_)) {
+        return Err(invalid_data("snapshot root must be an object"));
+    }
+    let version = value
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| invalid_data("version"))?;
+    if version != 1 {
+        return Err(invalid_data(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    value
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| invalid_data("entries must be an array"))?
         .iter()
-        .find(|(k, _)| k == field)
-        .map(|(_, v)| v)
-        .ok_or_else(|| invalid_data(format!("missing field `{field}`")))
+        .map(|entry| parse_entry(entry).map_err(invalid_data))
+        .collect()
 }
 
-fn write_entry(out: &mut String, key: &ClassKey, transform: &StateTransform, circuit: &Circuit) {
-    use std::fmt::Write as _;
-    let _ = write!(out, "{{\"n\":{},\"key\":[", key.num_qubits);
-    for (i, (index, bits)) in key.entries.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+fn entry_value(key: &ClassKey, transform: &StateTransform, circuit: &Circuit) -> Value {
+    let key_pairs = key
+        .entries
+        .iter()
+        .map(|&(index, bits)| Value::Array(vec![Value::Num(index), Value::Num(bits)]))
+        .collect();
+    let perm = transform
+        .perm
+        .iter()
+        .map(|&p| Value::Num(p as u64))
+        .collect();
+    let gates = circuit.iter().map(gate_value).collect();
+    Value::Object(vec![
+        ("n".to_string(), Value::Num(key.num_qubits as u64)),
+        ("key".to_string(), Value::Array(key_pairs)),
+        ("perm".to_string(), Value::Array(perm)),
+        ("mask".to_string(), Value::Num(transform.mask)),
+        ("gates".to_string(), Value::Array(gates)),
+    ])
+}
+
+fn gate_value(gate: &Gate) -> Value {
+    let tag = |g: &str| ("g".to_string(), Value::Str(g.to_string()));
+    match gate {
+        Gate::X { target } => Value::Object(vec![
+            tag("x"),
+            ("t".to_string(), Value::Num(*target as u64)),
+        ]),
+        Gate::Ry { target, theta } => Value::Object(vec![
+            tag("ry"),
+            ("t".to_string(), Value::Num(*target as u64)),
+            ("a".to_string(), Value::Num(theta.to_bits())),
+        ]),
+        Gate::Cnot { control, target } => Value::Object(vec![
+            tag("cx"),
+            ("c".to_string(), Value::Num(control.qubit as u64)),
+            ("p".to_string(), Value::Bool(control.polarity)),
+            ("t".to_string(), Value::Num(*target as u64)),
+        ]),
+        Gate::Mcry {
+            controls,
+            target,
+            theta,
+        } => {
+            let cs = controls
+                .iter()
+                .map(|c| Value::Array(vec![Value::Num(c.qubit as u64), Value::Bool(c.polarity)]))
+                .collect();
+            Value::Object(vec![
+                tag("mcry"),
+                ("cs".to_string(), Value::Array(cs)),
+                ("t".to_string(), Value::Num(*target as u64)),
+                ("a".to_string(), Value::Num(theta.to_bits())),
+            ])
         }
-        let _ = write!(out, "[{index},{bits}]");
     }
-    out.push_str("],\"perm\":[");
-    for (i, p) in transform.perm.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "{p}");
-    }
-    let _ = write!(out, "],\"mask\":{},\"gates\":[", transform.mask);
-    for (i, gate) in circuit.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        match gate {
-            Gate::X { target } => {
-                let _ = write!(out, "{{\"g\":\"x\",\"t\":{target}}}");
-            }
-            Gate::Ry { target, theta } => {
-                let _ = write!(
-                    out,
-                    "{{\"g\":\"ry\",\"t\":{target},\"a\":{}}}",
-                    theta.to_bits()
-                );
-            }
-            Gate::Cnot { control, target } => {
-                let _ = write!(
-                    out,
-                    "{{\"g\":\"cx\",\"c\":{},\"p\":{},\"t\":{target}}}",
-                    control.qubit, control.polarity
-                );
-            }
-            Gate::Mcry {
-                controls,
-                target,
-                theta,
-            } => {
-                let _ = write!(out, "{{\"g\":\"mcry\",\"cs\":[");
-                for (j, c) in controls.iter().enumerate() {
-                    if j > 0 {
-                        out.push(',');
-                    }
-                    let _ = write!(out, "[{},{}]", c.qubit, c.polarity);
-                }
-                let _ = write!(out, "],\"t\":{target},\"a\":{}}}", theta.to_bits());
-            }
-        }
-    }
-    out.push_str("]}");
 }
 
 fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
@@ -465,192 +566,6 @@ fn parse_gate(value: &json::Value) -> Result<Gate, String> {
             })
         }
         other => Err(format!("unknown gate kind `{other}`")),
-    }
-}
-
-/// A minimal JSON reader for the snapshot subset this module emits: objects,
-/// arrays, strings without escapes, unsigned integers and booleans. The
-/// offline image has no serde; this stays deliberately tiny.
-mod json {
-    /// A parsed JSON value (snapshot subset).
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// Key-value pairs in document order.
-        Object(Vec<(String, Value)>),
-        /// Array elements.
-        Array(Vec<Value>),
-        /// A string literal.
-        Str(String),
-        /// An unsigned integer (the only number form the snapshot uses).
-        Num(u64),
-        /// A boolean.
-        Bool(bool),
-    }
-
-    impl Value {
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Object(fields) => Some(fields),
-                _ => None,
-            }
-        }
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Array(items) => Some(items),
-                _ => None,
-            }
-        }
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-        pub fn as_bool(&self) -> Option<bool> {
-            match self {
-                Value::Bool(b) => Some(*b),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses a snapshot-subset JSON document.
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&byte) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {pos}", byte as char))
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b'{') => parse_object(bytes, pos),
-            Some(b'[') => parse_array(bytes, pos),
-            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
-            Some(b't') | Some(b'f') => parse_bool(bytes, pos),
-            Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
-            _ => Err(format!("unexpected byte at {pos}")),
-        }
-    }
-
-    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'{')?;
-        let mut fields = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Object(fields));
-        }
-        loop {
-            skip_ws(bytes, pos);
-            let key = parse_string(bytes, pos)?;
-            expect(bytes, pos, b':')?;
-            let value = parse_value(bytes, pos)?;
-            fields.push((key, value));
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Object(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-            }
-        }
-    }
-
-    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-            }
-        }
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {pos}"));
-        }
-        *pos += 1;
-        let start = *pos;
-        while let Some(&c) = bytes.get(*pos) {
-            if c == b'"' {
-                let s = std::str::from_utf8(&bytes[start..*pos])
-                    .map_err(|_| "invalid utf-8 in string".to_string())?
-                    .to_string();
-                *pos += 1;
-                return Ok(s);
-            }
-            if c == b'\\' {
-                return Err("escape sequences are not part of the snapshot subset".to_string());
-            }
-            *pos += 1;
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-            *pos += 1;
-        }
-        let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ascii");
-        text.parse::<u64>()
-            .map(Value::Num)
-            .map_err(|e| format!("invalid number `{text}`: {e}"))
-    }
-
-    fn parse_bool(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        if bytes[*pos..].starts_with(b"true") {
-            *pos += 4;
-            Ok(Value::Bool(true))
-        } else if bytes[*pos..].starts_with(b"false") {
-            *pos += 5;
-            Ok(Value::Bool(false))
-        } else {
-            Err(format!("invalid literal at byte {pos}"))
-        }
     }
 }
 
@@ -782,6 +697,120 @@ mod tests {
         assert_eq!(entry.circuit.as_ref().unwrap(), &circuit);
         assert_eq!(entry.transform, transform);
         assert!(restored.lookup(&key(3, 6)).is_none());
+    }
+
+    /// An entry whose circuit has exactly `cnots` CNOT gates.
+    fn entry_with_cost(n: usize, cnots: usize) -> Arc<CacheEntry> {
+        let mut circuit = Circuit::new(n);
+        for _ in 0..cnots {
+            circuit.push(Gate::cnot(0, 1));
+        }
+        Arc::new(CacheEntry {
+            circuit: Ok(circuit),
+            transform: StateTransform::identity(n),
+        })
+    }
+
+    #[test]
+    fn merge_entry_keeps_the_cheaper_circuit() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity: 0,
+        });
+        cache.insert(key(3, 1), entry_with_cost(3, 5));
+        // A cheaper incoming circuit replaces the resident one...
+        assert!(cache.merge_entry(key(3, 1), entry_with_cost(3, 2)));
+        assert_eq!(cache.lookup(&key(3, 1)).unwrap().cnot_cost(), Some(2));
+        // ...a costlier (or equal) one does not.
+        assert!(!cache.merge_entry(key(3, 1), entry_with_cost(3, 4)));
+        assert!(!cache.merge_entry(key(3, 1), entry_with_cost(3, 2)));
+        assert_eq!(cache.lookup(&key(3, 1)).unwrap().cnot_cost(), Some(2));
+        // A failed incoming entry never displaces a success; a success
+        // always displaces a failure.
+        let failed = Arc::new(CacheEntry {
+            circuit: Err(SynthesisError::UnsupportedState {
+                reason: "test".to_string(),
+            }),
+            transform: StateTransform::identity(3),
+        });
+        assert!(!cache.merge_entry(key(3, 1), Arc::clone(&failed)));
+        cache.insert(key(3, 2), failed);
+        assert!(cache.merge_entry(key(3, 2), entry_with_cost(3, 9)));
+        // New keys are simply adopted.
+        assert!(cache.merge_entry(key(3, 3), entry_with_cost(3, 1)));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn merge_snapshot_into_nonempty_cache_prefers_cheaper_entries() {
+        let warm = ShardedCache::new(CacheConfig {
+            shards: 2,
+            capacity: 0,
+        });
+        warm.insert(key(3, 1), entry_with_cost(3, 2)); // cheaper than resident
+        warm.insert(key(3, 2), entry_with_cost(3, 7)); // costlier than resident
+        warm.insert(key(3, 3), entry_with_cost(3, 4)); // novel
+        let mut snapshot = Vec::new();
+        assert_eq!(warm.write_snapshot(&mut snapshot).unwrap(), 3);
+
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 4,
+            capacity: 0,
+        });
+        cache.insert(key(3, 1), entry_with_cost(3, 6));
+        cache.insert(key(3, 2), entry_with_cost(3, 3));
+        let adopted = cache.merge_from_reader(snapshot.as_slice()).unwrap();
+        assert_eq!(adopted, 2, "the cheaper collision and the novel key");
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(&key(3, 1)).unwrap().cnot_cost(), Some(2));
+        assert_eq!(cache.lookup(&key(3, 2)).unwrap().cnot_cost(), Some(3));
+        assert_eq!(cache.lookup(&key(3, 3)).unwrap().cnot_cost(), Some(4));
+    }
+
+    #[test]
+    fn merge_from_shares_entries_without_serialization() {
+        let source = ShardedCache::new(CacheConfig {
+            shards: 2,
+            capacity: 0,
+        });
+        source.insert(key(3, 1), entry_with_cost(3, 2));
+        source.insert(key(3, 2), entry_with_cost(3, 7));
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 8,
+            capacity: 0,
+        });
+        cache.insert(key(3, 2), entry_with_cost(3, 3)); // cheaper resident
+        assert_eq!(cache.merge_from(&source), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&key(3, 1)).unwrap().cnot_cost(), Some(2));
+        assert_eq!(cache.lookup(&key(3, 2)).unwrap().cnot_cost(), Some(3));
+        // The adopted entry is the same allocation, not a copy.
+        assert!(Arc::ptr_eq(
+            &cache.lookup(&key(3, 1)).unwrap(),
+            &source.lookup(&key(3, 1)).unwrap()
+        ));
+        // Self-merge must not deadlock (locks are never held together).
+        assert_eq!(cache.merge_from(&cache), 0);
+    }
+
+    #[test]
+    fn merge_respects_the_size_bound() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        let warm = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity: 0,
+        });
+        for seed in 0..5 {
+            warm.insert(key(3, seed), entry_with_cost(3, seed as usize + 1));
+        }
+        let mut snapshot = Vec::new();
+        warm.write_snapshot(&mut snapshot).unwrap();
+        cache.merge_from_reader(snapshot.as_slice()).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().evictions > 0);
     }
 
     #[test]

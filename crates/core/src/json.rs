@@ -1,0 +1,605 @@
+//! A minimal, dependency-free JSON reader and writer.
+//!
+//! The offline build has no serde, so every JSON surface in the workspace —
+//! the cache's warm-start snapshots ([`crate::ShardedCache`]), the serving
+//! layer's stats dumps (`qsp-serve`) and the benchmark reports
+//! (`BENCH_batch.json`, `BENCH_serve.json`) — shares this one hand-rolled
+//! implementation instead of growing parallel parsers.
+//!
+//! The dialect is deliberately small but self-consistent: objects (field
+//! order preserved), arrays, strings (with the standard escape sequences,
+//! including `\uXXXX` and surrogate pairs), unsigned 64-bit integers, finite
+//! `f64` floats, booleans and `null`. Unsigned integers are kept exact —
+//! [`Value::Num`] never round-trips through a float — because the snapshot
+//! format stores rotation angles as `f64` *bit patterns* and relies on
+//! `u64`-lossless round-trips.
+//!
+//! # Example
+//!
+//! ```
+//! use qsp_core::json::{parse, Value};
+//!
+//! let value = Value::Object(vec![
+//!     ("angle_bits".to_string(), Value::Num(0.25f64.to_bits())),
+//!     ("label".to_string(), Value::Str("p95 \"latency\"".to_string())),
+//! ]);
+//! let text = value.to_json();
+//! assert_eq!(parse(&text).unwrap(), value);
+//! ```
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The `null` literal.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer. Kept distinct from [`Value::Float`] so `u64` bit
+    /// patterns (the snapshot angle encoding) round-trip exactly.
+    Num(u64),
+    /// A finite floating-point number (anything with a `.`, an exponent or a
+    /// sign, or an integer too large for `u64`).
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// Array elements in document order.
+    Array(Vec<Value>),
+    /// Key-value pairs in document order (duplicate keys are preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (integers are converted), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up the first field named `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes the value as indented JSON (two spaces per level, a
+    /// trailing newline) for human-facing reports.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Appends the compact serialization to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(f) => write_float(out, *f),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a float using Rust's shortest round-trip representation (always
+/// containing a `.` or an exponent, so the reader parses it back as a
+/// [`Value::Float`]). Non-finite values have no JSON spelling and are written
+/// as `null`.
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document, requiring the whole input to be consumed.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", byte as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') | Some(b'f') | Some(b'n') => parse_literal(bytes, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(format!("unexpected byte at {pos}")),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escape = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: a `\uXXXX` low surrogate must
+                            // follow.
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(code).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(unit).ok_or("unpaired surrogate")?
+                        };
+                        out.push(c);
+                    }
+                    other => return Err(format!("invalid escape `\\{}`", *other as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences intact).
+                let start = *pos;
+                let mut end = start + 1;
+                while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let end = pos
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let hex = std::str::from_utf8(&bytes[*pos..end]).map_err(|_| "invalid \\u escape")?;
+    let unit = u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape `{hex}`"))?;
+    *pos = end;
+    Ok(unit)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("number bytes are ascii");
+    if !text.contains(['.', 'e', 'E']) && !text.starts_with('-') {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Num(n));
+        }
+    }
+    match text.parse::<f64>() {
+        Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+        Ok(_) => Err(format!("number `{text}` out of range")),
+        Err(e) => Err(format!("invalid number `{text}`: {e}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(b"true") {
+        *pos += 4;
+        Ok(Value::Bool(true))
+    } else if bytes[*pos..].starts_with(b"false") {
+        *pos += 5;
+        Ok(Value::Bool(false))
+    } else if bytes[*pos..].starts_with(b"null") {
+        *pos += 4;
+        Ok(Value::Null)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn parses_the_basic_shapes() {
+        let value = parse(r#"{"a":[1,true,null,"x"],"b":{"c":false}}"#).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(
+            value.get("b").unwrap().get("c").unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(parse("  42 ").unwrap(), Value::Num(42));
+        assert_eq!(parse("-1.5").unwrap(), Value::Float(-1.5));
+        assert_eq!(parse("2e3").unwrap(), Value::Float(2000.0));
+    }
+
+    #[test]
+    fn u64_integers_stay_exact() {
+        // The snapshot invariant: f64 bit patterns are stored as u64 and must
+        // survive a round-trip without going through a float.
+        for f in [0.25f64, -1.234567891011e-3, f64::MAX, 1.0 / 3.0] {
+            let bits = f.to_bits();
+            let text = Value::Num(bits).to_json();
+            assert_eq!(parse(&text).unwrap().as_u64(), Some(bits));
+        }
+        assert_eq!(parse(&u64::MAX.to_string()).unwrap(), Value::Num(u64::MAX));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\ backslash",
+            "control \n\r\t\u{8}\u{c} chars",
+            "unicode: åβ𝄞 and \u{1} low",
+            "slash / stays",
+        ] {
+            let text = Value::Str(s.to_string()).to_json();
+            assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+        }
+        // Explicit escape spellings parse to the same characters.
+        assert_eq!(
+            parse(r#""\u0041\u00e5\ud834\udd1e""#).unwrap().as_str(),
+            Some("Aå𝄞")
+        );
+        assert_eq!(parse(r#""\/""#).unwrap().as_str(), Some("/"));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..500 {
+            let f = f64::from_bits(rng.gen_range(0..u64::MAX));
+            if !f.is_finite() {
+                continue;
+            }
+            let text = Value::Float(f).to_json();
+            let Value::Float(back) = parse(&text).unwrap() else {
+                panic!("float `{text}` did not parse back as a float");
+            };
+            assert_eq!(back.to_bits(), f.to_bits(), "{text}");
+        }
+        // Non-finite floats have no JSON spelling and degrade to null.
+        assert_eq!(
+            parse(&Value::Float(f64::NAN).to_json()).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            parse(&Value::Float(f64::INFINITY).to_json()).unwrap(),
+            Value::Null
+        );
+    }
+
+    /// Builds a random value tree: nested objects/arrays with string, bit
+    /// pattern, float, bool and null leaves.
+    fn random_value(rng: &mut StdRng, depth: usize) -> Value {
+        let leaf_only = depth == 0;
+        match rng.gen_range(0..if leaf_only { 5 } else { 7usize }) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            2 => Value::Num(rng.gen_range(0..u64::MAX)),
+            3 => {
+                let mut f = f64::from_bits(rng.gen_range(0..u64::MAX));
+                if !f.is_finite() {
+                    f = 0.5;
+                }
+                Value::Float(f)
+            }
+            4 => {
+                let len = rng.gen_range(0..12usize);
+                Value::Str(
+                    (0..len)
+                        .map(|_| char::from_u32(rng.gen_range(1u32..0x500)).unwrap_or('\\'))
+                        .collect(),
+                )
+            }
+            5 => Value::Array(
+                (0..rng.gen_range(0..5usize))
+                    .map(|_| random_value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => Value::Object(
+                (0..rng.gen_range(0..5usize))
+                    .map(|i| (format!("k{i}\"\\\n"), random_value(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn randomized_round_trip_compact_and_pretty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let value = random_value(&mut rng, 3);
+            assert_eq!(parse(&value.to_json()).unwrap(), value);
+            assert_eq!(parse(&value.to_json_pretty()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{1:2}",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\u12",
+            "\"\\ud834\"",
+            "\"\\ud834\\u0041\"",
+            "truth",
+            "nul",
+            "1e999",
+            "--5",
+            "1.2.3",
+            "42 trailing",
+            "[1,2,]",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let value = Value::Object(vec![(
+            "xs".to_string(),
+            Value::Array(vec![Value::Num(1), Value::Num(2)]),
+        )]);
+        let pretty = value.to_json_pretty();
+        assert!(pretty.contains("\n  \"xs\": [\n    1,\n    2\n  ]\n"));
+        assert!(pretty.ends_with("}\n"));
+    }
+}

@@ -26,11 +26,18 @@
 //!   until the residual problem fits the exact solver's thresholds.
 //! * [`cache`] — the sharded, eviction-aware synthesis cache: canonical
 //!   classes keyed by hash shard, LRU-bounded by [`CacheConfig`], with JSON
-//!   warm-start snapshots for cross-process reuse.
+//!   warm-start snapshots (plus cheaper-entry-wins snapshot *merging*) for
+//!   cross-process reuse.
 //! * [`batch`] — the parallel batch-synthesis engine: many targets at once,
 //!   deduplicated under the Sec. V-B canonical key through the sharded
 //!   cache, solved on a worker pool, with per-target circuits and aggregate
-//!   statistics returned in submission order.
+//!   statistics returned in submission order. Its canonical-class seam
+//!   ([`BatchSynthesizer::canonical_class`] / `lookup_class` / `solve_class`
+//!   / `reconstruct_for`) is the surface the `qsp-serve` request/response
+//!   service builds its in-flight dedup on.
+//! * [`json`] — the workspace-shared hand-rolled JSON reader/writer used by
+//!   cache snapshots, serving stats dumps and the benchmark reports (the
+//!   offline build has no serde).
 //!
 //! # Quickstart
 //!
@@ -56,12 +63,13 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod exact;
+pub mod json;
 pub mod search;
 pub mod workflow;
 
 pub use batch::{BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy};
-pub use cache::{CacheStats, ShardedCache};
-pub use engine::SolverEngine;
+pub use cache::{CacheEntry, CacheStats, ClassKey, ShardedCache};
+pub use engine::{SolverEngine, StateTransform};
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};
 pub use search::config::{CacheConfig, SearchConfig, SearchStrategy};

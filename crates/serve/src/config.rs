@@ -1,0 +1,102 @@
+//! Service and scheduler tunables.
+
+use std::time::Duration;
+
+use qsp_core::{BatchOptions, WorkflowConfig};
+
+/// Micro-batching policy of the service's worker pool.
+///
+/// A worker drains the submission queue into *micro-batches*: once at least
+/// one request is queued, the drain waits up to [`max_wait`] for the batch to
+/// fill to [`max_batch`] requests, then takes whatever arrived. Inside a
+/// drain, requests are processed in earliest-deadline-first order.
+///
+/// [`max_wait`]: SchedulerConfig::max_wait
+/// [`max_batch`]: SchedulerConfig::max_batch
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum requests one drain hands to a worker. Smaller batches lower
+    /// the latency a slow request can impose on the ones drained behind it;
+    /// larger batches amortize queue locking under heavy load.
+    pub max_batch: usize,
+    /// How long a drain waits for its batch to fill once the first request
+    /// is available. Zero disables the wait entirely (pure work-conserving
+    /// draining).
+    pub max_wait: Duration,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            workers: 0,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The effective worker count (at least 1).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Full configuration of a [`SynthesisService`](crate::SynthesisService).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Bound of the submission queue. A submission that would overflow it is
+    /// rejected with `Submit::Rejected { queue_full: true }` — backpressure
+    /// is explicit, never blocking. A capacity of `0` rejects every
+    /// submission (useful to drain a deployment).
+    pub queue_capacity: usize,
+    /// Micro-batching and worker-pool policy.
+    pub scheduler: SchedulerConfig,
+    /// Workflow configuration of the underlying solver.
+    pub workflow: WorkflowConfig,
+    /// Dedup policy and cache sharding/eviction of the underlying batch
+    /// engine (the `threads` field is ignored; parallelism comes from
+    /// [`SchedulerConfig::workers`]).
+    pub batch: BatchOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            scheduler: SchedulerConfig::default(),
+            workflow: WorkflowConfig::default(),
+            batch: BatchOptions::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ServiceConfig::default();
+        assert_eq!(config.queue_capacity, 1024);
+        assert_eq!(config.scheduler.max_batch, 16);
+        assert!(config.scheduler.max_wait > Duration::ZERO);
+        assert!(config.scheduler.resolved_workers() >= 1);
+        assert_eq!(
+            SchedulerConfig {
+                workers: 3,
+                ..SchedulerConfig::default()
+            }
+            .resolved_workers(),
+            3
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! One-shot completion handles.
+//!
+//! Every accepted submission returns a [`RequestHandle`]; the worker that
+//! finishes the request completes the paired [`Completer`] exactly once. The
+//! channel is a `Mutex<Option<Response>>` plus a `Condvar` — deliberately
+//! lighter than a full MPSC channel, since exactly one value ever crosses
+//! it. A `Completer` dropped without completing (worker panic, service
+//! teardown) resolves its handle with [`Response::Cancelled`], so a handle
+//! can never hang on a request the service will not finish.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use qsp_circuit::Circuit;
+use qsp_core::SynthesisError;
+
+/// The terminal state of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The preparation circuit for the submitted target.
+    Completed(Circuit),
+    /// Synthesis failed (unsupported or invalid target).
+    Failed(SynthesisError),
+    /// The request's deadline expired before a worker started solving it;
+    /// no solver time was spent on it.
+    Timeout,
+    /// The service shut down (or tore down) before the request was solved.
+    Cancelled,
+}
+
+impl Response {
+    /// The circuit, if the request completed successfully.
+    pub fn circuit(&self) -> Option<&Circuit> {
+        match self {
+            Response::Completed(circuit) => Some(circuit),
+            _ => None,
+        }
+    }
+
+    /// Whether the request completed with a circuit.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Response::Completed(_))
+    }
+}
+
+#[derive(Debug)]
+struct OneShot {
+    slot: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+/// The caller's side of a one-shot completion: blocks until the service
+/// resolves the request.
+#[derive(Debug, Clone)]
+pub struct RequestHandle {
+    shot: Arc<OneShot>,
+}
+
+impl RequestHandle {
+    /// Blocks until the request resolves.
+    pub fn wait(&self) -> Response {
+        let mut slot = self.shot.slot.lock().expect("one-shot poisoned");
+        loop {
+            if let Some(response) = slot.as_ref() {
+                return response.clone();
+            }
+            slot = self.shot.ready.wait(slot).expect("one-shot poisoned");
+        }
+    }
+
+    /// Blocks until the request resolves or `timeout` elapses; `None` means
+    /// the request is still pending (the handle stays usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Response> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.shot.slot.lock().expect("one-shot poisoned");
+        loop {
+            if let Some(response) = slot.as_ref() {
+                return Some(response.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shot
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("one-shot poisoned");
+            slot = guard;
+        }
+    }
+
+    /// The response if the request has already resolved, without blocking.
+    pub fn try_response(&self) -> Option<Response> {
+        self.shot.slot.lock().expect("one-shot poisoned").clone()
+    }
+}
+
+/// The service's side of a one-shot completion. Completing consumes it;
+/// dropping it unresolved cancels the paired handle.
+#[derive(Debug)]
+pub(crate) struct Completer {
+    shot: Arc<OneShot>,
+}
+
+impl Completer {
+    /// Resolves the paired handle. Exactly-once is enforced by consumption.
+    pub(crate) fn complete(self, response: Response) {
+        self.set(response);
+    }
+
+    fn set(&self, response: Response) {
+        let mut slot = self.shot.slot.lock().expect("one-shot poisoned");
+        if slot.is_none() {
+            *slot = Some(response);
+            self.shot.ready.notify_all();
+        }
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        // `complete` fills the slot before this runs; an unresolved drop
+        // (panic unwind, teardown) must still release any waiter.
+        self.set(Response::Cancelled);
+    }
+}
+
+/// Creates a connected handle/completer pair.
+pub(crate) fn oneshot() -> (RequestHandle, Completer) {
+    let shot = Arc::new(OneShot {
+        slot: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    (
+        RequestHandle {
+            shot: Arc::clone(&shot),
+        },
+        Completer { shot },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_unblocks_wait() {
+        let (handle, completer) = oneshot();
+        assert_eq!(handle.try_response(), None);
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait())
+        };
+        completer.complete(Response::Timeout);
+        assert_eq!(waiter.join().unwrap(), Response::Timeout);
+        // The response is sticky and repeatable.
+        assert_eq!(handle.wait(), Response::Timeout);
+        assert_eq!(handle.try_response(), Some(Response::Timeout));
+        assert_eq!(handle.wait_timeout(Duration::ZERO), Some(Response::Timeout));
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_while_pending() {
+        let (handle, completer) = oneshot();
+        assert_eq!(handle.wait_timeout(Duration::from_millis(5)), None);
+        completer.complete(Response::Cancelled);
+        assert_eq!(
+            handle.wait_timeout(Duration::from_secs(5)),
+            Some(Response::Cancelled)
+        );
+    }
+
+    #[test]
+    fn dropping_an_unresolved_completer_cancels() {
+        let (handle, completer) = oneshot();
+        drop(completer);
+        assert_eq!(handle.wait(), Response::Cancelled);
+    }
+
+    #[test]
+    fn drop_after_complete_keeps_the_response() {
+        let (handle, completer) = oneshot();
+        completer.complete(Response::Timeout); // consumes + drops
+        assert_eq!(handle.wait(), Response::Timeout);
+    }
+}

@@ -1,0 +1,74 @@
+//! # qsp-serve
+//!
+//! The deadline-aware synthesis *service*: the long-running request/response
+//! front door that turns [`qsp_core::BatchSynthesizer`] from a library call
+//! into something a fleet can point traffic at.
+//!
+//! A [`SynthesisService`] owns a worker pool and wires four pieces together:
+//!
+//! * **A bounded submission queue with explicit backpressure** — `submit`
+//!   never blocks: a request is either queued (returning a
+//!   [`RequestHandle`]) or rejected with
+//!   [`Submit::Rejected`]` { queue_full }`. Queue-depth high-water is
+//!   tracked for capacity planning.
+//! * **A micro-batching, deadline-aware scheduler** — workers drain the
+//!   queue into micro-batches under a [`SchedulerConfig`]
+//!   `{ max_batch, max_wait, workers }` policy. Inside a drain, requests are
+//!   served earliest-deadline-first; a request whose deadline has already
+//!   expired completes with [`Response::Timeout`] without spending any
+//!   solver time.
+//! * **Per-class in-flight dedup** — a request whose Sec. V-B canonical
+//!   class is already being solved *attaches* to that solve instead of
+//!   re-entering the queue (replacing the batch engine's phase-based
+//!   planning on the serving path). Attached requests get their circuit
+//!   reconstructed through their own witness transform, so their
+//!   `cnot_cost` is bit-identical to a solo solve. Solved classes land in
+//!   the engine's sharded cache, so repeats across the service's lifetime
+//!   are cache hits.
+//! * **One-shot completion handles and deterministic shutdown** —
+//!   [`RequestHandle::wait`]/[`RequestHandle::wait_timeout`] block on a
+//!   lightweight one-shot; [`SynthesisService::shutdown`] either drains
+//!   ([`Shutdown::Drain`]) or fails pending work with
+//!   [`Response::Cancelled`] ([`Shutdown::Abort`]) — handles never hang.
+//!
+//! Observability rides on [`ServiceStats`]:
+//! submitted/completed/rejected/expired/deduped counters, queue-depth
+//! high-water and per-stage latency histograms (queue wait, service time,
+//! end-to-end) in plain power-of-two buckets, serializable through the
+//! workspace-shared [`qsp_core::json`] writer.
+//!
+//! # Example
+//!
+//! ```
+//! use qsp_serve::{ServiceConfig, Shutdown, SynthesisService};
+//! use qsp_state::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = SynthesisService::start(ServiceConfig::default());
+//! let a = service.submit(generators::ghz(4)?, None).handle().unwrap();
+//! let b = service.submit(generators::ghz(4)?, None).handle().unwrap();
+//! assert_eq!(a.wait().circuit().unwrap().cnot_cost(), 3);
+//! assert_eq!(b.wait().circuit().unwrap().cnot_cost(), 3);
+//! let stats = service.shutdown(Shutdown::Drain);
+//! assert_eq!(stats.completed, 2);
+//! // The duplicate GHZ never triggered a second solve.
+//! assert_eq!(stats.solver_runs, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod handle;
+mod inflight;
+mod queue;
+mod service;
+mod stats;
+
+pub use config::{SchedulerConfig, ServiceConfig};
+pub use handle::{RequestHandle, Response};
+pub use queue::Submit;
+pub use service::{Shutdown, SynthesisService};
+pub use stats::{HistogramSnapshot, ServiceStats, HISTOGRAM_BUCKETS};

@@ -1,0 +1,325 @@
+//! The bounded submission queue and its micro-batch drain.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qsp_state::SparseState;
+
+use crate::handle::{oneshot, Completer, RequestHandle};
+
+/// The outcome of a submission attempt.
+#[derive(Debug)]
+pub enum Submit {
+    /// The request was queued; the handle resolves when it finishes.
+    Accepted(RequestHandle),
+    /// The request was not queued. `queue_full: true` is backpressure (the
+    /// bounded queue is at capacity); `false` means the service is shutting
+    /// down.
+    Rejected {
+        /// Whether the rejection was capacity backpressure (as opposed to
+        /// shutdown).
+        queue_full: bool,
+    },
+}
+
+impl Submit {
+    /// Whether the request was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Submit::Accepted(_))
+    }
+
+    /// The handle, if the request was accepted.
+    pub fn handle(self) -> Option<RequestHandle> {
+        match self {
+            Submit::Accepted(handle) => Some(handle),
+            Submit::Rejected { .. } => None,
+        }
+    }
+}
+
+/// One queued request, waiting for a worker drain.
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    /// Submission order, the deterministic tiebreak of the EDF sort.
+    pub seq: u64,
+    pub target: SparseState,
+    pub deadline: Option<Instant>,
+    pub enqueued: Instant,
+    pub completer: Completer,
+}
+
+/// Service lifecycle, driven by shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// Accepting and processing.
+    Running,
+    /// No longer accepting; workers drain what is queued, then exit.
+    Draining,
+    /// No longer accepting; queued requests were cancelled, workers exit
+    /// after their current batch.
+    Aborted,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<QueuedRequest>,
+    lifecycle: Lifecycle,
+}
+
+/// A bounded MPSC queue with condvar-based micro-batch draining.
+#[derive(Debug)]
+pub(crate) struct SubmissionQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    high_water: AtomicUsize,
+    next_seq: AtomicU64,
+}
+
+impl SubmissionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SubmissionQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                lifecycle: Lifecycle::Running,
+            }),
+            not_empty: Condvar::new(),
+            high_water: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to enqueue a request; never blocks.
+    pub(crate) fn push(&self, target: SparseState, deadline: Option<Instant>) -> Submit {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.lifecycle != Lifecycle::Running {
+            return Submit::Rejected { queue_full: false };
+        }
+        if state.items.len() >= self.capacity {
+            return Submit::Rejected { queue_full: true };
+        }
+        let (handle, completer) = oneshot();
+        state.items.push_back(QueuedRequest {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            target,
+            deadline,
+            enqueued: Instant::now(),
+            completer,
+        });
+        self.high_water
+            .fetch_max(state.items.len(), Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+        Submit::Accepted(handle)
+    }
+
+    /// Blocks until at least one request is available (or the service stops),
+    /// then drains a micro-batch: the drain waits up to `max_wait` for the
+    /// batch to fill to `max_batch`, takes at most `max_batch` requests, and
+    /// returns them in earliest-deadline-first order. `None` tells the
+    /// calling worker to exit.
+    pub(crate) fn pop_batch(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+    ) -> Option<Vec<QueuedRequest>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            // Wait for work (or an exit signal).
+            loop {
+                match state.lifecycle {
+                    Lifecycle::Aborted => return None,
+                    Lifecycle::Draining if state.items.is_empty() => return None,
+                    _ if !state.items.is_empty() => break,
+                    _ => state = self.not_empty.wait(state).expect("queue poisoned"),
+                }
+            }
+            // Micro-batch fill: only worth waiting while new submissions can
+            // still arrive.
+            if state.lifecycle == Lifecycle::Running
+                && state.items.len() < max_batch
+                && max_wait > Duration::ZERO
+            {
+                let fill_deadline = Instant::now() + max_wait;
+                while state.lifecycle == Lifecycle::Running && state.items.len() < max_batch {
+                    let now = Instant::now();
+                    if now >= fill_deadline {
+                        break;
+                    }
+                    let (guard, wait) = self
+                        .not_empty
+                        .wait_timeout(state, fill_deadline - now)
+                        .expect("queue poisoned");
+                    state = guard;
+                    if wait.timed_out() {
+                        break;
+                    }
+                }
+            }
+            if state.lifecycle == Lifecycle::Aborted {
+                return None; // the aborter cancels whatever is queued
+            }
+            let take = state.items.len().min(max_batch);
+            let mut batch: Vec<QueuedRequest> = state.items.drain(..take).collect();
+            if batch.is_empty() {
+                continue; // another worker drained first; go back to waiting
+            }
+            edf_sort(&mut batch);
+            return Some(batch);
+        }
+    }
+
+    /// Stops the queue. With `abort`, queued requests are handed back to the
+    /// caller (to be cancelled) instead of drained by workers. Idempotent;
+    /// an abort overrides a drain.
+    pub(crate) fn close(&self, abort: bool) -> Vec<QueuedRequest> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let leftover = if abort {
+            state.lifecycle = Lifecycle::Aborted;
+            state.items.drain(..).collect()
+        } else {
+            if state.lifecycle == Lifecycle::Running {
+                state.lifecycle = Lifecycle::Draining;
+            }
+            Vec::new()
+        };
+        drop(state);
+        self.not_empty.notify_all();
+        leftover
+    }
+
+    /// Current queue depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Sorts a drained batch earliest-deadline-first: deadlined requests before
+/// deadline-free ones, submission order as the deterministic tiebreak.
+fn edf_sort(batch: &mut [QueuedRequest]) {
+    batch.sort_by(|a, b| match (a.deadline, b.deadline) {
+        (Some(x), Some(y)) => x.cmp(&y).then(a.seq.cmp(&b.seq)),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.seq.cmp(&b.seq),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::generators;
+
+    fn queue_with(capacity: usize, targets: usize) -> (SubmissionQueue, Vec<RequestHandle>) {
+        let queue = SubmissionQueue::new(capacity);
+        let handles = (0..targets)
+            .map(|_| {
+                queue
+                    .push(generators::ghz(3).unwrap(), None)
+                    .handle()
+                    .expect("accepted")
+            })
+            .collect();
+        (queue, handles)
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (queue, _handles) = queue_with(2, 2);
+        match queue.push(generators::ghz(3).unwrap(), None) {
+            Submit::Rejected { queue_full } => assert!(queue_full),
+            Submit::Accepted(_) => panic!("expected backpressure"),
+        }
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.high_water(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let queue = SubmissionQueue::new(0);
+        assert!(!queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+        assert_eq!(queue.high_water(), 0);
+    }
+
+    #[test]
+    fn drain_takes_at_most_max_batch_in_fifo_order_without_deadlines() {
+        let (queue, _handles) = queue_with(16, 5);
+        let batch = queue.pop_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(
+            batch.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let rest = queue.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn drain_orders_earliest_deadline_first() {
+        let queue = SubmissionQueue::new(16);
+        let now = Instant::now();
+        let deadlines = [
+            Some(now + Duration::from_millis(30)),
+            None,
+            Some(now + Duration::from_millis(10)),
+            Some(now + Duration::from_millis(10)),
+            Some(now + Duration::from_millis(20)),
+        ];
+        for deadline in deadlines {
+            assert!(queue
+                .push(generators::ghz(3).unwrap(), deadline)
+                .is_accepted());
+        }
+        let batch = queue.pop_batch(16, Duration::ZERO).unwrap();
+        // Ties keep submission order; no-deadline requests go last.
+        assert_eq!(
+            batch.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4, 0, 1]
+        );
+    }
+
+    #[test]
+    fn micro_batch_fill_waits_for_late_arrivals() {
+        let queue = std::sync::Arc::new(SubmissionQueue::new(16));
+        assert!(queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+        let producer = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                assert!(queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+            })
+        };
+        // The drain waits up to 500ms for the batch to fill; the second
+        // submission lands ~10ms in, well inside the window.
+        let batch = queue.pop_batch(2, Duration::from_millis(500)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn close_draining_lets_workers_finish_the_backlog() {
+        let (queue, _handles) = queue_with(16, 2);
+        assert!(queue.close(false).is_empty());
+        assert!(!queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+        assert_eq!(queue.pop_batch(1, Duration::ZERO).unwrap().len(), 1);
+        assert_eq!(queue.pop_batch(1, Duration::ZERO).unwrap().len(), 1);
+        assert!(queue.pop_batch(1, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn close_abort_hands_back_the_backlog() {
+        let (queue, _handles) = queue_with(16, 3);
+        let leftover = queue.close(true);
+        assert_eq!(leftover.len(), 3);
+        assert!(queue.pop_batch(4, Duration::ZERO).is_none());
+    }
+}

@@ -1,0 +1,291 @@
+//! The synthesis service front door.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qsp_core::{BatchSynthesizer, DedupPolicy};
+use qsp_state::{QuantumState, SparseState};
+
+use crate::config::{SchedulerConfig, ServiceConfig};
+use crate::handle::Response;
+use crate::inflight::{Attach, InFlightTable, Waiter};
+use crate::queue::{QueuedRequest, SubmissionQueue, Submit};
+use crate::stats::{Counters, LatencyHistogram, ServiceStats};
+
+/// How [`SynthesisService::shutdown`] disposes of queued work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Stop accepting, let the workers finish everything already queued,
+    /// then exit. Every accepted request resolves with its real outcome.
+    Drain,
+    /// Stop accepting and fail queued requests with
+    /// [`Response::Cancelled`]; workers exit after the batch they are
+    /// currently processing (in-flight solves still complete normally).
+    Abort,
+}
+
+/// The long-running request/response synthesis service.
+///
+/// See the [crate docs](crate) for the architecture. The service is shared
+/// by reference: `submit` takes `&self` from any thread, and the worker pool
+/// lives until [`SynthesisService::shutdown`] (or drop, which aborts).
+#[derive(Debug)]
+pub struct SynthesisService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    engine: BatchSynthesizer,
+    queue: SubmissionQueue,
+    inflight: InFlightTable,
+    counters: Counters,
+    queue_wait: LatencyHistogram,
+    service_time: LatencyHistogram,
+    end_to_end: LatencyHistogram,
+    scheduler: SchedulerConfig,
+}
+
+impl SynthesisService {
+    /// Starts a service (and its worker pool) with the given configuration.
+    pub fn start(config: ServiceConfig) -> Self {
+        let engine = BatchSynthesizer::with_options(config.workflow, config.batch);
+        Self::with_engine(engine, config.queue_capacity, config.scheduler)
+    }
+
+    /// Starts a service on an existing batch engine — sharing its synthesis
+    /// cache (e.g. one warm-started from a snapshot, or one also serving
+    /// offline `synthesize_batch` traffic).
+    pub fn with_engine(
+        engine: BatchSynthesizer,
+        queue_capacity: usize,
+        scheduler: SchedulerConfig,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            engine,
+            queue: SubmissionQueue::new(queue_capacity),
+            inflight: InFlightTable::default(),
+            counters: Counters::default(),
+            queue_wait: LatencyHistogram::new(),
+            service_time: LatencyHistogram::new(),
+            end_to_end: LatencyHistogram::new(),
+            scheduler,
+        });
+        let workers = (0..scheduler.resolved_workers())
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qsp-serve-{i}"))
+                    .spawn(move || inner.run_worker())
+                    .expect("spawn service worker")
+            })
+            .collect();
+        SynthesisService {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submits a target for synthesis. Never blocks: the request is either
+    /// queued (wait on the returned handle) or rejected outright
+    /// ([`Submit::Rejected`] with `queue_full` distinguishing backpressure
+    /// from shutdown).
+    ///
+    /// A request with a `deadline` that expires while still queued completes
+    /// with [`Response::Timeout`] and never reaches the solver; within a
+    /// drain, deadlined requests are served earliest-deadline-first.
+    pub fn submit(&self, target: SparseState, deadline: Option<Instant>) -> Submit {
+        let submit = self.inner.queue.push(target, deadline);
+        match &submit {
+            Submit::Accepted(_) => Counters::bump(&self.inner.counters.submitted),
+            Submit::Rejected { .. } => Counters::bump(&self.inner.counters.rejected),
+        }
+        submit
+    }
+
+    /// [`submit`](SynthesisService::submit) for any [`QuantumState`] backend
+    /// (converted to the solver's sparse form up front). An unconvertible
+    /// target is accepted with an already-failed handle — it is a permanent
+    /// per-request error, not backpressure or shutdown, so it must not look
+    /// like either rejection.
+    pub fn submit_state<S: QuantumState>(&self, target: &S, deadline: Option<Instant>) -> Submit {
+        match target.as_sparse() {
+            Ok(sparse) => self.submit(sparse.into_owned(), deadline),
+            Err(error) => {
+                Counters::bump(&self.inner.counters.submitted);
+                Counters::bump(&self.inner.counters.failed);
+                let (handle, completer) = crate::handle::oneshot();
+                completer.complete(Response::Failed(qsp_core::SynthesisError::State(error)));
+                Submit::Accepted(handle)
+            }
+        }
+    }
+
+    /// The underlying batch engine (shared synthesis cache, dedup policy).
+    pub fn engine(&self) -> &BatchSynthesizer {
+        &self.inner.engine
+    }
+
+    /// A point-in-time snapshot of the service counters and latency
+    /// histograms.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            deduped: c.deduped.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            solver_runs: c.solver_runs.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            queue_high_water: self.inner.queue.high_water(),
+            queue_depth: self.inner.queue.depth(),
+            in_flight_classes: self.inner.inflight.len(),
+            queue_wait: self.inner.queue_wait.snapshot(),
+            service_time: self.inner.service_time.snapshot(),
+            end_to_end: self.inner.end_to_end.snapshot(),
+        }
+    }
+
+    /// Stops the service deterministically and joins the worker pool:
+    /// [`Shutdown::Drain`] finishes all queued work first, [`Shutdown::Abort`]
+    /// fails queued requests with [`Response::Cancelled`] (requests already
+    /// being solved still complete). Idempotent; returns the final stats.
+    pub fn shutdown(&self, mode: Shutdown) -> ServiceStats {
+        let leftover = self.inner.queue.close(mode == Shutdown::Abort);
+        for request in leftover {
+            Counters::bump(&self.inner.counters.cancelled);
+            request.completer.complete(Response::Cancelled);
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker pool poisoned"));
+        for worker in workers {
+            // A panicked worker already resolved its requests (completers
+            // cancel on unwind); swallowing the panic here keeps shutdown —
+            // and Drop during another panic's unwind — from aborting.
+            if worker.join().is_err() {
+                eprintln!("qsp-serve: worker thread panicked; its requests were cancelled");
+            }
+        }
+        self.stats()
+    }
+}
+
+impl Drop for SynthesisService {
+    fn drop(&mut self) {
+        self.shutdown(Shutdown::Abort);
+    }
+}
+
+impl Inner {
+    fn run_worker(&self) {
+        while let Some(batch) = self
+            .queue
+            .pop_batch(self.scheduler.max_batch, self.scheduler.max_wait)
+        {
+            for request in batch {
+                self.process(request);
+            }
+        }
+    }
+
+    /// Serves one drained request: deadline check, canonical keying, then
+    /// cache / in-flight attach / fresh solve.
+    fn process(&self, request: QueuedRequest) {
+        let QueuedRequest {
+            target,
+            deadline,
+            enqueued,
+            completer,
+            ..
+        } = request;
+        let drained = Instant::now();
+        self.queue_wait.record(drained - enqueued);
+
+        // Deadline-aware: an expired request is answered without spending
+        // any solver time on it.
+        if deadline.is_some_and(|d| drained >= d) {
+            Counters::bump(&self.counters.expired);
+            self.end_to_end.record(drained - enqueued);
+            completer.complete(Response::Timeout);
+            return;
+        }
+
+        let (key, transform) = match self.engine.canonical_class(&target) {
+            Ok(keyed) => keyed,
+            Err(error) => {
+                Counters::bump(&self.counters.failed);
+                let now = Instant::now();
+                self.service_time.record(now - drained);
+                self.end_to_end.record(now - enqueued);
+                completer.complete(Response::Failed(error));
+                return;
+            }
+        };
+        let waiter = Waiter {
+            transform,
+            completer,
+            enqueued,
+            drained,
+        };
+
+        // With dedup off every request is solved independently (the batch
+        // engine's cache is bypassed too); no in-flight table involved.
+        if self.engine.options().dedup == DedupPolicy::Off {
+            Counters::bump(&self.counters.solver_runs);
+            let entry = self.engine.solve_class(&key, &waiter.transform, &target);
+            self.finish(&entry, waiter);
+            return;
+        }
+
+        match self
+            .inflight
+            .attach_or_own(&key, || self.engine.lookup_class(&key), waiter)
+        {
+            Attach::Attached => Counters::bump(&self.counters.deduped),
+            Attach::Cached(entry, waiter) => {
+                Counters::bump(&self.counters.cache_hits);
+                self.finish(&entry, waiter);
+            }
+            Attach::Owner(waiter) => {
+                Counters::bump(&self.counters.solver_runs);
+                // The guard retires the class even if the solve panics, so
+                // attached waiters can never hang on a poisoned entry.
+                let owned = self.inflight.guard(&key);
+                // Publish to the cache (inside solve_class) *before*
+                // retiring the in-flight entry — the ordering the
+                // no-duplicate-solve guarantee rests on.
+                let entry = self.engine.solve_class(&key, &waiter.transform, &target);
+                let attached = owned.retire();
+                self.finish(&entry, waiter);
+                for waiter in attached {
+                    self.finish(&entry, waiter);
+                }
+            }
+        }
+    }
+
+    /// Completes one request from a solved class entry, reconstructing the
+    /// circuit through the request's own witness transform (bit-identical
+    /// CNOT cost to a direct solve).
+    fn finish(&self, entry: &qsp_core::CacheEntry, waiter: Waiter) {
+        let response = match BatchSynthesizer::reconstruct_for(entry, &waiter.transform) {
+            Ok(circuit) => {
+                Counters::bump(&self.counters.completed);
+                Response::Completed(circuit)
+            }
+            Err(error) => {
+                Counters::bump(&self.counters.failed);
+                Response::Failed(error)
+            }
+        };
+        let now = Instant::now();
+        self.service_time.record(now - waiter.drained);
+        self.end_to_end.record(now - waiter.enqueued);
+        waiter.completer.complete(response);
+    }
+}

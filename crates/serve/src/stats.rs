@@ -1,0 +1,270 @@
+//! Service counters and plain-bucket latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use qsp_core::json::Value;
+
+/// Number of histogram buckets: bucket `i < 25` counts latencies below
+/// `2^i` microseconds (the bounded range tops out at `2^24` µs ≈ 16.8 s);
+/// the last bucket is the unbounded overflow.
+pub const HISTOGRAM_BUCKETS: usize = 26;
+
+/// A fixed-bucket, lock-free latency histogram. Buckets are powers of two
+/// in microseconds — coarse, but cheap enough to sit on the completion hot
+/// path and plenty for p50/p95/p99 reporting.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn record(&self, latency: Duration) {
+        self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The bucket index of a latency: the bit length of its microsecond count
+/// (0 µs → bucket 0), clamped to the overflow bucket.
+fn bucket_of(latency: Duration) -> usize {
+    let micros = latency.as_micros();
+    let bits = (u128::BITS - micros.leading_zeros()) as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; bucket `i` covers latencies below
+    /// [`HistogramSnapshot::bucket_upper_bound`]`(i)`.
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The exclusive upper bound of bucket `i`. The last bucket is
+    /// unbounded; the value returned for it (`2^25` µs ≈ 33.5 s) is the
+    /// clamp [`HistogramSnapshot::percentile`] reports overflow
+    /// observations at.
+    pub fn bucket_upper_bound(i: usize) -> Duration {
+        Duration::from_micros(1u64 << i.min(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// An upper bound on the `p`-quantile latency (`p` in `[0, 1]`): the
+    /// upper bound of the bucket the quantile falls in. Zero when empty.
+    /// Quantiles landing in the unbounded overflow bucket are *clamped* to
+    /// its nominal bound (≈ 33.5 s) — a true tail latency beyond that is
+    /// reported as the clamp, not an upper bound.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The histogram as JSON: bucket counts plus p50/p95/p99 milliseconds.
+    pub fn to_json(&self) -> Value {
+        let quantile_ms = |p: f64| Value::Float(self.percentile(p).as_secs_f64() * 1e3);
+        Value::Object(vec![
+            ("count".to_string(), Value::Num(self.count())),
+            ("p50_ms".to_string(), quantile_ms(0.50)),
+            ("p95_ms".to_string(), quantile_ms(0.95)),
+            ("p99_ms".to_string(), quantile_ms(0.99)),
+            (
+                "bucket_counts".to_string(),
+                Value::Array(self.counts.iter().map(|&c| Value::Num(c)).collect()),
+            ),
+        ])
+    }
+}
+
+/// The service's atomic counter block.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub expired: AtomicU64,
+    pub deduped: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub solver_runs: AtomicU64,
+    pub cancelled: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of a service's counters and latency histograms.
+///
+/// Counter identities (stable under concurrency, read at quiescence):
+/// `submitted == completed + failed + expired + cancelled + in-flight`, and
+/// `completed + failed == solver_runs-resolved + deduped + cache_hits`
+/// requests that went through the solve path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed with a circuit.
+    pub completed: u64,
+    /// Requests that failed synthesis.
+    pub failed: u64,
+    /// Submissions rejected (backpressure or shutdown).
+    pub rejected: u64,
+    /// Requests whose deadline expired before solving started.
+    pub expired: u64,
+    /// Requests attached to another request's in-flight solve.
+    pub deduped: u64,
+    /// Requests served from the cross-batch synthesis cache.
+    pub cache_hits: u64,
+    /// Fresh solver invocations.
+    pub solver_runs: u64,
+    /// Requests cancelled by shutdown.
+    pub cancelled: u64,
+    /// The deepest the submission queue has ever been.
+    pub queue_high_water: usize,
+    /// Current queue depth (at snapshot time).
+    pub queue_depth: usize,
+    /// Classes currently being solved (at snapshot time).
+    pub in_flight_classes: usize,
+    /// Latency from submission to worker drain.
+    pub queue_wait: HistogramSnapshot,
+    /// Latency from worker drain to completion.
+    pub service_time: HistogramSnapshot,
+    /// Latency from submission to completion.
+    pub end_to_end: HistogramSnapshot,
+}
+
+impl ServiceStats {
+    /// The stats as a JSON value (for dashboards and the bench report).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("submitted".to_string(), Value::Num(self.submitted)),
+            ("completed".to_string(), Value::Num(self.completed)),
+            ("failed".to_string(), Value::Num(self.failed)),
+            ("rejected".to_string(), Value::Num(self.rejected)),
+            ("expired".to_string(), Value::Num(self.expired)),
+            ("deduped".to_string(), Value::Num(self.deduped)),
+            ("cache_hits".to_string(), Value::Num(self.cache_hits)),
+            ("solver_runs".to_string(), Value::Num(self.solver_runs)),
+            ("cancelled".to_string(), Value::Num(self.cancelled)),
+            (
+                "queue_high_water".to_string(),
+                Value::Num(self.queue_high_water as u64),
+            ),
+            (
+                "queue_depth".to_string(),
+                Value::Num(self.queue_depth as u64),
+            ),
+            (
+                "in_flight_classes".to_string(),
+                Value::Num(self.in_flight_classes as u64),
+            ),
+            ("queue_wait".to_string(), self.queue_wait.to_json()),
+            ("service_time".to_string(), self.service_time.to_json()),
+            ("end_to_end".to_string(), self.end_to_end.to_json()),
+        ])
+    }
+
+    /// The stats as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_latency_range() {
+        assert_eq!(bucket_of(Duration::ZERO), 0);
+        assert_eq!(bucket_of(Duration::from_micros(1)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(2)), 2);
+        assert_eq!(bucket_of(Duration::from_micros(3)), 2);
+        assert_eq!(bucket_of(Duration::from_micros(1023)), 10);
+        // Far beyond the range clamps into the overflow bucket.
+        assert_eq!(bucket_of(Duration::from_secs(3600)), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's upper bound is inside the next bucket.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_of(HistogramSnapshot::bucket_upper_bound(i)), i + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let histogram = LatencyHistogram::new();
+        assert_eq!(histogram.snapshot().percentile(0.5), Duration::ZERO);
+        // 90 fast observations (~4 µs) and 10 slow (~1 ms).
+        for _ in 0..90 {
+            histogram.record(Duration::from_micros(3));
+        }
+        for _ in 0..10 {
+            histogram.record(Duration::from_micros(900));
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count(), 100);
+        assert_eq!(snapshot.percentile(0.5), Duration::from_micros(4));
+        assert_eq!(snapshot.percentile(0.9), Duration::from_micros(4));
+        assert_eq!(snapshot.percentile(0.95), Duration::from_micros(1024));
+        assert_eq!(snapshot.percentile(0.99), Duration::from_micros(1024));
+        assert!(snapshot.percentile(1.0) >= snapshot.percentile(0.5));
+    }
+
+    #[test]
+    fn stats_serialize_to_parseable_json() {
+        let histogram = LatencyHistogram::new();
+        histogram.record(Duration::from_micros(10));
+        let stats = ServiceStats {
+            submitted: 5,
+            completed: 3,
+            failed: 0,
+            rejected: 1,
+            expired: 1,
+            deduped: 2,
+            cache_hits: 1,
+            solver_runs: 1,
+            cancelled: 0,
+            queue_high_water: 4,
+            queue_depth: 0,
+            in_flight_classes: 0,
+            queue_wait: histogram.snapshot(),
+            service_time: histogram.snapshot(),
+            end_to_end: histogram.snapshot(),
+        };
+        let parsed = qsp_core::json::parse(&stats.to_json_string()).unwrap();
+        assert_eq!(parsed.get("submitted").unwrap().as_u64(), Some(5));
+        assert_eq!(parsed.get("deduped").unwrap().as_u64(), Some(2));
+        let wait = parsed.get("queue_wait").unwrap();
+        assert_eq!(wait.get("count").unwrap().as_u64(), Some(1));
+        assert!(wait.get("p95_ms").unwrap().as_f64().unwrap() > 0.0);
+    }
+}
