@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use qsp_baselines::{CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator};
-use qsp_core::{BatchSynthesizer, ExactSynthesizer, QspWorkflow};
+use qsp_core::{BatchSynthesizer, ExactSynthesizer, QspWorkflow, SynthesisRequest};
 use qsp_state::generators::{self, Workload};
 use qsp_state::SparseState;
 
@@ -123,7 +123,7 @@ fn bench_dicke_states() {
             &format!("exact/{n}_{k}"),
             measure(|| {
                 ExactSynthesizer::new()
-                    .synthesize(&target)
+                    .synthesize_request(&SynthesisRequest::new(target.clone()))
                     .expect("exact succeeds");
             }),
         );
@@ -151,12 +151,16 @@ fn bench_batch_engine() {
             }
         }),
     );
+    let requests: Vec<SynthesisRequest<SparseState>> = targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
+        .collect();
     report(
         "batch_engine",
         "batched/32",
         measure(|| {
             let engine = BatchSynthesizer::new();
-            let outcome = engine.synthesize_batch(&targets);
+            let outcome = engine.synthesize_requests(&requests);
             assert_eq!(outcome.stats.errors, 0);
         }),
     );

@@ -14,7 +14,7 @@
 //! Run with `cargo run --release -p qsp-bench --bin ablation`.
 
 use qsp_bench::report::format_markdown_table;
-use qsp_core::{ExactSynthesizer, SearchConfig};
+use qsp_core::{SearchConfig, SolverEngine};
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
 
@@ -29,25 +29,16 @@ fn configurations() -> Vec<(&'static str, SearchConfig)> {
         ("A* (default, exact keys)", SearchConfig::default()),
         (
             "Dijkstra (no heuristic)",
-            SearchConfig {
-                use_heuristic: false,
-                ..SearchConfig::default()
-            },
+            SearchConfig::default().with_heuristic(false),
         ),
         ("A* portfolio (4 workers)", SearchConfig::portfolio(4)),
         (
             "A* + PU(2) compression (approx)",
-            SearchConfig {
-                permutation_compression: true,
-                ..SearchConfig::default()
-            },
+            SearchConfig::default().with_permutation_compression(true),
         ),
         (
             "A* without CRy merges",
-            SearchConfig {
-                enable_controlled_merges: false,
-                ..SearchConfig::default()
-            },
+            SearchConfig::default().with_controlled_merges(false),
         ),
     ]
 }
@@ -101,7 +92,9 @@ fn main() {
         let mut exact_costs = Vec::new();
         let mut compressed_cost = None;
         for (_, config) in &configs {
-            match ExactSynthesizer::with_config(*config).synthesize(&target) {
+            // The engine seam keeps the per-run search statistics (expanded
+            // node counts) the ablation reports alongside the CNOT cost.
+            match SolverEngine::new(*config).synthesize(&target) {
                 Ok(outcome) => {
                     if is_exact(config) {
                         exact_costs.push(outcome.cnot_cost);

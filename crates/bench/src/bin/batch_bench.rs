@@ -40,6 +40,7 @@ use qsp_baselines::StatePreparator;
 use qsp_bench::report::{has_switch, parse_flag, parse_path};
 use qsp_core::{
     BatchOptions, BatchStats, BatchSynthesizer, CacheConfig, QspWorkflow, ShardedCache,
+    SynthesisRequest,
 };
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
@@ -148,9 +149,14 @@ fn run_family(
     let sequential = workflow.prepare_many(&targets);
     let sequential_elapsed = sequential_start.elapsed();
 
-    // Batch arm: one synthesize_batch call over the whole family.
+    // Batch arm: one synthesize_requests call over the whole family,
+    // through the unified typed-request API.
+    let requests: Vec<SynthesisRequest<SparseState>> = targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
+        .collect();
     let batch_start = Instant::now();
-    let outcome = engine.synthesize_batch(&targets);
+    let outcome = engine.synthesize_requests(&requests);
     let batch_elapsed = batch_start.elapsed();
     assert_eq!(outcome.stats.errors, 0, "batched synthesis must not fail");
 
@@ -160,15 +166,15 @@ fn run_family(
     let mut total_cnot_sequential = 0usize;
     let mut total_cnot_batch = 0usize;
     let mut costs_identical = true;
-    for (i, (seq, bat)) in sequential.iter().zip(&outcome.results).enumerate() {
+    for (i, (seq, bat)) in sequential.iter().zip(&outcome.reports).enumerate() {
         let seq = seq.as_ref().expect("sequential synthesis succeeds");
         let bat = bat.as_ref().expect("no per-target errors");
-        if seq.cnot_cost() != bat.cnot_cost() {
+        if seq.cnot_cost() != bat.cnot_cost {
             costs_identical = false;
             eprintln!("{name} target {i}: batch CNOT cost diverged from the sequential workflow");
         }
         total_cnot_sequential += seq.cnot_cost();
-        total_cnot_batch += bat.cnot_cost();
+        total_cnot_batch += bat.cnot_cost;
     }
     assert!(costs_identical, "{name}: batch CNOT costs diverged");
 
@@ -245,11 +251,11 @@ fn main() {
     let warm_start = parse_path(&args, "--warm-start");
     let save_cache = parse_path(&args, "--save-cache");
 
-    let options = BatchOptions {
-        threads,
-        cache: CacheConfig { shards, capacity },
-        ..BatchOptions::default()
-    };
+    let options = BatchOptions::default().with_threads(threads).with_cache(
+        CacheConfig::default()
+            .with_shards(shards)
+            .with_capacity(capacity),
+    );
 
     // Dense solves are orders of magnitude heavier than sparse ones (the
     // capped residual search dominates), so the dense family is kept small
@@ -282,10 +288,7 @@ fn main() {
 
     // The merged union of every family's solved classes (cheaper entry wins)
     // when `--save-cache` asks for a warm-start snapshot to be written.
-    let merged = ShardedCache::new(CacheConfig {
-        shards: 0,
-        capacity: 0,
-    });
+    let merged = ShardedCache::new(CacheConfig::unbounded());
     let mut reports = Vec::new();
     for (name, targets) in families {
         // A fresh engine per family: cross-batch warm hits are measured by

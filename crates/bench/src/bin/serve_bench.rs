@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use qsp_bench::report::{has_switch, parse_flag, parse_path};
 use qsp_core::json::Value;
-use qsp_core::{BatchOptions, BatchSynthesizer, QspWorkflow};
+use qsp_core::{BatchOptions, BatchSynthesizer, QspWorkflow, SynthesisRequest};
 use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService};
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
@@ -164,15 +164,16 @@ fn run_phase(
             .count()
     };
     eprintln!("phase {name}: {total} requests (~{duplicates} duplicates)...");
-    let service = SynthesisService::start(ServiceConfig {
-        queue_capacity,
-        scheduler: SchedulerConfig {
-            max_batch,
-            max_wait: Duration::from_millis(1),
-            workers,
-        },
-        ..ServiceConfig::default()
-    });
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(queue_capacity)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(max_batch)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(workers),
+            ),
+    );
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(total);
@@ -182,8 +183,11 @@ fn run_phase(
         if due > now {
             std::thread::sleep(due - now);
         }
-        let deadline = request.budget.map(|b| Instant::now() + b);
-        handles.push(service.submit(request.target.clone(), deadline).handle());
+        let mut typed = SynthesisRequest::new(request.target.clone());
+        if let Some(budget) = request.budget {
+            typed = typed.with_deadline(Instant::now() + budget);
+        }
+        handles.push(service.submit(typed).handle());
     }
     let stats = service.shutdown(Shutdown::Drain);
     let wall = start.elapsed();
@@ -195,15 +199,15 @@ fn run_phase(
             continue; // rejected by backpressure; counted by the service
         };
         match handle.wait() {
-            Response::Completed(circuit) => {
+            Response::Completed(report) => {
                 let expected = cost_map
                     .get(&fingerprint(&request.target))
                     .expect("every workload target has a sequential cost");
-                if circuit.cnot_cost() != *expected {
+                if report.cnot_cost != *expected {
                     costs_identical = false;
                     eprintln!(
                         "phase {name}: cost diverged ({} vs sequential {expected})",
-                        circuit.cnot_cost()
+                        report.cnot_cost
                     );
                 }
             }
@@ -316,22 +320,25 @@ fn main() {
     {
         if let std::collections::hash_map::Entry::Vacant(slot) = cost_map.entry(fingerprint(target))
         {
-            let circuit = workflow.synthesize(target).expect("workload target solves");
-            slot.insert(circuit.cnot_cost());
+            let report = workflow
+                .synthesize_request(&SynthesisRequest::new(target.clone()))
+                .expect("workload target solves");
+            slot.insert(report.cnot_cost);
         }
     }
 
     // --- Direct batch arm (the throughput baseline) ----------------------
-    eprintln!("running direct synthesize_batch baseline...");
+    eprintln!("running direct synthesize_requests baseline...");
     let batch_engine = BatchSynthesizer::with_options(
         Default::default(),
-        BatchOptions {
-            threads: workers,
-            ..BatchOptions::default()
-        },
+        BatchOptions::default().with_threads(workers),
     );
+    let burst_requests: Vec<SynthesisRequest<SparseState>> = burst_targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
+        .collect();
     let batch_start = Instant::now();
-    let batch_outcome = batch_engine.synthesize_batch(&burst_targets);
+    let batch_outcome = batch_engine.synthesize_requests(&burst_requests);
     let batch_wall = batch_start.elapsed();
     assert_eq!(
         batch_outcome.stats.errors, 0,

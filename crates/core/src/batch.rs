@@ -14,14 +14,18 @@
 //!   canonical representative. Targets sharing a key are solved **once**;
 //!   every other member of the class gets its circuit reconstructed from the
 //!   solved one by relabelling qubits and appending zero-CNOT-cost X gates,
-//!   so the reconstructed circuit has exactly the same CNOT cost.
+//!   so the reconstructed circuit has exactly the same CNOT cost. The key
+//!   also folds in the request's cost-relevant **options fingerprint**
+//!   ([`crate::api::cost_fingerprint`]), so per-request solver overrides can
+//!   never dedup across different effective configurations.
 //! * **A sharded, eviction-aware cache** — solved classes live in a
-//!   [`ShardedCache`](crate::cache::ShardedCache): N-way sharded by key hash
+//!   [`ShardedCache`]: N-way sharded by key hash
 //!   (no global lock on the hot path), optionally size-bounded with LRU
 //!   eviction, shared across worker threads *and* across batches, and
 //!   persistable as a JSON warm-start snapshot for cross-process reuse
 //!   ([`BatchSynthesizer::save_cache_snapshot`] /
-//!   [`BatchSynthesizer::load_cache_snapshot`]).
+//!   [`BatchSynthesizer::load_cache_snapshot`]). Per-request
+//!   [`CachePolicy`] decides whether a request reads and/or publishes.
 //!
 //! Within one batch, followers of a canonical class resolve through the
 //! representative solved *in that batch* rather than through the cache, so
@@ -37,22 +41,30 @@
 //! # Example
 //!
 //! ```
-//! use qsp_core::batch::{BatchSynthesizer, DedupPolicy};
+//! use qsp_core::api::{Provenance, SynthesisRequest};
+//! use qsp_core::batch::BatchSynthesizer;
 //! use qsp_state::generators;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let targets = vec![
-//!     generators::ghz(4)?,
-//!     generators::w_state(4)?,
-//!     generators::ghz(4)?, // duplicate: solved once, served from cache
+//! let requests = vec![
+//!     SynthesisRequest::new(generators::ghz(4)?),
+//!     SynthesisRequest::new(generators::w_state(4)?),
+//!     SynthesisRequest::new(generators::ghz(4)?), // duplicate: solved once
 //! ];
 //! let engine = BatchSynthesizer::new();
-//! let outcome = engine.synthesize_batch(&targets);
+//! let outcome = engine.synthesize_requests(&requests);
 //! assert_eq!(outcome.stats.targets, 3);
 //! assert_eq!(outcome.stats.solver_runs, 2);
 //! assert_eq!(outcome.stats.cache_hits, 1);
-//! let ghz_circuit = outcome.results[0].as_ref().unwrap();
-//! assert_eq!(ghz_circuit.cnot_cost(), 3);
+//! let ghz = outcome.reports[0].as_ref().unwrap();
+//! assert_eq!(ghz.cnot_cost, 3);
+//! assert!(matches!(ghz.provenance, Provenance::Solved));
+//! let duplicate = outcome.reports[2].as_ref().unwrap();
+//! assert_eq!(duplicate.cnot_cost, 3);
+//! assert!(matches!(
+//!     duplicate.provenance,
+//!     Provenance::ReconstructedFromBatchRep { .. }
+//! ));
 //! # Ok(())
 //! # }
 //! ```
@@ -61,12 +73,16 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qsp_circuit::Circuit;
 use qsp_state::canonical::for_each_permutation;
 use qsp_state::{QuantumState, SparseState};
 
+use crate::api::{
+    CachePolicy, Provenance, RequestOptions, ResolvedConfig, StageTimings, SynthesisReport,
+    SynthesisRequest, Synthesizer,
+};
 use crate::cache::{CacheEntry, CacheStats, ClassKey, ShardedCache};
 use crate::engine::{reconstruct_circuit, StateTransform};
 use crate::error::SynthesisError;
@@ -103,6 +119,7 @@ pub enum DedupPolicy {
 
 /// Tunables of the batch engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct BatchOptions {
     /// Worker threads; `0` uses the machine's available parallelism.
     pub threads: usize,
@@ -110,6 +127,26 @@ pub struct BatchOptions {
     pub dedup: DedupPolicy,
     /// Sharding and eviction policy of the canonical cache.
     pub cache: CacheConfig,
+}
+
+impl BatchOptions {
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the deduplication policy.
+    pub fn with_dedup(mut self, dedup: DedupPolicy) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Sets the cache sharding and eviction policy.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
 }
 
 impl Default for BatchOptions {
@@ -152,8 +189,10 @@ pub struct BatchStats {
     pub assembly: Duration,
 }
 
-/// The result of one batch run: per-target circuits in submission order plus
-/// aggregate statistics.
+/// The result of one batch run over plain targets: per-target circuits in
+/// submission order plus aggregate statistics. Produced by the deprecated
+/// [`BatchSynthesizer::synthesize_batch`]; the request path returns the
+/// report-carrying [`RequestBatchOutcome`] instead.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
     /// One entry per submitted target, in order.
@@ -162,13 +201,33 @@ pub struct BatchOutcome {
     pub stats: BatchStats,
 }
 
-/// A keyed target: canonical key, witness transform, and the (possibly
-/// borrowed) sparse view the solver runs on.
-type KeyedTarget<'a> = Result<(ClassKey, StateTransform, Cow<'a, SparseState>), SynthesisError>;
+/// The result of one batch run over typed requests: one provenance-rich
+/// [`SynthesisReport`] per request, in submission order, plus aggregate
+/// statistics.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RequestBatchOutcome {
+    /// One report per submitted request, in order.
+    pub reports: Vec<Result<SynthesisReport, SynthesisError>>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
 
-/// How one target's circuit will be produced.
+/// One keyed request: canonical key (fingerprint included), witness
+/// transform, the (possibly borrowed) sparse view the solver runs on, the
+/// effective per-request configuration and the keying time.
+struct Keyed<'a> {
+    key: ClassKey,
+    transform: StateTransform,
+    sparse: Cow<'a, SparseState>,
+    resolved: ResolvedConfig,
+    keying: Duration,
+}
+
+/// How one request's circuit will be produced.
 enum Plan {
-    /// Solve it fresh (it is its class's representative, or dedup is off).
+    /// Solve it fresh (it is its class's representative, dedup is off, or
+    /// the request bypasses the cache).
     Fresh,
     /// Reuse the in-batch representative at this index.
     Follow(usize),
@@ -196,15 +255,21 @@ fn transformed_entries(base: &[(u64, u64)], transform: &StateTransform) -> Vec<(
 }
 
 /// Computes the canonical key of a state together with the witness transform
-/// mapping the state onto the key's entries.
-fn canonicalize(state: &SparseState, policy: DedupPolicy) -> (ClassKey, StateTransform) {
+/// mapping the state onto the key's entries. `options_fp` is the
+/// cost-relevant options fingerprint folded into the key (see
+/// [`crate::api::cost_fingerprint`]).
+fn canonicalize(
+    state: &SparseState,
+    policy: DedupPolicy,
+    options_fp: u64,
+) -> (ClassKey, StateTransform) {
     let n = state.num_qubits();
     let base = raw_entries(state);
     let identity = StateTransform::identity(n);
     if matches!(policy, DedupPolicy::Off | DedupPolicy::Exact) {
         let mut entries = base;
         entries.sort_unstable();
-        return (ClassKey::new(n, entries), identity);
+        return (ClassKey::new(n, entries, options_fp), identity);
     }
 
     let mut best_entries = transformed_entries(&base, &identity);
@@ -264,21 +329,20 @@ fn canonicalize(state: &SparseState, policy: DedupPolicy) -> (ClassKey, StateTra
         }
     }
 
-    (ClassKey::new(n, best_entries), best_transform)
+    (ClassKey::new(n, best_entries, options_fp), best_transform)
 }
 
-/// A minimal scoped-thread parallel map (the offline build has no rayon):
-/// workers pull indices from an atomic counter and results are reassembled
-/// in input order.
-fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// A minimal scoped-thread parallel map over `0..count` (the offline build
+/// has no rayon): workers pull indices from an atomic counter and results
+/// are reassembled in index order.
+fn par_map<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
 where
-    T: Sync,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    F: Fn(usize) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
+    let threads = threads.clamp(1, count.max(1));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return (0..count).map(f).collect();
     }
     let next = AtomicUsize::new(0);
     let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -290,10 +354,10 @@ where
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        if i >= count {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, f(i)));
                     }
                     out
                 })
@@ -304,7 +368,7 @@ where
             .map(|h| h.join().expect("batch worker panicked"))
             .collect()
     });
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut results: Vec<Option<R>> = (0..count).map(|_| None).collect();
     for (i, r) in chunks.into_iter().flatten() {
         results[i] = Some(r);
     }
@@ -351,6 +415,11 @@ impl BatchSynthesizer {
     /// The active batch options.
     pub fn options(&self) -> &BatchOptions {
         &self.options
+    }
+
+    /// The base workflow configuration requests are resolved against.
+    pub fn config(&self) -> &WorkflowConfig {
+        &self.config
     }
 
     /// The underlying sharded cache (shared by clones of this synthesizer).
@@ -405,14 +474,27 @@ impl BatchSynthesizer {
         }
     }
 
+    /// Resolves per-request options against this engine's base workflow
+    /// configuration, stamping the cost-relevant options fingerprint.
+    pub fn resolve_options(&self, options: &RequestOptions) -> ResolvedConfig {
+        options.resolve(&self.config)
+    }
+
+    /// The resolved form of an override-free request.
+    fn default_resolved(&self) -> ResolvedConfig {
+        self.resolve_options(&RequestOptions::default())
+    }
+
     /// Computes the canonical class key of a target under this engine's
-    /// dedup policy, together with the witness transform mapping the target
-    /// onto the class fingerprint.
+    /// dedup policy and *default* options, together with the witness
+    /// transform mapping the target onto the class fingerprint.
     ///
     /// This is the seam the serving layer's in-flight dedup is built on: two
     /// concurrent requests with equal keys can share one solve, and either
     /// request's circuit reconstructs the other's via
-    /// [`BatchSynthesizer::reconstruct_for`].
+    /// [`BatchSynthesizer::reconstruct_for`]. For per-request overrides, use
+    /// [`BatchSynthesizer::canonical_class_with`] — the key then carries the
+    /// request's options fingerprint, so classes never mix configurations.
     ///
     /// # Errors
     ///
@@ -421,12 +503,33 @@ impl BatchSynthesizer {
         &self,
         target: &S,
     ) -> Result<(ClassKey, StateTransform), SynthesisError> {
+        self.canonical_class_with(target, &self.default_resolved())
+    }
+
+    /// [`BatchSynthesizer::canonical_class`] under an explicit resolved
+    /// per-request configuration: the returned key folds in
+    /// `resolved.fingerprint`, which is what makes per-request overrides
+    /// dedup-sound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sparse-conversion error of unsupported targets.
+    pub fn canonical_class_with<S: QuantumState>(
+        &self,
+        target: &S,
+        resolved: &ResolvedConfig,
+    ) -> Result<(ClassKey, StateTransform), SynthesisError> {
         let sparse = target.as_sparse()?;
-        Ok(canonicalize(sparse.as_ref(), self.options.dedup))
+        Ok(canonicalize(
+            sparse.as_ref(),
+            self.options.dedup,
+            resolved.fingerprint,
+        ))
     }
 
     /// Looks up a solved class in the cross-batch cache (always `None` when
-    /// deduplication is off). Counts a cache hit or miss.
+    /// deduplication is off). Counts a cache hit or miss. The key carries
+    /// its options fingerprint, so a hit is always configuration-correct.
     pub fn lookup_class(&self, key: &ClassKey) -> Option<Arc<CacheEntry>> {
         if self.options.dedup == DedupPolicy::Off {
             return None;
@@ -434,23 +537,40 @@ impl BatchSynthesizer {
         self.cache.lookup(key)
     }
 
-    /// Solves one class representative through the workflow and publishes it
-    /// to the cache (unless deduplication is off). `transform` must be the
-    /// witness returned by [`BatchSynthesizer::canonical_class`] for
-    /// `target`. A synthesis failure is cached too (so repeated bad requests
-    /// fail fast) but is never persisted to snapshots.
+    /// Solves one class representative through the workflow under the
+    /// engine's default configuration and publishes it to the cache (unless
+    /// deduplication is off). See [`BatchSynthesizer::solve_class_with`].
     pub fn solve_class(
         &self,
         key: &ClassKey,
         transform: &StateTransform,
         target: &SparseState,
     ) -> Arc<CacheEntry> {
-        let workflow = QspWorkflow::with_config(self.config);
+        self.solve_class_with(key, transform, target, &self.default_resolved())
+    }
+
+    /// Solves one class representative through the workflow under an
+    /// explicit resolved configuration. `transform` must be the witness
+    /// returned by [`BatchSynthesizer::canonical_class_with`] for `target`
+    /// under the same resolved config (the key's fingerprint and the solve's
+    /// configuration must agree — that pairing is the dedup-soundness
+    /// invariant). The entry is published to the cache only when
+    /// deduplication is on *and* the request's [`CachePolicy`] is
+    /// [`CachePolicy::Use`]. A synthesis failure is cached too (so repeated
+    /// bad requests fail fast) but is never persisted to snapshots.
+    pub fn solve_class_with(
+        &self,
+        key: &ClassKey,
+        transform: &StateTransform,
+        target: &SparseState,
+        resolved: &ResolvedConfig,
+    ) -> Arc<CacheEntry> {
+        let workflow = QspWorkflow::with_config(resolved.workflow);
         let entry = Arc::new(CacheEntry {
-            circuit: workflow.synthesize(target),
+            circuit: workflow.run(target),
             transform: transform.clone(),
         });
-        if self.options.dedup != DedupPolicy::Off {
+        if self.options.dedup != DedupPolicy::Off && resolved.cache == CachePolicy::Use {
             self.cache.insert(key.clone(), Arc::clone(&entry));
         }
         entry
@@ -475,53 +595,163 @@ impl BatchSynthesizer {
         }
     }
 
+    /// Synthesizes one typed request through the canonical-class seam:
+    /// cache probe (per its [`CachePolicy`]), fresh solve, witness
+    /// reconstruction, provenance-rich report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion and synthesis errors.
+    pub fn synthesize_request<S: QuantumState>(
+        &self,
+        request: &SynthesisRequest<S>,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let keying_start = Instant::now();
+        let resolved = self.resolve_options(&request.options);
+        let sparse = request.target.as_sparse()?;
+        let (key, transform) =
+            canonicalize(sparse.as_ref(), self.options.dedup, resolved.fingerprint);
+        let keying = keying_start.elapsed();
+
+        if self.options.dedup != DedupPolicy::Off && resolved.cache != CachePolicy::Bypass {
+            if let Some(entry) = self.cache.lookup(&key) {
+                let reconstruct_start = Instant::now();
+                let circuit = Self::reconstruct_for(&entry, &transform)?;
+                let reconstruction = reconstruct_start.elapsed();
+                return Ok(SynthesisReport::new(
+                    circuit,
+                    Provenance::CacheHit { witness: transform },
+                    StageTimings::new(
+                        keying,
+                        Duration::ZERO,
+                        reconstruction,
+                        keying + reconstruction,
+                    ),
+                    resolved,
+                ));
+            }
+        }
+
+        let solve_start = Instant::now();
+        let entry = self.solve_class_with(&key, &transform, sparse.as_ref(), &resolved);
+        let solving = solve_start.elapsed();
+        let circuit = Self::reconstruct_for(&entry, &transform)?;
+        Ok(SynthesisReport::new(
+            circuit,
+            Provenance::Solved,
+            StageTimings::new(keying, solving, Duration::ZERO, keying + solving),
+            resolved,
+        ))
+    }
+
+    /// Synthesizes a batch of typed requests, in parallel, solving each
+    /// `(canonical class, options fingerprint)` pair once. Reports come back
+    /// in submission order; a failing request yields an `Err` entry without
+    /// affecting the others.
+    pub fn synthesize_requests<S: QuantumState + Sync>(
+        &self,
+        requests: &[SynthesisRequest<S>],
+    ) -> RequestBatchOutcome {
+        self.run_requests(requests.len(), |i| {
+            (&requests[i].target, &requests[i].options)
+        })
+    }
+
     /// Synthesizes preparation circuits for every target, in parallel,
     /// solving each canonical equivalence class once.
     ///
     /// Results are returned in submission order; a failing target yields an
     /// `Err` entry without affecting the others.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build `SynthesisRequest`s and use `synthesize_requests`; each \
+                report carries the circuit plus provenance and timings"
+    )]
     pub fn synthesize_batch<S: QuantumState + Sync>(&self, targets: &[S]) -> BatchOutcome {
-        let start = std::time::Instant::now();
-        let threads = self.thread_count().clamp(1, targets.len().max(1));
+        let default_options = RequestOptions::default();
+        let outcome = self.run_requests(targets.len(), |i| (&targets[i], &default_options));
+        BatchOutcome {
+            results: outcome
+                .reports
+                .into_iter()
+                .map(|r| r.map(|report| report.circuit))
+                .collect(),
+            stats: outcome.stats,
+        }
+    }
 
-        // Phase 1 (parallel): get a sparse view (zero-copy for sparse
-        // backends) and compute canonical keys. The closure indexes
-        // `targets` directly (rather than using its `&S` argument) so the
-        // returned Cow can borrow for the whole batch.
-        let keying_start = std::time::Instant::now();
-        let keyed: Vec<KeyedTarget<'_>> = par_map(targets, threads, |i, _| {
-            let sparse = targets[i].as_sparse()?;
-            let (key, transform) = canonicalize(sparse.as_ref(), self.options.dedup);
-            Ok((key, transform, sparse))
+    /// The four-phase batch pipeline both public batch entry points share.
+    /// `get(i)` hands back the `i`-th target and its per-request options
+    /// without forcing callers to materialize owned requests.
+    fn run_requests<'a, S, F>(&self, count: usize, get: F) -> RequestBatchOutcome
+    where
+        S: QuantumState + Sync + 'a,
+        F: Fn(usize) -> (&'a S, &'a RequestOptions) + Sync,
+    {
+        let start = Instant::now();
+        let threads = self.thread_count().clamp(1, count.max(1));
+
+        // Phase 1 (parallel): resolve per-request options, get a sparse view
+        // (zero-copy for sparse backends) and compute fingerprinted
+        // canonical keys.
+        let keying_start = Instant::now();
+        let keyed: Vec<Result<Keyed<'a>, SynthesisError>> = par_map(count, threads, |i| {
+            let request_start = Instant::now();
+            let (target, options) = get(i);
+            let resolved = self.resolve_options(options);
+            let sparse = target.as_sparse()?;
+            let (key, transform) =
+                canonicalize(sparse.as_ref(), self.options.dedup, resolved.fingerprint);
+            Ok(Keyed {
+                key,
+                transform,
+                sparse,
+                resolved,
+                keying: request_start.elapsed(),
+            })
         });
         let keying = keying_start.elapsed();
 
-        // Phase 2 (sequential): plan which targets need a fresh solve. With
-        // dedup off, every valid target is solved independently and the
-        // cache is bypassed. Cross-batch hits pin their entry here, so a
-        // bounded cache can evict freely afterwards without losing them.
-        let planning_start = std::time::Instant::now();
+        // Phase 2 (sequential): plan which requests need a fresh solve. With
+        // dedup off — or a per-request cache bypass — a request is solved
+        // independently and never joins a class. Cross-batch hits pin their
+        // entry here, so a bounded cache can evict freely afterwards without
+        // losing them. Keys carry the options fingerprint, so two requests
+        // only ever share a class when their effective cost-relevant
+        // configurations are identical.
+        let planning_start = Instant::now();
         let mut to_solve: Vec<usize> = Vec::new();
         let mut cache_hits = 0usize;
-        let mut plans: Vec<Plan> = Vec::with_capacity(targets.len());
+        let mut plans: Vec<Plan> = Vec::with_capacity(count);
+        // Per-representative publish intent: a class is published if *any*
+        // of its members asked for `CachePolicy::Use`, so a `ReadOnly`
+        // representative cannot silently swallow a follower's publish.
+        let mut publish_intent: HashMap<usize, bool> = HashMap::new();
         {
             let mut planned: HashMap<&ClassKey, usize> = HashMap::new();
             for (i, entry) in keyed.iter().enumerate() {
-                let Ok((key, _, _)) = entry else {
+                let Ok(keyed_request) = entry else {
                     plans.push(Plan::Invalid);
                     continue;
                 };
-                if self.options.dedup == DedupPolicy::Off {
+                let wants_publish = keyed_request.resolved.cache == CachePolicy::Use;
+                let bypass = self.options.dedup == DedupPolicy::Off
+                    || keyed_request.resolved.cache == CachePolicy::Bypass;
+                if bypass {
                     to_solve.push(i);
                     plans.push(Plan::Fresh);
-                } else if let Some(&representative) = planned.get(key) {
+                } else if let Some(&representative) = planned.get(&keyed_request.key) {
                     cache_hits += 1;
+                    if wants_publish {
+                        publish_intent.insert(representative, true);
+                    }
                     plans.push(Plan::Follow(representative));
-                } else if let Some(cached) = self.cache.lookup(key) {
+                } else if let Some(cached) = self.cache.lookup(&keyed_request.key) {
                     cache_hits += 1;
                     plans.push(Plan::Cached(cached));
                 } else {
-                    planned.insert(key, i);
+                    planned.insert(&keyed_request.key, i);
+                    publish_intent.insert(i, wants_publish);
                     to_solve.push(i);
                     plans.push(Plan::Fresh);
                 }
@@ -530,46 +760,92 @@ impl BatchSynthesizer {
         let planning = planning_start.elapsed();
 
         // Phase 3 (parallel): solve one representative per class through the
-        // canonical-class seam, publishing to the shared cache as soon as
-        // each is ready.
-        let solving_start = std::time::Instant::now();
-        let solved: Vec<(usize, Arc<CacheEntry>)> = par_map(&to_solve, threads, |_, &i| {
-            let (key, transform, sparse) = keyed[i].as_ref().expect("planned targets are valid");
-            (i, self.solve_class(key, transform, sparse.as_ref()))
-        });
-        let own_solution: HashMap<usize, Arc<CacheEntry>> = solved.into_iter().collect();
+        // canonical-class seam, publishing to the shared cache (per the
+        // class's merged publish intent) as soon as each is ready. The
+        // override only touches the publish decision — the report each
+        // request gets back still carries its own resolved config.
+        let solving_start = Instant::now();
+        let solved: Vec<(usize, Arc<CacheEntry>, Duration)> =
+            par_map(to_solve.len(), threads, |j| {
+                let i = to_solve[j];
+                let keyed_request = keyed[i].as_ref().expect("planned requests are valid");
+                let mut solve_resolved = keyed_request.resolved;
+                if publish_intent.get(&i).copied().unwrap_or(false) {
+                    solve_resolved.cache = CachePolicy::Use;
+                }
+                let solve_start = Instant::now();
+                let entry = self.solve_class_with(
+                    &keyed_request.key,
+                    &keyed_request.transform,
+                    keyed_request.sparse.as_ref(),
+                    &solve_resolved,
+                );
+                (i, entry, solve_start.elapsed())
+            });
+        let own_solution: HashMap<usize, (Arc<CacheEntry>, Duration)> = solved
+            .into_iter()
+            .map(|(i, entry, duration)| (i, (entry, duration)))
+            .collect();
         let solving = solving_start.elapsed();
 
-        // Phase 4 (parallel): assemble per-target circuits. Freshly solved
-        // targets take their own circuit; followers resolve through their
+        // Phase 4 (parallel): assemble per-request reports. Freshly solved
+        // requests take their own circuit; followers resolve through their
         // in-batch representative; cross-batch hits use the entry pinned at
         // planning time. No cache locks are taken here, and eviction cannot
         // invalidate any plan.
-        let assembly_start = std::time::Instant::now();
-        let results: Vec<Result<Circuit, SynthesisError>> =
-            par_map(targets, threads, |i, _| match &keyed[i] {
+        let assembly_start = Instant::now();
+        let reports: Vec<Result<SynthesisReport, SynthesisError>> =
+            par_map(count, threads, |i| match &keyed[i] {
                 Err(e) => Err(e.clone()),
-                Ok((_, transform, _)) => {
-                    let entry = match &plans[i] {
+                Ok(keyed_request) => {
+                    let (entry, provenance, solve_time) = match &plans[i] {
                         Plan::Fresh => {
-                            Arc::clone(own_solution.get(&i).expect("fresh targets were solved"))
+                            let (entry, duration) =
+                                own_solution.get(&i).expect("fresh requests were solved");
+                            (Arc::clone(entry), Provenance::Solved, *duration)
                         }
-                        Plan::Follow(representative) => Arc::clone(
-                            own_solution
+                        Plan::Follow(representative) => {
+                            let (entry, _) = own_solution
                                 .get(representative)
-                                .expect("representatives were solved"),
+                                .expect("representatives were solved");
+                            (
+                                Arc::clone(entry),
+                                Provenance::ReconstructedFromBatchRep {
+                                    witness: keyed_request.transform.clone(),
+                                },
+                                Duration::ZERO,
+                            )
+                        }
+                        Plan::Cached(entry) => (
+                            Arc::clone(entry),
+                            Provenance::CacheHit {
+                                witness: keyed_request.transform.clone(),
+                            },
+                            Duration::ZERO,
                         ),
-                        Plan::Cached(entry) => Arc::clone(entry),
-                        Plan::Invalid => unreachable!("invalid targets are handled above"),
+                        Plan::Invalid => unreachable!("invalid requests are handled above"),
                     };
-                    Self::reconstruct_for(&entry, transform)
+                    let reconstruct_start = Instant::now();
+                    let circuit = Self::reconstruct_for(&entry, &keyed_request.transform)?;
+                    let reconstruction = reconstruct_start.elapsed();
+                    Ok(SynthesisReport::new(
+                        circuit,
+                        provenance,
+                        StageTimings::new(
+                            keyed_request.keying,
+                            solve_time,
+                            reconstruction,
+                            keyed_request.keying + solve_time + reconstruction,
+                        ),
+                        keyed_request.resolved,
+                    ))
                 }
             });
         let assembly = assembly_start.elapsed();
 
-        let errors = results.iter().filter(|r| r.is_err()).count();
+        let errors = reports.iter().filter(|r| r.is_err()).count();
         let stats = BatchStats {
-            targets: targets.len(),
+            targets: count,
             solver_runs: to_solve.len(),
             cache_hits,
             errors,
@@ -580,16 +856,35 @@ impl BatchSynthesizer {
             solving,
             assembly,
         };
-        BatchOutcome { results, stats }
+        RequestBatchOutcome { reports, stats }
+    }
+}
+
+impl<S: QuantumState + Sync> Synthesizer<S> for BatchSynthesizer {
+    fn synthesize(&self, request: &SynthesisRequest<S>) -> Result<SynthesisReport, SynthesisError> {
+        self.synthesize_request(request)
+    }
+
+    fn synthesize_all(
+        &self,
+        requests: &[SynthesisRequest<S>],
+    ) -> Vec<Result<SynthesisReport, SynthesisError>> {
+        self.synthesize_requests(requests).reports
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `synthesize_batch` wrapper stays covered until it is
+    // removed; new call sites use `synthesize_requests`.
+    #![allow(deprecated)]
+
     use super::*;
     use qsp_state::{generators, BasisIndex};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    const FP: u64 = 0xABCD;
 
     fn verify(circuit: &Circuit, target: &SparseState) {
         let report = qsp_sim::verify_preparation(circuit, target).expect("simulates");
@@ -625,16 +920,20 @@ mod tests {
             .unwrap()
             .apply_x(2)
             .unwrap();
-        let (key_a, _) = canonicalize(&ghz, DedupPolicy::Canonical);
-        let (key_b, _) = canonicalize(&variant, DedupPolicy::Canonical);
+        let (key_a, _) = canonicalize(&ghz, DedupPolicy::Canonical, FP);
+        let (key_b, _) = canonicalize(&variant, DedupPolicy::Canonical, FP);
         assert_eq!(key_a, key_b);
         // Exact policy distinguishes them.
-        let (exact_a, _) = canonicalize(&ghz, DedupPolicy::Exact);
-        let (exact_b, _) = canonicalize(&variant, DedupPolicy::Exact);
+        let (exact_a, _) = canonicalize(&ghz, DedupPolicy::Exact, FP);
+        let (exact_b, _) = canonicalize(&variant, DedupPolicy::Exact, FP);
         assert_ne!(exact_a, exact_b);
         // A genuinely different state gets a different canonical key.
-        let (key_w, _) = canonicalize(&generators::w_state(4).unwrap(), DedupPolicy::Canonical);
+        let (key_w, _) = canonicalize(&generators::w_state(4).unwrap(), DedupPolicy::Canonical, FP);
         assert_ne!(key_a, key_w);
+        // The same state under a different options fingerprint is a
+        // different class — the dedup-soundness invariant.
+        let (key_fp, _) = canonicalize(&ghz, DedupPolicy::Canonical, FP ^ 1);
+        assert_ne!(key_a, key_fp);
     }
 
     #[test]
@@ -647,10 +946,10 @@ mod tests {
                 .unwrap()
                 .apply_x(1)
                 .unwrap();
-            let (key_a, t_a) = canonicalize(&base, DedupPolicy::Canonical);
-            let (key_b, t_b) = canonicalize(&variant, DedupPolicy::Canonical);
+            let (key_a, t_a) = canonicalize(&base, DedupPolicy::Canonical, FP);
+            let (key_b, t_b) = canonicalize(&variant, DedupPolicy::Canonical, FP);
             assert_eq!(key_a, key_b);
-            let solved = QspWorkflow::new().synthesize(&base).unwrap();
+            let solved = QspWorkflow::new().run(&base).unwrap();
             verify(&solved, &base);
             let reconstructed = reconstruct_circuit(&solved, &t_a, &t_b).unwrap();
             verify(&reconstructed, &variant);
@@ -680,6 +979,93 @@ mod tests {
     }
 
     #[test]
+    fn request_reports_carry_provenance_and_config() {
+        let requests = vec![
+            SynthesisRequest::new(generators::dicke(4, 2).unwrap()),
+            SynthesisRequest::new(generators::ghz(4).unwrap()),
+            SynthesisRequest::new(generators::dicke(4, 2).unwrap()),
+        ];
+        let engine = BatchSynthesizer::new();
+        let outcome = engine.synthesize_requests(&requests);
+        assert_eq!(outcome.stats.solver_runs, 2);
+        let first = outcome.reports[0].as_ref().unwrap();
+        assert!(matches!(first.provenance, Provenance::Solved));
+        assert!(first.timings.solving > Duration::ZERO);
+        assert_eq!(first.resolved.workflow, *engine.config());
+        let duplicate = outcome.reports[2].as_ref().unwrap();
+        assert!(matches!(
+            duplicate.provenance,
+            Provenance::ReconstructedFromBatchRep { .. }
+        ));
+        assert_eq!(duplicate.cnot_cost, first.cnot_cost);
+        assert_eq!(duplicate.timings.solving, Duration::ZERO);
+        // A later batch serves the same request from the cross-batch cache.
+        let again = engine.synthesize_requests(&requests[..1]);
+        let hit = again.reports[0].as_ref().unwrap();
+        assert!(matches!(hit.provenance, Provenance::CacheHit { .. }));
+        assert_eq!(hit.cnot_cost, first.cnot_cost);
+        // The single-request seam agrees.
+        let single = engine.synthesize_request(&requests[1]).unwrap();
+        assert!(matches!(single.provenance, Provenance::CacheHit { .. }));
+        assert_eq!(single.cnot_cost, 3);
+    }
+
+    #[test]
+    fn per_request_cache_policies_are_honoured() {
+        let ghz = generators::ghz(4).unwrap();
+        let engine = BatchSynthesizer::new();
+
+        // ReadOnly solves fresh (cold cache) but never publishes.
+        let readonly = SynthesisRequest::new(ghz.clone()).with_cache_policy(CachePolicy::ReadOnly);
+        let report = engine.synthesize_request(&readonly).unwrap();
+        assert!(report.provenance.is_fresh_solve());
+        assert_eq!(engine.cache_len(), 0, "ReadOnly must not publish");
+
+        // Use publishes; a later ReadOnly request may then hit.
+        let publish = SynthesisRequest::new(ghz.clone());
+        assert!(engine
+            .synthesize_request(&publish)
+            .unwrap()
+            .provenance
+            .is_fresh_solve());
+        assert_eq!(engine.cache_len(), 1);
+        let warm = engine.synthesize_request(&readonly).unwrap();
+        assert!(matches!(warm.provenance, Provenance::CacheHit { .. }));
+
+        // Bypass ignores the warm cache entirely and never joins a class.
+        let bypass = SynthesisRequest::new(ghz).with_cache_policy(CachePolicy::Bypass);
+        let outcome = engine.synthesize_requests(&[bypass.clone(), bypass]);
+        assert_eq!(outcome.stats.solver_runs, 2, "bypass must not dedup");
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(engine.cache_len(), 1, "bypass must not publish");
+    }
+
+    #[test]
+    fn a_use_follower_publishes_past_a_readonly_representative() {
+        // Planning makes the ReadOnly request the class representative, but
+        // the Use follower's publish intent must not be dropped: the class
+        // publishes once the solve lands.
+        let ghz = generators::ghz(4).unwrap();
+        let engine = BatchSynthesizer::new();
+        let outcome = engine.synthesize_requests(&[
+            SynthesisRequest::new(ghz.clone()).with_cache_policy(CachePolicy::ReadOnly),
+            SynthesisRequest::new(ghz.clone()),
+        ]);
+        assert_eq!(outcome.stats.solver_runs, 1);
+        assert_eq!(engine.cache_len(), 1, "the Use member's publish must win");
+        // The representative's own report still shows its ReadOnly policy.
+        assert_eq!(
+            outcome.reports[0].as_ref().unwrap().resolved.cache,
+            CachePolicy::ReadOnly
+        );
+        // An all-ReadOnly class still never publishes.
+        let readonly_engine = BatchSynthesizer::new();
+        let readonly = SynthesisRequest::new(ghz).with_cache_policy(CachePolicy::ReadOnly);
+        readonly_engine.synthesize_requests(&[readonly.clone(), readonly]);
+        assert_eq!(readonly_engine.cache_len(), 0);
+    }
+
+    #[test]
     fn cache_persists_across_batches() {
         let engine = BatchSynthesizer::new();
         let first = engine.synthesize_batch(&[generators::ghz(3).unwrap()]);
@@ -705,11 +1091,9 @@ mod tests {
         let targets = vec![generators::ghz(3).unwrap(), generators::ghz(3).unwrap()];
         let engine = BatchSynthesizer::with_options(
             WorkflowConfig::default(),
-            BatchOptions {
-                threads: 2,
-                dedup: DedupPolicy::Off,
-                ..BatchOptions::default()
-            },
+            BatchOptions::default()
+                .with_threads(2)
+                .with_dedup(DedupPolicy::Off),
         );
         let outcome = engine.synthesize_batch(&targets);
         assert_eq!(outcome.stats.solver_runs, 2);
@@ -749,14 +1133,9 @@ mod tests {
         // still be correct even though most classes get evicted.
         let engine = BatchSynthesizer::with_options(
             WorkflowConfig::default(),
-            BatchOptions {
-                threads: 2,
-                dedup: DedupPolicy::Canonical,
-                cache: CacheConfig {
-                    shards: 2,
-                    capacity: 2,
-                },
-            },
+            BatchOptions::default()
+                .with_threads(2)
+                .with_cache(CacheConfig::bounded(2).with_shards(2)),
         );
         let mut rng = StdRng::seed_from_u64(33);
         let mut targets = Vec::new();

@@ -39,21 +39,36 @@ use crate::json::{self, Value};
 use crate::search::config::CacheConfig;
 
 /// An amplitude-aware canonical class fingerprint: `(index, amplitude bits)`
-/// sorted by index, plus the register width.
+/// sorted by index, the register width, **and the cost-relevant options
+/// fingerprint** ([`crate::api::cost_fingerprint`]) of the configuration the
+/// class is solved under.
+///
+/// Folding the options fingerprint into the key is what makes per-request
+/// solver overrides *dedup-sound*: two requests for the same state under
+/// different effective cost-relevant options hash to different classes, so
+/// they can never share a cache entry, a batch representative or an
+/// in-flight solve — and never contaminate each other's `cnot_cost`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ClassKey {
     pub(crate) num_qubits: usize,
     pub(crate) entries: Vec<(u64, u64)>,
+    pub(crate) options_fp: u64,
 }
 
 impl ClassKey {
-    /// Builds a key from the register width and `(index, amplitude bits)`
-    /// entries (sorted by the caller).
-    pub(crate) fn new(num_qubits: usize, entries: Vec<(u64, u64)>) -> Self {
+    /// Builds a key from the register width, `(index, amplitude bits)`
+    /// entries (sorted by the caller) and the options fingerprint.
+    pub(crate) fn new(num_qubits: usize, entries: Vec<(u64, u64)>, options_fp: u64) -> Self {
         ClassKey {
             num_qubits,
             entries,
+            options_fp,
         }
+    }
+
+    /// The cost-relevant options fingerprint this class is keyed under.
+    pub fn options_fingerprint(&self) -> u64 {
+        self.options_fp
     }
 }
 
@@ -285,7 +300,8 @@ impl ShardedCache {
         }
         let written = entries.len();
         let root = Value::Object(vec![
-            ("version".to_string(), Value::Num(1)),
+            // Version 2: entries carry the options fingerprint (`fp`).
+            ("version".to_string(), Value::Num(2)),
             ("entries".to_string(), Value::Array(entries)),
         ]);
         let mut body = root.to_json();
@@ -377,7 +393,9 @@ fn invalid_data<E: Into<Box<dyn std::error::Error + Send + Sync>>>(e: E) -> io::
 fn parse_snapshot<R: Read>(mut reader: R) -> io::Result<Vec<(ClassKey, CacheEntry)>> {
     let mut text = String::new();
     reader.read_to_string(&mut text)?;
-    let value = json::parse(&text).map_err(invalid_data)?;
+    // Syntax errors surface as the typed `SynthesisError::Json` (with its
+    // byte offset) wrapped in `io::ErrorKind::InvalidData`.
+    let value = json::parse(&text).map_err(|e| invalid_data(SynthesisError::from(e)))?;
     if !matches!(value, Value::Object(_)) {
         return Err(invalid_data("snapshot root must be an object"));
     }
@@ -385,9 +403,10 @@ fn parse_snapshot<R: Read>(mut reader: R) -> io::Result<Vec<(ClassKey, CacheEntr
         .get("version")
         .and_then(Value::as_u64)
         .ok_or_else(|| invalid_data("version"))?;
-    if version != 1 {
+    if version != 2 {
         return Err(invalid_data(format!(
-            "unsupported snapshot version {version}"
+            "unsupported snapshot version {version} (version 1 snapshots predate \
+             option-fingerprinted class keys and cannot be mapped soundly)"
         )));
     }
     value
@@ -413,6 +432,7 @@ fn entry_value(key: &ClassKey, transform: &StateTransform, circuit: &Circuit) ->
     let gates = circuit.iter().map(gate_value).collect();
     Value::Object(vec![
         ("n".to_string(), Value::Num(key.num_qubits as u64)),
+        ("fp".to_string(), Value::Num(key.options_fp)),
         ("key".to_string(), Value::Array(key_pairs)),
         ("perm".to_string(), Value::Array(perm)),
         ("mask".to_string(), Value::Num(transform.mask)),
@@ -467,6 +487,7 @@ fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
             .ok_or_else(|| format!("missing field `{name}`"))
     };
     let n = field("n")?.as_u64().ok_or("n")? as usize;
+    let options_fp = field("fp")?.as_u64().ok_or("fp")?;
     let key_entries = field("key")?
         .as_array()
         .ok_or("key")?
@@ -511,7 +532,7 @@ fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
         .collect::<Result<Vec<_>, String>>()?;
     let circuit = Circuit::from_gates(n, gates).map_err(|e| e.to_string())?;
     Ok((
-        ClassKey::new(n, key_entries),
+        ClassKey::new(n, key_entries, options_fp),
         CacheEntry {
             circuit: Ok(circuit),
             transform: StateTransform { perm, mask },
@@ -577,6 +598,7 @@ mod tests {
         ClassKey::new(
             n,
             vec![(seed, seed.wrapping_mul(31)), (seed + 7, seed ^ 42)],
+            0xF00D,
         )
     }
 
@@ -817,13 +839,42 @@ mod tests {
     fn snapshot_rejects_garbage() {
         let cache = ShardedCache::new(CacheConfig::default());
         assert!(cache.read_snapshot("not json".as_bytes()).is_err());
+        // Pre-fingerprint (v1) and unknown future versions are rejected.
         assert!(cache
-            .read_snapshot("{\"version\":2,\"entries\":[]}".as_bytes())
+            .read_snapshot("{\"version\":1,\"entries\":[]}".as_bytes())
             .is_err());
+        assert!(cache
+            .read_snapshot("{\"version\":3,\"entries\":[]}".as_bytes())
+            .is_err());
+        // A v2 entry without the options fingerprint is rejected.
+        let no_fp = "{\"version\":2,\"entries\":[{\"n\":2,\"key\":[[0,1]],\"perm\":[0,1],\"mask\":0,\"gates\":[]}]}";
+        assert!(cache.read_snapshot(no_fp.as_bytes()).is_err());
         // A perm that is not a bijection is rejected.
-        let bad = "{\"version\":1,\"entries\":[{\"n\":2,\"key\":[[0,1]],\"perm\":[0,0],\"mask\":0,\"gates\":[]}]}";
+        let bad = "{\"version\":2,\"entries\":[{\"n\":2,\"fp\":0,\"key\":[[0,1]],\"perm\":[0,0],\"mask\":0,\"gates\":[]}]}";
         assert!(cache.read_snapshot(bad.as_bytes()).is_err());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn keys_with_different_fingerprints_are_distinct_classes() {
+        let cache = ShardedCache::new(CacheConfig::unbounded());
+        let entries = vec![(1u64, 2u64)];
+        let a = ClassKey::new(3, entries.clone(), 10);
+        let b = ClassKey::new(3, entries, 20);
+        assert_ne!(a, b);
+        assert_eq!(a.options_fingerprint(), 10);
+        cache.insert(a.clone(), entry_with_cost(3, 1));
+        cache.insert(b.clone(), entry_with_cost(3, 4));
+        assert_eq!(cache.len(), 2, "fingerprints must fork the class");
+        assert_eq!(cache.lookup(&a).unwrap().cnot_cost(), Some(1));
+        assert_eq!(cache.lookup(&b).unwrap().cnot_cost(), Some(4));
+        // The fingerprint survives a snapshot round-trip.
+        let mut snapshot = Vec::new();
+        cache.write_snapshot(&mut snapshot).unwrap();
+        let restored = ShardedCache::new(CacheConfig::unbounded());
+        assert_eq!(restored.read_snapshot(snapshot.as_slice()).unwrap(), 2);
+        assert_eq!(restored.lookup(&a).unwrap().cnot_cost(), Some(1));
+        assert_eq!(restored.lookup(&b).unwrap().cnot_cost(), Some(4));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! [`SolverEngine`] owns the full exact-synthesis pipeline (validation,
 //! constant-qubit compaction, the A* reduction, angle replay and register
 //! remapping) and schedules the search according to
-//! [`SearchStrategy`](crate::SearchStrategy):
+//! [`SearchStrategy`]:
 //!
 //! * **Sequential** — one A* run on the target, exactly Algorithm 1.
 //! * **Portfolio** — several A* workers race on *canonically equivalent
@@ -163,7 +163,7 @@ impl SolverEngine {
 
     /// Synthesizes the CNOT-optimal preparation circuit for `target` (any
     /// [`QuantumState`] backend), scheduling the search per the configured
-    /// [`SearchStrategy`](crate::SearchStrategy).
+    /// [`SearchStrategy`].
     ///
     /// # Errors
     ///

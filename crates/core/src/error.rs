@@ -34,6 +34,9 @@ pub enum SynthesisError {
     Circuit(CircuitError),
     /// A baseline flow used inside the workflow failed.
     Baseline(BaselineError),
+    /// A JSON document (cache snapshot, serialized request or stats dump)
+    /// failed to parse.
+    Json(crate::json::JsonError),
 }
 
 impl fmt::Display for SynthesisError {
@@ -52,6 +55,7 @@ impl fmt::Display for SynthesisError {
             SynthesisError::State(e) => write!(f, "state error: {e}"),
             SynthesisError::Circuit(e) => write!(f, "circuit error: {e}"),
             SynthesisError::Baseline(e) => write!(f, "baseline error: {e}"),
+            SynthesisError::Json(e) => write!(f, "json error: {e}"),
         }
     }
 }
@@ -62,6 +66,7 @@ impl Error for SynthesisError {
             SynthesisError::State(e) => Some(e),
             SynthesisError::Circuit(e) => Some(e),
             SynthesisError::Baseline(e) => Some(e),
+            SynthesisError::Json(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +87,12 @@ impl From<CircuitError> for SynthesisError {
 impl From<BaselineError> for SynthesisError {
     fn from(value: BaselineError) -> Self {
         SynthesisError::Baseline(value)
+    }
+}
+
+impl From<crate::json::JsonError> for SynthesisError {
+    fn from(value: crate::json::JsonError) -> Self {
+        SynthesisError::Json(value)
     }
 }
 
@@ -107,5 +118,9 @@ mod tests {
         assert!(e.to_string().contains("baseline error"));
         let e = SynthesisError::SearchBudgetExhausted { expanded: 10 };
         assert!(e.to_string().contains("10"));
+        let e: SynthesisError = crate::json::parse("[1,").unwrap_err().into();
+        assert!(matches!(e, SynthesisError::Json(_)));
+        assert!(e.to_string().contains("json error"));
+        assert!(e.source().is_some());
     }
 }

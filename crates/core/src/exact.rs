@@ -19,10 +19,12 @@ use std::time::Duration;
 use qsp_circuit::{apply_gate, Circuit, Control, Gate};
 use qsp_state::{Cofactors, QuantumState, SparseState, DEFAULT_TOLERANCE};
 
+use crate::api::{Provenance, StageTimings, SynthesisReport, SynthesisRequest, Synthesizer};
 use crate::engine::SolverEngine;
 use crate::error::SynthesisError;
 use crate::search::config::SearchConfig;
 use crate::search::op::TransitionOp;
+use crate::workflow::WorkflowConfig;
 
 /// Statistics of one exact synthesis run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,12 +65,13 @@ pub struct ExactSynthesisOutcome {
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // The motivating example of the paper: exact synthesis finds 2 CNOTs.
+/// use qsp_core::api::SynthesisRequest;
 /// let target = SparseState::uniform_superposition(
 ///     3,
 ///     [0b000u64, 0b011, 0b101, 0b110].map(BasisIndex::new),
 /// )?;
-/// let outcome = ExactSynthesizer::new().synthesize(&target)?;
-/// assert_eq!(outcome.cnot_cost, 2);
+/// let report = ExactSynthesizer::new().synthesize_request(&SynthesisRequest::new(target))?;
+/// assert_eq!(report.cnot_cost, 2);
 /// # Ok(())
 /// # }
 /// ```
@@ -111,11 +114,56 @@ impl ExactSynthesizer {
     /// Returns an error when the target has negative amplitudes, exceeds the
     /// configured limits on active qubits / cardinality, or the search budget
     /// is exhausted.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a `SynthesisRequest` and use `synthesize_request` (or the \
+                `Synthesizer` trait); search statistics remain available on \
+                `engine().synthesize(..)`"
+    )]
     pub fn synthesize<S: QuantumState>(
         &self,
         state: &S,
     ) -> Result<ExactSynthesisOutcome, SynthesisError> {
         self.engine.synthesize(state)
+    }
+
+    /// Synthesizes one typed [`SynthesisRequest`], honouring its per-request
+    /// search overrides (strategy, node budget, ablations). The exact
+    /// synthesizer always emits raw circuits, so an `optimize` override is
+    /// pinned back to `false` *before* resolution — the report's resolved
+    /// config and fingerprint describe what actually ran, and the same
+    /// fingerprint can never stand for two different costs across layers.
+    /// This is the [`Synthesizer`] trait entry point under an inherent name
+    /// (the deprecated state-based `synthesize` still shadows the trait
+    /// method).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target has negative amplitudes, exceeds the
+    /// effective limits on active qubits / cardinality, or the search budget
+    /// is exhausted.
+    pub fn synthesize_request<S: QuantumState>(
+        &self,
+        request: &SynthesisRequest<S>,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let start = std::time::Instant::now();
+        let base = WorkflowConfig::default().with_search(*self.engine.config());
+        let mut options = request.options;
+        options.optimize = Some(false);
+        let resolved = options.resolve(&base);
+        let outcome = SolverEngine::new(resolved.workflow.search).synthesize(&request.target)?;
+        Ok(SynthesisReport::new(
+            outcome.circuit,
+            Provenance::Solved,
+            StageTimings::solved_in(start.elapsed()),
+            resolved,
+        ))
+    }
+}
+
+impl<S: QuantumState> Synthesizer<S> for ExactSynthesizer {
+    fn synthesize(&self, request: &SynthesisRequest<S>) -> Result<SynthesisReport, SynthesisError> {
+        self.synthesize_request(request)
     }
 }
 
@@ -222,6 +270,10 @@ fn merge_angle(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated state-based entry point stays covered until it is
+    // removed; new call sites use `synthesize_request`.
+    #![allow(deprecated)]
+
     use super::*;
     use qsp_sim::verify_preparation;
     use qsp_state::{generators, BasisIndex};
@@ -316,6 +368,43 @@ mod tests {
         assert!(wide_config.synthesize(&generators::ghz(5).unwrap()).is_ok());
         assert_eq!(wide_config.config().max_qubits, 5);
         assert_eq!(wide_config.engine().config().max_qubits, 5);
+    }
+
+    #[test]
+    fn request_overrides_are_honoured() {
+        let target = generators::dicke(4, 2).unwrap();
+        let synthesizer = ExactSynthesizer::new();
+        let report = synthesizer
+            .synthesize_request(&SynthesisRequest::new(target.clone()))
+            .unwrap();
+        assert_eq!(report.cnot_cost, 6);
+        assert!(report.provenance.is_fresh_solve());
+        assert_eq!(report.resolved.workflow.search, *synthesizer.config());
+        // A starved per-request node budget fails this request only...
+        let starved = synthesizer
+            .synthesize_request(&SynthesisRequest::new(target.clone()).with_node_budget(1));
+        assert!(matches!(
+            starved,
+            Err(SynthesisError::SearchBudgetExhausted { .. })
+        ));
+        // ...and the approximate compression may only report a larger count.
+        let compressed = synthesizer
+            .synthesize_request(
+                &SynthesisRequest::new(target.clone()).with_permutation_compression(true),
+            )
+            .unwrap();
+        assert!(compressed.cnot_cost >= report.cnot_cost);
+        // An `optimize` override is pinned to false (the exact solver emits
+        // raw circuits), so the fingerprint matches the un-overridden one —
+        // one fingerprint can never stand for two different costs.
+        let optimize_requested = synthesizer
+            .synthesize_request(&SynthesisRequest::new(target).with_optimize(true))
+            .unwrap();
+        assert!(!optimize_requested.resolved.workflow.optimize);
+        assert_eq!(
+            optimize_requested.resolved.fingerprint,
+            report.resolved.fingerprint
+        );
     }
 
     #[test]

@@ -29,6 +29,83 @@
 
 use std::fmt::Write as _;
 
+/// What went wrong while parsing a JSON document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JsonErrorKind {
+    /// A structural token other than the expected one (the payload names
+    /// what was expected, e.g. `":"` or `"`,` or `]`"`).
+    Expected(&'static str),
+    /// A byte that cannot start a JSON value.
+    UnexpectedByte,
+    /// Input continues after the document's root value.
+    TrailingData,
+    /// A string literal with no closing quote.
+    UnterminatedString,
+    /// An invalid `\` escape sequence (including truncated `\uXXXX`).
+    InvalidEscape,
+    /// A `\uXXXX` surrogate half without a valid partner.
+    UnpairedSurrogate,
+    /// Bytes that are not valid UTF-8 inside a string literal.
+    InvalidUtf8,
+    /// A malformed number literal.
+    InvalidNumber,
+    /// A number literal with no finite `f64` (or exact `u64`) value.
+    NumberOutOfRange,
+    /// A bare word other than `true`, `false` or `null`.
+    InvalidLiteral,
+}
+
+impl std::fmt::Display for JsonErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonErrorKind::Expected(what) => write!(f, "expected {what}"),
+            JsonErrorKind::UnexpectedByte => write!(f, "unexpected byte"),
+            JsonErrorKind::TrailingData => write!(f, "trailing data after the root value"),
+            JsonErrorKind::UnterminatedString => write!(f, "unterminated string"),
+            JsonErrorKind::InvalidEscape => write!(f, "invalid escape sequence"),
+            JsonErrorKind::UnpairedSurrogate => write!(f, "unpaired surrogate"),
+            JsonErrorKind::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            JsonErrorKind::InvalidNumber => write!(f, "invalid number"),
+            JsonErrorKind::NumberOutOfRange => write!(f, "number out of range"),
+            JsonErrorKind::InvalidLiteral => write!(f, "invalid literal"),
+        }
+    }
+}
+
+/// A typed JSON syntax error: what went wrong and at which input byte.
+///
+/// # Example
+///
+/// ```
+/// use qsp_core::json::{parse, JsonErrorKind};
+///
+/// let error = parse("[1, 2").unwrap_err();
+/// assert_eq!(error.kind, JsonErrorKind::Expected("`,` or `]`"));
+/// assert_eq!(error.byte_offset, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub kind: JsonErrorKind,
+    /// Byte offset into the input at which the error was detected.
+    pub byte_offset: usize,
+}
+
+impl JsonError {
+    fn new(kind: JsonErrorKind, byte_offset: usize) -> Self {
+        JsonError { kind, byte_offset }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.kind, self.byte_offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -236,14 +313,15 @@ fn write_string(out: &mut String, s: &str) {
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first syntax error.
-pub fn parse(text: &str) -> Result<Value, String> {
+/// Returns a typed [`JsonError`] describing the first syntax error and the
+/// byte offset it was detected at.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(JsonError::new(JsonErrorKind::TrailingData, pos));
     }
     Ok(value)
 }
@@ -254,17 +332,17 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8, name: &'static str) -> Result<(), JsonError> {
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&byte) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected `{}` at byte {pos}", byte as char))
+        Err(JsonError::new(JsonErrorKind::Expected(name), *pos))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
@@ -272,12 +350,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
         Some(b't') | Some(b'f') | Some(b'n') => parse_literal(bytes, pos),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
-        _ => Err(format!("unexpected byte at {pos}")),
+        _ => Err(JsonError::new(JsonErrorKind::UnexpectedByte, *pos)),
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-    expect(bytes, pos, b'{')?;
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    expect(bytes, pos, b'{', "`{`")?;
     let mut fields = Vec::new();
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&b'}') {
@@ -287,7 +365,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     loop {
         skip_ws(bytes, pos);
         let key = parse_string(bytes, pos)?;
-        expect(bytes, pos, b':')?;
+        expect(bytes, pos, b':', "`:`")?;
         let value = parse_value(bytes, pos)?;
         fields.push((key, value));
         skip_ws(bytes, pos);
@@ -297,13 +375,13 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
                 *pos += 1;
                 return Ok(Value::Object(fields));
             }
-            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            _ => return Err(JsonError::new(JsonErrorKind::Expected("`,` or `}`"), *pos)),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-    expect(bytes, pos, b'[')?;
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    expect(bytes, pos, b'[', "`[`")?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&b']') {
@@ -319,29 +397,30 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
                 *pos += 1;
                 return Ok(Value::Array(items));
             }
-            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+            _ => return Err(JsonError::new(JsonErrorKind::Expected("`,` or `]`"), *pos)),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
+        return Err(JsonError::new(JsonErrorKind::Expected("string"), *pos));
     }
     *pos += 1;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(JsonError::new(JsonErrorKind::UnterminatedString, *pos)),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
             }
             Some(b'\\') => {
+                let escape_at = *pos;
                 *pos += 1;
                 let escape = bytes
                     .get(*pos)
-                    .ok_or_else(|| "unterminated escape".to_string())?;
+                    .ok_or(JsonError::new(JsonErrorKind::InvalidEscape, escape_at))?;
                 *pos += 1;
                 match escape {
                     b'"' => out.push('"'),
@@ -359,32 +438,48 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             // follow.
                             if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
                             {
-                                return Err("unpaired surrogate".to_string());
+                                return Err(JsonError::new(
+                                    JsonErrorKind::UnpairedSurrogate,
+                                    escape_at,
+                                ));
                             }
                             *pos += 2;
                             let low = parse_hex4(bytes, pos)?;
                             if !(0xDC00..0xE000).contains(&low) {
-                                return Err("invalid low surrogate".to_string());
+                                return Err(JsonError::new(
+                                    JsonErrorKind::UnpairedSurrogate,
+                                    escape_at,
+                                ));
                             }
                             let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
-                            char::from_u32(code).ok_or("invalid surrogate pair")?
+                            char::from_u32(code).ok_or(JsonError::new(
+                                JsonErrorKind::UnpairedSurrogate,
+                                escape_at,
+                            ))?
                         } else {
-                            char::from_u32(unit).ok_or("unpaired surrogate")?
+                            char::from_u32(unit).ok_or(JsonError::new(
+                                JsonErrorKind::UnpairedSurrogate,
+                                escape_at,
+                            ))?
                         };
                         out.push(c);
                     }
-                    other => return Err(format!("invalid escape `\\{}`", *other as char)),
+                    _ => return Err(JsonError::new(JsonErrorKind::InvalidEscape, escape_at)),
                 }
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (multi-byte sequences intact).
+                // Unreachable from `parse(&str)` input (already valid
+                // UTF-8), but kept sound for byte-level callers: the error
+                // points at the exact offending byte, not the chunk start.
                 let start = *pos;
                 let mut end = start + 1;
                 while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
                     end += 1;
                 }
-                let chunk = std::str::from_utf8(&bytes[start..end])
-                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                let chunk = std::str::from_utf8(&bytes[start..end]).map_err(|e| {
+                    JsonError::new(JsonErrorKind::InvalidUtf8, start + e.valid_up_to())
+                })?;
                 out.push_str(chunk);
                 *pos = end;
             }
@@ -392,18 +487,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let at = *pos;
     let end = pos
         .checked_add(4)
         .filter(|&e| e <= bytes.len())
-        .ok_or_else(|| "truncated \\u escape".to_string())?;
-    let hex = std::str::from_utf8(&bytes[*pos..end]).map_err(|_| "invalid \\u escape")?;
-    let unit = u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape `{hex}`"))?;
+        .ok_or(JsonError::new(JsonErrorKind::InvalidEscape, at))?;
+    let hex = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| JsonError::new(JsonErrorKind::InvalidEscape, at))?;
+    let unit = u32::from_str_radix(hex, 16)
+        .map_err(|_| JsonError::new(JsonErrorKind::InvalidEscape, at))?;
     *pos = end;
     Ok(unit)
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -422,12 +520,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
     match text.parse::<f64>() {
         Ok(f) if f.is_finite() => Ok(Value::Float(f)),
-        Ok(_) => Err(format!("number `{text}` out of range")),
-        Err(e) => Err(format!("invalid number `{text}`: {e}")),
+        Ok(_) => Err(JsonError::new(JsonErrorKind::NumberOutOfRange, start)),
+        Err(_) => Err(JsonError::new(JsonErrorKind::InvalidNumber, start)),
     }
 }
 
-fn parse_literal(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_literal(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
     if bytes[*pos..].starts_with(b"true") {
         *pos += 4;
         Ok(Value::Bool(true))
@@ -438,7 +536,7 @@ fn parse_literal(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         *pos += 4;
         Ok(Value::Null)
     } else {
-        Err(format!("invalid literal at byte {pos}"))
+        Err(JsonError::new(JsonErrorKind::InvalidLiteral, *pos))
     }
 }
 
@@ -590,6 +688,33 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn errors_are_typed_with_byte_offsets() {
+        let cases = [
+            ("", JsonErrorKind::UnexpectedByte, 0),
+            ("[1 2]", JsonErrorKind::Expected("`,` or `]`"), 3),
+            ("{\"a\" 1}", JsonErrorKind::Expected("`:`"), 5),
+            ("{1:2}", JsonErrorKind::Expected("string"), 1),
+            ("\"unterminated", JsonErrorKind::UnterminatedString, 13),
+            ("\"bad \\q escape\"", JsonErrorKind::InvalidEscape, 5),
+            ("\"\\ud834\"", JsonErrorKind::UnpairedSurrogate, 1),
+            ("1e999", JsonErrorKind::NumberOutOfRange, 0),
+            ("1.2.3", JsonErrorKind::InvalidNumber, 0),
+            ("nul", JsonErrorKind::InvalidLiteral, 0),
+            ("42 trailing", JsonErrorKind::TrailingData, 3),
+        ];
+        for (input, kind, offset) in cases {
+            let error = parse(input).unwrap_err();
+            assert_eq!(error.kind, kind, "{input}");
+            assert_eq!(error.byte_offset, offset, "{input}");
+            // The Display form names the kind and the offset.
+            assert!(error.to_string().contains(&format!("byte {offset}")));
+        }
+        // JsonError is a std error, so it threads into io/synthesis errors.
+        let boxed: Box<dyn std::error::Error> = Box::new(parse("[").unwrap_err());
+        assert!(boxed.to_string().contains("byte"));
     }
 
     #[test]

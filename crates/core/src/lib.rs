@@ -9,6 +9,14 @@
 //! [`qsp_state::QuantumState`] backend trait, so sparse, dense and adaptive
 //! targets flow through the same code paths:
 //!
+//! * [`api`] — the **unified request/outcome contract**: one typed
+//!   [`SynthesisRequest`] (target plus per-request [`RequestOptions`]
+//!   overrides and a [`CachePolicy`]) and one provenance-rich
+//!   [`SynthesisReport`] (circuit, `cnot_cost`, [`Provenance`], per-stage
+//!   timings, effective resolved config), accepted by every layer through
+//!   the [`Synthesizer`] trait. Cost-relevant overrides are fingerprinted
+//!   into the canonical [`ClassKey`], so per-request policies are
+//!   dedup-sound.
 //! * [`search`] — the state transition graph over **amplitude-preserving**
 //!   single-target transitions (Sec. IV) together with the A* shortest-path
 //!   solver, its admissible entanglement heuristic and the canonicalization
@@ -58,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod api;
 pub mod batch;
 pub mod cache;
 pub mod engine;
@@ -67,10 +76,17 @@ pub mod json;
 pub mod search;
 pub mod workflow;
 
-pub use batch::{BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy};
+pub use api::{
+    CachePolicy, Provenance, RequestOptions, ResolvedConfig, StageTimings, SynthesisReport,
+    SynthesisRequest, Synthesizer,
+};
+pub use batch::{
+    BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy, RequestBatchOutcome,
+};
 pub use cache::{CacheEntry, CacheStats, ClassKey, ShardedCache};
 pub use engine::{SolverEngine, StateTransform};
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};
+pub use json::{JsonError, JsonErrorKind};
 pub use search::config::{CacheConfig, SearchConfig, SearchStrategy};
 pub use workflow::{prepare_state, QspWorkflow, WorkflowConfig};

@@ -53,12 +53,13 @@ impl SearchStrategy {
 /// ```
 /// use qsp_core::CacheConfig;
 ///
-/// let bounded = CacheConfig { shards: 4, capacity: 1024 };
+/// let bounded = CacheConfig::bounded(1024).with_shards(4);
 /// assert_eq!(bounded.resolved_shards(), 4);
 /// let auto = CacheConfig::default();
 /// assert_eq!(auto.capacity, 0); // unbounded by default
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CacheConfig {
     /// Number of independent lock shards; `0` picks a power of two based on
     /// the machine's available parallelism. Values are rounded up to the next
@@ -78,6 +79,18 @@ impl CacheConfig {
             shards: 0,
             capacity: 0,
         }
+    }
+
+    /// Sets the shard count (`0` = parallelism-based automatic selection).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the total class capacity (`0` = unbounded, no eviction).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
     }
 
     /// A size-bounded cache with automatic shard selection.
@@ -127,6 +140,7 @@ impl Default for CacheConfig {
 /// assert_eq!(config.strategy, SearchStrategy::Sequential);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SearchConfig {
     /// Maximum number of (active) qubits the exact solver accepts.
     pub max_qubits: usize,
@@ -190,6 +204,49 @@ impl SearchConfig {
         let mut config = SearchConfig::paper();
         config.strategy = SearchStrategy::Portfolio { workers };
         config
+    }
+
+    /// Sets the active-qubit threshold for exact synthesis.
+    pub fn with_max_qubits(mut self, max_qubits: usize) -> Self {
+        self.max_qubits = max_qubits;
+        self
+    }
+
+    /// Sets the cardinality threshold for exact synthesis.
+    pub fn with_max_cardinality(mut self, max_cardinality: usize) -> Self {
+        self.max_cardinality = max_cardinality;
+        self
+    }
+
+    /// Sets the A* node budget.
+    pub fn with_node_budget(mut self, max_expanded_nodes: usize) -> Self {
+        self.max_expanded_nodes = max_expanded_nodes;
+        self
+    }
+
+    /// Enables or disables the admissible entanglement heuristic (disabling
+    /// turns A* into Dijkstra; never changes the result).
+    pub fn with_heuristic(mut self, use_heuristic: bool) -> Self {
+        self.use_heuristic = use_heuristic;
+        self
+    }
+
+    /// Enables or disables the approximate PU(2) distance compression.
+    pub fn with_permutation_compression(mut self, enabled: bool) -> Self {
+        self.permutation_compression = enabled;
+        self
+    }
+
+    /// Enables or disables the CRy controlled-merge library entries.
+    pub fn with_controlled_merges(mut self, enabled: bool) -> Self {
+        self.enable_controlled_merges = enabled;
+        self
+    }
+
+    /// Sets the sequential-vs-portfolio solver strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 

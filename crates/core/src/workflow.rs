@@ -19,8 +19,9 @@ use qsp_baselines::{
 use qsp_circuit::Circuit;
 use qsp_state::{QuantumState, SparseState};
 
+use crate::api::{Provenance, StageTimings, SynthesisReport, SynthesisRequest, Synthesizer};
+use crate::engine::SolverEngine;
 use crate::error::SynthesisError;
-use crate::exact::ExactSynthesizer;
 use crate::search::config::SearchConfig;
 
 /// Node budget for the exact search on the (non-uniform) residual of a dense
@@ -43,6 +44,7 @@ const BASELINE_GUARD_QUBITS: usize = 6;
 /// paper ("we set fixed thresholds (n ≤ 4 and m ≤ 16) to activate the exact
 /// synthesis in our workflow").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub struct WorkflowConfig {
     /// Search configuration (also provides the activation thresholds and the
     /// sequential-vs-portfolio [`crate::SearchStrategy`] every exact solve
@@ -58,13 +60,19 @@ impl WorkflowConfig {
     /// the one-line switch that turns a whole workflow (and any
     /// [`crate::BatchSynthesizer`] built on it) into a portfolio deployment.
     pub fn with_strategy(strategy: crate::SearchStrategy) -> Self {
-        WorkflowConfig {
-            search: SearchConfig {
-                strategy,
-                ..SearchConfig::default()
-            },
-            optimize: false,
-        }
+        WorkflowConfig::default().with_search(SearchConfig::default().with_strategy(strategy))
+    }
+
+    /// Replaces the search configuration.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Enables or disables the peephole optimizer on the final circuit.
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
     }
 }
 
@@ -131,7 +139,59 @@ impl QspWorkflow {
     ///
     /// Returns an error for unsupported states (negative amplitudes) or when
     /// a reduction stage fails.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a `SynthesisRequest` and use `synthesize_request` (or the \
+                `Synthesizer` trait); the report's `circuit` field is this circuit"
+    )]
     pub fn synthesize<S: QuantumState>(&self, state: &S) -> Result<Circuit, SynthesisError> {
+        self.run(state)
+    }
+
+    /// Synthesizes one typed [`SynthesisRequest`], honouring its per-request
+    /// overrides, and reports the circuit with provenance and timings. This
+    /// is the [`Synthesizer`] trait entry point under an inherent name (the
+    /// deprecated state-based `synthesize` still shadows the trait method).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported states (negative amplitudes) or when
+    /// a reduction stage fails under the effective configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qsp_core::api::{Provenance, SynthesisRequest};
+    /// use qsp_core::QspWorkflow;
+    /// use qsp_state::generators;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let request = SynthesisRequest::new(generators::dicke(4, 2)?);
+    /// let report = QspWorkflow::new().synthesize_request(&request)?;
+    /// assert!(report.cnot_cost < 12); // Table IV: beats the manual design
+    /// assert!(matches!(report.provenance, Provenance::Solved));
+    /// assert_eq!(report.resolved.workflow, *QspWorkflow::new().config());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn synthesize_request<S: QuantumState>(
+        &self,
+        request: &SynthesisRequest<S>,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let start = std::time::Instant::now();
+        let resolved = request.options.resolve(&self.config);
+        let circuit = QspWorkflow::with_config(resolved.workflow).run(&request.target)?;
+        Ok(SynthesisReport::new(
+            circuit,
+            Provenance::Solved,
+            StageTimings::solved_in(start.elapsed()),
+            resolved,
+        ))
+    }
+
+    /// The undeprecated core of the workflow (also what the batch engine and
+    /// the request path call).
+    pub(crate) fn run<S: QuantumState>(&self, state: &S) -> Result<Circuit, SynthesisError> {
         let sparse = state.as_sparse()?;
         let target = sparse.as_ref();
         if target.iter().any(|(_, a)| a < 0.0) {
@@ -139,7 +199,7 @@ impl QspWorkflow {
                 reason: "the workflow requires non-negative real amplitudes".to_string(),
             });
         }
-        let exact = ExactSynthesizer::with_config(self.config.search);
+        let exact = SolverEngine::new(self.config.search);
 
         let mut circuit = if self.fits_exact(target) {
             exact.synthesize(target)?.circuit
@@ -183,14 +243,14 @@ impl QspWorkflow {
             let nflow_tail = QubitReduction::new()
                 .prepare(&compact_residual)?
                 .remap_qubits(&(0..keep).collect::<Vec<_>>(), target.num_qubits())?;
-            let capped = ExactSynthesizer::with_config(SearchConfig {
-                max_expanded_nodes: self
-                    .config
-                    .search
-                    .max_expanded_nodes
-                    .min(DENSE_RESIDUAL_NODE_BUDGET),
-                ..self.config.search
-            });
+            let capped = SolverEngine::new(
+                self.config.search.with_node_budget(
+                    self.config
+                        .search
+                        .max_expanded_nodes
+                        .min(DENSE_RESIDUAL_NODE_BUDGET),
+                ),
+            );
             let mut circuit = match capped.synthesize(&residual) {
                 Ok(outcome) if outcome.circuit.cnot_cost() <= nflow_tail.cnot_cost() => {
                     outcome.circuit
@@ -234,13 +294,19 @@ impl QspWorkflow {
     }
 }
 
+impl<S: QuantumState> Synthesizer<S> for QspWorkflow {
+    fn synthesize(&self, request: &SynthesisRequest<S>) -> Result<SynthesisReport, SynthesisError> {
+        self.synthesize_request(request)
+    }
+}
+
 impl StatePreparator for QspWorkflow {
     fn name(&self) -> &str {
         "exact-synthesis"
     }
 
     fn prepare_sparse(&self, target: &SparseState) -> Result<Circuit, BaselineError> {
-        self.synthesize(target).map_err(|e| match e {
+        self.run(target).map_err(|e| match e {
             SynthesisError::Baseline(inner) => inner,
             other => BaselineError::UnsupportedState {
                 reason: other.to_string(),
@@ -270,7 +336,7 @@ impl StatePreparator for QspWorkflow {
 /// ```
 pub fn prepare_state<S: QuantumState>(target: &S) -> Result<PreparationOutcome, SynthesisError> {
     let start = std::time::Instant::now();
-    let circuit = QspWorkflow::new().synthesize(target)?;
+    let circuit = QspWorkflow::new().run(target)?;
     Ok(PreparationOutcome::new(circuit, start.elapsed()))
 }
 

@@ -14,6 +14,7 @@ use qsp_core::{BatchOptions, WorkflowConfig};
 /// [`max_wait`]: SchedulerConfig::max_wait
 /// [`max_batch`]: SchedulerConfig::max_batch
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SchedulerConfig {
     /// Maximum requests one drain hands to a worker. Smaller batches lower
     /// the latency a slow request can impose on the ones drained behind it;
@@ -48,10 +49,29 @@ impl SchedulerConfig {
                 .unwrap_or(1)
         }
     }
+
+    /// Sets the maximum micro-batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the micro-batch fill wait.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 }
 
 /// Full configuration of a [`SynthesisService`](crate::SynthesisService).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// Bound of the submission queue. A submission that would overflow it is
     /// rejected with `Submit::Rejected { queue_full: true }` — backpressure
@@ -76,6 +96,33 @@ impl Default for ServiceConfig {
             workflow: WorkflowConfig::default(),
             batch: BatchOptions::default(),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the submission-queue bound.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the micro-batching and worker-pool policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the base workflow configuration requests resolve against.
+    pub fn with_workflow(mut self, workflow: WorkflowConfig) -> Self {
+        self.workflow = workflow;
+        self
+    }
+
+    /// Sets the dedup policy and cache sharding/eviction of the underlying
+    /// batch engine.
+    pub fn with_batch(mut self, batch: BatchOptions) -> Self {
+        self.batch = batch;
+        self
     }
 }
 

@@ -12,13 +12,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use qsp_circuit::Circuit;
-use qsp_core::SynthesisError;
+use qsp_core::{SynthesisError, SynthesisReport};
 
 /// The terminal state of one request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// The preparation circuit for the submitted target.
-    Completed(Circuit),
+    /// The provenance-rich synthesis report for the submitted request:
+    /// circuit, `cnot_cost`, [`Provenance`](qsp_core::Provenance) (fresh
+    /// solve / cache hit / in-flight dedup attach), per-stage timings and
+    /// the effective resolved configuration.
+    Completed(SynthesisReport),
     /// Synthesis failed (unsupported or invalid target).
     Failed(SynthesisError),
     /// The request's deadline expired before a worker started solving it;
@@ -29,12 +32,17 @@ pub enum Response {
 }
 
 impl Response {
-    /// The circuit, if the request completed successfully.
-    pub fn circuit(&self) -> Option<&Circuit> {
+    /// The full synthesis report, if the request completed successfully.
+    pub fn report(&self) -> Option<&SynthesisReport> {
         match self {
-            Response::Completed(circuit) => Some(circuit),
+            Response::Completed(report) => Some(report),
             _ => None,
         }
+    }
+
+    /// The circuit, if the request completed successfully.
+    pub fn circuit(&self) -> Option<&Circuit> {
+        self.report().map(|report| &report.circuit)
     }
 
     /// Whether the request completed with a circuit.

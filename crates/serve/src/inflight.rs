@@ -22,17 +22,26 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use qsp_core::{CacheEntry, ClassKey, StateTransform};
+use qsp_core::{CacheEntry, ClassKey, ResolvedConfig, StateTransform};
 
 use crate::handle::Completer;
 
 /// A request parked on an in-flight solve (or being finished by its owner).
+///
+/// The table key carries the request's options fingerprint, so every waiter
+/// parked on a class shares the same effective cost-relevant configuration
+/// as its owner — attaching is always dedup-sound.
 #[derive(Debug)]
 pub(crate) struct Waiter {
     /// The request's own witness transform onto the canonical fingerprint.
     pub transform: StateTransform,
+    /// The request's effective configuration (reported back in its
+    /// [`SynthesisReport`](qsp_core::SynthesisReport)).
+    pub resolved: ResolvedConfig,
+    /// Time the worker spent canonically keying this request.
+    pub keying: Duration,
     pub completer: Completer,
     pub enqueued: Instant,
     /// When the worker drained this request (per-stage latency accounting).
@@ -145,6 +154,8 @@ mod tests {
         let now = Instant::now();
         Waiter {
             transform,
+            resolved: ResolvedConfig::default(),
+            keying: Duration::ZERO,
             completer,
             enqueued: now,
             drained: now,
@@ -215,6 +226,8 @@ mod tests {
                 || engine.lookup_class(&key),
                 Waiter {
                     transform: transform.clone(),
+                    resolved: ResolvedConfig::default(),
+                    keying: Duration::ZERO,
                     completer,
                     enqueued: now,
                     drained: now,

@@ -4,6 +4,18 @@
 //! front door that turns [`qsp_core::BatchSynthesizer`] from a library call
 //! into something a fleet can point traffic at.
 //!
+//! The service speaks the workspace's unified API
+//! ([`qsp_core::api`]): [`SynthesisService::submit`] takes a typed
+//! [`SynthesisRequest`] — target plus per-request solver overrides,
+//! [`CachePolicy`], deadline and priority — and every completion carries a
+//! provenance-rich [`SynthesisReport`] ([`Response::Completed`]), so a
+//! caller can tell a fresh solve from a cache hit from an in-flight dedup
+//! attach, read per-stage timings, and see the exact configuration its
+//! request resolved to. Cost-relevant overrides are fingerprinted into the
+//! canonical class key, which keeps per-request policies *dedup-sound*: two
+//! requests for the same state under different effective solver options
+//! never share a solve.
+//!
 //! A [`SynthesisService`] owns a worker pool and wires four pieces together:
 //!
 //! * **A bounded submission queue with explicit backpressure** — `submit`
@@ -40,18 +52,20 @@
 //! # Example
 //!
 //! ```
-//! use qsp_serve::{ServiceConfig, Shutdown, SynthesisService};
+//! use qsp_serve::{ServiceConfig, Shutdown, SynthesisRequest, SynthesisService};
 //! use qsp_state::generators;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let service = SynthesisService::start(ServiceConfig::default());
-//! let a = service.submit(generators::ghz(4)?, None).handle().unwrap();
-//! let b = service.submit(generators::ghz(4)?, None).handle().unwrap();
-//! assert_eq!(a.wait().circuit().unwrap().cnot_cost(), 3);
-//! assert_eq!(b.wait().circuit().unwrap().cnot_cost(), 3);
+//! let a = service.submit(SynthesisRequest::new(generators::ghz(4)?));
+//! let b = service.submit(SynthesisRequest::new(generators::ghz(4)?));
+//! let (a, b) = (a.handle().unwrap(), b.handle().unwrap());
+//! assert_eq!(a.wait().report().unwrap().cnot_cost, 3);
+//! assert_eq!(b.wait().report().unwrap().cnot_cost, 3);
 //! let stats = service.shutdown(Shutdown::Drain);
 //! assert_eq!(stats.completed, 2);
-//! // The duplicate GHZ never triggered a second solve.
+//! // The duplicate GHZ never triggered a second solve — its report's
+//! // provenance is a cache hit or an in-flight dedup attach.
 //! assert_eq!(stats.solver_runs, 1);
 //! # Ok(())
 //! # }
@@ -72,3 +86,9 @@ pub use handle::{RequestHandle, Response};
 pub use queue::Submit;
 pub use service::{Shutdown, SynthesisService};
 pub use stats::{HistogramSnapshot, ServiceStats, HISTOGRAM_BUCKETS};
+
+// The unified request/outcome contract, re-exported so service callers can
+// build requests and read reports without importing qsp-core directly.
+pub use qsp_core::api::{
+    CachePolicy, Provenance, RequestOptions, StageTimings, SynthesisReport, SynthesisRequest,
+};

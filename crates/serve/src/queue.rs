@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use qsp_core::RequestOptions;
 use qsp_state::SparseState;
 
 use crate::handle::{oneshot, Completer, RequestHandle};
@@ -45,7 +46,10 @@ pub(crate) struct QueuedRequest {
     /// Submission order, the deterministic tiebreak of the EDF sort.
     pub seq: u64,
     pub target: SparseState,
-    pub deadline: Option<Instant>,
+    /// The request's full options block (deadline and priority drive the
+    /// drain order; the solver overrides and cache policy are consumed by
+    /// the worker).
+    pub options: RequestOptions,
     pub enqueued: Instant,
     pub completer: Completer,
 }
@@ -93,7 +97,7 @@ impl SubmissionQueue {
     }
 
     /// Attempts to enqueue a request; never blocks.
-    pub(crate) fn push(&self, target: SparseState, deadline: Option<Instant>) -> Submit {
+    pub(crate) fn push(&self, target: SparseState, options: RequestOptions) -> Submit {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.lifecycle != Lifecycle::Running {
             return Submit::Rejected { queue_full: false };
@@ -105,7 +109,7 @@ impl SubmissionQueue {
         state.items.push_back(QueuedRequest {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             target,
-            deadline,
+            options,
             enqueued: Instant::now(),
             completer,
         });
@@ -204,13 +208,20 @@ impl SubmissionQueue {
 }
 
 /// Sorts a drained batch earliest-deadline-first: deadlined requests before
-/// deadline-free ones, submission order as the deterministic tiebreak.
+/// deadline-free ones, higher request priority breaking deadline ties, and
+/// submission order as the final deterministic tiebreak.
 fn edf_sort(batch: &mut [QueuedRequest]) {
-    batch.sort_by(|a, b| match (a.deadline, b.deadline) {
-        (Some(x), Some(y)) => x.cmp(&y).then(a.seq.cmp(&b.seq)),
+    let tiebreak = |a: &QueuedRequest, b: &QueuedRequest| {
+        b.options
+            .priority
+            .cmp(&a.options.priority)
+            .then(a.seq.cmp(&b.seq))
+    };
+    batch.sort_by(|a, b| match (a.options.deadline, b.options.deadline) {
+        (Some(x), Some(y)) => x.cmp(&y).then_with(|| tiebreak(a, b)),
         (Some(_), None) => std::cmp::Ordering::Less,
         (None, Some(_)) => std::cmp::Ordering::Greater,
-        (None, None) => a.seq.cmp(&b.seq),
+        (None, None) => tiebreak(a, b),
     });
 }
 
@@ -219,15 +230,20 @@ mod tests {
     use super::*;
     use qsp_state::generators;
 
+    fn push_plain(queue: &SubmissionQueue) -> Submit {
+        queue.push(generators::ghz(3).unwrap(), RequestOptions::default())
+    }
+
+    fn push_deadlined(queue: &SubmissionQueue, deadline: Option<Instant>) -> Submit {
+        let mut options = RequestOptions::default();
+        options.deadline = deadline;
+        queue.push(generators::ghz(3).unwrap(), options)
+    }
+
     fn queue_with(capacity: usize, targets: usize) -> (SubmissionQueue, Vec<RequestHandle>) {
         let queue = SubmissionQueue::new(capacity);
         let handles = (0..targets)
-            .map(|_| {
-                queue
-                    .push(generators::ghz(3).unwrap(), None)
-                    .handle()
-                    .expect("accepted")
-            })
+            .map(|_| push_plain(&queue).handle().expect("accepted"))
             .collect();
         (queue, handles)
     }
@@ -235,7 +251,7 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let (queue, _handles) = queue_with(2, 2);
-        match queue.push(generators::ghz(3).unwrap(), None) {
+        match push_plain(&queue) {
             Submit::Rejected { queue_full } => assert!(queue_full),
             Submit::Accepted(_) => panic!("expected backpressure"),
         }
@@ -246,7 +262,7 @@ mod tests {
     #[test]
     fn zero_capacity_rejects_everything() {
         let queue = SubmissionQueue::new(0);
-        assert!(!queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+        assert!(!push_plain(&queue).is_accepted());
         assert_eq!(queue.high_water(), 0);
     }
 
@@ -275,9 +291,7 @@ mod tests {
             Some(now + Duration::from_millis(20)),
         ];
         for deadline in deadlines {
-            assert!(queue
-                .push(generators::ghz(3).unwrap(), deadline)
-                .is_accepted());
+            assert!(push_deadlined(&queue, deadline).is_accepted());
         }
         let batch = queue.pop_batch(16, Duration::ZERO).unwrap();
         // Ties keep submission order; no-deadline requests go last.
@@ -288,14 +302,39 @@ mod tests {
     }
 
     #[test]
+    fn priority_breaks_deadline_ties_and_orders_deadline_free_requests() {
+        let queue = SubmissionQueue::new(16);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let submit = |deadline: Option<Instant>, priority: u8| {
+            let mut options = RequestOptions::default().with_priority(priority);
+            options.deadline = deadline;
+            assert!(queue
+                .push(generators::ghz(3).unwrap(), options)
+                .is_accepted());
+        };
+        submit(None, 0); // seq 0
+        submit(Some(deadline), 1); // seq 1
+        submit(None, 9); // seq 2
+        submit(Some(deadline), 5); // seq 3
+        submit(None, 9); // seq 4
+        let batch = queue.pop_batch(16, Duration::ZERO).unwrap();
+        // Equal deadlines: higher priority first (3 before 1). Deadline-free
+        // tail: priority desc, then submission order (2, 4 before 0).
+        assert_eq!(
+            batch.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 1, 2, 4, 0]
+        );
+    }
+
+    #[test]
     fn micro_batch_fill_waits_for_late_arrivals() {
         let queue = std::sync::Arc::new(SubmissionQueue::new(16));
-        assert!(queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+        assert!(push_plain(&queue).is_accepted());
         let producer = {
             let queue = std::sync::Arc::clone(&queue);
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(10));
-                assert!(queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+                assert!(push_plain(&queue).is_accepted());
             })
         };
         // The drain waits up to 500ms for the batch to fill; the second
@@ -309,7 +348,7 @@ mod tests {
     fn close_draining_lets_workers_finish_the_backlog() {
         let (queue, _handles) = queue_with(16, 2);
         assert!(queue.close(false).is_empty());
-        assert!(!queue.push(generators::ghz(3).unwrap(), None).is_accepted());
+        assert!(!push_plain(&queue).is_accepted());
         assert_eq!(queue.pop_batch(1, Duration::ZERO).unwrap().len(), 1);
         assert_eq!(queue.pop_batch(1, Duration::ZERO).unwrap().len(), 1);
         assert!(queue.pop_batch(1, Duration::ZERO).is_none());

@@ -3,9 +3,12 @@
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use qsp_core::{BatchSynthesizer, DedupPolicy};
+use qsp_core::{
+    BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, Provenance, StageTimings,
+    SynthesisReport, SynthesisRequest,
+};
 use qsp_state::{QuantumState, SparseState};
 
 use crate::config::{SchedulerConfig, ServiceConfig};
@@ -89,16 +92,24 @@ impl SynthesisService {
         }
     }
 
-    /// Submits a target for synthesis. Never blocks: the request is either
-    /// queued (wait on the returned handle) or rejected outright
-    /// ([`Submit::Rejected`] with `queue_full` distinguishing backpressure
-    /// from shutdown).
+    /// Submits a typed [`SynthesisRequest`] for synthesis. Never blocks: the
+    /// request is either queued (wait on the returned handle) or rejected
+    /// outright ([`Submit::Rejected`] with `queue_full` distinguishing
+    /// backpressure from shutdown).
     ///
-    /// A request with a `deadline` that expires while still queued completes
-    /// with [`Response::Timeout`] and never reaches the solver; within a
-    /// drain, deadlined requests are served earliest-deadline-first.
-    pub fn submit(&self, target: SparseState, deadline: Option<Instant>) -> Submit {
-        let submit = self.inner.queue.push(target, deadline);
+    /// The request's [`RequestOptions`](qsp_core::RequestOptions) are
+    /// honoured end to end: a deadline that expires while still queued
+    /// completes with [`Response::Timeout`] and never reaches the solver;
+    /// within a drain, requests are served earliest-deadline-first with
+    /// priority breaking ties; solver overrides resolve against the
+    /// service's base configuration and fork the request into its own
+    /// fingerprinted dedup/cache class; the [`CachePolicy`] decides cache
+    /// probing, in-flight attaching and publishing.
+    pub fn submit(&self, request: SynthesisRequest<SparseState>) -> Submit {
+        let SynthesisRequest {
+            target, options, ..
+        } = request;
+        let submit = self.inner.queue.push(target, options);
         match &submit {
             Submit::Accepted(_) => Counters::bump(&self.inner.counters.submitted),
             Submit::Rejected { .. } => Counters::bump(&self.inner.counters.rejected),
@@ -106,14 +117,41 @@ impl SynthesisService {
         submit
     }
 
-    /// [`submit`](SynthesisService::submit) for any [`QuantumState`] backend
-    /// (converted to the solver's sparse form up front). An unconvertible
-    /// target is accepted with an already-failed handle — it is a permanent
+    /// Submits a typed request over any [`QuantumState`] backend (converted
+    /// to the solver's sparse form up front). An unconvertible target is
+    /// accepted with an already-failed handle — it is a permanent
     /// per-request error, not backpressure or shutdown, so it must not look
     /// like either rejection.
+    pub fn submit_request<S: QuantumState>(&self, request: &SynthesisRequest<S>) -> Submit {
+        match request.target.as_sparse() {
+            Ok(sparse) => self
+                .submit(SynthesisRequest::new(sparse.into_owned()).with_options(request.options)),
+            Err(error) => {
+                Counters::bump(&self.inner.counters.submitted);
+                Counters::bump(&self.inner.counters.failed);
+                let (handle, completer) = crate::handle::oneshot();
+                completer.complete(Response::Failed(qsp_core::SynthesisError::State(error)));
+                Submit::Accepted(handle)
+            }
+        }
+    }
+
+    /// The pre-request-API submission shape: a bare target plus an optional
+    /// deadline.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a `SynthesisRequest` (optionally `.with_deadline(..)`) and \
+                use `submit` or `submit_request`"
+    )]
     pub fn submit_state<S: QuantumState>(&self, target: &S, deadline: Option<Instant>) -> Submit {
         match target.as_sparse() {
-            Ok(sparse) => self.submit(sparse.into_owned(), deadline),
+            Ok(sparse) => {
+                let mut request = SynthesisRequest::new(sparse.into_owned());
+                if let Some(deadline) = deadline {
+                    request = request.with_deadline(deadline);
+                }
+                self.submit(request)
+            }
             Err(error) => {
                 Counters::bump(&self.inner.counters.submitted);
                 Counters::bump(&self.inner.counters.failed);
@@ -193,12 +231,13 @@ impl Inner {
         }
     }
 
-    /// Serves one drained request: deadline check, canonical keying, then
-    /// cache / in-flight attach / fresh solve.
+    /// Serves one drained request: deadline check, option resolution and
+    /// fingerprinted canonical keying, then cache / in-flight attach / fresh
+    /// solve per the request's [`CachePolicy`].
     fn process(&self, request: QueuedRequest) {
         let QueuedRequest {
             target,
-            deadline,
+            options,
             enqueued,
             completer,
             ..
@@ -208,14 +247,19 @@ impl Inner {
 
         // Deadline-aware: an expired request is answered without spending
         // any solver time on it.
-        if deadline.is_some_and(|d| drained >= d) {
+        if options.deadline.is_some_and(|d| drained >= d) {
             Counters::bump(&self.counters.expired);
             self.end_to_end.record(drained - enqueued);
             completer.complete(Response::Timeout);
             return;
         }
 
-        let (key, transform) = match self.engine.canonical_class(&target) {
+        // The key folds in the request's cost-relevant options fingerprint,
+        // so requests with different effective solver configurations can
+        // never share a cache entry or an in-flight solve.
+        let resolved = self.engine.resolve_options(&options);
+        let keying_start = Instant::now();
+        let (key, transform) = match self.engine.canonical_class_with(&target, &resolved) {
             Ok(keyed) => keyed,
             Err(error) => {
                 Counters::bump(&self.counters.failed);
@@ -228,17 +272,24 @@ impl Inner {
         };
         let waiter = Waiter {
             transform,
+            resolved,
+            keying: keying_start.elapsed(),
             completer,
             enqueued,
             drained,
         };
 
-        // With dedup off every request is solved independently (the batch
-        // engine's cache is bypassed too); no in-flight table involved.
-        if self.engine.options().dedup == DedupPolicy::Off {
+        // With dedup off — or a per-request cache bypass — the request is
+        // solved independently: no cache probe, no in-flight table.
+        if self.engine.options().dedup == DedupPolicy::Off || resolved.cache == CachePolicy::Bypass
+        {
             Counters::bump(&self.counters.solver_runs);
-            let entry = self.engine.solve_class(&key, &waiter.transform, &target);
-            self.finish(&entry, waiter);
+            let solve_start = Instant::now();
+            let entry = self
+                .engine
+                .solve_class_with(&key, &waiter.transform, &target, &resolved);
+            let solving = solve_start.elapsed();
+            self.finish(&entry, waiter, Provenance::Solved, solving);
             return;
         }
 
@@ -249,21 +300,43 @@ impl Inner {
             Attach::Attached => Counters::bump(&self.counters.deduped),
             Attach::Cached(entry, waiter) => {
                 Counters::bump(&self.counters.cache_hits);
-                self.finish(&entry, waiter);
+                let witness = waiter.transform.clone();
+                self.finish(
+                    &entry,
+                    waiter,
+                    Provenance::CacheHit { witness },
+                    Duration::ZERO,
+                );
             }
             Attach::Owner(waiter) => {
                 Counters::bump(&self.counters.solver_runs);
                 // The guard retires the class even if the solve panics, so
                 // attached waiters can never hang on a poisoned entry.
                 let owned = self.inflight.guard(&key);
-                // Publish to the cache (inside solve_class) *before*
-                // retiring the in-flight entry — the ordering the
-                // no-duplicate-solve guarantee rests on.
-                let entry = self.engine.solve_class(&key, &waiter.transform, &target);
+                // Publish to the cache (inside solve_class_with, gated on
+                // the owner's CachePolicy) *before* retiring the in-flight
+                // entry — the ordering the no-duplicate-solve guarantee
+                // rests on. A `ReadOnly` owner skips the publish, so a
+                // joiner landing after retirement re-solves instead of
+                // hitting the cache: redundant work, never a wrong answer.
+                let solve_start = Instant::now();
+                let entry = self.engine.solve_class_with(
+                    &key,
+                    &waiter.transform,
+                    &target,
+                    &waiter.resolved,
+                );
+                let solving = solve_start.elapsed();
                 let attached = owned.retire();
-                self.finish(&entry, waiter);
+                self.finish(&entry, waiter, Provenance::Solved, solving);
                 for waiter in attached {
-                    self.finish(&entry, waiter);
+                    let witness = waiter.transform.clone();
+                    self.finish(
+                        &entry,
+                        waiter,
+                        Provenance::DedupAttach { witness },
+                        Duration::ZERO,
+                    );
                 }
             }
         }
@@ -271,12 +344,33 @@ impl Inner {
 
     /// Completes one request from a solved class entry, reconstructing the
     /// circuit through the request's own witness transform (bit-identical
-    /// CNOT cost to a direct solve).
-    fn finish(&self, entry: &qsp_core::CacheEntry, waiter: Waiter) {
+    /// CNOT cost to a direct solve) and assembling its provenance-rich
+    /// report. `solving` is the solver time this request itself consumed
+    /// (zero for cache hits and dedup attaches).
+    fn finish(
+        &self,
+        entry: &CacheEntry,
+        waiter: Waiter,
+        provenance: Provenance,
+        solving: Duration,
+    ) {
+        let reconstruct_start = Instant::now();
         let response = match BatchSynthesizer::reconstruct_for(entry, &waiter.transform) {
             Ok(circuit) => {
                 Counters::bump(&self.counters.completed);
-                Response::Completed(circuit)
+                let now = Instant::now();
+                let timings = StageTimings::new(
+                    waiter.keying,
+                    solving,
+                    now - reconstruct_start,
+                    now - waiter.enqueued,
+                );
+                Response::Completed(SynthesisReport::new(
+                    circuit,
+                    provenance,
+                    timings,
+                    waiter.resolved,
+                ))
             }
             Err(error) => {
                 Counters::bump(&self.counters.failed);

@@ -1,11 +1,14 @@
 //! End-to-end service tests, including the edge cases the serving contract
-//! promises: zero-capacity rejection, expired deadlines, abort shutdown and
-//! bit-identical dedup costs.
+//! promises: zero-capacity rejection, expired deadlines, abort shutdown,
+//! bit-identical dedup costs and provenance-correct reports.
 
 use std::time::{Duration, Instant};
 
 use qsp_core::QspWorkflow;
-use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, Submit, SynthesisService};
+use qsp_serve::{
+    Provenance, Response, SchedulerConfig, ServiceConfig, Shutdown, Submit, SynthesisRequest,
+    SynthesisService,
+};
 use qsp_state::generators::{self, Workload};
 use qsp_state::SparseState;
 
@@ -14,15 +17,20 @@ use qsp_state::SparseState;
 const HANG: Duration = Duration::from_secs(120);
 
 fn service_with(queue_capacity: usize, workers: usize, max_batch: usize) -> SynthesisService {
-    SynthesisService::start(ServiceConfig {
-        queue_capacity,
-        scheduler: SchedulerConfig {
-            max_batch,
-            max_wait: Duration::from_millis(1),
-            workers,
-        },
-        ..ServiceConfig::default()
-    })
+    SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(queue_capacity)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(max_batch)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(workers),
+            ),
+    )
+}
+
+fn request(target: &SparseState) -> SynthesisRequest<SparseState> {
+    SynthesisRequest::new(target.clone())
 }
 
 fn verify(circuit: &qsp_circuit::Circuit, target: &SparseState) {
@@ -45,14 +53,16 @@ fn serves_mixed_traffic_and_verifies() {
     ];
     let handles: Vec<_> = targets
         .iter()
-        .map(|t| service.submit(t.clone(), None).handle().expect("accepted"))
+        .map(|t| service.submit(request(t)).handle().expect("accepted"))
         .collect();
     for (target, handle) in targets.iter().zip(&handles) {
         let response = handle.wait_timeout(HANG).expect("no hang");
-        let Response::Completed(circuit) = response else {
+        let Response::Completed(report) = response else {
             panic!("expected completion, got {response:?}");
         };
-        verify(&circuit, target);
+        verify(&report.circuit, target);
+        assert_eq!(report.cnot_cost, report.circuit.cnot_cost());
+        assert!(report.timings.total >= report.timings.solving);
     }
     let stats = service.shutdown(Shutdown::Drain);
     assert_eq!(stats.submitted, 4);
@@ -66,9 +76,37 @@ fn serves_mixed_traffic_and_verifies() {
 }
 
 #[test]
+fn reports_carry_provenance() {
+    // Sequential submissions of the same target: the first is a fresh
+    // solve, the second (after the first completed) a cache hit.
+    let service = service_with(8, 1, 1);
+    let target = generators::dicke(4, 2).unwrap();
+    let first = service.submit(request(&target)).handle().expect("accepted");
+    let first = first.wait_timeout(HANG).expect("no hang");
+    let first = first.report().expect("completed");
+    assert!(matches!(first.provenance, Provenance::Solved));
+    assert!(first.timings.solving > Duration::ZERO);
+    let second = service.submit(request(&target)).handle().expect("accepted");
+    let second = second.wait_timeout(HANG).expect("no hang");
+    let second = second.report().expect("completed").clone();
+    let Provenance::CacheHit { witness } = &second.provenance else {
+        panic!("expected a cache hit, got {:?}", second.provenance);
+    };
+    // The witness maps the request's target onto the canonical class
+    // fingerprint; identical targets share it with the cached entry, so the
+    // reconstruction composes to the identity and reuses the circuit as-is.
+    assert_eq!(second.circuit, first.circuit);
+    let _ = witness;
+    assert_eq!(second.cnot_cost, first.cnot_cost);
+    assert_eq!(second.timings.solving, Duration::ZERO);
+    assert_eq!(second.resolved.workflow, *service.engine().config());
+    service.shutdown(Shutdown::Drain);
+}
+
+#[test]
 fn zero_capacity_queue_rejects_immediately() {
     let service = service_with(0, 1, 4);
-    match service.submit(generators::ghz(3).unwrap(), None) {
+    match service.submit(request(&generators::ghz(3).unwrap())) {
         Submit::Rejected { queue_full } => assert!(queue_full, "rejection must be backpressure"),
         Submit::Accepted(_) => panic!("zero-capacity queue must reject"),
     }
@@ -82,7 +120,7 @@ fn zero_capacity_queue_rejects_immediately() {
 fn already_expired_deadline_times_out_without_a_solve() {
     let service = service_with(8, 1, 4);
     let handle = service
-        .submit(generators::ghz(4).unwrap(), Some(Instant::now()))
+        .submit(request(&generators::ghz(4).unwrap()).with_deadline(Instant::now()))
         .handle()
         .expect("accepted");
     assert_eq!(handle.wait_timeout(HANG), Some(Response::Timeout));
@@ -101,7 +139,7 @@ fn already_expired_deadline_times_out_without_a_solve() {
 fn submissions_after_shutdown_are_rejected_as_not_queue_full() {
     let service = service_with(8, 1, 4);
     service.shutdown(Shutdown::Drain);
-    match service.submit(generators::ghz(3).unwrap(), None) {
+    match service.submit(request(&generators::ghz(3).unwrap())) {
         Submit::Rejected { queue_full } => assert!(!queue_full),
         Submit::Accepted(_) => panic!("a stopped service must reject"),
     }
@@ -115,11 +153,11 @@ fn abort_shutdown_fails_pending_handles_rather_than_hanging() {
     let slow = Workload::RandomDense { n: 4, seed: 9 }
         .instantiate()
         .unwrap();
-    let mut handles = vec![service.submit(slow, None).handle().expect("accepted")];
+    let mut handles = vec![service.submit(request(&slow)).handle().expect("accepted")];
     for _ in 0..4 {
         handles.push(
             service
-                .submit(generators::ghz(6).unwrap(), None)
+                .submit(request(&generators::ghz(6).unwrap()))
                 .handle()
                 .expect("accepted"),
         );
@@ -153,36 +191,41 @@ fn dedup_attach_returns_bit_identical_cnot_cost() {
     // the cache serves it.
     let workload = Workload::RandomDense { n: 4, seed: 21 };
     let target = workload.instantiate().unwrap();
-    let solo = QspWorkflow::new().synthesize(&target).unwrap();
+    let solo = QspWorkflow::new()
+        .synthesize_request(&SynthesisRequest::new(target.clone()))
+        .unwrap();
 
     let service = service_with(32, 4, 1);
     let mut handles = Vec::new();
     for _ in 0..8 {
-        handles.push(
-            service
-                .submit(target.clone(), None)
-                .handle()
-                .expect("accepted"),
-        );
+        handles.push(service.submit(request(&target)).handle().expect("accepted"));
         std::thread::sleep(Duration::from_millis(2));
     }
     let mut costs = Vec::new();
+    let mut attached = 0u64;
     for handle in &handles {
         let response = handle.wait_timeout(HANG).expect("no hang");
-        let Response::Completed(circuit) = response else {
+        let Response::Completed(report) = response else {
             panic!("expected completion, got {response:?}");
         };
-        verify(&circuit, &target);
-        costs.push(circuit.cnot_cost());
+        verify(&report.circuit, &target);
+        if matches!(report.provenance, Provenance::DedupAttach { .. }) {
+            attached += 1;
+        }
+        costs.push(report.cnot_cost);
     }
     let stats = service.shutdown(Shutdown::Drain);
     assert!(
-        costs.iter().all(|&c| c == solo.cnot_cost()),
+        costs.iter().all(|&c| c == solo.cnot_cost),
         "deduped responses must cost exactly the solo solve: {costs:?} vs {}",
-        solo.cnot_cost()
+        solo.cnot_cost
     );
     assert_eq!(stats.solver_runs, 1, "one solve for eight requests");
     assert_eq!(stats.deduped + stats.cache_hits, 7);
+    assert_eq!(
+        stats.deduped, attached,
+        "DedupAttach provenance must match the deduped counter"
+    );
     assert_eq!(stats.completed, 8);
 }
 
@@ -196,26 +239,21 @@ fn edf_serves_urgent_requests_before_lax_ones_in_a_drain() {
     let slow = Workload::RandomDense { n: 4, seed: 33 }
         .instantiate()
         .unwrap();
-    let _warm = service.submit(slow, None).handle().expect("accepted");
+    let _warm = service.submit(request(&slow)).handle().expect("accepted");
     let now = Instant::now();
     let far = service
-        .submit(
-            generators::ghz(4).unwrap(),
-            Some(now + Duration::from_secs(500)),
-        )
+        .submit(request(&generators::ghz(4).unwrap()).with_deadline(now + Duration::from_secs(500)))
         .handle()
         .expect("accepted");
     let near = service
         .submit(
-            generators::w_state(4).unwrap(),
-            Some(now + Duration::from_secs(100)),
+            request(&generators::w_state(4).unwrap()).with_deadline(now + Duration::from_secs(100)),
         )
         .handle()
         .expect("accepted");
     let nearest = service
         .submit(
-            generators::dicke(4, 2).unwrap(),
-            Some(now + Duration::from_secs(50)),
+            request(&generators::dicke(4, 2).unwrap()).with_deadline(now + Duration::from_secs(50)),
         )
         .handle()
         .expect("accepted");
@@ -232,23 +270,21 @@ fn edf_serves_urgent_requests_before_lax_ones_in_a_drain() {
 
 #[test]
 fn dedup_off_solves_every_request_independently() {
-    let service = SynthesisService::start(ServiceConfig {
-        queue_capacity: 16,
-        scheduler: SchedulerConfig {
-            max_batch: 4,
-            max_wait: Duration::from_millis(1),
-            workers: 2,
-        },
-        batch: qsp_core::BatchOptions {
-            dedup: qsp_core::DedupPolicy::Off,
-            ..qsp_core::BatchOptions::default()
-        },
-        ..ServiceConfig::default()
-    });
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(16)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(4)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(2),
+            )
+            .with_batch(qsp_core::BatchOptions::default().with_dedup(qsp_core::DedupPolicy::Off)),
+    );
     let handles: Vec<_> = (0..3)
         .map(|_| {
             service
-                .submit(generators::ghz(4).unwrap(), None)
+                .submit(request(&generators::ghz(4).unwrap()))
                 .handle()
                 .expect("accepted")
         })
@@ -269,9 +305,12 @@ fn invalid_targets_fail_without_poisoning_the_service() {
     let negative =
         SparseState::from_amplitudes(2, [(BasisIndex::new(0), 0.6), (BasisIndex::new(3), -0.8)])
             .unwrap();
-    let bad = service.submit(negative, None).handle().expect("accepted");
+    let bad = service
+        .submit(request(&negative))
+        .handle()
+        .expect("accepted");
     let good = service
-        .submit(generators::ghz(3).unwrap(), None)
+        .submit(request(&generators::ghz(3).unwrap()))
         .handle()
         .expect("accepted");
     assert!(matches!(
@@ -285,10 +324,27 @@ fn invalid_targets_fail_without_poisoning_the_service() {
 }
 
 #[test]
+fn deprecated_submit_state_still_works() {
+    // The compatibility wrapper accepts any backend state plus a deadline
+    // and produces the same report-carrying responses.
+    #![allow(deprecated)]
+    let service = service_with(8, 1, 4);
+    let target = generators::ghz(4).unwrap();
+    let handle = service
+        .submit_state(&target, Some(Instant::now() + Duration::from_secs(60)))
+        .handle()
+        .expect("accepted");
+    let response = handle.wait_timeout(HANG).expect("no hang");
+    assert_eq!(response.report().expect("completed").cnot_cost, 3);
+    let stats = service.shutdown(Shutdown::Drain);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
 fn stats_json_round_trips_through_the_shared_parser() {
     let service = service_with(8, 1, 4);
     let handle = service
-        .submit(generators::ghz(4).unwrap(), None)
+        .submit(request(&generators::ghz(4).unwrap()))
         .handle()
         .expect("accepted");
     handle.wait_timeout(HANG).expect("no hang");

@@ -88,7 +88,7 @@ pub fn dicke(n: usize, k: usize) -> Result<SparseState, StateError> {
 }
 
 /// The CNOT count of the best published manual Dicke-state design,
-/// `5nk − 5k² − 2n` (Mukherjee et al. [7], as quoted in Sec. VI-B).
+/// `5nk − 5k² − 2n` (Mukherjee et al. \[7\], as quoted in Sec. VI-B).
 pub fn manual_dicke_cnot_count(n: usize, k: usize) -> usize {
     let (n, k) = (n as i64, k as i64);
     (5 * n * k - 5 * k * k - 2 * n).max(0) as usize

@@ -1,6 +1,7 @@
 //! Batch synthesis: prepare a whole fleet of target states in one call,
 //! letting the engine parallelize across cores and solve each Sec. V-B
-//! equivalence class only once.
+//! equivalence class only once — and read off each report's provenance to
+//! see *how* every circuit was produced.
 //!
 //! Run with `cargo run --release -p qsp-examples --bin batch_synthesis`.
 
@@ -8,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use qsp_core::batch::{BatchSynthesizer, DedupPolicy};
+use qsp_core::{Provenance, SynthesisRequest};
 use qsp_sim::verify_preparation;
 use qsp_state::{generators, SparseState};
 
@@ -25,13 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..10 {
         targets.push(generators::random_sparse_state(8, &mut rng)?);
     }
+    let requests: Vec<SynthesisRequest<SparseState>> = targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
+        .collect();
 
     let engine = BatchSynthesizer::new();
     assert_eq!(engine.options().dedup, DedupPolicy::Canonical);
-    let outcome = engine.synthesize_batch(&targets);
+    let outcome = engine.synthesize_requests(&requests);
 
     println!(
-        "batch of {} targets: {} solver runs, {} cache hits, {} errors in {:.2} ms\n",
+        "batch of {} requests: {} solver runs, {} cache hits, {} errors in {:.2} ms\n",
         outcome.stats.targets,
         outcome.stats.solver_runs,
         outcome.stats.cache_hits,
@@ -39,20 +45,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.stats.elapsed.as_secs_f64() * 1e3,
     );
 
-    for (target, result) in targets.iter().zip(&outcome.results) {
-        let circuit = result.clone()?;
-        let report = verify_preparation(&circuit, target)?;
+    for (target, report) in targets.iter().zip(&outcome.reports) {
+        let report = report.as_ref().map_err(|e| e.clone())?;
+        let how = match &report.provenance {
+            Provenance::Solved => "fresh solve",
+            Provenance::ReconstructedFromBatchRep { .. } => "batch-rep reconstruction",
+            Provenance::CacheHit { .. } => "cache hit",
+            Provenance::DedupAttach { .. } => "dedup attach",
+            _ => "other",
+        };
+        let verified = verify_preparation(&report.circuit, target)?;
         println!(
-            "{:>2} qubits, cardinality {:>3} -> {:>3} CNOTs (verified: {})",
+            "{:>2} qubits, cardinality {:>3} -> {:>3} CNOTs via {how:<24} (verified: {})",
             target.num_qubits(),
             target.cardinality(),
-            circuit.cnot_cost(),
-            report.is_correct(),
+            report.cnot_cost,
+            verified.is_correct(),
         );
     }
 
     // Submitting the same workload again is served entirely from the cache.
-    let again = engine.synthesize_batch(&targets);
+    let again = engine.synthesize_requests(&requests);
     println!(
         "\nresubmission: {} solver runs, {} cache hits",
         again.stats.solver_runs, again.stats.cache_hits

@@ -1,5 +1,6 @@
-//! The synthesis service end to end: submit concurrent requests with
-//! deadlines, watch dedup and micro-batching do their thing, read the stats.
+//! The synthesis service end to end: submit typed requests with deadlines
+//! and priorities, watch dedup and micro-batching do their thing, read the
+//! provenance off every report and the stats off the service.
 //!
 //! Run with:
 //!
@@ -9,26 +10,40 @@
 
 use std::time::{Duration, Instant};
 
-use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService};
+use qsp_serve::{
+    Provenance, Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisRequest,
+    SynthesisService,
+};
 use qsp_state::generators::{self, Workload};
+
+fn provenance_label(provenance: &Provenance) -> &'static str {
+    match provenance {
+        Provenance::Solved => "fresh solve",
+        Provenance::CacheHit { .. } => "cache hit",
+        Provenance::DedupAttach { .. } => "in-flight dedup attach",
+        Provenance::ReconstructedFromBatchRep { .. } => "batch-rep reconstruction",
+        _ => "other",
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small service: 2 workers, micro-batches of up to 8 requests drained
     // after at most 2 ms of batching delay, a queue bounded at 64.
-    let service = SynthesisService::start(ServiceConfig {
-        queue_capacity: 64,
-        scheduler: SchedulerConfig {
-            max_batch: 8,
-            max_wait: Duration::from_millis(2),
-            workers: 2,
-        },
-        ..ServiceConfig::default()
-    });
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(64)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(8)
+                    .with_max_wait(Duration::from_millis(2))
+                    .with_workers(2),
+            ),
+    );
 
     // Mixed traffic with repeats: GHZ twice, a Dicke state, a W state and a
-    // random sparse target. The duplicate GHZ never reaches the solver — it
-    // attaches to the in-flight solve or hits the cache.
-    let targets = vec![
+    // random sparse target. The duplicate GHZ never reaches the solver — its
+    // report's provenance shows the in-flight attach or cache hit.
+    let targets = [
         ("ghz(6)", generators::ghz(6)?),
         ("dicke(5,2)", generators::dicke(5, 2)?),
         ("ghz(6) again", generators::ghz(6)?),
@@ -39,11 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
     let mut handles = Vec::new();
-    for (label, target) in &targets {
-        // Every request gets a 10 s deadline; an expired request would
-        // complete with `Response::Timeout` without being solved.
-        let deadline = Some(Instant::now() + Duration::from_secs(10));
-        match service.submit(target.clone(), deadline) {
+    for (i, (label, target)) in targets.iter().enumerate() {
+        // Every request gets a 10 s deadline (an expired request would
+        // complete with `Response::Timeout` without being solved) and a
+        // priority that breaks deadline ties in the drain order.
+        let request = SynthesisRequest::new(target.clone())
+            .with_deadline(Instant::now() + Duration::from_secs(10))
+            .with_priority((targets.len() - i) as u8);
+        match service.submit(request) {
             qsp_serve::Submit::Accepted(handle) => handles.push((label, handle)),
             qsp_serve::Submit::Rejected { queue_full } => {
                 println!("{label}: rejected (queue_full = {queue_full})")
@@ -53,10 +71,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, handle) in &handles {
         match handle.wait() {
-            Response::Completed(circuit) => println!(
-                "{label:>18}: {} CNOTs, {} gates",
-                circuit.cnot_cost(),
-                circuit.len()
+            Response::Completed(report) => println!(
+                "{label:>18}: {} CNOTs, {} gates — {} in {:.2} ms",
+                report.cnot_cost,
+                report.circuit.len(),
+                provenance_label(&report.provenance),
+                report.timings.total.as_secs_f64() * 1e3,
             ),
             other => println!("{label:>18}: {other:?}"),
         }

@@ -7,6 +7,12 @@
 //! * canonical-duplicate targets are solved exactly once (cache hit counts
 //!   asserted),
 //! * sparse and dense backends flow through the same generic workflow path.
+//!
+//! This suite deliberately drives the **deprecated compatibility wrappers**
+//! (`QspWorkflow::synthesize`, `BatchSynthesizer::synthesize_batch`) so the
+//! pre-request-API entry points stay covered until they are removed; the
+//! unified `SynthesisRequest` API is exercised by `unified_api.rs`.
+#![allow(deprecated)]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -138,11 +144,9 @@ fn exact_dedup_policy_only_merges_identical_states() {
     let targets = vec![base.clone(), permuted, base];
     let engine = BatchSynthesizer::with_options(
         WorkflowConfig::default(),
-        BatchOptions {
-            threads: 2,
-            dedup: DedupPolicy::Exact,
-            ..BatchOptions::default()
-        },
+        BatchOptions::default()
+            .with_threads(2)
+            .with_dedup(DedupPolicy::Exact),
     );
     let outcome = engine.synthesize_batch(&targets);
     assert_eq!(outcome.stats.solver_runs, 2);

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use qsp_core::batch::{BatchOptions, BatchSynthesizer};
-use qsp_core::{CacheConfig, WorkflowConfig};
+use qsp_core::{CacheConfig, Provenance, SynthesisRequest, WorkflowConfig};
 use qsp_sim::verify_preparation;
 use qsp_state::{generators, SparseState};
 
@@ -17,6 +17,13 @@ fn random_workload(seed: u64, count: usize) -> Vec<SparseState> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| generators::random_sparse_state(7, &mut rng).unwrap())
+        .collect()
+}
+
+fn requests(targets: &[SparseState]) -> Vec<SynthesisRequest<SparseState>> {
+    targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
         .collect()
 }
 
@@ -28,7 +35,7 @@ fn snapshot_round_trip_is_lossless() {
         generators::w_state(4).unwrap(),
     ];
     let warm = BatchSynthesizer::new();
-    let original = warm.synthesize_batch(&targets);
+    let original = warm.synthesize_requests(&requests(&targets));
     assert_eq!(original.stats.errors, 0);
     assert_eq!(warm.cache_len(), 3);
 
@@ -44,18 +51,20 @@ fn snapshot_round_trip_is_lossless() {
     assert_eq!(cold.cache_len(), 0);
     let loaded = cold.load_cache_snapshot(&path).unwrap();
     assert_eq!(loaded, 3);
-    let warmed = cold.synthesize_batch(&targets);
+    let warmed = cold.synthesize_requests(&requests(&targets));
     assert_eq!(warmed.stats.solver_runs, 0, "every class must warm-hit");
     assert_eq!(warmed.stats.cache_hits, targets.len());
-    for ((a, b), target) in original.results.iter().zip(&warmed.results).zip(&targets) {
+    for ((a, b), target) in original.reports.iter().zip(&warmed.reports).zip(&targets) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
         assert_eq!(
-            a.as_ref().unwrap(),
-            b.as_ref().unwrap(),
+            a.circuit, b.circuit,
             "snapshot round-trip must reproduce the identical circuit"
         );
-        assert!(verify_preparation(b.as_ref().unwrap(), target)
-            .unwrap()
-            .is_correct());
+        assert!(
+            matches!(b.provenance, Provenance::CacheHit { .. }),
+            "warm-start hits must be attributed to the cache"
+        );
+        assert!(verify_preparation(&b.circuit, target).unwrap().is_correct());
     }
     std::fs::remove_file(&path).unwrap();
 }
@@ -64,17 +73,12 @@ fn snapshot_round_trip_is_lossless() {
 fn eviction_respects_the_size_bound_under_batch_load() {
     let engine = BatchSynthesizer::with_options(
         WorkflowConfig::default(),
-        BatchOptions {
-            threads: 2,
-            cache: CacheConfig {
-                shards: 2,
-                capacity: 4,
-            },
-            ..BatchOptions::default()
-        },
+        BatchOptions::default()
+            .with_threads(2)
+            .with_cache(CacheConfig::bounded(4).with_shards(2)),
     );
     let targets = random_workload(7, 16);
-    let outcome = engine.synthesize_batch(&targets);
+    let outcome = engine.synthesize_requests(&requests(&targets));
     assert_eq!(outcome.stats.errors, 0);
     let stats = engine.cache_stats();
     assert!(
@@ -89,10 +93,12 @@ fn eviction_respects_the_size_bound_under_batch_load() {
     );
     assert_eq!(stats.entries as u64 + stats.evictions, stats.insertions);
     // Results stay correct even with heavy eviction.
-    for (target, result) in targets.iter().zip(&outcome.results) {
-        assert!(verify_preparation(result.as_ref().unwrap(), target)
-            .unwrap()
-            .is_correct());
+    for (target, report) in targets.iter().zip(&outcome.reports) {
+        assert!(
+            verify_preparation(&report.as_ref().unwrap().circuit, target)
+                .unwrap()
+                .is_correct()
+        );
     }
 }
 
@@ -107,7 +113,7 @@ fn hit_and_miss_counters_stay_consistent_under_contention() {
         for targets in &workloads {
             let engine = engine.clone();
             scope.spawn(move || {
-                let outcome = engine.synthesize_batch(targets);
+                let outcome = engine.synthesize_requests(&requests(targets));
                 assert_eq!(outcome.stats.errors, 0);
             });
         }
@@ -129,22 +135,22 @@ fn hit_and_miss_counters_stay_consistent_under_contention() {
     // A replay of all workloads is served fully from the cache.
     let replay: usize = workloads
         .iter()
-        .map(|targets| engine.synthesize_batch(targets).stats.solver_runs)
+        .map(|targets| {
+            engine
+                .synthesize_requests(&requests(targets))
+                .stats
+                .solver_runs
+        })
         .sum();
     assert_eq!(replay, 0);
 }
 
 #[test]
 fn snapshot_of_a_bounded_cache_loads_into_a_bounded_cache() {
-    let bounded_options = BatchOptions {
-        cache: CacheConfig {
-            shards: 2,
-            capacity: 2,
-        },
-        ..BatchOptions::default()
-    };
+    let bounded_options =
+        BatchOptions::default().with_cache(CacheConfig::bounded(2).with_shards(2));
     let warm = BatchSynthesizer::new();
-    warm.synthesize_batch(&random_workload(55, 6));
+    warm.synthesize_requests(&requests(&random_workload(55, 6)));
     let dir = std::env::temp_dir().join("qsp_cache_snapshot_bounded");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("snapshot.json");

@@ -21,7 +21,9 @@ fn motivating_example() -> SparseState {
 fn motivating_example_matches_figures_1_to_3() {
     let target = motivating_example();
 
-    let exact = ExactSynthesizer::new().synthesize(&target).unwrap();
+    let exact = ExactSynthesizer::new()
+        .synthesize_request(&qsp_core::SynthesisRequest::new(target.clone()))
+        .unwrap();
     assert_eq!(exact.cnot_cost, 2, "Fig. 3: exact synthesis finds 2 CNOTs");
     assert!(verify_preparation(&exact.circuit, &target)
         .unwrap()
@@ -165,7 +167,9 @@ fn heuristic_is_admissible_on_small_states() {
     for _ in 0..10 {
         let target = generators::random_uniform_state(4, 6, &mut rng).unwrap();
         let bound = entanglement_lower_bound(&target);
-        let exact = ExactSynthesizer::new().synthesize(&target).unwrap();
+        let exact = ExactSynthesizer::new()
+            .synthesize_request(&qsp_core::SynthesisRequest::new(target.clone()))
+            .unwrap();
         assert!(
             bound <= exact.cnot_cost,
             "heuristic {bound} exceeds the optimum {}",

@@ -2,6 +2,12 @@
 //! criterion of the `SolverEngine` refactor: the portfolio returns
 //! **bit-identical** `cnot_cost` to the sequential A* across the property
 //! workloads, from every entry point (exact synthesizer, workflow, batch).
+//!
+//! This suite drives the **deprecated compatibility wrappers** on purpose,
+//! keeping the pre-request-API entry points covered across both solver
+//! strategies; the unified `SynthesisRequest` API is exercised by
+//! `unified_api.rs`.
+#![allow(deprecated)]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

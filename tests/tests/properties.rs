@@ -106,9 +106,13 @@ fn exact_synthesis_cost_is_stable() {
         }
         checked += 1;
         let synthesizer = ExactSynthesizer::new();
-        let first = synthesizer.synthesize(&target).expect("synthesis succeeds");
+        let first = synthesizer
+            .synthesize_request(&qsp_core::SynthesisRequest::new(target.clone()))
+            .expect("synthesis succeeds");
         let prepared = prepare_from_ground(&first.circuit).expect("circuit applies");
-        let second = synthesizer.synthesize(&prepared.normalize().expect("normalizable"));
+        let second = synthesizer.synthesize_request(&qsp_core::SynthesisRequest::new(
+            prepared.normalize().expect("normalizable"),
+        ));
         if let Ok(second) = second {
             assert_eq!(first.cnot_cost, second.cnot_cost);
         }

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use qsp_core::{BatchSynthesizer, QspWorkflow};
+use qsp_core::{BatchSynthesizer, QspWorkflow, SynthesisRequest};
 use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService};
 use qsp_state::generators::{self, Workload};
 use rand::rngs::StdRng;
@@ -27,30 +27,37 @@ fn service_costs_match_the_sequential_workflow_on_a_seeded_mix() {
     targets.push(generators::w_state(5).unwrap());
 
     let workflow = QspWorkflow::new();
-    let service = SynthesisService::start(ServiceConfig {
-        queue_capacity: targets.len(),
-        scheduler: SchedulerConfig {
-            max_batch: 8,
-            max_wait: Duration::from_millis(1),
-            workers: 4,
-        },
-        ..ServiceConfig::default()
-    });
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(targets.len())
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(8)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(4),
+            ),
+    );
     let handles: Vec<_> = targets
         .iter()
-        .map(|t| service.submit(t.clone(), None).handle().expect("accepted"))
+        .map(|t| {
+            service
+                .submit(SynthesisRequest::new(t.clone()))
+                .handle()
+                .expect("accepted")
+        })
         .collect();
     for (target, handle) in targets.iter().zip(&handles) {
-        let Some(Response::Completed(circuit)) = handle.wait_timeout(HANG) else {
+        let Some(Response::Completed(served)) = handle.wait_timeout(HANG) else {
             panic!("request did not complete");
         };
-        let sequential = workflow.synthesize(target).unwrap();
+        let sequential = workflow
+            .synthesize_request(&SynthesisRequest::new(target.clone()))
+            .unwrap();
         assert_eq!(
-            circuit.cnot_cost(),
-            sequential.cnot_cost(),
+            served.cnot_cost, sequential.cnot_cost,
             "service CNOT cost diverged from the sequential workflow"
         );
-        let report = qsp_sim::verify_preparation(&circuit, target).unwrap();
+        let report = qsp_sim::verify_preparation(&served.circuit, target).unwrap();
         assert!(report.is_correct());
     }
     let stats = service.shutdown(Shutdown::Drain);
@@ -74,7 +81,11 @@ fn service_shares_a_warm_cache_with_the_batch_engine() {
         Workload::Dicke { n: 5, k: 2 }.instantiate().unwrap(),
         generators::ghz(6).unwrap(),
     ];
-    let outcome = offline.synthesize_batch(&targets);
+    let offline_requests: Vec<_> = targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
+        .collect();
+    let outcome = offline.synthesize_requests(&offline_requests);
     assert_eq!(outcome.stats.errors, 0);
     offline.save_cache_snapshot(&snapshot).unwrap();
 
@@ -85,21 +96,25 @@ fn service_shares_a_warm_cache_with_the_batch_engine() {
     let service = SynthesisService::with_engine(
         engine,
         16,
-        SchedulerConfig {
-            max_batch: 4,
-            max_wait: Duration::from_millis(1),
-            workers: 2,
-        },
+        SchedulerConfig::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_millis(1))
+            .with_workers(2),
     );
     let handles: Vec<_> = targets
         .iter()
-        .map(|t| service.submit(t.clone(), None).handle().expect("accepted"))
+        .map(|t| {
+            service
+                .submit(SynthesisRequest::new(t.clone()))
+                .handle()
+                .expect("accepted")
+        })
         .collect();
     for (target, handle) in targets.iter().zip(&handles) {
-        let Some(Response::Completed(circuit)) = handle.wait_timeout(HANG) else {
+        let Some(Response::Completed(served)) = handle.wait_timeout(HANG) else {
             panic!("request did not complete");
         };
-        let report = qsp_sim::verify_preparation(&circuit, target).unwrap();
+        let report = qsp_sim::verify_preparation(&served.circuit, target).unwrap();
         assert!(report.is_correct());
     }
     let stats = service.shutdown(Shutdown::Drain);

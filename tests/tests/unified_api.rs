@@ -1,0 +1,323 @@
+//! Acceptance tests of the unified `SynthesisRequest`/`SynthesisReport`
+//! API:
+//!
+//! * **parity** — the same request solved via the workflow, the batch
+//!   engine and the serve layer yields bit-identical `cnot_cost` with the
+//!   correct [`Provenance`] on every path;
+//! * **option-fingerprint keying** — two requests for the same state with
+//!   different cost-relevant [`RequestOptions`] produce two solver runs and
+//!   different outcomes where expected, and never cross-contaminate the
+//!   dedup table or the cache (at the serve level *and* the batch level);
+//! * **cost-neutral options** — strategy/deadline/priority/cache-policy
+//!   differences keep deduplicating freely.
+
+use std::time::{Duration, Instant};
+
+use qsp_core::{
+    BatchSynthesizer, CachePolicy, ExactSynthesizer, Provenance, QspWorkflow, SearchStrategy,
+    SynthesisError, SynthesisReport, SynthesisRequest, Synthesizer,
+};
+use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService};
+use qsp_state::{generators, SparseState};
+
+const HANG: Duration = Duration::from_secs(120);
+
+fn service(workers: usize, max_batch: usize) -> SynthesisService {
+    SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(64)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(max_batch)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(workers),
+            ),
+    )
+}
+
+fn submit_and_wait(service: &SynthesisService, request: SynthesisRequest<SparseState>) -> Response {
+    service
+        .submit(request)
+        .handle()
+        .expect("accepted")
+        .wait_timeout(HANG)
+        .expect("no hang")
+}
+
+/// Generic over the trait — proves the one-seam contract compiles and runs
+/// for any synthesizer implementation.
+fn solve_generically<T: Synthesizer<SparseState>>(
+    synthesizer: &T,
+    request: &SynthesisRequest<SparseState>,
+) -> SynthesisReport {
+    synthesizer.synthesize(request).expect("request solves")
+}
+
+#[test]
+fn same_request_yields_bit_identical_costs_across_all_four_layers() {
+    let targets = [
+        generators::dicke(4, 2).unwrap(),
+        generators::ghz(6).unwrap(),
+        generators::w_state(5).unwrap(),
+    ];
+    for target in &targets {
+        let request = SynthesisRequest::new(target.clone());
+
+        // Layer 1: the workflow (trait seam).
+        let workflow = QspWorkflow::new();
+        let via_workflow = solve_generically(&workflow, &request);
+        assert!(matches!(via_workflow.provenance, Provenance::Solved));
+
+        // Layer 2: the batch engine (fresh engine → fresh solve; duplicate
+        // in the same batch → batch-rep reconstruction).
+        let engine = BatchSynthesizer::new();
+        let outcome = engine.synthesize_requests(&[request.clone(), request.clone()]);
+        let via_batch = outcome.reports[0].as_ref().unwrap();
+        let follower = outcome.reports[1].as_ref().unwrap();
+        assert!(matches!(via_batch.provenance, Provenance::Solved));
+        assert!(matches!(
+            follower.provenance,
+            Provenance::ReconstructedFromBatchRep { .. }
+        ));
+        assert_eq!(outcome.stats.solver_runs, 1);
+
+        // Layer 3: the serve layer (fresh service → fresh solve; repeat →
+        // cache hit).
+        let serve = service(2, 4);
+        let Response::Completed(via_serve) = submit_and_wait(&serve, request.clone()) else {
+            panic!("serve request did not complete");
+        };
+        assert!(matches!(via_serve.provenance, Provenance::Solved));
+        let Response::Completed(via_serve_again) = submit_and_wait(&serve, request.clone()) else {
+            panic!("repeat serve request did not complete");
+        };
+        assert!(matches!(
+            via_serve_again.provenance,
+            Provenance::CacheHit { .. }
+        ));
+        serve.shutdown(Shutdown::Drain);
+
+        // Parity: every layer reports the identical CNOT cost, and every
+        // circuit prepares the target.
+        let costs = [
+            via_workflow.cnot_cost,
+            via_batch.cnot_cost,
+            follower.cnot_cost,
+            via_serve.cnot_cost,
+            via_serve_again.cnot_cost,
+        ];
+        assert!(
+            costs.iter().all(|&c| c == via_workflow.cnot_cost),
+            "layer costs diverged on {target}: {costs:?}"
+        );
+        for report in [
+            &via_workflow,
+            via_batch,
+            follower,
+            &via_serve,
+            &via_serve_again,
+        ] {
+            assert!(qsp_sim::verify_preparation(&report.circuit, target)
+                .unwrap()
+                .is_correct());
+        }
+    }
+
+    // The exact synthesizer joins the parity set on a threshold-sized state.
+    let small = generators::dicke(4, 2).unwrap();
+    let request = SynthesisRequest::new(small.clone());
+    let via_exact = solve_generically(&ExactSynthesizer::new(), &request);
+    let via_workflow = solve_generically(&QspWorkflow::new(), &request);
+    assert_eq!(via_exact.cnot_cost, via_workflow.cnot_cost);
+    assert_eq!(via_exact.cnot_cost, 6, "Table IV: |D^2_4> takes 6 CNOTs");
+}
+
+#[test]
+fn serve_never_mixes_requests_with_different_cost_relevant_options() {
+    // Eight concurrent requests for the *same* state, alternating between
+    // the default config and the controlled-merge ablation. The restricted
+    // library cannot solve the W state at all, so any cross-config dedup or
+    // cache sharing would be immediately visible: a default request served
+    // from the ablated class would fail (or the ablated ones would
+    // impossibly succeed at 4 CNOTs).
+    let target = generators::dicke(3, 1).unwrap(); // the 3-qubit W state
+    let serve = service(4, 1);
+    let handles: Vec<(bool, _)> = (0..8)
+        .map(|i| {
+            let ablated = i % 2 == 1;
+            let mut request = SynthesisRequest::new(target.clone());
+            if ablated {
+                request = request.with_controlled_merges(false);
+            }
+            (ablated, serve.submit(request).handle().expect("accepted"))
+        })
+        .collect();
+    for (ablated, handle) in &handles {
+        let response = handle.wait_timeout(HANG).expect("no hang");
+        if *ablated {
+            assert!(
+                matches!(
+                    response,
+                    Response::Failed(SynthesisError::SearchBudgetExhausted { .. })
+                ),
+                "the {{Ry, CNOT}} library cannot prepare W3; got {response:?}"
+            );
+        } else {
+            let report = response.report().expect("default config completes");
+            assert_eq!(report.cnot_cost, 4, "Table IV: |D^1_3> takes 4 CNOTs");
+        }
+    }
+    let stats = serve.shutdown(Shutdown::Drain);
+    assert_eq!(
+        stats.solver_runs, 2,
+        "exactly one solve per (state, options fingerprint) class"
+    );
+    assert_eq!(
+        stats.deduped + stats.cache_hits,
+        6,
+        "dedup still collapses requests *within* each class"
+    );
+}
+
+#[test]
+fn serve_reports_different_costs_for_different_effective_configs() {
+    // The approximate PU(2) compression settles |D^2_4> at 7 CNOTs where
+    // the exact keys find the true optimum 6 — a genuine per-request cost
+    // difference that must never be papered over by dedup or the cache.
+    let target = generators::dicke(4, 2).unwrap();
+    let serve = service(2, 4);
+    let Response::Completed(exact) = submit_and_wait(&serve, SynthesisRequest::new(target.clone()))
+    else {
+        panic!("default request did not complete");
+    };
+    let Response::Completed(compressed) = submit_and_wait(
+        &serve,
+        SynthesisRequest::new(target.clone()).with_permutation_compression(true),
+    ) else {
+        panic!("compressed request did not complete");
+    };
+    let stats = serve.shutdown(Shutdown::Drain);
+    assert_eq!(exact.cnot_cost, 6);
+    assert!(
+        compressed.cnot_cost > exact.cnot_cost,
+        "the approximate compression must not inherit the exact-key result \
+         through the cache (got {} vs {})",
+        compressed.cnot_cost,
+        exact.cnot_cost
+    );
+    assert_eq!(stats.solver_runs, 2, "no cache hit across configurations");
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.deduped, 0);
+    // Both circuits still prepare the target — the compressed one just
+    // spends more CNOTs.
+    for report in [&exact, &compressed] {
+        assert!(qsp_sim::verify_preparation(&report.circuit, &target)
+            .unwrap()
+            .is_correct());
+    }
+    // The reports carry their effective configs and distinct fingerprints.
+    assert!(!exact.resolved.workflow.search.permutation_compression);
+    assert!(compressed.resolved.workflow.search.permutation_compression);
+    assert_ne!(exact.resolved.fingerprint, compressed.resolved.fingerprint);
+}
+
+#[test]
+fn cost_neutral_options_still_dedup_at_the_serve_layer() {
+    // Strategy, deadline, priority and a ReadOnly cache policy are all
+    // cost-neutral: requests differing only in those must share one solve.
+    let target = generators::ghz(5).unwrap();
+    let serve = service(2, 4);
+    let variants = [
+        SynthesisRequest::new(target.clone()),
+        SynthesisRequest::new(target.clone())
+            .with_strategy(SearchStrategy::Portfolio { workers: 2 }),
+        SynthesisRequest::new(target.clone())
+            .with_deadline(Instant::now() + Duration::from_secs(60))
+            .with_priority(9),
+        SynthesisRequest::new(target.clone()).with_cache_policy(CachePolicy::ReadOnly),
+    ];
+    for request in variants {
+        let response = submit_and_wait(&serve, request);
+        assert_eq!(response.report().expect("completes").cnot_cost, 4);
+    }
+    let stats = serve.shutdown(Shutdown::Drain);
+    assert_eq!(
+        stats.solver_runs, 1,
+        "cost-neutral options must not fork the dedup class"
+    );
+    assert_eq!(stats.cache_hits, 3);
+}
+
+#[test]
+fn batch_engine_mirrors_the_fingerprint_keying() {
+    let w3 = generators::dicke(3, 1).unwrap();
+    let d42 = generators::dicke(4, 2).unwrap();
+    let engine = BatchSynthesizer::new();
+    let requests = vec![
+        SynthesisRequest::new(w3.clone()),
+        SynthesisRequest::new(w3.clone()).with_controlled_merges(false),
+        SynthesisRequest::new(d42.clone()),
+        SynthesisRequest::new(d42.clone()).with_permutation_compression(true),
+        // Duplicates of the first two: same fingerprints, so they follow
+        // their in-batch representatives instead of solving again.
+        SynthesisRequest::new(w3.clone()),
+        SynthesisRequest::new(w3.clone()).with_controlled_merges(false),
+    ];
+    let outcome = engine.synthesize_requests(&requests);
+    assert_eq!(
+        outcome.stats.solver_runs, 4,
+        "one solve per (state, fingerprint) class"
+    );
+    assert_eq!(outcome.stats.cache_hits, 2, "the two in-batch duplicates");
+
+    // Default W3 solves at 4; the ablated library fails outright — on both
+    // the representative and its follower.
+    assert_eq!(outcome.reports[0].as_ref().unwrap().cnot_cost, 4);
+    assert!(matches!(
+        outcome.reports[1],
+        Err(SynthesisError::SearchBudgetExhausted { .. })
+    ));
+    assert_eq!(outcome.reports[4].as_ref().unwrap().cnot_cost, 4);
+    assert!(matches!(
+        outcome.reports[5],
+        Err(SynthesisError::SearchBudgetExhausted { .. })
+    ));
+    // The compressed Dicke request costs strictly more than the exact one.
+    let exact_cost = outcome.reports[2].as_ref().unwrap().cnot_cost;
+    let compressed_cost = outcome.reports[3].as_ref().unwrap().cnot_cost;
+    assert_eq!(exact_cost, 6);
+    assert!(compressed_cost > exact_cost);
+
+    // Four distinct classes live in the cache (failures are cached too, so
+    // repeated bad requests fail fast) — and a replay is all cache hits
+    // with identical outcomes.
+    assert_eq!(engine.cache_len(), 4);
+    let replay = engine.synthesize_requests(&requests[..4]);
+    assert_eq!(replay.stats.solver_runs, 0);
+    assert_eq!(replay.stats.cache_hits, 4);
+    assert_eq!(replay.reports[0].as_ref().unwrap().cnot_cost, 4);
+    assert!(replay.reports[1].is_err());
+    assert_eq!(replay.reports[2].as_ref().unwrap().cnot_cost, exact_cost);
+    assert_eq!(
+        replay.reports[3].as_ref().unwrap().cnot_cost,
+        compressed_cost
+    );
+}
+
+#[test]
+fn batch_engine_dedups_cost_neutral_options() {
+    let target = generators::ghz(5).unwrap();
+    let engine = BatchSynthesizer::new();
+    let requests = vec![
+        SynthesisRequest::new(target.clone()),
+        SynthesisRequest::new(target.clone())
+            .with_strategy(SearchStrategy::Portfolio { workers: 2 }),
+        SynthesisRequest::new(target.clone()).with_priority(3),
+    ];
+    let outcome = engine.synthesize_requests(&requests);
+    assert_eq!(outcome.stats.solver_runs, 1);
+    assert_eq!(outcome.stats.cache_hits, 2);
+    for report in &outcome.reports {
+        assert_eq!(report.as_ref().unwrap().cnot_cost, 4);
+    }
+}
