@@ -57,6 +57,96 @@ struct FamilyReport {
     total_cnot_sequential: usize,
     total_cnot_batch: usize,
     costs_identical: bool,
+    per_width: Vec<WidthReport>,
+}
+
+/// Per-register-width keying report: how expensive keying is and how much
+/// of the family's traffic deduplicated at that width.
+#[derive(Clone, Copy)]
+struct WidthReport {
+    qubits: usize,
+    targets: usize,
+    /// Targets at this width that triggered their own fresh solve.
+    fresh_solves: usize,
+    /// Sum of per-request keying time at this width, in nanoseconds.
+    keying_ns_total: f64,
+}
+
+impl WidthReport {
+    fn dedup_rate(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            1.0 - self.fresh_solves as f64 / self.targets as f64
+        }
+    }
+
+    fn keying_ns_per_target(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            self.keying_ns_total / self.targets as f64
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{ \"qubits\": {}, \"targets\": {}, \"fresh_solves\": {}, \
+             \"dedup_rate\": {:.4}, \"keying_ns_per_target\": {:.0} }}",
+            self.qubits,
+            self.targets,
+            self.fresh_solves,
+            self.dedup_rate(),
+            self.keying_ns_per_target(),
+        )
+    }
+}
+
+/// Folds per-request provenance and keying timings into per-width rows,
+/// sorted by width.
+fn per_width_report(
+    targets: &[SparseState],
+    reports: &[Result<qsp_core::SynthesisReport, qsp_core::SynthesisError>],
+) -> Vec<WidthReport> {
+    let mut by_width: std::collections::BTreeMap<usize, WidthReport> =
+        std::collections::BTreeMap::new();
+    for (target, report) in targets.iter().zip(reports) {
+        let report = report.as_ref().expect("no per-target errors");
+        let row = by_width
+            .entry(target.num_qubits())
+            .or_insert_with(|| WidthReport {
+                qubits: target.num_qubits(),
+                targets: 0,
+                fresh_solves: 0,
+                keying_ns_total: 0.0,
+            });
+        row.targets += 1;
+        if report.provenance.is_fresh_solve() {
+            row.fresh_solves += 1;
+        }
+        row.keying_ns_total += report.timings.keying.as_secs_f64() * 1e9;
+    }
+    by_width.into_values().collect()
+}
+
+/// Merges per-width rows across families (same-width rows accumulate).
+fn merge_widths(families: &[FamilyReport]) -> Vec<WidthReport> {
+    let mut by_width: std::collections::BTreeMap<usize, WidthReport> =
+        std::collections::BTreeMap::new();
+    for family in families {
+        for row in &family.per_width {
+            let merged = by_width.entry(row.qubits).or_insert_with(|| WidthReport {
+                qubits: row.qubits,
+                targets: 0,
+                fresh_solves: 0,
+                keying_ns_total: 0.0,
+            });
+            merged.targets += row.targets;
+            merged.fresh_solves += row.fresh_solves;
+            merged.keying_ns_total += row.keying_ns_total;
+        }
+    }
+    by_width.into_values().collect()
 }
 
 fn count_duplicates(targets: &[SparseState]) -> usize {
@@ -178,6 +268,7 @@ fn run_family(
     }
     assert!(costs_identical, "{name}: batch CNOT costs diverged");
 
+    let per_width = per_width_report(&targets, &outcome.reports);
     FamilyReport {
         name,
         targets: targets.len(),
@@ -190,6 +281,7 @@ fn run_family(
         total_cnot_sequential,
         total_cnot_batch,
         costs_identical,
+        per_width,
     }
 }
 
@@ -209,10 +301,12 @@ fn family_json(report: &FamilyReport) -> String {
             "      \"speedup\": {:.3},\n",
             "      \"solver_runs\": {},\n",
             "      \"cache_hits\": {},\n",
+            "      \"keys\": {{ \"exhaustive\": {}, \"orbit_pruned\": {}, \"greedy\": {} }},\n",
             "      \"stage_ms\": {{ \"keying\": {:.3}, \"planning\": {:.3}, \"solving\": {:.3}, \"assembly\": {:.3} }},\n",
             "      \"total_cnot_sequential\": {},\n",
             "      \"total_cnot_batch\": {},\n",
-            "      \"costs_identical\": {}\n",
+            "      \"costs_identical\": {},\n",
+            "      \"per_width\": [\n{}\n      ]\n",
             "    }}"
         ),
         report.name,
@@ -225,6 +319,9 @@ fn family_json(report: &FamilyReport) -> String {
         report.sequential_ms / report.batch_ms.max(1e-9),
         report.stats.solver_runs,
         report.stats.cache_hits,
+        report.stats.keys_exhaustive,
+        report.stats.keys_orbit_pruned,
+        report.stats.keys_greedy,
         report.stats.keying.as_secs_f64() * 1e3,
         report.stats.planning.as_secs_f64() * 1e3,
         report.stats.solving.as_secs_f64() * 1e3,
@@ -232,8 +329,16 @@ fn family_json(report: &FamilyReport) -> String {
         report.total_cnot_sequential,
         report.total_cnot_batch,
         report.costs_identical,
+        width_rows_json(&report.per_width, "        "),
     );
     out
+}
+
+fn width_rows_json(rows: &[WidthReport], indent: &str) -> String {
+    rows.iter()
+        .map(|row| format!("{indent}{}", row.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n")
 }
 
 fn main() {
@@ -321,6 +426,10 @@ fn main() {
     let cnot_sequential: usize = reports.iter().map(|r| r.total_cnot_sequential).sum();
     let cnot_batch: usize = reports.iter().map(|r| r.total_cnot_batch).sum();
     let all_costs_identical = reports.iter().all(|r| r.costs_identical);
+    let keys_exhaustive: usize = reports.iter().map(|r| r.stats.keys_exhaustive).sum();
+    let keys_orbit_pruned: usize = reports.iter().map(|r| r.stats.keys_orbit_pruned).sum();
+    let keys_greedy: usize = reports.iter().map(|r| r.stats.keys_greedy).sum();
+    let merged_widths = merge_widths(&reports);
     // The engine reports the pool width it actually ran (configured or
     // auto-detected, capped at the family size); the widest family is the
     // benchmark's effective parallelism.
@@ -342,9 +451,11 @@ fn main() {
             "  \"speedup\": {:.3},\n",
             "  \"solver_runs\": {},\n",
             "  \"cache_hits\": {},\n",
+            "  \"keys\": {{ \"exhaustive\": {}, \"orbit_pruned\": {}, \"greedy\": {} }},\n",
             "  \"total_cnot_sequential\": {},\n",
             "  \"total_cnot_batch\": {},\n",
             "  \"costs_identical\": {},\n",
+            "  \"per_width\": [\n{}\n  ],\n",
             "  \"families\": [\n"
         ),
         smoke,
@@ -357,9 +468,13 @@ fn main() {
         sequential_ms / batch_ms.max(1e-9),
         solver_runs,
         cache_hits,
+        keys_exhaustive,
+        keys_orbit_pruned,
+        keys_greedy,
         cnot_sequential,
         cnot_batch,
         all_costs_identical,
+        width_rows_json(&merged_widths, "    "),
     );
     for (i, report) in reports.iter().enumerate() {
         if i > 0 {

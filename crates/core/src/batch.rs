@@ -76,7 +76,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qsp_circuit::Circuit;
-use qsp_state::canonical::for_each_permutation;
+use qsp_state::pipeline::{self, KeyCoverage, PipelineOptions};
 use qsp_state::{QuantumState, SparseState};
 
 use crate::api::{
@@ -89,16 +89,6 @@ use crate::error::SynthesisError;
 use crate::search::config::CacheConfig;
 use crate::workflow::{QspWorkflow, WorkflowConfig};
 
-/// Exhaustive enumeration limits for the canonical-key search. Wider
-/// registers fall back to the identity permutation and *greedy* flips (one
-/// candidate per qubit instead of `2^n` masks) — still deterministic and
-/// sound, just compressing less. The limits are deliberately tight: keying
-/// must stay far cheaper than the solves it deduplicates, and for sparse
-/// workloads the workflow solves an `n`-qubit target in tens of
-/// microseconds.
-const EXHAUSTIVE_PERMUTATION_QUBITS: usize = 5;
-const EXHAUSTIVE_FLIP_QUBITS: usize = 6;
-
 /// How aggressively the batch engine deduplicates targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DedupPolicy {
@@ -108,13 +98,38 @@ pub enum DedupPolicy {
     /// Deduplicate exactly identical states only.
     Exact,
     /// Deduplicate the Sec. V-B equivalence class: states identical up to
-    /// qubit permutation and Pauli-X flips are solved once. Coverage is
-    /// width-bounded to keep keying cheap: the full permutation × flip space
-    /// is searched up to 5 qubits, flips alone up to 6, and a greedy flip
-    /// canonicalization beyond — wider equivalent-but-not-identical targets
-    /// may therefore be solved separately (exact duplicates always hit).
+    /// qubit permutation and Pauli-X flips are solved once, through the
+    /// staged invariant pipeline of [`qsp_state::pipeline`]. Coverage is
+    /// bounded by work, not width: permutations are enumerated within the
+    /// per-qubit color *orbits* (`∏ |orbit|!` candidates instead of `n!`)
+    /// under [`BatchOptions::orbit_node_budget`], and the optimal flip mask
+    /// is found exactly among the `m` support indices (up to
+    /// [`qsp_state::pipeline::EXHAUSTIVE_FLIP_CARDINALITY`]). Typical
+    /// sparse targets key exhaustively through 8–10 qubits; targets whose
+    /// orbit product exceeds the budget fall back to a deterministic greedy
+    /// key — still sound, possibly solving equivalent wide targets
+    /// separately (exact duplicates always hit). The
+    /// [`BatchStats::keys_greedy`] counter makes that degradation
+    /// observable.
     #[default]
     Canonical,
+}
+
+/// A target's canonical class as computed by the keying pipeline: the cache
+/// key (signature + canonical entries + options fingerprint), the witness
+/// transform mapping the target onto the key's entries, and the coverage
+/// class of the search that produced it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct KeyedClass {
+    /// The canonical class key (what the cache and in-flight tables index
+    /// on).
+    pub key: ClassKey,
+    /// The witness transform mapping *this target* onto the key's entries.
+    pub transform: StateTransform,
+    /// Which pipeline path produced the key (exhaustive / orbit-pruned /
+    /// greedy) — the dedup-coverage observability signal.
+    pub coverage: KeyCoverage,
 }
 
 /// Tunables of the batch engine.
@@ -127,6 +142,12 @@ pub struct BatchOptions {
     pub dedup: DedupPolicy,
     /// Sharding and eviction policy of the canonical cache.
     pub cache: CacheConfig,
+    /// Budget on `(permutation, flip-mask)` candidates the canonical keying
+    /// pipeline may enumerate per target before degrading to the greedy key
+    /// (see [`DedupPolicy::Canonical`]). Keying must stay far cheaper than
+    /// the solves it deduplicates; raise this for workloads dominated by
+    /// wide, highly symmetric targets whose solves are expensive.
+    pub orbit_node_budget: usize,
 }
 
 impl BatchOptions {
@@ -147,6 +168,12 @@ impl BatchOptions {
         self.cache = cache;
         self
     }
+
+    /// Sets the keying pipeline's orbit node budget (`0` is clamped to `1`).
+    pub fn with_orbit_node_budget(mut self, budget: usize) -> Self {
+        self.orbit_node_budget = budget.max(1);
+        self
+    }
 }
 
 impl Default for BatchOptions {
@@ -155,6 +182,7 @@ impl Default for BatchOptions {
             threads: 0,
             dedup: DedupPolicy::Canonical,
             cache: CacheConfig::default(),
+            orbit_node_budget: pipeline::DEFAULT_ORBIT_NODE_BUDGET,
         }
     }
 }
@@ -172,6 +200,20 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Number of targets that failed (conversion or synthesis error).
     pub errors: usize,
+    /// Targets keyed over the *full* permutation × flip space (a single
+    /// color orbit spanning the register, within budget) — plus every
+    /// target keyed under [`DedupPolicy::Exact`]/[`DedupPolicy::Off`],
+    /// whose identity keys are trivially exhaustive.
+    pub keys_exhaustive: usize,
+    /// Targets keyed by the orbit-restricted enumeration (same class
+    /// partition as exhaustive, exponentially less work).
+    pub keys_orbit_pruned: usize,
+    /// Targets that exceeded the orbit node budget (or the exact-flip
+    /// cardinality bound) and fell back to the greedy key. A rising share
+    /// means dedup coverage — not correctness — is degrading; raise
+    /// [`BatchOptions::orbit_node_budget`] if these targets' solves are
+    /// expensive.
+    pub keys_greedy: usize,
     /// Worker threads the batch ran on: the configured (or auto-detected)
     /// pool width, capped at the target count — the parallelism the keying
     /// and assembly phases actually used (the solve phase may use fewer
@@ -213,12 +255,11 @@ pub struct RequestBatchOutcome {
     pub stats: BatchStats,
 }
 
-/// One keyed request: canonical key (fingerprint included), witness
-/// transform, the (possibly borrowed) sparse view the solver runs on, the
-/// effective per-request configuration and the keying time.
+/// One keyed request: the canonical class (key, witness, coverage), the
+/// (possibly borrowed) sparse view the solver runs on, the effective
+/// per-request configuration and the keying time.
 struct Keyed<'a> {
-    key: ClassKey,
-    transform: StateTransform,
+    class: KeyedClass,
     sparse: Cow<'a, SparseState>,
     resolved: ResolvedConfig,
     keying: Duration,
@@ -245,91 +286,40 @@ fn raw_entries(state: &SparseState) -> Vec<(u64, u64)> {
         .collect()
 }
 
-fn transformed_entries(base: &[(u64, u64)], transform: &StateTransform) -> Vec<(u64, u64)> {
-    let mut out: Vec<(u64, u64)> = base
-        .iter()
-        .map(|&(index, amp)| (transform.apply(index), amp))
-        .collect();
-    out.sort_unstable();
-    out
-}
-
-/// Computes the canonical key of a state together with the witness transform
-/// mapping the state onto the key's entries. `options_fp` is the
+/// Computes the canonical class of a state — key, witness transform and
+/// coverage — through the invariant pipeline. `options_fp` is the
 /// cost-relevant options fingerprint folded into the key (see
-/// [`crate::api::cost_fingerprint`]).
+/// [`crate::api::cost_fingerprint`]). Under [`DedupPolicy::Off`] /
+/// [`DedupPolicy::Exact`] the key is the identity-sorted entry vector
+/// (signature zero), which is trivially exhaustive.
 fn canonicalize(
     state: &SparseState,
     policy: DedupPolicy,
     options_fp: u64,
-) -> (ClassKey, StateTransform) {
+    orbit_node_budget: usize,
+) -> KeyedClass {
     let n = state.num_qubits();
     let base = raw_entries(state);
-    let identity = StateTransform::identity(n);
     if matches!(policy, DedupPolicy::Off | DedupPolicy::Exact) {
         let mut entries = base;
         entries.sort_unstable();
-        return (ClassKey::new(n, entries, options_fp), identity);
+        return KeyedClass {
+            key: ClassKey::new(0, n, entries, options_fp),
+            transform: StateTransform::identity(n),
+            coverage: KeyCoverage::Exhaustive,
+        };
     }
 
-    let mut best_entries = transformed_entries(&base, &identity);
-    let mut best_transform = identity;
-
-    fn consider(
-        base: &[(u64, u64)],
-        transform: StateTransform,
-        best_entries: &mut Vec<(u64, u64)>,
-        best_transform: &mut StateTransform,
-    ) {
-        let candidate = transformed_entries(base, &transform);
-        if candidate < *best_entries {
-            *best_entries = candidate;
-            *best_transform = transform;
-        }
+    let options = PipelineOptions::layout_invariant().with_orbit_node_budget(orbit_node_budget);
+    let pipeline_key = pipeline::canonicalize(n, &base, &options);
+    KeyedClass {
+        key: ClassKey::new(pipeline_key.signature, n, pipeline_key.entries, options_fp),
+        transform: StateTransform {
+            perm: pipeline_key.perm,
+            mask: pipeline_key.mask,
+        },
+        coverage: pipeline_key.coverage,
     }
-
-    if n <= EXHAUSTIVE_PERMUTATION_QUBITS {
-        for_each_permutation(n, &mut |perm| {
-            for mask in 0u64..(1u64 << n) {
-                consider(
-                    &base,
-                    StateTransform {
-                        perm: perm.to_vec(),
-                        mask,
-                    },
-                    &mut best_entries,
-                    &mut best_transform,
-                );
-            }
-        });
-    } else if n <= EXHAUSTIVE_FLIP_QUBITS {
-        for mask in 0u64..(1u64 << n) {
-            consider(
-                &base,
-                StateTransform {
-                    perm: (0..n).collect(),
-                    mask,
-                },
-                &mut best_entries,
-                &mut best_transform,
-            );
-        }
-    } else {
-        // Greedy flips: flip each qubit if it lowers the fingerprint.
-        for qubit in 0..n {
-            consider(
-                &base,
-                StateTransform {
-                    perm: (0..n).collect(),
-                    mask: best_transform.mask ^ (1u64 << qubit),
-                },
-                &mut best_entries,
-                &mut best_transform,
-            );
-        }
-    }
-
-    (ClassKey::new(n, best_entries, options_fp), best_transform)
 }
 
 /// A minimal scoped-thread parallel map over `0..count` (the offline build
@@ -485,9 +475,10 @@ impl BatchSynthesizer {
         self.resolve_options(&RequestOptions::default())
     }
 
-    /// Computes the canonical class key of a target under this engine's
-    /// dedup policy and *default* options, together with the witness
-    /// transform mapping the target onto the class fingerprint.
+    /// Computes the canonical class of a target under this engine's dedup
+    /// policy and *default* options: the class key, the witness transform
+    /// mapping the target onto the class fingerprint, and the keying
+    /// coverage.
     ///
     /// This is the seam the serving layer's in-flight dedup is built on: two
     /// concurrent requests with equal keys can share one solve, and either
@@ -502,7 +493,7 @@ impl BatchSynthesizer {
     pub fn canonical_class<S: QuantumState>(
         &self,
         target: &S,
-    ) -> Result<(ClassKey, StateTransform), SynthesisError> {
+    ) -> Result<KeyedClass, SynthesisError> {
         self.canonical_class_with(target, &self.default_resolved())
     }
 
@@ -518,12 +509,13 @@ impl BatchSynthesizer {
         &self,
         target: &S,
         resolved: &ResolvedConfig,
-    ) -> Result<(ClassKey, StateTransform), SynthesisError> {
+    ) -> Result<KeyedClass, SynthesisError> {
         let sparse = target.as_sparse()?;
         Ok(canonicalize(
             sparse.as_ref(),
             self.options.dedup,
             resolved.fingerprint,
+            self.options.orbit_node_budget,
         ))
     }
 
@@ -609,8 +601,12 @@ impl BatchSynthesizer {
         let keying_start = Instant::now();
         let resolved = self.resolve_options(&request.options);
         let sparse = request.target.as_sparse()?;
-        let (key, transform) =
-            canonicalize(sparse.as_ref(), self.options.dedup, resolved.fingerprint);
+        let KeyedClass { key, transform, .. } = canonicalize(
+            sparse.as_ref(),
+            self.options.dedup,
+            resolved.fingerprint,
+            self.options.orbit_node_budget,
+        );
         let keying = keying_start.elapsed();
 
         if self.options.dedup != DedupPolicy::Off && resolved.cache != CachePolicy::Bypass {
@@ -700,17 +696,33 @@ impl BatchSynthesizer {
             let (target, options) = get(i);
             let resolved = self.resolve_options(options);
             let sparse = target.as_sparse()?;
-            let (key, transform) =
-                canonicalize(sparse.as_ref(), self.options.dedup, resolved.fingerprint);
+            let class = canonicalize(
+                sparse.as_ref(),
+                self.options.dedup,
+                resolved.fingerprint,
+                self.options.orbit_node_budget,
+            );
             Ok(Keyed {
-                key,
-                transform,
+                class,
                 sparse,
                 resolved,
                 keying: request_start.elapsed(),
             })
         });
         let keying = keying_start.elapsed();
+
+        // Keying-coverage tally: how many targets got exhaustive-quality
+        // keys vs. the greedy fallback (the dedup-coverage signal).
+        let mut keys_exhaustive = 0usize;
+        let mut keys_orbit_pruned = 0usize;
+        let mut keys_greedy = 0usize;
+        for entry in keyed.iter().flatten() {
+            match entry.class.coverage {
+                KeyCoverage::Exhaustive => keys_exhaustive += 1,
+                KeyCoverage::OrbitPruned => keys_orbit_pruned += 1,
+                KeyCoverage::Greedy => keys_greedy += 1,
+            }
+        }
 
         // Phase 2 (sequential): plan which requests need a fresh solve. With
         // dedup off — or a per-request cache bypass — a request is solved
@@ -740,17 +752,17 @@ impl BatchSynthesizer {
                 if bypass {
                     to_solve.push(i);
                     plans.push(Plan::Fresh);
-                } else if let Some(&representative) = planned.get(&keyed_request.key) {
+                } else if let Some(&representative) = planned.get(&keyed_request.class.key) {
                     cache_hits += 1;
                     if wants_publish {
                         publish_intent.insert(representative, true);
                     }
                     plans.push(Plan::Follow(representative));
-                } else if let Some(cached) = self.cache.lookup(&keyed_request.key) {
+                } else if let Some(cached) = self.cache.lookup(&keyed_request.class.key) {
                     cache_hits += 1;
                     plans.push(Plan::Cached(cached));
                 } else {
-                    planned.insert(&keyed_request.key, i);
+                    planned.insert(&keyed_request.class.key, i);
                     publish_intent.insert(i, wants_publish);
                     to_solve.push(i);
                     plans.push(Plan::Fresh);
@@ -775,8 +787,8 @@ impl BatchSynthesizer {
                 }
                 let solve_start = Instant::now();
                 let entry = self.solve_class_with(
-                    &keyed_request.key,
-                    &keyed_request.transform,
+                    &keyed_request.class.key,
+                    &keyed_request.class.transform,
                     keyed_request.sparse.as_ref(),
                     &solve_resolved,
                 );
@@ -811,7 +823,7 @@ impl BatchSynthesizer {
                             (
                                 Arc::clone(entry),
                                 Provenance::ReconstructedFromBatchRep {
-                                    witness: keyed_request.transform.clone(),
+                                    witness: keyed_request.class.transform.clone(),
                                 },
                                 Duration::ZERO,
                             )
@@ -819,14 +831,14 @@ impl BatchSynthesizer {
                         Plan::Cached(entry) => (
                             Arc::clone(entry),
                             Provenance::CacheHit {
-                                witness: keyed_request.transform.clone(),
+                                witness: keyed_request.class.transform.clone(),
                             },
                             Duration::ZERO,
                         ),
                         Plan::Invalid => unreachable!("invalid requests are handled above"),
                     };
                     let reconstruct_start = Instant::now();
-                    let circuit = Self::reconstruct_for(&entry, &keyed_request.transform)?;
+                    let circuit = Self::reconstruct_for(&entry, &keyed_request.class.transform)?;
                     let reconstruction = reconstruct_start.elapsed();
                     Ok(SynthesisReport::new(
                         circuit,
@@ -849,6 +861,9 @@ impl BatchSynthesizer {
             solver_runs: to_solve.len(),
             cache_hits,
             errors,
+            keys_exhaustive,
+            keys_orbit_pruned,
+            keys_greedy,
             threads,
             elapsed: start.elapsed(),
             keying,
@@ -920,20 +935,31 @@ mod tests {
             .unwrap()
             .apply_x(2)
             .unwrap();
-        let (key_a, _) = canonicalize(&ghz, DedupPolicy::Canonical, FP);
-        let (key_b, _) = canonicalize(&variant, DedupPolicy::Canonical, FP);
-        assert_eq!(key_a, key_b);
+        let budget = pipeline::DEFAULT_ORBIT_NODE_BUDGET;
+        let key_a = canonicalize(&ghz, DedupPolicy::Canonical, FP, budget);
+        let key_b = canonicalize(&variant, DedupPolicy::Canonical, FP, budget);
+        assert_eq!(key_a.key, key_b.key);
+        assert_ne!(key_a.coverage, KeyCoverage::Greedy);
         // Exact policy distinguishes them.
-        let (exact_a, _) = canonicalize(&ghz, DedupPolicy::Exact, FP);
-        let (exact_b, _) = canonicalize(&variant, DedupPolicy::Exact, FP);
-        assert_ne!(exact_a, exact_b);
-        // A genuinely different state gets a different canonical key.
-        let (key_w, _) = canonicalize(&generators::w_state(4).unwrap(), DedupPolicy::Canonical, FP);
-        assert_ne!(key_a, key_w);
+        let exact_a = canonicalize(&ghz, DedupPolicy::Exact, FP, budget);
+        let exact_b = canonicalize(&variant, DedupPolicy::Exact, FP, budget);
+        assert_ne!(exact_a.key, exact_b.key);
+        assert_eq!(exact_a.coverage, KeyCoverage::Exhaustive);
+        // A genuinely different state gets a different canonical key — and
+        // already a different Stage 0 signature, so the keys short-circuit
+        // before the entry vectors are compared.
+        let key_w = canonicalize(
+            &generators::w_state(4).unwrap(),
+            DedupPolicy::Canonical,
+            FP,
+            budget,
+        );
+        assert_ne!(key_a.key, key_w.key);
+        assert_ne!(key_a.key.signature(), key_w.key.signature());
         // The same state under a different options fingerprint is a
         // different class — the dedup-soundness invariant.
-        let (key_fp, _) = canonicalize(&ghz, DedupPolicy::Canonical, FP ^ 1);
-        assert_ne!(key_a, key_fp);
+        let key_fp = canonicalize(&ghz, DedupPolicy::Canonical, FP ^ 1, budget);
+        assert_ne!(key_a.key, key_fp.key);
     }
 
     #[test]
@@ -946,12 +972,14 @@ mod tests {
                 .unwrap()
                 .apply_x(1)
                 .unwrap();
-            let (key_a, t_a) = canonicalize(&base, DedupPolicy::Canonical, FP);
-            let (key_b, t_b) = canonicalize(&variant, DedupPolicy::Canonical, FP);
-            assert_eq!(key_a, key_b);
+            let budget = pipeline::DEFAULT_ORBIT_NODE_BUDGET;
+            let class_a = canonicalize(&base, DedupPolicy::Canonical, FP, budget);
+            let class_b = canonicalize(&variant, DedupPolicy::Canonical, FP, budget);
+            assert_eq!(class_a.key, class_b.key);
             let solved = QspWorkflow::new().run(&base).unwrap();
             verify(&solved, &base);
-            let reconstructed = reconstruct_circuit(&solved, &t_a, &t_b).unwrap();
+            let reconstructed =
+                reconstruct_circuit(&solved, &class_a.transform, &class_b.transform).unwrap();
             verify(&reconstructed, &variant);
             assert_eq!(reconstructed.cnot_cost(), solved.cnot_cost());
         }

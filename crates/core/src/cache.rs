@@ -38,10 +38,16 @@ use crate::error::SynthesisError;
 use crate::json::{self, Value};
 use crate::search::config::CacheConfig;
 
-/// An amplitude-aware canonical class fingerprint: `(index, amplitude bits)`
-/// sorted by index, the register width, **and the cost-relevant options
+/// An amplitude-aware canonical class fingerprint: the Stage 0
+/// **frame-invariant signature** of the invariant pipeline
+/// ([`qsp_state::pipeline`]), the `(index, amplitude bits)` entries sorted
+/// by index, the register width, **and the cost-relevant options
 /// fingerprint** ([`crate::api::cost_fingerprint`]) of the configuration the
 /// class is solved under.
+///
+/// The signature comes first in the struct, so the derived equality
+/// short-circuits on the first eight bytes for almost every non-equivalent
+/// pair before the entry vectors are even looked at.
 ///
 /// Folding the options fingerprint into the key is what makes per-request
 /// solver overrides *dedup-sound*: two requests for the same state under
@@ -50,20 +56,34 @@ use crate::search::config::CacheConfig;
 /// in-flight solve — and never contaminate each other's `cnot_cost`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ClassKey {
+    pub(crate) signature: u64,
     pub(crate) num_qubits: usize,
     pub(crate) entries: Vec<(u64, u64)>,
     pub(crate) options_fp: u64,
 }
 
 impl ClassKey {
-    /// Builds a key from the register width, `(index, amplitude bits)`
-    /// entries (sorted by the caller) and the options fingerprint.
-    pub(crate) fn new(num_qubits: usize, entries: Vec<(u64, u64)>, options_fp: u64) -> Self {
+    /// Builds a key from the pipeline signature, the register width,
+    /// `(index, amplitude bits)` entries (sorted by the caller) and the
+    /// options fingerprint.
+    pub(crate) fn new(
+        signature: u64,
+        num_qubits: usize,
+        entries: Vec<(u64, u64)>,
+        options_fp: u64,
+    ) -> Self {
         ClassKey {
+            signature,
             num_qubits,
             entries,
             options_fp,
         }
+    }
+
+    /// The Stage 0 frame-invariant signature of the class (zero for exact,
+    /// non-canonical keys).
+    pub fn signature(&self) -> u64 {
+        self.signature
     }
 
     /// The cost-relevant options fingerprint this class is keyed under.
@@ -300,8 +320,7 @@ impl ShardedCache {
         }
         let written = entries.len();
         let root = Value::Object(vec![
-            // Version 2: entries carry the options fingerprint (`fp`).
-            ("version".to_string(), Value::Num(2)),
+            ("version".to_string(), Value::Num(SNAPSHOT_FORMAT_VERSION)),
             ("entries".to_string(), Value::Array(entries)),
         ]);
         let mut body = root.to_json();
@@ -385,6 +404,19 @@ impl ShardedCache {
     }
 }
 
+/// The cache snapshot format version this build reads and writes.
+///
+/// * v1 — pre-fingerprint keys (no `fp` field).
+/// * v2 — fingerprinted keys, brute-force canonical entries.
+/// * v3 — invariant-pipeline keys: entries are the orbit-pipeline canonical
+///   vector and every entry carries the Stage 0 signature (`sig`).
+///
+/// Older versions are *rejected* with the typed
+/// [`SynthesisError::SnapshotVersion`]: their canonical entries were chosen
+/// by a different search, so loading them would populate keys no current
+/// request can ever produce (v1 additionally lacks the options fingerprint).
+pub const SNAPSHOT_FORMAT_VERSION: u64 = 3;
+
 fn invalid_data<E: Into<Box<dyn std::error::Error + Send + Sync>>>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
@@ -403,11 +435,11 @@ fn parse_snapshot<R: Read>(mut reader: R) -> io::Result<Vec<(ClassKey, CacheEntr
         .get("version")
         .and_then(Value::as_u64)
         .ok_or_else(|| invalid_data("version"))?;
-    if version != 2 {
-        return Err(invalid_data(format!(
-            "unsupported snapshot version {version} (version 1 snapshots predate \
-             option-fingerprinted class keys and cannot be mapped soundly)"
-        )));
+    if version != SNAPSHOT_FORMAT_VERSION {
+        return Err(invalid_data(SynthesisError::SnapshotVersion {
+            found: version,
+            supported: SNAPSHOT_FORMAT_VERSION,
+        }));
     }
     value
         .get("entries")
@@ -432,6 +464,7 @@ fn entry_value(key: &ClassKey, transform: &StateTransform, circuit: &Circuit) ->
     let gates = circuit.iter().map(gate_value).collect();
     Value::Object(vec![
         ("n".to_string(), Value::Num(key.num_qubits as u64)),
+        ("sig".to_string(), Value::Num(key.signature)),
         ("fp".to_string(), Value::Num(key.options_fp)),
         ("key".to_string(), Value::Array(key_pairs)),
         ("perm".to_string(), Value::Array(perm)),
@@ -487,6 +520,7 @@ fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
             .ok_or_else(|| format!("missing field `{name}`"))
     };
     let n = field("n")?.as_u64().ok_or("n")? as usize;
+    let signature = field("sig")?.as_u64().ok_or("sig")?;
     let options_fp = field("fp")?.as_u64().ok_or("fp")?;
     let key_entries = field("key")?
         .as_array()
@@ -532,7 +566,7 @@ fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
         .collect::<Result<Vec<_>, String>>()?;
     let circuit = Circuit::from_gates(n, gates).map_err(|e| e.to_string())?;
     Ok((
-        ClassKey::new(n, key_entries, options_fp),
+        ClassKey::new(signature, n, key_entries, options_fp),
         CacheEntry {
             circuit: Ok(circuit),
             transform: StateTransform { perm, mask },
@@ -596,6 +630,7 @@ mod tests {
 
     fn key(n: usize, seed: u64) -> ClassKey {
         ClassKey::new(
+            seed.wrapping_mul(0x9E37_79B9),
             n,
             vec![(seed, seed.wrapping_mul(31)), (seed + 7, seed ^ 42)],
             0xF00D,
@@ -839,19 +874,40 @@ mod tests {
     fn snapshot_rejects_garbage() {
         let cache = ShardedCache::new(CacheConfig::default());
         assert!(cache.read_snapshot("not json".as_bytes()).is_err());
-        // Pre-fingerprint (v1) and unknown future versions are rejected.
-        assert!(cache
-            .read_snapshot("{\"version\":1,\"entries\":[]}".as_bytes())
-            .is_err());
-        assert!(cache
-            .read_snapshot("{\"version\":3,\"entries\":[]}".as_bytes())
-            .is_err());
-        // A v2 entry without the options fingerprint is rejected.
-        let no_fp = "{\"version\":2,\"entries\":[{\"n\":2,\"key\":[[0,1]],\"perm\":[0,1],\"mask\":0,\"gates\":[]}]}";
+        // A v3 entry without the signature or fingerprint is rejected.
+        let no_sig = "{\"version\":3,\"entries\":[{\"n\":2,\"fp\":0,\"key\":[[0,1]],\"perm\":[0,1],\"mask\":0,\"gates\":[]}]}";
+        assert!(cache.read_snapshot(no_sig.as_bytes()).is_err());
+        let no_fp = "{\"version\":3,\"entries\":[{\"n\":2,\"sig\":0,\"key\":[[0,1]],\"perm\":[0,1],\"mask\":0,\"gates\":[]}]}";
         assert!(cache.read_snapshot(no_fp.as_bytes()).is_err());
         // A perm that is not a bijection is rejected.
-        let bad = "{\"version\":2,\"entries\":[{\"n\":2,\"fp\":0,\"key\":[[0,1]],\"perm\":[0,0],\"mask\":0,\"gates\":[]}]}";
+        let bad = "{\"version\":3,\"entries\":[{\"n\":2,\"sig\":0,\"fp\":0,\"key\":[[0,1]],\"perm\":[0,0],\"mask\":0,\"gates\":[]}]}";
         assert!(cache.read_snapshot(bad.as_bytes()).is_err());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn outdated_snapshot_versions_are_rejected_with_the_typed_error() {
+        let cache = ShardedCache::new(CacheConfig::default());
+        // v1 (pre-fingerprint), v2 (pre-pipeline) and unknown future
+        // versions all surface `SynthesisError::SnapshotVersion` behind the
+        // io::Error, with the found/supported pair intact.
+        for version in [1u64, 2, 4] {
+            let doc = format!("{{\"version\":{version},\"entries\":[]}}");
+            let error = cache.read_snapshot(doc.as_bytes()).unwrap_err();
+            assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+            let inner = error
+                .get_ref()
+                .and_then(|e| e.downcast_ref::<SynthesisError>())
+                .unwrap_or_else(|| panic!("version {version}: expected a typed error"));
+            match inner {
+                SynthesisError::SnapshotVersion { found, supported } => {
+                    assert_eq!(*found, version);
+                    assert_eq!(*supported, SNAPSHOT_FORMAT_VERSION);
+                }
+                other => panic!("expected SnapshotVersion, got {other:?}"),
+            }
+            assert!(inner.to_string().contains("snapshot version"));
+        }
         assert_eq!(cache.len(), 0);
     }
 
@@ -859,10 +915,11 @@ mod tests {
     fn keys_with_different_fingerprints_are_distinct_classes() {
         let cache = ShardedCache::new(CacheConfig::unbounded());
         let entries = vec![(1u64, 2u64)];
-        let a = ClassKey::new(3, entries.clone(), 10);
-        let b = ClassKey::new(3, entries, 20);
+        let a = ClassKey::new(0xBEEF, 3, entries.clone(), 10);
+        let b = ClassKey::new(0xBEEF, 3, entries, 20);
         assert_ne!(a, b);
         assert_eq!(a.options_fingerprint(), 10);
+        assert_eq!(a.signature(), 0xBEEF);
         cache.insert(a.clone(), entry_with_cost(3, 1));
         cache.insert(b.clone(), entry_with_cost(3, 4));
         assert_eq!(cache.len(), 2, "fingerprints must fork the class");

@@ -391,6 +391,16 @@ pub(crate) fn compact_state(
 /// search state coincides with an already chosen variant are skipped (a
 /// permutation-symmetric target like GHZ yields fewer distinct variants, and
 /// the portfolio shrinks accordingly).
+///
+/// The primary candidate stream reuses the keying pipeline's **orbit
+/// enumeration** ([`qsp_state::pipeline::orbit_variant_transforms`]):
+/// orbit-consistent qubit relabellings paired with support flip masks.
+/// Unlike blind single-bit flips, each of those candidates moves the target
+/// into a genuinely different frame (a different support index lands on
+/// `|0…0⟩`, relabellings respect the qubits' invariant structure), so the
+/// racers explore structurally diverse search orders. The legacy
+/// rotation/flip stream remains as a filler when the orbit stream is
+/// shorter than the worker count.
 fn portfolio_transforms(compact: &SparseState, workers: usize) -> Vec<StateTransform> {
     let n = compact.num_qubits();
     let identity = StateTransform::identity(n);
@@ -401,7 +411,16 @@ fn portfolio_transforms(compact: &SparseState, workers: usize) -> Vec<StateTrans
     let mut seen: HashSet<SearchState> = HashSet::new();
     seen.insert(SearchState::from_state(compact));
 
-    for candidate in candidate_transforms(n) {
+    let entries: Vec<(u64, u64)> = compact
+        .iter()
+        .map(|(index, amplitude)| (index.value(), amplitude.to_bits()))
+        .collect();
+    let orbit_candidates =
+        qsp_state::pipeline::orbit_variant_transforms(n, &entries, workers.saturating_mul(4))
+            .into_iter()
+            .map(|(perm, mask)| StateTransform { perm, mask });
+
+    for candidate in orbit_candidates.chain(candidate_transforms(n)) {
         if chosen.len() >= workers {
             break;
         }
@@ -415,10 +434,9 @@ fn portfolio_transforms(compact: &SparseState, workers: usize) -> Vec<StateTrans
     chosen
 }
 
-/// The deterministic candidate stream behind [`portfolio_transforms`]:
-/// single-qubit flips first (cheapest diversification), then qubit
-/// rotations, then rotation × flip combinations, then the remaining flip
-/// masks.
+/// The deterministic legacy candidate stream filling the portfolio when the
+/// orbit stream runs short: single-qubit flips first, then qubit rotations,
+/// then rotation × flip combinations, then the remaining flip masks.
 fn candidate_transforms(n: usize) -> Vec<StateTransform> {
     let rotation = |r: usize| -> Vec<usize> { (0..n).map(|i| (i + r) % n).collect() };
     let mut candidates = Vec::new();

@@ -37,6 +37,16 @@ pub enum SynthesisError {
     /// A JSON document (cache snapshot, serialized request or stats dump)
     /// failed to parse.
     Json(crate::json::JsonError),
+    /// A cache snapshot carries an unsupported format version. Versions 1–2
+    /// predate the invariant-pipeline class keys (v1 also lacks the options
+    /// fingerprint) and cannot be mapped onto current keys soundly, so they
+    /// are rejected instead of silently mis-keyed.
+    SnapshotVersion {
+        /// The version field found in the snapshot.
+        found: u64,
+        /// The version this build reads and writes.
+        supported: u64,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -56,6 +66,12 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Circuit(e) => write!(f, "circuit error: {e}"),
             SynthesisError::Baseline(e) => write!(f, "baseline error: {e}"),
             SynthesisError::Json(e) => write!(f, "json error: {e}"),
+            SynthesisError::SnapshotVersion { found, supported } => write!(
+                f,
+                "unsupported cache snapshot version {found} (this build reads version \
+                 {supported}; older snapshots predate the invariant-pipeline class keys \
+                 and cannot be mapped soundly — regenerate the snapshot)"
+            ),
         }
     }
 }

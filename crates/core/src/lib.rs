@@ -81,12 +81,14 @@ pub use api::{
     SynthesisRequest, Synthesizer,
 };
 pub use batch::{
-    BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy, RequestBatchOutcome,
+    BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy, KeyedClass,
+    RequestBatchOutcome,
 };
-pub use cache::{CacheEntry, CacheStats, ClassKey, ShardedCache};
+pub use cache::{CacheEntry, CacheStats, ClassKey, ShardedCache, SNAPSHOT_FORMAT_VERSION};
 pub use engine::{SolverEngine, StateTransform};
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};
 pub use json::{JsonError, JsonErrorKind};
+pub use qsp_state::pipeline::KeyCoverage;
 pub use search::config::{CacheConfig, SearchConfig, SearchStrategy};
 pub use workflow::{prepare_state, QspWorkflow, WorkflowConfig};

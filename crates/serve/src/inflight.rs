@@ -167,7 +167,7 @@ mod tests {
         let engine = BatchSynthesizer::new();
         assert_eq!(engine.options().dedup, DedupPolicy::Canonical);
         let target = generators::ghz(4).unwrap();
-        let (key, transform) = engine.canonical_class(&target).unwrap();
+        let qsp_core::KeyedClass { key, transform, .. } = engine.canonical_class(&target).unwrap();
         let table = InFlightTable::default();
 
         let first = table.attach_or_own(
@@ -208,7 +208,7 @@ mod tests {
 
         let engine = BatchSynthesizer::new();
         let target = generators::ghz(3).unwrap();
-        let (key, transform) = engine.canonical_class(&target).unwrap();
+        let qsp_core::KeyedClass { key, transform, .. } = engine.canonical_class(&target).unwrap();
         let table = InFlightTable::default();
 
         let Attach::Owner(_owner) = table.attach_or_own(

@@ -6,8 +6,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qsp_core::{
-    BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, Provenance, StageTimings,
-    SynthesisReport, SynthesisRequest,
+    BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, KeyCoverage, KeyedClass, Provenance,
+    StageTimings, SynthesisReport, SynthesisRequest,
 };
 use qsp_state::{QuantumState, SparseState};
 
@@ -181,6 +181,9 @@ impl SynthesisService {
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             solver_runs: c.solver_runs.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
+            keys_exhaustive: c.keys_exhaustive.load(Ordering::Relaxed),
+            keys_orbit_pruned: c.keys_orbit_pruned.load(Ordering::Relaxed),
+            keys_greedy: c.keys_greedy.load(Ordering::Relaxed),
             queue_high_water: self.inner.queue.high_water(),
             queue_depth: self.inner.queue.depth(),
             in_flight_classes: self.inner.inflight.len(),
@@ -259,7 +262,12 @@ impl Inner {
         // never share a cache entry or an in-flight solve.
         let resolved = self.engine.resolve_options(&options);
         let keying_start = Instant::now();
-        let (key, transform) = match self.engine.canonical_class_with(&target, &resolved) {
+        let KeyedClass {
+            key,
+            transform,
+            coverage,
+            ..
+        } = match self.engine.canonical_class_with(&target, &resolved) {
             Ok(keyed) => keyed,
             Err(error) => {
                 Counters::bump(&self.counters.failed);
@@ -270,6 +278,11 @@ impl Inner {
                 return;
             }
         };
+        Counters::bump(match coverage {
+            KeyCoverage::Exhaustive => &self.counters.keys_exhaustive,
+            KeyCoverage::OrbitPruned => &self.counters.keys_orbit_pruned,
+            KeyCoverage::Greedy => &self.counters.keys_greedy,
+        });
         let waiter = Waiter {
             transform,
             resolved,

@@ -115,6 +115,9 @@ pub(crate) struct Counters {
     pub cache_hits: AtomicU64,
     pub solver_runs: AtomicU64,
     pub cancelled: AtomicU64,
+    pub keys_exhaustive: AtomicU64,
+    pub keys_orbit_pruned: AtomicU64,
+    pub keys_greedy: AtomicU64,
 }
 
 impl Counters {
@@ -149,6 +152,19 @@ pub struct ServiceStats {
     pub solver_runs: u64,
     /// Requests cancelled by shutdown.
     pub cancelled: u64,
+    /// Requests keyed over the full permutation × flip space (single color
+    /// orbit within budget — see
+    /// [`KeyCoverage`](qsp_core::KeyCoverage)).
+    pub keys_exhaustive: u64,
+    /// Requests keyed by the orbit-restricted enumeration (same class
+    /// partition as exhaustive at a fraction of the work).
+    pub keys_orbit_pruned: u64,
+    /// Requests that exceeded the keying budget and took the greedy key. A
+    /// rising share means in-flight/cache dedup coverage is degrading for
+    /// wide symmetric targets — raise the engine's
+    /// [`orbit_node_budget`](qsp_core::BatchOptions::orbit_node_budget) if
+    /// their solves are expensive.
+    pub keys_greedy: u64,
     /// The deepest the submission queue has ever been.
     pub queue_high_water: usize,
     /// Current queue depth (at snapshot time).
@@ -176,6 +192,15 @@ impl ServiceStats {
             ("cache_hits".to_string(), Value::Num(self.cache_hits)),
             ("solver_runs".to_string(), Value::Num(self.solver_runs)),
             ("cancelled".to_string(), Value::Num(self.cancelled)),
+            (
+                "keys_exhaustive".to_string(),
+                Value::Num(self.keys_exhaustive),
+            ),
+            (
+                "keys_orbit_pruned".to_string(),
+                Value::Num(self.keys_orbit_pruned),
+            ),
+            ("keys_greedy".to_string(), Value::Num(self.keys_greedy)),
             (
                 "queue_high_water".to_string(),
                 Value::Num(self.queue_high_water as u64),
@@ -253,6 +278,9 @@ mod tests {
             cache_hits: 1,
             solver_runs: 1,
             cancelled: 0,
+            keys_exhaustive: 2,
+            keys_orbit_pruned: 1,
+            keys_greedy: 0,
             queue_high_water: 4,
             queue_depth: 0,
             in_flight_classes: 0,
@@ -263,6 +291,9 @@ mod tests {
         let parsed = qsp_core::json::parse(&stats.to_json_string()).unwrap();
         assert_eq!(parsed.get("submitted").unwrap().as_u64(), Some(5));
         assert_eq!(parsed.get("deduped").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed.get("keys_exhaustive").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed.get("keys_orbit_pruned").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.get("keys_greedy").unwrap().as_u64(), Some(0));
         let wait = parsed.get("queue_wait").unwrap();
         assert_eq!(wait.get("count").unwrap().as_u64(), Some(1));
         assert!(wait.get("p95_ms").unwrap().as_f64().unwrap() > 0.0);

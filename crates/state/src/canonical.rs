@@ -16,11 +16,18 @@
 //! Only genuinely zero-cost transformations are applied, so two index sets
 //! with the same canonical form can always be prepared with the same number
 //! of CNOT gates.
+//!
+//! The flip/permutation minimization itself is delegated to the workspace's
+//! staged invariant pipeline ([`crate::pipeline`]) — the same engine the
+//! batch keying and the serve layer's in-flight dedup run on — applied here
+//! to uniform supports (every amplitude identical). This module adds the
+//! uniform-state-specific separable-qubit clearing on top.
 
 use std::collections::BTreeSet;
 
 use crate::backend::QuantumState;
 use crate::basis::BasisIndex;
+use crate::pipeline::{self, PipelineOptions};
 
 /// Which equivalence relations to apply during canonicalization.
 ///
@@ -83,12 +90,6 @@ impl Default for CanonicalOptions {
     }
 }
 
-/// Exhaustive-search limits: below these widths canonicalization enumerates
-/// every flip mask / permutation, above them it falls back to a deterministic
-/// greedy procedure (still sound, possibly less compressing).
-const EXHAUSTIVE_FLIP_QUBITS: usize = 12;
-const EXHAUSTIVE_PERMUTATION_QUBITS: usize = 7;
-
 /// The canonical representative of a uniform index-set state.
 ///
 /// The representative consists of the width of the *entangled core* (the
@@ -135,10 +136,18 @@ impl CanonicalForm {
             core_qubits = active;
         }
 
-        let indices = if options.permutations {
-            minimize_over_permutations(&set, num_qubits, options.x_flips)
-        } else if options.x_flips {
-            minimize_over_flips(&set, num_qubits)
+        let indices = if options.permutations || options.x_flips {
+            let entries: Vec<(u64, u64)> = set.iter().map(|i| (i.value(), 0)).collect();
+            let pipeline_options = PipelineOptions {
+                permutations: options.permutations,
+                x_flips: options.x_flips,
+                ..PipelineOptions::layout_invariant()
+            };
+            pipeline::canonicalize(num_qubits, &entries, &pipeline_options)
+                .entries
+                .into_iter()
+                .map(|(index, _)| BasisIndex::new(index))
+                .collect()
         } else {
             set.iter().copied().collect()
         };
@@ -223,97 +232,8 @@ fn clear_separable_qubits(
     }
 }
 
-/// Minimizes the sorted index vector over X-flip masks.
-fn minimize_over_flips(indices: &BTreeSet<BasisIndex>, num_qubits: usize) -> Vec<BasisIndex> {
-    if num_qubits <= EXHAUSTIVE_FLIP_QUBITS {
-        let mut best: Option<Vec<BasisIndex>> = None;
-        for mask in 0u64..(1u64 << num_qubits) {
-            let candidate = apply_flip_mask(indices, mask);
-            if best.as_ref().is_none_or(|b| candidate < *b) {
-                best = Some(candidate);
-            }
-        }
-        best.expect("at least the identity mask is evaluated")
-    } else {
-        greedy_flips(indices, num_qubits)
-    }
-}
-
-/// Greedy flip selection for wide registers: flip each qubit if doing so
-/// lowers the sorted index vector. Deterministic, sound, not necessarily the
-/// global minimum.
-fn greedy_flips(indices: &BTreeSet<BasisIndex>, num_qubits: usize) -> Vec<BasisIndex> {
-    let mut current: Vec<BasisIndex> = indices.iter().copied().collect();
-    current.sort_unstable();
-    for qubit in 0..num_qubits {
-        let mut flipped: Vec<BasisIndex> = current.iter().map(|i| i.flip_bit(qubit)).collect();
-        flipped.sort_unstable();
-        if flipped < current {
-            current = flipped;
-        }
-    }
-    current
-}
-
-fn apply_flip_mask(indices: &BTreeSet<BasisIndex>, mask: u64) -> Vec<BasisIndex> {
-    let mut out: Vec<BasisIndex> = indices
-        .iter()
-        .map(|i| BasisIndex::new(i.value() ^ mask))
-        .collect();
-    out.sort_unstable();
-    out
-}
-
-/// Minimizes the sorted index vector over qubit permutations (and flip masks
-/// if `x_flips` is set).
-fn minimize_over_permutations(
-    indices: &BTreeSet<BasisIndex>,
-    num_qubits: usize,
-    x_flips: bool,
-) -> Vec<BasisIndex> {
-    if num_qubits > EXHAUSTIVE_PERMUTATION_QUBITS {
-        // Fall back to a canonical qubit ordering by column weight, then flips.
-        let perm = weight_sorted_permutation(indices, num_qubits);
-        let permuted: BTreeSet<BasisIndex> = indices.iter().map(|i| i.permute(&perm)).collect();
-        return if x_flips {
-            minimize_over_flips(&permuted, num_qubits)
-        } else {
-            permuted.into_iter().collect()
-        };
-    }
-    let mut best: Option<Vec<BasisIndex>> = None;
-    for_each_permutation(num_qubits, &mut |p| {
-        let permuted: BTreeSet<BasisIndex> = indices.iter().map(|i| i.permute(p)).collect();
-        let candidate = if x_flips {
-            minimize_over_flips(&permuted, num_qubits)
-        } else {
-            permuted.into_iter().collect()
-        };
-        if best.as_ref().is_none_or(|b| candidate < *b) {
-            best = Some(candidate);
-        }
-    });
-    best.expect("at least the identity permutation is evaluated")
-}
-
-/// Deterministic qubit ordering for wide registers: qubits sorted by the
-/// number of ones in their column, ties broken by column bit pattern.
-fn weight_sorted_permutation(indices: &BTreeSet<BasisIndex>, num_qubits: usize) -> Vec<usize> {
-    let sorted_support: Vec<BasisIndex> = indices.iter().copied().collect();
-    let mut keys: Vec<(usize, Vec<bool>, usize)> = (0..num_qubits)
-        .map(|q| {
-            let column: Vec<bool> = sorted_support.iter().map(|i| i.bit(q)).collect();
-            let weight = column.iter().filter(|&&b| b).count();
-            (weight, column, q)
-        })
-        .collect();
-    keys.sort();
-    keys.into_iter().map(|(_, _, q)| q).collect()
-}
-
 /// Visits every permutation of `0..n` exactly once (recursive swap
-/// enumeration). Shared by the canonicalization here and the batch engine's
-/// canonical-key search in `qsp-core`.
+/// enumeration).
 pub fn for_each_permutation<F: FnMut(&[usize])>(n: usize, visit: &mut F) {
     fn rec<F: FnMut(&[usize])>(perm: &mut Vec<usize>, start: usize, visit: &mut F) {
         if start == perm.len() {
@@ -517,12 +437,14 @@ mod tests {
     }
 
     #[test]
-    fn greedy_flip_path_is_exercised_for_wide_registers() {
-        // 14 qubits exceeds the exhaustive flip bound; the result must still be
-        // a valid representative of the same class (flips only permute values).
+    fn wide_registers_canonicalize_exactly_via_support_masks() {
+        // 14 qubits was beyond the old exhaustive 2^n flip bound; the
+        // support-mask search of the pipeline stays exact at any width, so
+        // the representative must start at |0…0⟩.
         let wide = set(&[0b10_0000_0000_0001, 0b01_0000_0000_0010]);
         let form = CanonicalForm::of_index_set(&wide, 14, CanonicalOptions::layout_variant());
         assert_eq!(form.cardinality(), 2);
+        assert_eq!(form.indices()[0], BasisIndex::ZERO);
     }
 
     #[test]

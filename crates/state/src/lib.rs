@@ -26,9 +26,14 @@
 //!
 //! * [`cofactor`] — cofactor extraction and the entanglement analysis used by
 //!   the admissible A* heuristic (Sec. V-A), generic over any backend.
+//! * [`pipeline`] — the staged invariant-guided canonicalization pipeline:
+//!   frame-invariant signatures, color-orbit-restricted permutation
+//!   enumeration and support-mask flip canonicalization — the one keying
+//!   engine behind [`canonical`], the batch dedup keys of `qsp-core` and
+//!   the serve layer's in-flight dedup.
 //! * [`canonical`] — canonical forms under zero-cost single-qubit gates and
 //!   qubit permutation used for state compression and batch deduplication
-//!   (Sec. V-B, Table III).
+//!   (Sec. V-B, Table III), built on [`pipeline`].
 //! * [`generators`] — workload generators for Dicke, GHZ, W, product and
 //!   random dense/sparse states used throughout the paper's evaluation.
 //!
@@ -65,6 +70,7 @@ pub mod cofactor;
 pub mod dense;
 pub mod error;
 pub mod generators;
+pub mod pipeline;
 pub mod sparse;
 
 pub use adaptive::{AdaptiveState, StateRepr};
@@ -75,6 +81,7 @@ pub use canonical::{CanonicalForm, CanonicalOptions};
 pub use cofactor::{entangled_qubits, is_qubit_separable, Cofactors};
 pub use dense::DenseState;
 pub use error::StateError;
+pub use pipeline::{KeyCoverage, PipelineKey, PipelineOptions};
 pub use sparse::SparseState;
 
 /// Numerical tolerance used by default for amplitude comparisons.
