@@ -23,7 +23,7 @@
 //!     [--threads 0] [--targets 120] [--min-n 8] [--max-n 12] \
 //!     [--repeat-every 6] [--shards 0] [--capacity 0] [--smoke] \
 //!     [--warm-start warm.json] [--save-cache warm.json] \
-//!     [--out BENCH_batch.json]
+//!     [--out BENCH_batch.json] [--stats-json obs.json]
 //! ```
 //!
 //! `--threads 0` (the default) uses the machine's available parallelism.
@@ -34,14 +34,16 @@
 //! the distributed-cache roadmap item.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qsp_baselines::StatePreparator;
 use qsp_bench::report::{has_switch, parse_flag, parse_path};
+use qsp_core::json::Value;
 use qsp_core::{
     BatchOptions, BatchStats, BatchSynthesizer, CacheConfig, QspWorkflow, ShardedCache,
     SynthesisRequest,
 };
+use qsp_obs::{ObsHub, ObsOptions, RequestTrace, SpanKind, TraceId};
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
 
@@ -147,6 +149,36 @@ fn merge_widths(families: &[FamilyReport]) -> Vec<WidthReport> {
         }
     }
     by_width.into_values().collect()
+}
+
+/// Measures the per-request cost of the observability hot path with ring
+/// tracing *disabled* (the production default): the counter bumps, one
+/// histogram record and the early-out `record_trace` check a request pays
+/// whether or not anyone is watching. The CI smoke gate holds this under the
+/// `obs_overhead_ns_per_request_ceiling` of the baseline file.
+fn measure_obs_overhead_ns() -> f64 {
+    let hub = ObsHub::default();
+    assert!(!hub.tracer().enabled(), "default hub must have tracing off");
+    let counter = hub.metrics().counter("bench.obs_overhead.requests", &[]);
+    let histogram = hub.metrics().histogram("bench.obs_overhead.latency", &[]);
+    let mut trace = RequestTrace::new(TraceId::from_raw(1));
+    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+        trace.push(
+            kind,
+            Duration::from_nanos(i as u64 * 100),
+            Duration::from_nanos(100),
+        );
+    }
+    const ITERS: u64 = 1_000_000;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        // The per-request obs footprint on the disabled path: one outcome
+        // counter, one latency record, one rejected trace offer.
+        counter.inc();
+        histogram.record(std::hint::black_box(Duration::from_nanos(250)));
+        std::hint::black_box(hub.tracer().record_trace(std::hint::black_box(&trace)));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
 }
 
 fn count_duplicates(targets: &[SparseState]) -> usize {
@@ -355,12 +387,26 @@ fn main() {
     let out_path = parse_path(&args, "--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
     let warm_start = parse_path(&args, "--warm-start");
     let save_cache = parse_path(&args, "--save-cache");
+    let stats_json = parse_path(&args, "--stats-json");
 
-    let options = BatchOptions::default().with_threads(threads).with_cache(
-        CacheConfig::default()
-            .with_shards(shards)
-            .with_capacity(capacity),
-    );
+    // The benchmark runs with the full observability surface on: ring
+    // tracing (every request, ring sized to hold a whole family), the solver
+    // flight recorder and cache probe/evict timing — so the emitted report
+    // carries a complete ObsSnapshot per family.
+    let obs = ObsOptions::default()
+        .with_tracing(true)
+        .with_ring_capacity(4096)
+        .with_flight(true)
+        .with_flight_capacity(512)
+        .with_timing_detail(true);
+    let options = BatchOptions::default()
+        .with_threads(threads)
+        .with_cache(
+            CacheConfig::default()
+                .with_shards(shards)
+                .with_capacity(capacity),
+        )
+        .with_obs(obs);
 
     // Dense solves are orders of magnitude heavier than sparse ones (the
     // capped residual search dominates), so the dense family is kept small
@@ -395,6 +441,7 @@ fn main() {
     // when `--save-cache` asks for a warm-start snapshot to be written.
     let merged = ShardedCache::new(CacheConfig::unbounded());
     let mut reports = Vec::new();
+    let mut obs_snapshots: Vec<(&'static str, qsp_obs::ObsSnapshot)> = Vec::new();
     for (name, targets) in families {
         // A fresh engine per family: cross-batch warm hits are measured by
         // the snapshot tests, not the benchmark.
@@ -407,6 +454,7 @@ fn main() {
             eprintln!("family {name}: warm-started {adopted} classes from {path}");
         }
         reports.push(run_family(name, targets, &engine));
+        obs_snapshots.push((name, engine.obs().snapshot()));
         if save_cache.is_some() {
             merged.merge_from(engine.cache());
         }
@@ -456,7 +504,6 @@ fn main() {
             "  \"total_cnot_batch\": {},\n",
             "  \"costs_identical\": {},\n",
             "  \"per_width\": [\n{}\n  ],\n",
-            "  \"families\": [\n"
         ),
         smoke,
         resolved_threads,
@@ -476,6 +523,32 @@ fn main() {
         all_costs_identical,
         width_rows_json(&merged_widths, "    "),
     );
+
+    // The observability slice of the report: the disabled-path overhead
+    // measurement plus each family engine's full ObsSnapshot (metrics, ring
+    // spans, flight records).
+    eprintln!("measuring disabled-tracing obs overhead...");
+    let obs_overhead_ns = measure_obs_overhead_ns();
+    let obs_value = Value::Object(vec![
+        (
+            "overhead_ns_per_request".to_string(),
+            Value::Float(obs_overhead_ns),
+        ),
+        (
+            "families".to_string(),
+            Value::Object(
+                obs_snapshots
+                    .iter()
+                    .map(|(name, snapshot)| (name.to_string(), snapshot.to_json()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let _ = write!(
+        json,
+        "  \"obs\": {},\n  \"families\": [\n",
+        obs_value.to_json()
+    );
     for (i, report) in reports.iter().enumerate() {
         if i > 0 {
             json.push_str(",\n");
@@ -485,6 +558,10 @@ fn main() {
     json.push_str("\n  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+    if let Some(path) = &stats_json {
+        std::fs::write(path, obs_value.to_json_pretty()).expect("write --stats-json dump");
+        eprintln!("wrote obs snapshot to {path}");
+    }
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

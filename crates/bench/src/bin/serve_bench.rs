@@ -26,7 +26,7 @@
 //! ```text
 //! cargo run --release -p qsp-bench --bin serve_bench -- \
 //!     [--workers 4] [--requests 160] [--max-batch 8] [--smoke] \
-//!     [--out BENCH_serve.json]
+//!     [--out BENCH_serve.json] [--stats-json obs.json]
 //! ```
 
 use std::collections::HashMap;
@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 use qsp_bench::report::{has_switch, parse_flag, parse_path};
 use qsp_core::json::Value;
 use qsp_core::{BatchOptions, BatchSynthesizer, QspWorkflow, SynthesisRequest};
-use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService};
+use qsp_serve::{
+    ObsOptions, ObsSnapshot, Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService,
+};
 use qsp_state::generators::Workload;
 use qsp_state::SparseState;
 use rand::rngs::StdRng;
@@ -142,6 +144,9 @@ struct PhaseOutcome {
     stats: qsp_serve::ServiceStats,
     timeouts_observed: u64,
     costs_identical: bool,
+    /// The service's full observability dump at shutdown (metrics, sampled
+    /// trace-ring spans, flight records).
+    obs: ObsSnapshot,
 }
 
 /// Replays one phase against a fresh service and checks every completed
@@ -172,6 +177,19 @@ fn run_phase(
                     .with_max_batch(max_batch)
                     .with_max_wait(Duration::from_millis(1))
                     .with_workers(workers),
+            )
+            // Full observability for the benchmark report: ring tracing of
+            // every request (sized to hold the whole phase) plus the solver
+            // flight recorder and cache timing.
+            .with_batch(
+                BatchOptions::default().with_obs(
+                    ObsOptions::default()
+                        .with_tracing(true)
+                        .with_ring_capacity(4096)
+                        .with_flight(true)
+                        .with_flight_capacity(512)
+                        .with_timing_detail(true),
+                ),
             ),
     );
 
@@ -191,6 +209,7 @@ fn run_phase(
     }
     let stats = service.shutdown(Shutdown::Drain);
     let wall = start.elapsed();
+    let obs = service.obs_snapshot();
 
     let mut timeouts = 0u64;
     let mut costs_identical = true;
@@ -232,6 +251,7 @@ fn run_phase(
         stats,
         timeouts_observed: timeouts,
         costs_identical,
+        obs,
     }
 }
 
@@ -285,6 +305,7 @@ fn phase_json(outcome: &PhaseOutcome) -> Value {
             "costs_identical".to_string(),
             Value::Bool(outcome.costs_identical),
         ),
+        ("obs".to_string(), outcome.obs.to_json()),
     ])
 }
 
@@ -295,6 +316,7 @@ fn main() {
     let max_batch = parse_flag(&args, "--max-batch", 8).max(1);
     let total = parse_flag(&args, "--requests", if smoke { 90 } else { 160 }).max(30);
     let out_path = parse_path(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let stats_json = parse_path(&args, "--stats-json");
     let mut rng = StdRng::seed_from_u64(0xD1CE);
 
     // --- Workloads -------------------------------------------------------
@@ -483,6 +505,19 @@ fn main() {
 
     let json = report.to_json_pretty();
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    if let Some(path) = &stats_json {
+        let dump = Value::Object(vec![(
+            "phases".to_string(),
+            Value::Object(
+                phases
+                    .iter()
+                    .map(|p| (p.name.to_string(), p.obs.to_json()))
+                    .collect(),
+            ),
+        )]);
+        std::fs::write(path, dump.to_json_pretty()).expect("write --stats-json dump");
+        eprintln!("wrote obs snapshot to {path}");
+    }
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

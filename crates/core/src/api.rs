@@ -52,6 +52,7 @@
 use std::time::{Duration, Instant};
 
 use qsp_circuit::Circuit;
+use qsp_obs::RequestTrace;
 use qsp_state::QuantumState;
 
 use crate::engine::StateTransform;
@@ -491,11 +492,16 @@ pub struct SynthesisReport {
     pub cnot_cost: usize,
     /// How the circuit was produced.
     pub provenance: Provenance,
-    /// Per-stage wall-clock timings.
+    /// Per-stage wall-clock timings (the coarse view; [`Self::trace`]
+    /// refines it).
     pub timings: StageTimings,
     /// The effective configuration the request was solved under (base
     /// config + request overrides + options fingerprint).
     pub resolved: ResolvedConfig,
+    /// The request's trace id and fine-grained span timeline
+    /// ([`qsp_obs::SpanKind`] taxonomy), when the producing layer assembled
+    /// one (the batch and serve paths always do).
+    pub trace: Option<RequestTrace>,
 }
 
 impl SynthesisReport {
@@ -512,7 +518,14 @@ impl SynthesisReport {
             provenance,
             timings,
             resolved,
+            trace: None,
         }
+    }
+
+    /// Attaches the request's span timeline.
+    pub fn with_trace(mut self, trace: RequestTrace) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 

@@ -76,6 +76,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qsp_circuit::Circuit;
+use qsp_obs::{ObsHub, ObsOptions, RequestTrace, SearchProbe, SolveFlight, SpanKind, TraceId};
 use qsp_state::pipeline::{self, KeyCoverage, PipelineOptions};
 use qsp_state::{QuantumState, SparseState};
 
@@ -148,6 +149,10 @@ pub struct BatchOptions {
     /// the solves it deduplicates; raise this for workloads dominated by
     /// wide, highly symmetric targets whose solves are expensive.
     pub orbit_node_budget: usize,
+    /// Observability options of the engine's [`ObsHub`]: per-request ring
+    /// tracing, the solver flight recorder and cache probe/evict timing are
+    /// all opt-in here; the metrics registry is always on.
+    pub obs: ObsOptions,
 }
 
 impl BatchOptions {
@@ -174,6 +179,13 @@ impl BatchOptions {
         self.orbit_node_budget = budget.max(1);
         self
     }
+
+    /// Sets the observability options (tracing, flight recorder, timing
+    /// detail) of the engine's [`ObsHub`].
+    pub fn with_obs(mut self, obs: ObsOptions) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 impl Default for BatchOptions {
@@ -183,11 +195,18 @@ impl Default for BatchOptions {
             dedup: DedupPolicy::Canonical,
             cache: CacheConfig::default(),
             orbit_node_budget: pipeline::DEFAULT_ORBIT_NODE_BUDGET,
+            obs: ObsOptions::default(),
         }
     }
 }
 
 /// Aggregate statistics of one batch run.
+///
+/// These are *per-run* numbers; the same increments also flow into the
+/// engine's cumulative [`ObsHub`] metrics registry (`batch.*` counters and
+/// the per-width `batch.keying_latency` histograms), so a long-lived engine
+/// keeps lifetime totals in [`BatchSynthesizer::obs`] while each run still
+/// reports its own slice here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchStats {
     /// Number of targets submitted.
@@ -377,6 +396,7 @@ pub struct BatchSynthesizer {
     config: WorkflowConfig,
     options: BatchOptions,
     cache: Arc<ShardedCache>,
+    obs: Arc<ObsHub>,
 }
 
 impl Default for BatchSynthesizer {
@@ -395,11 +415,28 @@ impl BatchSynthesizer {
     /// Creates a batch synthesizer with custom workflow and batch options
     /// (including the cache's sharding and eviction policy).
     pub fn with_options(config: WorkflowConfig, options: BatchOptions) -> Self {
+        let obs = Arc::new(ObsHub::new(options.obs));
+        let cache = Arc::new(ShardedCache::new(options.cache));
+        if options.obs.timing_detail {
+            cache.attach_obs(
+                obs.metrics().histogram("cache.probe_latency", &[]),
+                obs.metrics().histogram("cache.evict_latency", &[]),
+            );
+        }
         BatchSynthesizer {
             config,
             options,
-            cache: Arc::new(ShardedCache::new(options.cache)),
+            cache,
+            obs,
         }
+    }
+
+    /// The engine's observability hub, shared by clones of this synthesizer:
+    /// the always-on metrics registry, the per-request [`qsp_obs::Tracer`]
+    /// and the solver [`qsp_obs::FlightRecorder`]. Dump everything at once
+    /// with [`qsp_obs::ObsHub::snapshot`].
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
     }
 
     /// The active batch options.
@@ -558,8 +595,27 @@ impl BatchSynthesizer {
         resolved: &ResolvedConfig,
     ) -> Arc<CacheEntry> {
         let workflow = QspWorkflow::with_config(resolved.workflow);
+        let circuit = if self.obs.flight().enabled() {
+            // Flight-recorded solve: every A* worker of this class reports
+            // into one shared probe, and the finished record is ranked by
+            // duration in the recorder.
+            let probe = SearchProbe::new();
+            let solve_start = Instant::now();
+            let circuit = workflow.run_probed(target, Some(&probe));
+            self.obs.flight().record(SolveFlight::from_probe(
+                format!("n{}/sig{:016x}", target.num_qubits(), key.signature()),
+                &probe,
+                solve_start.elapsed(),
+                circuit.as_ref().ok().map(Circuit::cnot_cost),
+                resolved.workflow.search.strategy.resolved_workers(),
+            ));
+            circuit
+        } else {
+            workflow.run(target)
+        };
+        self.obs.metrics().counter("batch.solver_runs", &[]).inc();
         let entry = Arc::new(CacheEntry {
-            circuit: workflow.run(target),
+            circuit,
             transform: transform.clone(),
         });
         if self.options.dedup != DedupPolicy::Off && resolved.cache == CachePolicy::Use {
@@ -598,22 +654,46 @@ impl BatchSynthesizer {
         &self,
         request: &SynthesisRequest<S>,
     ) -> Result<SynthesisReport, SynthesisError> {
-        let keying_start = Instant::now();
+        let result = self.synthesize_request_traced(request);
+        self.record_request_outcome(result.is_err());
+        result
+    }
+
+    /// The body of [`BatchSynthesizer::synthesize_request`]: produces the
+    /// report with its [`RequestTrace`] attached and the trace ring fed.
+    fn synthesize_request_traced<S: QuantumState>(
+        &self,
+        request: &SynthesisRequest<S>,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let start = Instant::now();
+        let trace_id = TraceId::next();
         let resolved = self.resolve_options(&request.options);
         let sparse = request.target.as_sparse()?;
-        let KeyedClass { key, transform, .. } = canonicalize(
+        let class = canonicalize(
             sparse.as_ref(),
             self.options.dedup,
             resolved.fingerprint,
             self.options.orbit_node_budget,
         );
-        let keying = keying_start.elapsed();
+        let keying = start.elapsed();
+        self.record_keying(sparse.as_ref().num_qubits(), class.coverage, keying);
+        let KeyedClass { key, transform, .. } = class;
+
+        let mut trace = RequestTrace::new(trace_id);
+        trace.push(SpanKind::Key, Duration::ZERO, keying);
 
         if self.options.dedup != DedupPolicy::Off && resolved.cache != CachePolicy::Bypass {
-            if let Some(entry) = self.cache.lookup(&key) {
+            let probe_start = Instant::now();
+            let hit = self.cache.lookup(&key);
+            let probing = probe_start.elapsed();
+            trace.push(SpanKind::CacheProbe, keying, probing);
+            if let Some(entry) = hit {
+                self.obs.metrics().counter("batch.cache_hits", &[]).inc();
                 let reconstruct_start = Instant::now();
                 let circuit = Self::reconstruct_for(&entry, &transform)?;
                 let reconstruction = reconstruct_start.elapsed();
+                trace.push(SpanKind::Reconstruct, keying + probing, reconstruction);
+                self.obs.tracer().record_trace(&trace);
                 return Ok(SynthesisReport::new(
                     circuit,
                     Provenance::CacheHit { witness: transform },
@@ -624,20 +704,57 @@ impl BatchSynthesizer {
                         keying + reconstruction,
                     ),
                     resolved,
-                ));
+                )
+                .with_trace(trace));
             }
         }
 
         let solve_start = Instant::now();
         let entry = self.solve_class_with(&key, &transform, sparse.as_ref(), &resolved);
         let solving = solve_start.elapsed();
+        trace.push(SpanKind::Solve, solve_start - start, solving);
+        let reconstruct_start = Instant::now();
         let circuit = Self::reconstruct_for(&entry, &transform)?;
+        trace.push(
+            SpanKind::Reconstruct,
+            reconstruct_start - start,
+            reconstruct_start.elapsed(),
+        );
+        self.obs.tracer().record_trace(&trace);
         Ok(SynthesisReport::new(
             circuit,
             Provenance::Solved,
             StageTimings::new(keying, solving, Duration::ZERO, keying + solving),
             resolved,
-        ))
+        )
+        .with_trace(trace))
+    }
+
+    /// Registry bookkeeping shared by every request-shaped entry point: one
+    /// target submitted, optionally one error.
+    fn record_request_outcome(&self, failed: bool) {
+        let metrics = self.obs.metrics();
+        metrics.counter("batch.targets", &[]).inc();
+        if failed {
+            metrics.counter("batch.errors", &[]).inc();
+        }
+    }
+
+    /// Records one keying outcome into the registry: the per-width keying
+    /// latency histogram and the coverage counters (greedy fallbacks double
+    /// as the orbit-budget exhaustion signal).
+    fn record_keying(&self, width: usize, coverage: KeyCoverage, keying: Duration) {
+        let metrics = self.obs.metrics();
+        let width = width.to_string();
+        metrics
+            .histogram("batch.keying_latency", &[("width", &width)])
+            .record(keying);
+        let coverage_counter = match coverage {
+            KeyCoverage::Exhaustive => "batch.keys.exhaustive",
+            KeyCoverage::OrbitPruned => "batch.keys.orbit_pruned",
+            KeyCoverage::Greedy => "batch.keys.orbit_budget_exhausted",
+        };
+        metrics.counter(coverage_counter, &[]).inc();
     }
 
     /// Synthesizes a batch of typed requests, in parallel, solving each
@@ -712,11 +829,18 @@ impl BatchSynthesizer {
         let keying = keying_start.elapsed();
 
         // Keying-coverage tally: how many targets got exhaustive-quality
-        // keys vs. the greedy fallback (the dedup-coverage signal).
+        // keys vs. the greedy fallback (the dedup-coverage signal). The
+        // registry gets the same tally plus the per-width keying-latency
+        // histograms.
         let mut keys_exhaustive = 0usize;
         let mut keys_orbit_pruned = 0usize;
         let mut keys_greedy = 0usize;
         for entry in keyed.iter().flatten() {
+            self.record_keying(
+                entry.sparse.num_qubits(),
+                entry.class.coverage,
+                entry.keying,
+            );
             match entry.class.coverage {
                 KeyCoverage::Exhaustive => keys_exhaustive += 1,
                 KeyCoverage::OrbitPruned => keys_orbit_pruned += 1,
@@ -840,6 +964,18 @@ impl BatchSynthesizer {
                     let reconstruct_start = Instant::now();
                     let circuit = Self::reconstruct_for(&entry, &keyed_request.class.transform)?;
                     let reconstruction = reconstruct_start.elapsed();
+                    // Batch spans are stage durations laid end to end (the
+                    // phases interleave requests, so per-request wall-clock
+                    // offsets would overlap across the batch).
+                    let mut trace = RequestTrace::new(TraceId::next());
+                    trace.push(SpanKind::Key, Duration::ZERO, keyed_request.keying);
+                    trace.push(SpanKind::Solve, keyed_request.keying, solve_time);
+                    trace.push(
+                        SpanKind::Reconstruct,
+                        keyed_request.keying + solve_time,
+                        reconstruction,
+                    );
+                    self.obs.tracer().record_trace(&trace);
                     Ok(SynthesisReport::new(
                         circuit,
                         provenance,
@@ -850,12 +986,19 @@ impl BatchSynthesizer {
                             keyed_request.keying + solve_time + reconstruction,
                         ),
                         keyed_request.resolved,
-                    ))
+                    )
+                    .with_trace(trace))
                 }
             });
         let assembly = assembly_start.elapsed();
 
         let errors = reports.iter().filter(|r| r.is_err()).count();
+        let metrics = self.obs.metrics();
+        metrics.counter("batch.targets", &[]).add(count as u64);
+        metrics
+            .counter("batch.cache_hits", &[])
+            .add(cache_hits as u64);
+        metrics.counter("batch.errors", &[]).add(errors as u64);
         let stats = BatchStats {
             targets: count,
             solver_runs: to_solve.len(),

@@ -29,9 +29,11 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use qsp_circuit::{Circuit, Control, Gate};
+use qsp_obs::Histogram;
 
 use crate::engine::StateTransform;
 use crate::error::SynthesisError;
@@ -139,6 +141,14 @@ struct Slot {
     last_used: u64,
 }
 
+/// Shared registry histograms the cache reports its probe and eviction
+/// latencies into once attached (see [`ShardedCache::attach_obs`]).
+#[derive(Debug)]
+struct CacheTiming {
+    probe: Arc<Histogram>,
+    evict: Arc<Histogram>,
+}
+
 /// The sharded, size-bounded canonical-class cache. See the [module
 /// docs](self).
 #[derive(Debug)]
@@ -151,6 +161,7 @@ pub struct ShardedCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    timing: OnceLock<CacheTiming>,
 }
 
 impl std::fmt::Debug for Slot {
@@ -182,7 +193,18 @@ impl ShardedCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            timing: OnceLock::new(),
         }
+    }
+
+    /// Attaches registry histograms for probe (lookup) and eviction latency.
+    /// Until attached — the default — lookups and evictions take no
+    /// timestamps at all; once attached the instrumentation cannot be
+    /// removed (a second call is ignored). [`crate::BatchSynthesizer`]
+    /// attaches these when its
+    /// [`ObsOptions`](qsp_obs::ObsOptions) request `timing_detail`.
+    pub fn attach_obs(&self, probe: Arc<Histogram>, evict: Arc<Histogram>) {
+        let _ = self.timing.set(CacheTiming { probe, evict });
     }
 
     /// The number of lock shards.
@@ -240,8 +262,10 @@ impl ShardedCache {
     /// Looks up a class, recording a hit or miss and refreshing the entry's
     /// recency on a hit.
     pub fn lookup(&self, key: &ClassKey) -> Option<Arc<CacheEntry>> {
+        let timing = self.timing.get();
+        let started = timing.map(|_| Instant::now());
         let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
-        match shard.get_mut(key) {
+        let found = match shard.get_mut(key) {
             Some(slot) => {
                 slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -251,7 +275,12 @@ impl ShardedCache {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+        };
+        drop(shard);
+        if let (Some(timing), Some(started)) = (timing, started) {
+            timing.probe.record(started.elapsed());
         }
+        found
     }
 
     /// Inserts (or replaces) a solved class, evicting the shard's
@@ -269,6 +298,8 @@ impl ShardedCache {
             && shard.len() >= self.per_shard_capacity
             && !shard.contains_key(incoming)
         {
+            let timing = self.timing.get();
+            let started = timing.map(|_| Instant::now());
             let victim = shard
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used)
@@ -276,6 +307,9 @@ impl ShardedCache {
             if let Some(victim) = victim {
                 shard.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            if let (Some(timing), Some(started)) = (timing, started) {
+                timing.evict.record(started.elapsed());
             }
         }
     }

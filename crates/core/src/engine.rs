@@ -27,10 +27,12 @@ use std::collections::HashSet;
 use qsp_circuit::{Circuit, Gate};
 use qsp_state::{BasisIndex, QuantumState, SparseState};
 
+use qsp_obs::SearchProbe;
+
 use crate::error::SynthesisError;
 use crate::exact::{ExactSynthesisOutcome, SynthesisStats};
 use crate::search::astar::{
-    shortest_reduction_coordinated, SearchCoordination, SearchFailure, SearchOutcome,
+    shortest_reduction_probed, SearchCoordination, SearchFailure, SearchOutcome,
 };
 use crate::search::config::{SearchConfig, SearchStrategy};
 use crate::search::state::SearchState;
@@ -174,6 +176,19 @@ impl SolverEngine {
         &self,
         state: &S,
     ) -> Result<ExactSynthesisOutcome, SynthesisError> {
+        self.synthesize_probed(state, None)
+    }
+
+    /// [`SolverEngine::synthesize`] with an optional flight-recorder probe:
+    /// every A* worker of the solve (all racers of a portfolio) reports its
+    /// node counters, frontier high-water, incumbent-bound updates and
+    /// cancellation cause into the shared probe. Pass `None` (what
+    /// `synthesize` does) to skip all per-node probe accounting.
+    pub fn synthesize_probed<S: QuantumState>(
+        &self,
+        state: &S,
+        probe: Option<&SearchProbe>,
+    ) -> Result<ExactSynthesisOutcome, SynthesisError> {
         let start = std::time::Instant::now();
         let sparse = state.as_sparse()?;
         let target = sparse.as_ref();
@@ -221,7 +236,7 @@ impl SolverEngine {
         }
 
         let compact = compact_state(target, &active)?;
-        let solution = self.solve_compact(&compact)?;
+        let solution = self.solve_compact(&compact, probe)?;
         let circuit = solution
             .circuit
             .remap_qubits(&active, target.num_qubits())?;
@@ -240,24 +255,32 @@ impl SolverEngine {
     }
 
     /// Solves the compacted problem per the configured strategy.
-    fn solve_compact(&self, compact: &SparseState) -> Result<CompactSolution, SynthesisError> {
+    fn solve_compact(
+        &self,
+        compact: &SparseState,
+        probe: Option<&SearchProbe>,
+    ) -> Result<CompactSolution, SynthesisError> {
         match self.config.strategy {
-            SearchStrategy::Sequential => self.solve_sequential(compact),
+            SearchStrategy::Sequential => self.solve_sequential(compact, probe),
             SearchStrategy::Portfolio { .. } => {
                 let workers = self.config.strategy.resolved_workers();
                 let transforms = portfolio_transforms(compact, workers);
                 if transforms.len() <= 1 {
-                    self.solve_sequential(compact)
+                    self.solve_sequential(compact, probe)
                 } else {
-                    self.solve_portfolio(compact, transforms)
+                    self.solve_portfolio(compact, transforms, probe)
                 }
             }
         }
     }
 
-    fn solve_sequential(&self, compact: &SparseState) -> Result<CompactSolution, SynthesisError> {
+    fn solve_sequential(
+        &self,
+        compact: &SparseState,
+        probe: Option<&SearchProbe>,
+    ) -> Result<CompactSolution, SynthesisError> {
         let search_target = SearchState::from_state(compact);
-        let outcome = shortest_reduction_coordinated(&search_target, &self.config, None)
+        let outcome = shortest_reduction_probed(&search_target, &self.config, None, probe)
             .map_err(SearchFailure::into_error)?;
         let reduction = crate::exact::replay_reduction(compact, &outcome.reduction_ops)?;
         Ok(CompactSolution {
@@ -274,6 +297,7 @@ impl SolverEngine {
         &self,
         compact: &SparseState,
         transforms: Vec<StateTransform>,
+        probe: Option<&SearchProbe>,
     ) -> Result<CompactSolution, SynthesisError> {
         type Attempt = Result<(usize, SearchOutcome, SparseState), SearchFailure>;
 
@@ -298,10 +322,11 @@ impl SolverEngine {
                             .apply_to_state(compact)
                             .map_err(SearchFailure::Error)?;
                         let search_target = SearchState::from_state(&variant);
-                        let outcome = shortest_reduction_coordinated(
+                        let outcome = shortest_reduction_probed(
                             &search_target,
                             config,
                             Some(coordination),
+                            probe,
                         )?;
                         Ok((index, outcome, variant))
                     })

@@ -45,7 +45,15 @@
 //!   service builds its in-flight dedup on.
 //! * [`json`] — the workspace-shared hand-rolled JSON reader/writer used by
 //!   cache snapshots, serving stats dumps and the benchmark reports (the
-//!   offline build has no serde).
+//!   offline build has no serde). It now lives in `qsp-obs` and is
+//!   re-exported here, so `qsp_core::json` paths keep working.
+//!
+//! Every layer reports into the engine's [`qsp_obs::ObsHub`] (reachable via
+//! [`BatchSynthesizer::obs`]): registry counters and histograms are always
+//! on (relaxed atomics); per-request [`qsp_obs::RequestTrace`]s ride on
+//! every [`SynthesisReport`]; ring tracing, the solver flight recorder and
+//! cache probe/evict timing are opt-in through
+//! [`BatchOptions::with_obs`](batch::BatchOptions::with_obs).
 //!
 //! # Quickstart
 //!
@@ -72,7 +80,6 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod exact;
-pub mod json;
 pub mod search;
 pub mod workflow;
 
@@ -88,7 +95,12 @@ pub use cache::{CacheEntry, CacheStats, ClassKey, ShardedCache, SNAPSHOT_FORMAT_
 pub use engine::{SolverEngine, StateTransform};
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};
-pub use json::{JsonError, JsonErrorKind};
+pub use qsp_obs::json;
+pub use qsp_obs::json::{JsonError, JsonErrorKind};
+// The observability surface engine users touch: the knobs on
+// `BatchOptions`, the hub/snapshot behind `BatchSynthesizer::obs`, and the
+// trace types riding on every `SynthesisReport`.
+pub use qsp_obs::{ObsHub, ObsOptions, ObsSnapshot, RequestTrace, SpanKind, TraceId};
 pub use qsp_state::pipeline::KeyCoverage;
 pub use search::config::{CacheConfig, SearchConfig, SearchStrategy};
 pub use workflow::{prepare_state, QspWorkflow, WorkflowConfig};

@@ -18,6 +18,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 
+use qsp_obs::{CancellationCause, SearchProbe};
+
 use crate::error::SynthesisError;
 
 use super::canonical::{canonical_key, CanonicalKey};
@@ -47,9 +49,12 @@ impl SearchCoordination {
     }
 
     /// Publishes a settled solution cost and cancels the remaining workers.
-    pub fn record_solution(&self, cost: usize) {
-        self.best.fetch_min(cost, AtomicOrdering::SeqCst);
+    /// Returns whether the cost actually lowered the incumbent bound (the
+    /// flight recorder counts these as incumbent updates).
+    pub fn record_solution(&self, cost: usize) -> bool {
+        let previous = self.best.fetch_min(cost, AtomicOrdering::SeqCst);
         self.cancelled.store(true, AtomicOrdering::SeqCst);
+        cost < previous
     }
 
     /// The current incumbent bound (`usize::MAX` before any solution).
@@ -141,6 +146,33 @@ pub fn shortest_reduction_coordinated(
     config: &SearchConfig,
     coordination: Option<&SearchCoordination>,
 ) -> Result<SearchOutcome, SearchFailure> {
+    shortest_reduction_probed(target, config, coordination, None)
+}
+
+/// [`shortest_reduction_coordinated`] with an optional flight-recorder
+/// probe. When a probe is attached, the search flushes its node counters
+/// and frontier high-water into it on exit and reports incumbent-bound
+/// improvements and the cancellation cause as they happen; with `None`
+/// (the default everywhere the flight recorder is off) no per-node
+/// accounting beyond the existing local counters is paid.
+pub fn shortest_reduction_probed(
+    target: &SearchState,
+    config: &SearchConfig,
+    coordination: Option<&SearchCoordination>,
+    probe: Option<&SearchProbe>,
+) -> Result<SearchOutcome, SearchFailure> {
+    let flush = |expanded: usize, pushed: usize, frontier: usize| {
+        if let Some(probe) = probe {
+            probe.add_expanded(expanded as u64);
+            probe.add_pushed(pushed as u64);
+            probe.update_frontier(frontier as u64);
+        }
+    };
+    let cancelled = |cause: CancellationCause| {
+        if let Some(probe) = probe {
+            probe.note_cancellation(cause);
+        }
+    };
     if target.is_product() {
         return Ok(SearchOutcome {
             reduction_ops: Vec::new(),
@@ -165,6 +197,7 @@ pub fn shortest_reduction_coordinated(
     let mut seq = 0u64;
     let mut expanded = 0usize;
     let mut pushed = 0usize;
+    let mut frontier = 1usize; // high-water mark; the initial push is below
 
     dist.insert(canonical_key(target, config.permutation_compression), 0);
     queue.push(QueueItem {
@@ -189,6 +222,8 @@ pub fn shortest_reduction_coordinated(
     while let Some(QueueItem { g, state, .. }) = queue.pop() {
         if let Some(coordination) = coordination {
             if coordination.is_cancelled() {
+                flush(expanded, pushed, frontier);
+                cancelled(CancellationCause::IncumbentRace);
                 return Err(SearchFailure::Cancelled);
             }
         }
@@ -197,9 +232,14 @@ pub fn shortest_reduction_coordinated(
         }
         if state.is_product() {
             if let Some(coordination) = coordination {
-                coordination.record_solution(g);
+                if coordination.record_solution(g) {
+                    if let Some(probe) = probe {
+                        probe.note_incumbent_update();
+                    }
+                }
             }
             let reduction_ops = reconstruct_path(&parent, target, &state);
+            flush(expanded, pushed, frontier);
             return Ok(SearchOutcome {
                 reduction_ops,
                 cnot_cost: g,
@@ -209,6 +249,8 @@ pub fn shortest_reduction_coordinated(
         }
         expanded += 1;
         if expanded > config.max_expanded_nodes {
+            flush(expanded, pushed, frontier);
+            cancelled(CancellationCause::BudgetExhausted);
             return Err(SearchFailure::Error(
                 SynthesisError::SearchBudgetExhausted { expanded },
             ));
@@ -245,13 +287,17 @@ pub fn shortest_reduction_coordinated(
                 });
             }
         }
+        frontier = frontier.max(queue.len());
     }
 
+    flush(expanded, pushed, frontier);
     // A drained queue in coordinated mode means every remaining branch was
     // pruned against the incumbent: the race has a winner, this worker lost.
     if coordination.is_some_and(SearchCoordination::is_cancelled) {
+        cancelled(CancellationCause::IncumbentRace);
         return Err(SearchFailure::Cancelled);
     }
+    cancelled(CancellationCause::BudgetExhausted);
     Err(SearchFailure::Error(
         SynthesisError::SearchBudgetExhausted { expanded },
     ))

@@ -18,8 +18,8 @@ pub mod op;
 pub mod state;
 
 pub use astar::{
-    shortest_reduction, shortest_reduction_coordinated, SearchCoordination, SearchFailure,
-    SearchOutcome,
+    shortest_reduction, shortest_reduction_coordinated, shortest_reduction_probed,
+    SearchCoordination, SearchFailure, SearchOutcome,
 };
 pub use config::{CacheConfig, SearchConfig, SearchStrategy};
 pub use op::TransitionOp;

@@ -17,6 +17,7 @@ use qsp_baselines::{
     BaselineError, CardinalityReduction, HybridPreparator, QubitReduction, StatePreparator,
 };
 use qsp_circuit::Circuit;
+use qsp_obs::SearchProbe;
 use qsp_state::{QuantumState, SparseState};
 
 use crate::api::{Provenance, StageTimings, SynthesisReport, SynthesisRequest, Synthesizer};
@@ -192,6 +193,17 @@ impl QspWorkflow {
     /// The undeprecated core of the workflow (also what the batch engine and
     /// the request path call).
     pub(crate) fn run<S: QuantumState>(&self, state: &S) -> Result<Circuit, SynthesisError> {
+        self.run_probed(state, None)
+    }
+
+    /// [`QspWorkflow::run`] with an optional solver flight-recorder probe:
+    /// every exact solve the workflow schedules (direct, sparse residual,
+    /// dense residual) reports its search effort into the shared probe.
+    pub(crate) fn run_probed<S: QuantumState>(
+        &self,
+        state: &S,
+        probe: Option<&SearchProbe>,
+    ) -> Result<Circuit, SynthesisError> {
         let sparse = state.as_sparse()?;
         let target = sparse.as_ref();
         if target.iter().any(|(_, a)| a < 0.0) {
@@ -202,7 +214,7 @@ impl QspWorkflow {
         let exact = SolverEngine::new(self.config.search);
 
         let mut circuit = if self.fits_exact(target) {
-            exact.synthesize(target)?.circuit
+            exact.synthesize_probed(target, probe)?.circuit
         } else if target.is_sparse() {
             // Sparse branch: cardinality reduction until the residual problem
             // fits the exact solver.
@@ -219,7 +231,7 @@ impl QspWorkflow {
             // m-flow tail so the workflow is never worse than the m-flow, as
             // in Table V.
             let mflow_tail = CardinalityReduction::new().prepare(&residual)?;
-            let mut circuit = match exact.synthesize(&residual) {
+            let mut circuit = match exact.synthesize_probed(&residual, probe) {
                 Ok(outcome) if outcome.circuit.cnot_cost() <= mflow_tail.cnot_cost() => {
                     outcome.circuit
                 }
@@ -251,7 +263,7 @@ impl QspWorkflow {
                         .min(DENSE_RESIDUAL_NODE_BUDGET),
                 ),
             );
-            let mut circuit = match capped.synthesize(&residual) {
+            let mut circuit = match capped.synthesize_probed(&residual, probe) {
                 Ok(outcome) if outcome.circuit.cnot_cost() <= nflow_tail.cnot_cost() => {
                     outcome.circuit
                 }

@@ -1,0 +1,373 @@
+//! The solver flight recorder: opt-in A* progress probes per solve.
+//!
+//! A [`SearchProbe`] is handed into the A* core (and shared by every racer
+//! of a portfolio solve); the search reports nodes expanded/pushed, the
+//! frontier high-water mark, incumbent-bound updates and — when it stops
+//! early — the cancellation cause. When the solve returns, the engine folds
+//! the probe plus the outcome into a [`SolveFlight`] and files it with the
+//! [`FlightRecorder`], a bounded most-recent-solves log that makes slow
+//! classes diagnosable post-hoc ("the p95 burst request raced 6 variants,
+//! hit the incumbent bound twice and expanded 48k nodes").
+//!
+//! The probe is opt-in: the search takes `Option<&SearchProbe>` and the
+//! per-node accounting is only paid when a probe is attached.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::Value;
+
+/// Why a search stopped before exhausting its frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancellationCause {
+    /// A portfolio sibling found an optimum first and cancelled the race.
+    IncumbentRace,
+    /// The node budget ran out.
+    BudgetExhausted,
+}
+
+impl CancellationCause {
+    /// The stable snake_case name used in JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            CancellationCause::IncumbentRace => "incumbent_race",
+            CancellationCause::BudgetExhausted => "budget_exhausted",
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            CancellationCause::IncumbentRace => 1,
+            CancellationCause::BudgetExhausted => 2,
+        }
+    }
+
+    fn from_u64(raw: u64) -> Option<CancellationCause> {
+        match raw {
+            1 => Some(CancellationCause::IncumbentRace),
+            2 => Some(CancellationCause::BudgetExhausted),
+            _ => None,
+        }
+    }
+}
+
+/// Shared progress counters for one solve (all racers of a portfolio solve
+/// update the same probe; every update is a relaxed atomic op).
+#[derive(Debug, Default)]
+pub struct SearchProbe {
+    nodes_expanded: AtomicU64,
+    nodes_pushed: AtomicU64,
+    frontier_high_water: AtomicU64,
+    incumbent_updates: AtomicU64,
+    cancellation: AtomicU64,
+}
+
+impl SearchProbe {
+    /// A zeroed probe.
+    pub fn new() -> Self {
+        SearchProbe::default()
+    }
+
+    /// Adds expanded (popped) nodes.
+    pub fn add_expanded(&self, n: u64) {
+        self.nodes_expanded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds pushed (generated) nodes.
+    pub fn add_pushed(&self, n: u64) {
+        self.nodes_pushed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the frontier high-water mark to at least `depth`.
+    pub fn update_frontier(&self, depth: u64) {
+        self.frontier_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Counts one incumbent-bound improvement (a portfolio racer finding a
+    /// better solution).
+    pub fn note_incumbent_update(&self) {
+        self.incumbent_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records why the search stopped early (first cause wins).
+    pub fn note_cancellation(&self, cause: CancellationCause) {
+        let _ = self.cancellation.compare_exchange(
+            0,
+            cause.as_u64(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Nodes expanded so far.
+    pub fn nodes_expanded(&self) -> u64 {
+        self.nodes_expanded.load(Ordering::Relaxed)
+    }
+
+    /// Nodes pushed so far.
+    pub fn nodes_pushed(&self) -> u64 {
+        self.nodes_pushed.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the frontier has been.
+    pub fn frontier_high_water(&self) -> u64 {
+        self.frontier_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Incumbent-bound improvements observed.
+    pub fn incumbent_updates(&self) -> u64 {
+        self.incumbent_updates.load(Ordering::Relaxed)
+    }
+
+    /// Why the search stopped early, if it did.
+    pub fn cancellation(&self) -> Option<CancellationCause> {
+        CancellationCause::from_u64(self.cancellation.load(Ordering::Relaxed))
+    }
+}
+
+/// One solve's flight record: the probe's final counters plus the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveFlight {
+    /// A human-readable class label (width + canonical signature).
+    pub label: String,
+    /// Wall-clock duration of the solve.
+    pub duration: Duration,
+    /// The CNOT cost of the winning circuit, if the solve succeeded.
+    pub cnot_cost: Option<usize>,
+    /// Nodes expanded across all racers.
+    pub nodes_expanded: u64,
+    /// Nodes pushed across all racers.
+    pub nodes_pushed: u64,
+    /// The deepest any racer's frontier got.
+    pub frontier_high_water: u64,
+    /// Incumbent-bound improvements during the race.
+    pub incumbent_updates: u64,
+    /// Canonical variants raced (1 = sequential).
+    pub variants: usize,
+    /// Why the search stopped early, if it did.
+    pub cancellation: Option<CancellationCause>,
+}
+
+impl SolveFlight {
+    /// Folds a finished probe plus the solve outcome into a record.
+    pub fn from_probe(
+        label: String,
+        probe: &SearchProbe,
+        duration: Duration,
+        cnot_cost: Option<usize>,
+        variants: usize,
+    ) -> Self {
+        SolveFlight {
+            label,
+            duration,
+            cnot_cost,
+            nodes_expanded: probe.nodes_expanded(),
+            nodes_pushed: probe.nodes_pushed(),
+            frontier_high_water: probe.frontier_high_water(),
+            incumbent_updates: probe.incumbent_updates(),
+            variants,
+            cancellation: probe.cancellation(),
+        }
+    }
+
+    /// The record as JSON.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("label".to_string(), Value::Str(self.label.clone())),
+            (
+                "duration_us".to_string(),
+                Value::Num(self.duration.as_micros() as u64),
+            ),
+            (
+                "cnot_cost".to_string(),
+                match self.cnot_cost {
+                    Some(cost) => Value::Num(cost as u64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "nodes_expanded".to_string(),
+                Value::Num(self.nodes_expanded),
+            ),
+            ("nodes_pushed".to_string(), Value::Num(self.nodes_pushed)),
+            (
+                "frontier_high_water".to_string(),
+                Value::Num(self.frontier_high_water),
+            ),
+            (
+                "incumbent_updates".to_string(),
+                Value::Num(self.incumbent_updates),
+            ),
+            ("variants".to_string(), Value::Num(self.variants as u64)),
+            (
+                "cancellation".to_string(),
+                match self.cancellation {
+                    Some(cause) => Value::Str(cause.name().to_string()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A bounded most-recent-solves log. Disabled by default; when enabled,
+/// every fresh solve files one [`SolveFlight`], and the oldest record is
+/// dropped once `capacity` is reached.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    capacity: usize,
+    records: Mutex<VecDeque<SolveFlight>>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` records.
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        FlightRecorder {
+            enabled: AtomicBool::new(enabled),
+            capacity: capacity.max(1),
+            records: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Whether solves should carry a probe and file records (one relaxed
+    /// load).
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips recording at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The record capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Files one record, dropping the oldest when full. (Callers gate on
+    /// [`FlightRecorder::enabled`] before paying for probe accounting; the
+    /// recorder does not re-check.)
+    pub fn record(&self, flight: SolveFlight) {
+        let mut records = self.records.lock().expect("flight recorder poisoned");
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(flight);
+    }
+
+    /// Records currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<SolveFlight> {
+        self.records
+            .lock()
+            .expect("flight recorder poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The `k` slowest recorded solves, slowest first.
+    pub fn top_slowest(&self, k: usize) -> Vec<SolveFlight> {
+        let mut records = self.snapshot();
+        records.sort_by_key(|record| std::cmp::Reverse(record.duration));
+        records.truncate(k);
+        records
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight(label: &str, millis: u64) -> SolveFlight {
+        SolveFlight {
+            label: label.to_string(),
+            duration: Duration::from_millis(millis),
+            cnot_cost: Some(3),
+            nodes_expanded: 10,
+            nodes_pushed: 20,
+            frontier_high_water: 5,
+            incumbent_updates: 1,
+            variants: 2,
+            cancellation: None,
+        }
+    }
+
+    #[test]
+    fn probe_accumulates_and_first_cancellation_wins() {
+        let probe = SearchProbe::new();
+        probe.add_expanded(10);
+        probe.add_expanded(5);
+        probe.add_pushed(40);
+        probe.update_frontier(7);
+        probe.update_frontier(3);
+        probe.note_incumbent_update();
+        assert_eq!(probe.nodes_expanded(), 15);
+        assert_eq!(probe.nodes_pushed(), 40);
+        assert_eq!(probe.frontier_high_water(), 7);
+        assert_eq!(probe.incumbent_updates(), 1);
+        assert_eq!(probe.cancellation(), None);
+        probe.note_cancellation(CancellationCause::IncumbentRace);
+        probe.note_cancellation(CancellationCause::BudgetExhausted);
+        assert_eq!(probe.cancellation(), Some(CancellationCause::IncumbentRace));
+        let record = SolveFlight::from_probe(
+            "n4/sig1".to_string(),
+            &probe,
+            Duration::from_millis(2),
+            Some(4),
+            3,
+        );
+        assert_eq!(record.nodes_expanded, 15);
+        assert_eq!(record.variants, 3);
+        assert_eq!(record.cancellation, Some(CancellationCause::IncumbentRace));
+    }
+
+    #[test]
+    fn recorder_bounds_and_ranks() {
+        let recorder = FlightRecorder::new(true, 3);
+        assert!(recorder.is_empty());
+        for (label, ms) in [("a", 5), ("b", 50), ("c", 1), ("d", 20)] {
+            recorder.record(flight(label, ms));
+        }
+        assert_eq!(recorder.len(), 3); // "a" (oldest) was dropped
+        let labels: Vec<String> = recorder.snapshot().into_iter().map(|f| f.label).collect();
+        assert_eq!(labels, ["b", "c", "d"]);
+        let slowest: Vec<String> = recorder
+            .top_slowest(2)
+            .into_iter()
+            .map(|f| f.label)
+            .collect();
+        assert_eq!(slowest, ["b", "d"]);
+    }
+
+    #[test]
+    fn flight_serializes_to_parseable_json() {
+        let mut record = flight("n5/sig42", 7);
+        record.cancellation = Some(CancellationCause::BudgetExhausted);
+        let parsed = crate::json::parse(&record.to_json().to_json()).unwrap();
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("n5/sig42"));
+        assert_eq!(parsed.get("cnot_cost").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            parsed.get("cancellation").unwrap().as_str(),
+            Some("budget_exhausted")
+        );
+        let mut no_cost = flight("x", 1);
+        no_cost.cnot_cost = None;
+        no_cost.cancellation = None;
+        let parsed = crate::json::parse(&no_cost.to_json().to_json()).unwrap();
+        assert!(matches!(parsed.get("cnot_cost"), Some(Value::Null)));
+    }
+}

@@ -1,0 +1,231 @@
+//! The workspace-shared power-of-two-bucket latency histogram.
+//!
+//! One implementation serves every layer: the serve scheduler's queue-wait /
+//! service-time / end-to-end histograms, the registry's named histograms
+//! ([`crate::MetricsRegistry::histogram`]) and the batch engine's per-width
+//! keying-time and cache probe/evict latency signals. Buckets are powers of
+//! two in microseconds — coarse, but recording is a single relaxed atomic
+//! increment, cheap enough for every completion hot path, and plenty for
+//! p50/p95/p99 reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Value;
+
+/// Number of histogram buckets: bucket `i < 25` counts latencies below
+/// `2^i` microseconds (the bounded range tops out at `2^24` µs ≈ 16.8 s);
+/// the last bucket is the unbounded overflow.
+pub const HISTOGRAM_BUCKETS: usize = 26;
+
+/// A fixed-bucket, lock-free latency histogram. See the [module
+/// docs](self).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation (a single relaxed atomic increment).
+    pub fn record(&self, latency: Duration) {
+        self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The bucket index of a latency: the bit length of its microsecond count
+/// (0 µs → bucket 0), clamped to the overflow bucket.
+pub(crate) fn bucket_of(latency: Duration) -> usize {
+    let micros = latency.as_micros();
+    let bits = (u128::BITS - micros.leading_zeros()) as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; bucket `i` covers latencies below
+    /// [`HistogramSnapshot::bucket_upper_bound`]`(i)`.
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The exclusive upper bound of bucket `i`. The last bucket is
+    /// unbounded; the value returned for it (`2^25` µs ≈ 33.5 s) is the
+    /// clamp [`HistogramSnapshot::percentile`] reports overflow
+    /// observations at.
+    pub fn bucket_upper_bound(i: usize) -> Duration {
+        Duration::from_micros(1u64 << i.min(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// An upper bound on the `p`-quantile latency, with `p` in `[0, 1]`:
+    /// the upper bound of the bucket the quantile's rank falls in.
+    ///
+    /// Every input has a defined value — no bucket-boundary surprises:
+    ///
+    /// * an **empty** histogram returns [`Duration::ZERO`] for every `p`;
+    /// * `p ≤ 0` (and `NaN`) return the upper bound of the smallest
+    ///   non-empty bucket;
+    /// * `p ≥ 1` (including out-of-range values like a percent-style `95`)
+    ///   returns the upper bound of the largest non-empty bucket — the
+    ///   domain is clamped, never extrapolated;
+    /// * a **single-bucket** histogram returns that bucket's upper bound
+    ///   for every `p`;
+    /// * quantiles landing in the unbounded overflow bucket are *clamped*
+    ///   to its nominal bound (≈ 33.5 s).
+    pub fn percentile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The histogram as JSON: bucket counts plus p50/p95/p99 milliseconds.
+    pub fn to_json(&self) -> Value {
+        let quantile_ms = |p: f64| Value::Float(self.percentile(p).as_secs_f64() * 1e3);
+        Value::Object(vec![
+            ("count".to_string(), Value::Num(self.count())),
+            ("p50_ms".to_string(), quantile_ms(0.50)),
+            ("p95_ms".to_string(), quantile_ms(0.95)),
+            ("p99_ms".to_string(), quantile_ms(0.99)),
+            (
+                "bucket_counts".to_string(),
+                Value::Array(self.counts.iter().map(|&c| Value::Num(c)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_latency_range() {
+        assert_eq!(bucket_of(Duration::ZERO), 0);
+        assert_eq!(bucket_of(Duration::from_micros(1)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(2)), 2);
+        assert_eq!(bucket_of(Duration::from_micros(3)), 2);
+        assert_eq!(bucket_of(Duration::from_micros(1023)), 10);
+        // Far beyond the range clamps into the overflow bucket.
+        assert_eq!(bucket_of(Duration::from_secs(3600)), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's upper bound is inside the next bucket.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_of(HistogramSnapshot::bucket_upper_bound(i)), i + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let histogram = Histogram::new();
+        // 90 fast observations (~4 µs) and 10 slow (~1 ms).
+        for _ in 0..90 {
+            histogram.record(Duration::from_micros(3));
+        }
+        for _ in 0..10 {
+            histogram.record(Duration::from_micros(900));
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count(), 100);
+        assert_eq!(snapshot.percentile(0.5), Duration::from_micros(4));
+        assert_eq!(snapshot.percentile(0.9), Duration::from_micros(4));
+        assert_eq!(snapshot.percentile(0.95), Duration::from_micros(1024));
+        assert_eq!(snapshot.percentile(0.99), Duration::from_micros(1024));
+        assert!(snapshot.percentile(1.0) >= snapshot.percentile(0.5));
+    }
+
+    #[test]
+    fn percentile_is_total_on_its_domain() {
+        // Empty: every p, including garbage, is zero.
+        let empty = Histogram::new().snapshot();
+        for p in [-1.0, 0.0, 0.5, 1.0, 95.0, f64::NAN] {
+            assert_eq!(empty.percentile(p), Duration::ZERO);
+        }
+
+        let histogram = Histogram::new();
+        for _ in 0..9 {
+            histogram.record(Duration::from_micros(3)); // bucket 2, bound 4 µs
+        }
+        histogram.record(Duration::from_micros(900)); // bucket 10, bound 1024 µs
+        let snapshot = histogram.snapshot();
+        let low = Duration::from_micros(4);
+        let high = Duration::from_micros(1024);
+        // p ≤ 0 and NaN: the smallest non-empty bucket.
+        assert_eq!(snapshot.percentile(0.0), low);
+        assert_eq!(snapshot.percentile(-3.0), low);
+        assert_eq!(snapshot.percentile(f64::NAN), low);
+        // p ≥ 1 (including percent-style inputs): the largest non-empty
+        // bucket, clamped, never past it.
+        assert_eq!(snapshot.percentile(1.0), high);
+        assert_eq!(snapshot.percentile(95.0), high);
+        assert_eq!(snapshot.percentile(f64::INFINITY), high);
+    }
+
+    #[test]
+    fn single_bucket_histogram_is_flat() {
+        let histogram = Histogram::new();
+        for _ in 0..7 {
+            histogram.record(Duration::from_micros(100)); // bucket 7, bound 128 µs
+        }
+        let snapshot = histogram.snapshot();
+        let bound = Duration::from_micros(128);
+        for p in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 100.0, f64::NAN] {
+            assert_eq!(snapshot.percentile(p), bound);
+        }
+    }
+
+    #[test]
+    fn overflow_observations_clamp_to_the_nominal_bound() {
+        let histogram = Histogram::new();
+        histogram.record(Duration::from_secs(3600));
+        let snapshot = histogram.snapshot();
+        assert_eq!(
+            snapshot.percentile(1.0),
+            HistogramSnapshot::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_to_parseable_json() {
+        let histogram = Histogram::new();
+        histogram.record(Duration::from_micros(10));
+        let text = histogram.snapshot().to_json().to_json();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("count").unwrap().as_u64(), Some(1));
+        assert!(parsed.get("p95_ms").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,10 +1,11 @@
 //! A minimal, dependency-free JSON reader and writer.
 //!
 //! The offline build has no serde, so every JSON surface in the workspace —
-//! the cache's warm-start snapshots ([`crate::ShardedCache`]), the serving
-//! layer's stats dumps (`qsp-serve`) and the benchmark reports
-//! (`BENCH_batch.json`, `BENCH_serve.json`) — shares this one hand-rolled
-//! implementation instead of growing parallel parsers.
+//! the cache's warm-start snapshots (`qsp_core::ShardedCache`), the serving
+//! layer's stats dumps (`qsp-serve`), the observability snapshots
+//! ([`crate::ObsSnapshot`]) and the benchmark reports (`BENCH_batch.json`,
+//! `BENCH_serve.json`) — shares this one hand-rolled implementation instead
+//! of growing parallel parsers.
 //!
 //! The dialect is deliberately small but self-consistent: objects (field
 //! order preserved), arrays, strings (with the standard escape sequences,
@@ -17,7 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use qsp_core::json::{parse, Value};
+//! use qsp_obs::json::{parse, Value};
 //!
 //! let value = Value::Object(vec![
 //!     ("angle_bits".to_string(), Value::Num(0.25f64.to_bits())),
@@ -78,7 +79,7 @@ impl std::fmt::Display for JsonErrorKind {
 /// # Example
 ///
 /// ```
-/// use qsp_core::json::{parse, JsonErrorKind};
+/// use qsp_obs::json::{parse, JsonErrorKind};
 ///
 /// let error = parse("[1, 2").unwrap_err();
 /// assert_eq!(error.kind, JsonErrorKind::Expected("`,` or `]`"));

@@ -1,0 +1,335 @@
+//! # qsp-obs
+//!
+//! Workspace-wide observability for the QSP synthesis stack, hand-rolled in
+//! repo style (the offline build has no `tracing`/`prometheus`/serde):
+//!
+//! * [`metrics`] — the **sharded metrics registry**: named atomic counters,
+//!   gauges and power-of-two-bucket histograms with labels. `BatchStats` and
+//!   `ServiceStats` upstream become typed views over it, and new signals
+//!   (cache probe/evict latency, per-width keying-time histograms, queue
+//!   depth, orbit-budget exhaustion) report into the same place.
+//! * [`trace`] — **per-request tracing**: every synthesis request gets a
+//!   [`TraceId`]; each pipeline stage (queue wait → validate → key → cache
+//!   probe → solve → reconstruct) records a span; the assembled
+//!   [`RequestTrace`] rides on the request's `SynthesisReport`, and a
+//!   head-sampled subset is copied into a fixed-capacity lock-free
+//!   [`TraceRing`].
+//! * [`flight`] — the **solver flight recorder**: opt-in A* progress probes
+//!   (nodes expanded, frontier high-water, incumbent-bound updates,
+//!   cancellation cause) folded into per-solve [`SolveFlight`] records.
+//! * [`hist`] — the one shared power-of-two latency [`Histogram`] used by
+//!   the registry and the serve layer alike.
+//! * [`json`] — the workspace-shared hand-rolled JSON reader/writer (moved
+//!   here from `qsp-core`, which re-exports it) that every snapshot and
+//!   bench report dumps through.
+//!
+//! The [`ObsHub`] bundles one registry + tracer + flight recorder per
+//! engine; [`ObsHub::snapshot`] freezes all three into an [`ObsSnapshot`]
+//! with a single [`ObsSnapshot::to_json`].
+//!
+//! Cost discipline: with tracing and the flight recorder disabled (the
+//! default), the per-request overhead is a handful of relaxed atomic ops —
+//! counter bumps and one enabled-flag load.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod flight;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{CancellationCause, FlightRecorder, SearchProbe, SolveFlight};
+pub use hist::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use metrics::{Counter, Gauge, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use trace::{RecordedSpan, RequestTrace, SpanKind, SpanTiming, TraceId, TraceRing, Tracer};
+
+use json::Value;
+
+/// Observability knobs, carried by the batch engine's options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ObsOptions {
+    /// Record sampled request traces into the ring (default `false`; the
+    /// per-report [`RequestTrace`] is always assembled).
+    pub tracing: bool,
+    /// Record every `sample_every`-th trace id (default 1 = all; 0 = none).
+    pub sample_every: u64,
+    /// Span capacity of the trace ring (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Attach an A* probe to every fresh solve and file a
+    /// [`SolveFlight`] per solve (default `false`).
+    pub flight: bool,
+    /// Record capacity of the flight recorder.
+    pub flight_capacity: usize,
+    /// Time cache probes/evictions into registry histograms (default
+    /// `false`; adds two `Instant` reads per cache access).
+    pub timing_detail: bool,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            tracing: false,
+            sample_every: 1,
+            ring_capacity: 1024,
+            flight: false,
+            flight_capacity: 256,
+            timing_detail: false,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// Enables or disables ring tracing.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Sets the head-sampling modulus (1 = every trace, 0 = none).
+    pub fn with_sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every;
+        self
+    }
+
+    /// Sets the trace-ring span capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the solver flight recorder.
+    pub fn with_flight(mut self, on: bool) -> Self {
+        self.flight = on;
+        self
+    }
+
+    /// Sets the flight recorder's record capacity.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables cache probe/evict latency timing.
+    pub fn with_timing_detail(mut self, on: bool) -> Self {
+        self.timing_detail = on;
+        self
+    }
+}
+
+/// One engine's observability bundle: metrics registry, tracer and flight
+/// recorder, built from [`ObsOptions`] and shared (by `Arc`) across every
+/// clone, worker and layer of that engine.
+#[derive(Debug)]
+pub struct ObsHub {
+    options: ObsOptions,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+    flight: FlightRecorder,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        ObsHub::new(ObsOptions::default())
+    }
+}
+
+impl ObsHub {
+    /// Builds the bundle from its knobs.
+    pub fn new(options: ObsOptions) -> Self {
+        ObsHub {
+            options,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::new(options.tracing, options.sample_every, options.ring_capacity),
+            flight: FlightRecorder::new(options.flight, options.flight_capacity),
+        }
+    }
+
+    /// The knobs the hub was built from.
+    pub fn options(&self) -> ObsOptions {
+        self.options
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The request tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The solver flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Freezes every surface into one dump.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            metrics: self.metrics.snapshot(),
+            tracer_enabled: self.tracer.enabled(),
+            sample_every: self.tracer.sample_every(),
+            ring_capacity: self.tracer.ring().capacity(),
+            spans_recorded: self.tracer.ring().recorded(),
+            spans_dropped: self.tracer.ring().dropped(),
+            spans: self.tracer.ring().read(),
+            flight_enabled: self.flight.enabled(),
+            flights: self.flight.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time dump of an [`ObsHub`]: every registered metric, the
+/// trace ring's contents and stats, and the flight recorder's records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// Every registered metric, name-sorted.
+    pub metrics: MetricsSnapshot,
+    /// Whether ring tracing was on at snapshot time.
+    pub tracer_enabled: bool,
+    /// The head-sampling modulus.
+    pub sample_every: u64,
+    /// The ring's span capacity.
+    pub ring_capacity: usize,
+    /// Spans ever written to the ring.
+    pub spans_recorded: u64,
+    /// Spans dropped by full-lap races.
+    pub spans_dropped: u64,
+    /// The ring's surviving spans, oldest first.
+    pub spans: Vec<RecordedSpan>,
+    /// Whether the flight recorder was on at snapshot time.
+    pub flight_enabled: bool,
+    /// The flight recorder's records, oldest first.
+    pub flights: Vec<SolveFlight>,
+}
+
+impl ObsSnapshot {
+    /// The whole dump as one JSON value:
+    /// `{metrics, tracing: {…, spans}, flight: {…, records}}`.
+    pub fn to_json(&self) -> Value {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("order".to_string(), Value::Num(s.order)),
+                    ("trace_id".to_string(), Value::Num(s.trace.as_u64())),
+                    (
+                        "kind".to_string(),
+                        Value::Str(s.span.kind.name().to_string()),
+                    ),
+                    (
+                        "start_ns".to_string(),
+                        Value::Num(s.span.start.as_nanos() as u64),
+                    ),
+                    (
+                        "duration_ns".to_string(),
+                        Value::Num(s.span.duration.as_nanos() as u64),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("metrics".to_string(), self.metrics.to_json()),
+            (
+                "tracing".to_string(),
+                Value::Object(vec![
+                    ("enabled".to_string(), Value::Bool(self.tracer_enabled)),
+                    ("sample_every".to_string(), Value::Num(self.sample_every)),
+                    (
+                        "ring_capacity".to_string(),
+                        Value::Num(self.ring_capacity as u64),
+                    ),
+                    (
+                        "spans_recorded".to_string(),
+                        Value::Num(self.spans_recorded),
+                    ),
+                    ("spans_dropped".to_string(), Value::Num(self.spans_dropped)),
+                    ("spans".to_string(), Value::Array(spans)),
+                ]),
+            ),
+            (
+                "flight".to_string(),
+                Value::Object(vec![
+                    ("enabled".to_string(), Value::Bool(self.flight_enabled)),
+                    (
+                        "records".to_string(),
+                        Value::Array(self.flights.iter().map(SolveFlight::to_json).collect()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// The dump as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn hub_defaults_are_quiet() {
+        let hub = ObsHub::default();
+        assert!(!hub.tracer().enabled());
+        assert!(!hub.flight().enabled());
+        assert!(!hub.options().timing_detail);
+        assert!(!hub.tracer().should_record(TraceId::next()));
+    }
+
+    #[test]
+    fn snapshot_serializes_every_surface() {
+        let options = ObsOptions::default()
+            .with_tracing(true)
+            .with_sample_every(1)
+            .with_ring_capacity(16)
+            .with_flight(true)
+            .with_flight_capacity(4)
+            .with_timing_detail(true);
+        let hub = ObsHub::new(options);
+        hub.metrics().counter("batch.solver_runs", &[]).add(3);
+        hub.metrics()
+            .histogram("key.keying_us", &[("width", "4")])
+            .record(Duration::from_micros(12));
+        let mut trace = RequestTrace::new(TraceId::from_raw(2));
+        trace.push(SpanKind::Key, Duration::ZERO, Duration::from_micros(5));
+        trace.push(
+            SpanKind::Solve,
+            Duration::from_micros(5),
+            Duration::from_micros(40),
+        );
+        assert!(hub.tracer().record_trace(&trace));
+        let probe = SearchProbe::new();
+        probe.add_expanded(7);
+        hub.flight().record(SolveFlight::from_probe(
+            "n4/sig7".to_string(),
+            &probe,
+            Duration::from_micros(40),
+            Some(4),
+            1,
+        ));
+
+        let snapshot = hub.snapshot();
+        assert_eq!(snapshot.spans.len(), 2);
+        assert_eq!(snapshot.flights.len(), 1);
+        let parsed = json::parse(&snapshot.to_json_string()).unwrap();
+        let metrics = parsed.get("metrics").unwrap().as_array().unwrap();
+        assert!(metrics
+            .iter()
+            .any(|m| m.get("name").unwrap().as_str() == Some("batch.solver_runs")));
+        let tracing = parsed.get("tracing").unwrap();
+        assert_eq!(tracing.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(tracing.get("spans_recorded").unwrap().as_u64(), Some(2));
+        assert_eq!(tracing.get("spans").unwrap().as_array().unwrap().len(), 2);
+        let flight = parsed.get("flight").unwrap();
+        assert_eq!(flight.get("records").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! The sharded metrics registry: named counters, gauges and histograms.
+//!
+//! The registry is the one place every layer (keying pipeline, cache, batch
+//! engine, serve scheduler, A* core) reports into. Registration is the cold
+//! path: the metric name (plus its sorted label set) hashes to one of a
+//! fixed set of mutex shards, and the shard lock is only taken while a
+//! handle is looked up or created. The returned handle ([`Counter`],
+//! [`Gauge`] or a shared [`Histogram`]) is a cheap `Arc`
+//! around the underlying atomic — callers keep it and update it lock-free,
+//! so the steady-state cost of a metric update is one relaxed atomic op.
+//!
+//! Naming convention: `layer.signal` (`batch.solver_runs`,
+//! `serve.queue_depth`, `cache.probe_us`), with labels for low-cardinality
+//! dimensions such as the register width (`width="4"`).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::Value;
+
+/// A monotonically increasing counter handle (relaxed atomic increments).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a signed instantaneous value (queue depth, in-flight
+/// classes) updated with relaxed atomics.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: i64) {
+        self.0.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric's identity: its name plus its sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+impl MetricHandle {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricHandle::Counter(_) => "counter",
+            MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+const REGISTRY_SHARDS: usize = 16;
+
+/// The sharded metrics registry. See the [module docs](self).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: [Mutex<HashMap<MetricKey, MetricHandle>>; REGISTRY_SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard_of(&self, key: &MetricKey) -> &Mutex<HashMap<MetricKey, MetricHandle>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % REGISTRY_SHARDS]
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        create: impl FnOnce() -> MetricHandle,
+    ) -> MetricHandle {
+        let key = MetricKey::new(name, labels);
+        let mut shard = self.shard_of(&key).lock().expect("registry shard poisoned");
+        let handle = shard.entry(key).or_insert_with(create);
+        handle.clone()
+    }
+
+    /// The counter registered under `name` + `labels`, creating it on first
+    /// use. Label order does not matter.
+    ///
+    /// # Panics
+    ///
+    /// If the same name + labels was already registered as a different
+    /// metric kind (a programming error in the instrumentation).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_register(name, labels, || MetricHandle::Counter(Counter::default())) {
+            MetricHandle::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name` + `labels`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// If the same name + labels was already registered as a different
+    /// metric kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_register(name, labels, || MetricHandle::Gauge(Gauge::default())) {
+            MetricHandle::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name` + `labels`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// If the same name + labels was already registered as a different
+    /// metric kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_register(name, labels, || {
+            MetricHandle::Histogram(Arc::new(Histogram::new()))
+        }) {
+            MetricHandle::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by
+    /// `(name, labels)` so dumps are deterministic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut samples = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            for (key, handle) in shard.iter() {
+                samples.push(MetricSample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    value: match handle {
+                        MetricHandle::Counter(c) => MetricValue::Counter(c.get()),
+                        MetricHandle::Gauge(g) => MetricValue::Gauge(g.get()),
+                        MetricHandle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                });
+            }
+        }
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        MetricsSnapshot { samples }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's instantaneous value.
+    Gauge(i64),
+    /// A histogram's bucket counts.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// The metric name (`layer.signal`).
+    pub name: String,
+    /// The sorted label set.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    /// The sample as JSON: `{name, labels, type, value}`.
+    pub fn to_json(&self) -> Value {
+        let labels = Value::Object(
+            self.labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect(),
+        );
+        let (kind, value) = match &self.value {
+            MetricValue::Counter(v) => ("counter", Value::Num(*v)),
+            MetricValue::Gauge(v) => (
+                "gauge",
+                if *v >= 0 {
+                    Value::Num(*v as u64)
+                } else {
+                    Value::Float(*v as f64)
+                },
+            ),
+            MetricValue::Histogram(h) => ("histogram", h.to_json()),
+        };
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("labels".to_string(), labels),
+            ("type".to_string(), Value::Str(kind.to_string())),
+            ("value".to_string(), value),
+        ])
+    }
+}
+
+/// A deterministic (name-sorted) copy of the whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Every registered metric, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// The first sample with this name (any labels), if registered.
+    pub fn get(&self, name: &str) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// The snapshot as a JSON array of samples.
+    pub fn to_json(&self) -> Value {
+        Value::Array(self.samples.iter().map(MetricSample::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn handles_are_shared_per_identity() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("batch.solver_runs", &[]);
+        let b = registry.counter("batch.solver_runs", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Label order does not fork the identity...
+        let w1 = registry.counter("key.width", &[("width", "4"), ("kind", "sparse")]);
+        let w2 = registry.counter("key.width", &[("kind", "sparse"), ("width", "4")]);
+        w1.inc();
+        assert_eq!(w2.get(), 1);
+        // ...but a different label value does.
+        let w3 = registry.counter("key.width", &[("width", "5"), ("kind", "sparse")]);
+        assert_eq!(w3.get(), 0);
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let registry = MetricsRegistry::new();
+        let depth = registry.gauge("serve.queue_depth", &[]);
+        depth.add(5);
+        depth.sub(2);
+        assert_eq!(depth.get(), 3);
+        depth.set(-1);
+        assert_eq!(depth.get(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_is_a_loud_error() {
+        let registry = MetricsRegistry::new();
+        registry.counter("serve.queue_depth", &[]);
+        registry.gauge("serve.queue_depth", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializable() {
+        let registry = MetricsRegistry::new();
+        registry.counter("z.last", &[]).inc();
+        registry.gauge("a.first", &[]).set(7);
+        registry
+            .histogram("m.middle", &[("width", "3")])
+            .record(Duration::from_micros(10));
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+        assert_eq!(
+            snapshot.get("z.last").unwrap().value,
+            MetricValue::Counter(1)
+        );
+        let parsed = crate::json::parse(&snapshot.to_json().to_json()).unwrap();
+        let samples = parsed.as_array().unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(
+            samples[1]
+                .get("labels")
+                .unwrap()
+                .get("width")
+                .unwrap()
+                .as_str(),
+            Some("3")
+        );
+    }
+
+    #[test]
+    fn concurrent_registration_converges_on_one_atom() {
+        let registry = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        registry.counter("hot.path", &[]).inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("hot.path", &[]).get(), 800);
+    }
+}

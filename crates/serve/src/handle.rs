@@ -15,6 +15,10 @@ use qsp_circuit::Circuit;
 use qsp_core::{SynthesisError, SynthesisReport};
 
 /// The terminal state of one request.
+// A completed report (circuit + provenance + timings + trace) dwarfs the
+// other variants, but it crosses the one-shot exactly once and boxing it
+// would buy that move at the cost of an allocation per completion.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The provenance-rich synthesis report for the submitted request:

@@ -25,6 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use qsp_core::{CacheEntry, ClassKey, ResolvedConfig, StateTransform};
+use qsp_obs::TraceId;
 
 use crate::handle::Completer;
 
@@ -35,6 +36,8 @@ use crate::handle::Completer;
 /// as its owner — attaching is always dedup-sound.
 #[derive(Debug)]
 pub(crate) struct Waiter {
+    /// The request's trace id (assigned at submission).
+    pub trace: TraceId,
     /// The request's own witness transform onto the canonical fingerprint.
     pub transform: StateTransform,
     /// The request's effective configuration (reported back in its
@@ -46,6 +49,14 @@ pub(crate) struct Waiter {
     pub enqueued: Instant,
     /// When the worker drained this request (per-stage latency accounting).
     pub drained: Instant,
+    /// When the deadline check and option resolution finished.
+    pub validated: Instant,
+    /// When canonical keying finished.
+    pub keyed: Instant,
+    /// When the cache-probe/attach decision was made. Initialized to `keyed`
+    /// at construction; [`InFlightTable::attach_or_own`] re-stamps it so the
+    /// span covers the actual probe under the table lock.
+    pub probed: Instant,
 }
 
 /// What became of an attach attempt.
@@ -73,14 +84,17 @@ impl InFlightTable {
         &self,
         key: &ClassKey,
         cache_probe: impl FnOnce() -> Option<Arc<CacheEntry>>,
-        waiter: Waiter,
+        mut waiter: Waiter,
     ) -> Attach {
         let mut classes = self.classes.lock().expect("in-flight table poisoned");
         if let Some(waiters) = classes.get_mut(key) {
+            waiter.probed = Instant::now();
             waiters.push(waiter);
             return Attach::Attached;
         }
-        if let Some(entry) = cache_probe() {
+        let probed = cache_probe();
+        waiter.probed = Instant::now();
+        if let Some(entry) = probed {
             return Attach::Cached(entry, waiter);
         }
         classes.insert(key.clone(), Vec::new());
@@ -153,12 +167,16 @@ mod tests {
         let (_, completer) = oneshot();
         let now = Instant::now();
         Waiter {
+            trace: TraceId::next(),
             transform,
             resolved: ResolvedConfig::default(),
             keying: Duration::ZERO,
             completer,
             enqueued: now,
             drained: now,
+            validated: now,
+            keyed: now,
+            probed: now,
         }
     }
 
@@ -225,12 +243,16 @@ mod tests {
                 &key,
                 || engine.lookup_class(&key),
                 Waiter {
+                    trace: TraceId::next(),
                     transform: transform.clone(),
                     resolved: ResolvedConfig::default(),
                     keying: Duration::ZERO,
                     completer,
                     enqueued: now,
                     drained: now,
+                    validated: now,
+                    keyed: now,
+                    probed: now,
                 },
             ),
             Attach::Attached

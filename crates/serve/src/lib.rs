@@ -43,11 +43,15 @@
 //!   ([`Shutdown::Drain`]) or fails pending work with
 //!   [`Response::Cancelled`] ([`Shutdown::Abort`]) — handles never hang.
 //!
-//! Observability rides on [`ServiceStats`]:
-//! submitted/completed/rejected/expired/deduped counters, queue-depth
-//! high-water and per-stage latency histograms (queue wait, service time,
-//! end-to-end) in plain power-of-two buckets, serializable through the
-//! workspace-shared [`qsp_core::json`] writer.
+//! Observability rides on the engine's [`qsp_obs::ObsHub`]: every service
+//! counter and latency histogram is a `serve.*` metric in the hub's
+//! registry ([`ServiceStats`] is a typed view over it, serializable through
+//! the workspace-shared [`qsp_core::json`] writer), each completed request's
+//! report carries a [`RequestTrace`] span tree (queue wait → validate → key
+//! → cache probe → solve → reconstruct, summing exactly to the end-to-end
+//! latency) that is also head-sampled into the hub's trace ring, and
+//! [`SynthesisService::obs_snapshot`] dumps the whole hub — metrics, sampled
+//! traces and solver flight records — in one [`ObsSnapshot`].
 //!
 //! # Example
 //!
@@ -92,3 +96,7 @@ pub use stats::{HistogramSnapshot, ServiceStats, HISTOGRAM_BUCKETS};
 pub use qsp_core::api::{
     CachePolicy, Provenance, RequestOptions, StageTimings, SynthesisReport, SynthesisRequest,
 };
+
+// The observability surface service operators read: options to turn tracing
+// and the flight recorder on, the snapshot/trace types that come back out.
+pub use qsp_obs::{ObsOptions, ObsSnapshot, RequestTrace, SpanKind, TraceId};

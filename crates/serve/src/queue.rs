@@ -6,6 +6,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use qsp_core::RequestOptions;
+use qsp_obs::TraceId;
 use qsp_state::SparseState;
 
 use crate::handle::{oneshot, Completer, RequestHandle};
@@ -45,6 +46,8 @@ impl Submit {
 pub(crate) struct QueuedRequest {
     /// Submission order, the deterministic tiebreak of the EDF sort.
     pub seq: u64,
+    /// The request's trace id (head-sampling key; rides on the report).
+    pub trace: TraceId,
     pub target: SparseState,
     /// The request's full options block (deadline and priority drive the
     /// drain order; the solver overrides and cache policy are consumed by
@@ -108,6 +111,7 @@ impl SubmissionQueue {
         let (handle, completer) = oneshot();
         state.items.push_back(QueuedRequest {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            trace: TraceId::next(),
             target,
             options,
             enqueued: Instant::now(),

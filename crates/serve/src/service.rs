@@ -1,6 +1,5 @@
 //! The synthesis service front door.
 
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -9,13 +8,14 @@ use qsp_core::{
     BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, KeyCoverage, KeyedClass, Provenance,
     StageTimings, SynthesisReport, SynthesisRequest,
 };
+use qsp_obs::{Histogram, ObsSnapshot, RequestTrace, SpanKind};
 use qsp_state::{QuantumState, SparseState};
 
 use crate::config::{SchedulerConfig, ServiceConfig};
 use crate::handle::Response;
 use crate::inflight::{Attach, InFlightTable, Waiter};
 use crate::queue::{QueuedRequest, SubmissionQueue, Submit};
-use crate::stats::{Counters, LatencyHistogram, ServiceStats};
+use crate::stats::{Counters, ServiceStats};
 
 /// How [`SynthesisService::shutdown`] disposes of queued work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,10 +45,12 @@ struct Inner {
     engine: BatchSynthesizer,
     queue: SubmissionQueue,
     inflight: InFlightTable,
+    /// Cached `serve.*` registry handles (the registry itself lives in the
+    /// engine's [`qsp_obs::ObsHub`]).
     counters: Counters,
-    queue_wait: LatencyHistogram,
-    service_time: LatencyHistogram,
-    end_to_end: LatencyHistogram,
+    queue_wait: Arc<Histogram>,
+    service_time: Arc<Histogram>,
+    end_to_end: Arc<Histogram>,
     scheduler: SchedulerConfig,
 }
 
@@ -61,20 +63,25 @@ impl SynthesisService {
 
     /// Starts a service on an existing batch engine — sharing its synthesis
     /// cache (e.g. one warm-started from a snapshot, or one also serving
-    /// offline `synthesize_batch` traffic).
+    /// offline `synthesize_batch` traffic) and its observability hub.
     pub fn with_engine(
         engine: BatchSynthesizer,
         queue_capacity: usize,
         scheduler: SchedulerConfig,
     ) -> Self {
+        let metrics = engine.obs().metrics();
+        let counters = Counters::new(metrics);
+        let queue_wait = metrics.histogram("serve.queue_wait", &[]);
+        let service_time = metrics.histogram("serve.service_time", &[]);
+        let end_to_end = metrics.histogram("serve.end_to_end", &[]);
         let inner = Arc::new(Inner {
             engine,
             queue: SubmissionQueue::new(queue_capacity),
             inflight: InFlightTable::default(),
-            counters: Counters::default(),
-            queue_wait: LatencyHistogram::new(),
-            service_time: LatencyHistogram::new(),
-            end_to_end: LatencyHistogram::new(),
+            counters,
+            queue_wait,
+            service_time,
+            end_to_end,
             scheduler,
         });
         let workers = (0..scheduler.resolved_workers())
@@ -105,14 +112,22 @@ impl SynthesisService {
     /// service's base configuration and fork the request into its own
     /// fingerprinted dedup/cache class; the [`CachePolicy`] decides cache
     /// probing, in-flight attaching and publishing.
+    ///
+    /// Every accepted request gets a [`qsp_obs::TraceId`], and its completed
+    /// [`SynthesisReport`] carries the full [`RequestTrace`] span tree
+    /// (queue wait → validate → key → cache probe → solve → reconstruct,
+    /// summing exactly to the end-to-end latency).
     pub fn submit(&self, request: SynthesisRequest<SparseState>) -> Submit {
         let SynthesisRequest {
             target, options, ..
         } = request;
         let submit = self.inner.queue.push(target, options);
         match &submit {
-            Submit::Accepted(_) => Counters::bump(&self.inner.counters.submitted),
-            Submit::Rejected { .. } => Counters::bump(&self.inner.counters.rejected),
+            Submit::Accepted(_) => {
+                self.inner.counters.submitted.inc();
+                self.inner.counters.queue_depth.add(1);
+            }
+            Submit::Rejected { .. } => self.inner.counters.rejected.inc(),
         }
         submit
     }
@@ -127,8 +142,8 @@ impl SynthesisService {
             Ok(sparse) => self
                 .submit(SynthesisRequest::new(sparse.into_owned()).with_options(request.options)),
             Err(error) => {
-                Counters::bump(&self.inner.counters.submitted);
-                Counters::bump(&self.inner.counters.failed);
+                self.inner.counters.submitted.inc();
+                self.inner.counters.failed.inc();
                 let (handle, completer) = crate::handle::oneshot();
                 completer.complete(Response::Failed(qsp_core::SynthesisError::State(error)));
                 Submit::Accepted(handle)
@@ -153,8 +168,8 @@ impl SynthesisService {
                 self.submit(request)
             }
             Err(error) => {
-                Counters::bump(&self.inner.counters.submitted);
-                Counters::bump(&self.inner.counters.failed);
+                self.inner.counters.submitted.inc();
+                self.inner.counters.failed.inc();
                 let (handle, completer) = crate::handle::oneshot();
                 completer.complete(Response::Failed(qsp_core::SynthesisError::State(error)));
                 Submit::Accepted(handle)
@@ -162,28 +177,30 @@ impl SynthesisService {
         }
     }
 
-    /// The underlying batch engine (shared synthesis cache, dedup policy).
+    /// The underlying batch engine (shared synthesis cache, dedup policy,
+    /// observability hub).
     pub fn engine(&self) -> &BatchSynthesizer {
         &self.inner.engine
     }
 
     /// A point-in-time snapshot of the service counters and latency
-    /// histograms.
+    /// histograms — the typed `serve.*` slice of the engine's metrics
+    /// registry.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
         ServiceStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            expired: c.expired.load(Ordering::Relaxed),
-            deduped: c.deduped.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            solver_runs: c.solver_runs.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            keys_exhaustive: c.keys_exhaustive.load(Ordering::Relaxed),
-            keys_orbit_pruned: c.keys_orbit_pruned.load(Ordering::Relaxed),
-            keys_greedy: c.keys_greedy.load(Ordering::Relaxed),
+            submitted: c.submitted.get(),
+            completed: c.completed.get(),
+            failed: c.failed.get(),
+            rejected: c.rejected.get(),
+            expired: c.expired.get(),
+            deduped: c.deduped.get(),
+            cache_hits: c.cache_hits.get(),
+            solver_runs: c.solver_runs.get(),
+            cancelled: c.cancelled.get(),
+            keys_exhaustive: c.keys_exhaustive.get(),
+            keys_orbit_pruned: c.keys_orbit_pruned.get(),
+            keys_greedy: c.keys_greedy.get(),
             queue_high_water: self.inner.queue.high_water(),
             queue_depth: self.inner.queue.depth(),
             in_flight_classes: self.inner.inflight.len(),
@@ -193,6 +210,14 @@ impl SynthesisService {
         }
     }
 
+    /// A full observability snapshot of the engine's hub: every registry
+    /// metric (`serve.*`, `batch.*`, `cache.*`), the sampled trace-ring
+    /// spans and the solver flight records, serializable through
+    /// [`ObsSnapshot::to_json`].
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.inner.engine.obs().snapshot()
+    }
+
     /// Stops the service deterministically and joins the worker pool:
     /// [`Shutdown::Drain`] finishes all queued work first, [`Shutdown::Abort`]
     /// fails queued requests with [`Response::Cancelled`] (requests already
@@ -200,7 +225,8 @@ impl SynthesisService {
     pub fn shutdown(&self, mode: Shutdown) -> ServiceStats {
         let leftover = self.inner.queue.close(mode == Shutdown::Abort);
         for request in leftover {
-            Counters::bump(&self.inner.counters.cancelled);
+            self.inner.counters.cancelled.inc();
+            self.inner.counters.queue_depth.sub(1);
             request.completer.complete(Response::Cancelled);
         }
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker pool poisoned"));
@@ -236,9 +262,11 @@ impl Inner {
 
     /// Serves one drained request: deadline check, option resolution and
     /// fingerprinted canonical keying, then cache / in-flight attach / fresh
-    /// solve per the request's [`CachePolicy`].
+    /// solve per the request's [`CachePolicy`]. Each stage boundary is
+    /// timestamped into the request's span tree.
     fn process(&self, request: QueuedRequest) {
         let QueuedRequest {
+            trace,
             target,
             options,
             enqueued,
@@ -246,12 +274,13 @@ impl Inner {
             ..
         } = request;
         let drained = Instant::now();
+        self.counters.queue_depth.sub(1);
         self.queue_wait.record(drained - enqueued);
 
         // Deadline-aware: an expired request is answered without spending
         // any solver time on it.
         if options.deadline.is_some_and(|d| drained >= d) {
-            Counters::bump(&self.counters.expired);
+            self.counters.expired.inc();
             self.end_to_end.record(drained - enqueued);
             completer.complete(Response::Timeout);
             return;
@@ -261,7 +290,7 @@ impl Inner {
         // so requests with different effective solver configurations can
         // never share a cache entry or an in-flight solve.
         let resolved = self.engine.resolve_options(&options);
-        let keying_start = Instant::now();
+        let validated = Instant::now();
         let KeyedClass {
             key,
             transform,
@@ -270,7 +299,7 @@ impl Inner {
         } = match self.engine.canonical_class_with(&target, &resolved) {
             Ok(keyed) => keyed,
             Err(error) => {
-                Counters::bump(&self.counters.failed);
+                self.counters.failed.inc();
                 let now = Instant::now();
                 self.service_time.record(now - drained);
                 self.end_to_end.record(now - enqueued);
@@ -278,25 +307,31 @@ impl Inner {
                 return;
             }
         };
-        Counters::bump(match coverage {
-            KeyCoverage::Exhaustive => &self.counters.keys_exhaustive,
-            KeyCoverage::OrbitPruned => &self.counters.keys_orbit_pruned,
-            KeyCoverage::Greedy => &self.counters.keys_greedy,
-        });
+        let keyed = Instant::now();
+        match coverage {
+            KeyCoverage::Exhaustive => self.counters.keys_exhaustive.inc(),
+            KeyCoverage::OrbitPruned => self.counters.keys_orbit_pruned.inc(),
+            KeyCoverage::Greedy => self.counters.keys_greedy.inc(),
+        }
         let waiter = Waiter {
+            trace,
             transform,
             resolved,
-            keying: keying_start.elapsed(),
+            keying: keyed - validated,
             completer,
             enqueued,
             drained,
+            validated,
+            keyed,
+            probed: keyed,
         };
 
         // With dedup off — or a per-request cache bypass — the request is
-        // solved independently: no cache probe, no in-flight table.
+        // solved independently: no cache probe, no in-flight table (its
+        // cache-probe span is empty).
         if self.engine.options().dedup == DedupPolicy::Off || resolved.cache == CachePolicy::Bypass
         {
-            Counters::bump(&self.counters.solver_runs);
+            self.counters.solver_runs.inc();
             let solve_start = Instant::now();
             let entry = self
                 .engine
@@ -310,9 +345,9 @@ impl Inner {
             .inflight
             .attach_or_own(&key, || self.engine.lookup_class(&key), waiter)
         {
-            Attach::Attached => Counters::bump(&self.counters.deduped),
+            Attach::Attached => self.counters.deduped.inc(),
             Attach::Cached(entry, waiter) => {
-                Counters::bump(&self.counters.cache_hits);
+                self.counters.cache_hits.inc();
                 let witness = waiter.transform.clone();
                 self.finish(
                     &entry,
@@ -322,7 +357,7 @@ impl Inner {
                 );
             }
             Attach::Owner(waiter) => {
-                Counters::bump(&self.counters.solver_runs);
+                self.counters.solver_runs.inc();
                 // The guard retires the class even if the solve panics, so
                 // attached waiters can never hang on a poisoned entry.
                 let owned = self.inflight.guard(&key);
@@ -370,7 +405,7 @@ impl Inner {
         let reconstruct_start = Instant::now();
         let response = match BatchSynthesizer::reconstruct_for(entry, &waiter.transform) {
             Ok(circuit) => {
-                Counters::bump(&self.counters.completed);
+                self.counters.completed.inc();
                 let now = Instant::now();
                 let timings = StageTimings::new(
                     waiter.keying,
@@ -378,15 +413,50 @@ impl Inner {
                     now - reconstruct_start,
                     now - waiter.enqueued,
                 );
-                Response::Completed(SynthesisReport::new(
-                    circuit,
-                    provenance,
-                    timings,
-                    waiter.resolved,
-                ))
+                // The span tree: six contiguous stages relative to
+                // submission, summing *exactly* to the report's end-to-end
+                // latency. For an attached waiter the solve span is the time
+                // it spent parked on its owner's solve.
+                let at = |instant: Instant| instant - waiter.enqueued;
+                let mut trace = RequestTrace::new(waiter.trace);
+                trace.push(
+                    SpanKind::QueueWait,
+                    Duration::ZERO,
+                    waiter.drained - waiter.enqueued,
+                );
+                trace.push(
+                    SpanKind::Validate,
+                    at(waiter.drained),
+                    waiter.validated - waiter.drained,
+                );
+                trace.push(
+                    SpanKind::Key,
+                    at(waiter.validated),
+                    waiter.keyed - waiter.validated,
+                );
+                trace.push(
+                    SpanKind::CacheProbe,
+                    at(waiter.keyed),
+                    waiter.probed - waiter.keyed,
+                );
+                trace.push(
+                    SpanKind::Solve,
+                    at(waiter.probed),
+                    reconstruct_start - waiter.probed,
+                );
+                trace.push(
+                    SpanKind::Reconstruct,
+                    at(reconstruct_start),
+                    now - reconstruct_start,
+                );
+                self.engine.obs().tracer().record_trace(&trace);
+                Response::Completed(
+                    SynthesisReport::new(circuit, provenance, timings, waiter.resolved)
+                        .with_trace(trace),
+                )
             }
             Err(error) => {
-                Counters::bump(&self.counters.failed);
+                self.counters.failed.inc();
                 Response::Failed(error)
             }
         };

@@ -1,128 +1,62 @@
-//! Service counters and plain-bucket latency histograms.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+//! Service counters and latency histograms — a typed view over the
+//! engine's [`qsp_obs`] metrics registry.
+//!
+//! The service owns no counter storage of its own: every counter below is a
+//! [`Counter`] handle registered as a `serve.*` metric in the engine's
+//! [`ObsHub`](qsp_obs::ObsHub) registry, and the latency histograms are the
+//! registry's shared [`Histogram`](qsp_obs::Histogram)s. [`ServiceStats`]
+//! keeps its flat, field-per-counter shape (and JSON format) as the stable
+//! reading surface; the same numbers also appear — with every other layer's
+//! signals — in the hub's [`ObsSnapshot`](qsp_obs::ObsSnapshot).
 
 use qsp_core::json::Value;
+use qsp_obs::{Counter, Gauge, MetricsRegistry};
 
-/// Number of histogram buckets: bucket `i < 25` counts latencies below
-/// `2^i` microseconds (the bounded range tops out at `2^24` µs ≈ 16.8 s);
-/// the last bucket is the unbounded overflow.
-pub const HISTOGRAM_BUCKETS: usize = 26;
+// One histogram implementation serves the whole workspace: the serving
+// layer's buckets *are* the registry's.
+pub use qsp_obs::{HistogramSnapshot, HISTOGRAM_BUCKETS};
 
-/// A fixed-bucket, lock-free latency histogram. Buckets are powers of two
-/// in microseconds — coarse, but cheap enough to sit on the completion hot
-/// path and plenty for p50/p95/p99 reporting.
+/// The service's counter block: cached `serve.*` [`Counter`] handles, so the
+/// completion hot path pays one relaxed `fetch_add` per event — never a
+/// registry lookup.
 #[derive(Debug)]
-pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-}
-
-impl LatencyHistogram {
-    pub(crate) fn new() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    pub(crate) fn record(&self, latency: Duration) {
-        self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-        }
-    }
-}
-
-/// The bucket index of a latency: the bit length of its microsecond count
-/// (0 µs → bucket 0), clamped to the overflow bucket.
-fn bucket_of(latency: Duration) -> usize {
-    let micros = latency.as_micros();
-    let bits = (u128::BITS - micros.leading_zeros()) as usize;
-    bits.min(HISTOGRAM_BUCKETS - 1)
-}
-
-/// A point-in-time copy of one histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    /// Per-bucket observation counts; bucket `i` covers latencies below
-    /// [`HistogramSnapshot::bucket_upper_bound`]`(i)`.
-    pub counts: [u64; HISTOGRAM_BUCKETS],
-}
-
-impl HistogramSnapshot {
-    /// The exclusive upper bound of bucket `i`. The last bucket is
-    /// unbounded; the value returned for it (`2^25` µs ≈ 33.5 s) is the
-    /// clamp [`HistogramSnapshot::percentile`] reports overflow
-    /// observations at.
-    pub fn bucket_upper_bound(i: usize) -> Duration {
-        Duration::from_micros(1u64 << i.min(HISTOGRAM_BUCKETS - 1))
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// An upper bound on the `p`-quantile latency (`p` in `[0, 1]`): the
-    /// upper bound of the bucket the quantile falls in. Zero when empty.
-    /// Quantiles landing in the unbounded overflow bucket are *clamped* to
-    /// its nominal bound (≈ 33.5 s) — a true tail latency beyond that is
-    /// reported as the clamp, not an upper bound.
-    pub fn percentile(&self, p: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return Self::bucket_upper_bound(i);
-            }
-        }
-        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
-    }
-
-    /// The histogram as JSON: bucket counts plus p50/p95/p99 milliseconds.
-    pub fn to_json(&self) -> Value {
-        let quantile_ms = |p: f64| Value::Float(self.percentile(p).as_secs_f64() * 1e3);
-        Value::Object(vec![
-            ("count".to_string(), Value::Num(self.count())),
-            ("p50_ms".to_string(), quantile_ms(0.50)),
-            ("p95_ms".to_string(), quantile_ms(0.95)),
-            ("p99_ms".to_string(), quantile_ms(0.99)),
-            (
-                "bucket_counts".to_string(),
-                Value::Array(self.counts.iter().map(|&c| Value::Num(c)).collect()),
-            ),
-        ])
-    }
-}
-
-/// The service's atomic counter block.
-#[derive(Debug, Default)]
 pub(crate) struct Counters {
-    pub submitted: AtomicU64,
-    pub completed: AtomicU64,
-    pub failed: AtomicU64,
-    pub rejected: AtomicU64,
-    pub expired: AtomicU64,
-    pub deduped: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub solver_runs: AtomicU64,
-    pub cancelled: AtomicU64,
-    pub keys_exhaustive: AtomicU64,
-    pub keys_orbit_pruned: AtomicU64,
-    pub keys_greedy: AtomicU64,
+    pub submitted: Counter,
+    pub completed: Counter,
+    pub failed: Counter,
+    pub rejected: Counter,
+    pub expired: Counter,
+    pub deduped: Counter,
+    pub cache_hits: Counter,
+    pub solver_runs: Counter,
+    pub cancelled: Counter,
+    pub keys_exhaustive: Counter,
+    pub keys_orbit_pruned: Counter,
+    pub keys_greedy: Counter,
+    /// Mirror of the submission queue's current depth (`+1` on accept, `-1`
+    /// on drain or shutdown cancellation).
+    pub queue_depth: Gauge,
 }
 
 impl Counters {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Registers (or re-attaches to) the `serve.*` metrics in `metrics`.
+    pub(crate) fn new(metrics: &MetricsRegistry) -> Self {
+        let counter = |name: &str| metrics.counter(name, &[]);
+        Counters {
+            submitted: counter("serve.submitted"),
+            completed: counter("serve.completed"),
+            failed: counter("serve.failed"),
+            rejected: counter("serve.rejected"),
+            expired: counter("serve.expired"),
+            deduped: counter("serve.deduped"),
+            cache_hits: counter("serve.cache_hits"),
+            solver_runs: counter("serve.solver_runs"),
+            cancelled: counter("serve.cancelled"),
+            keys_exhaustive: counter("serve.keys.exhaustive"),
+            keys_orbit_pruned: counter("serve.keys.orbit_pruned"),
+            keys_greedy: counter("serve.keys.orbit_budget_exhausted"),
+            queue_depth: metrics.gauge("serve.queue_depth", &[]),
+        }
     }
 }
 
@@ -132,6 +66,10 @@ impl Counters {
 /// `submitted == completed + failed + expired + cancelled + in-flight`, and
 /// `completed + failed == solver_runs-resolved + deduped + cache_hits`
 /// requests that went through the solve path.
+///
+/// Every field is read from the engine's metrics registry (`serve.*`
+/// metrics), so the identical numbers appear in
+/// [`ObsSnapshot`](qsp_obs::ObsSnapshot) dumps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
     /// Requests accepted into the queue.
@@ -228,45 +166,33 @@ impl ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qsp_obs::Histogram;
+    use std::time::Duration;
 
     #[test]
-    fn buckets_cover_the_latency_range() {
-        assert_eq!(bucket_of(Duration::ZERO), 0);
-        assert_eq!(bucket_of(Duration::from_micros(1)), 1);
-        assert_eq!(bucket_of(Duration::from_micros(2)), 2);
-        assert_eq!(bucket_of(Duration::from_micros(3)), 2);
-        assert_eq!(bucket_of(Duration::from_micros(1023)), 10);
-        // Far beyond the range clamps into the overflow bucket.
-        assert_eq!(bucket_of(Duration::from_secs(3600)), HISTOGRAM_BUCKETS - 1);
-        // Every bucket's upper bound is inside the next bucket.
-        for i in 0..HISTOGRAM_BUCKETS - 1 {
-            assert_eq!(bucket_of(HistogramSnapshot::bucket_upper_bound(i)), i + 1);
-        }
-    }
-
-    #[test]
-    fn percentiles_walk_the_buckets() {
-        let histogram = LatencyHistogram::new();
-        assert_eq!(histogram.snapshot().percentile(0.5), Duration::ZERO);
-        // 90 fast observations (~4 µs) and 10 slow (~1 ms).
-        for _ in 0..90 {
-            histogram.record(Duration::from_micros(3));
-        }
-        for _ in 0..10 {
-            histogram.record(Duration::from_micros(900));
-        }
-        let snapshot = histogram.snapshot();
-        assert_eq!(snapshot.count(), 100);
-        assert_eq!(snapshot.percentile(0.5), Duration::from_micros(4));
-        assert_eq!(snapshot.percentile(0.9), Duration::from_micros(4));
-        assert_eq!(snapshot.percentile(0.95), Duration::from_micros(1024));
-        assert_eq!(snapshot.percentile(0.99), Duration::from_micros(1024));
-        assert!(snapshot.percentile(1.0) >= snapshot.percentile(0.5));
+    fn counters_are_registry_views() {
+        let metrics = MetricsRegistry::new();
+        let counters = Counters::new(&metrics);
+        counters.submitted.inc();
+        counters.submitted.inc();
+        counters.queue_depth.add(3);
+        counters.queue_depth.sub(1);
+        // The registry sees exactly what the handles recorded — same
+        // storage, not a copy.
+        let snapshot = metrics.snapshot();
+        let submitted = snapshot.get("serve.submitted").unwrap();
+        assert_eq!(submitted.value, qsp_obs::MetricValue::Counter(2));
+        let depth = snapshot.get("serve.queue_depth").unwrap();
+        assert_eq!(depth.value, qsp_obs::MetricValue::Gauge(2));
+        // Re-attaching yields handles to the same storage.
+        let again = Counters::new(&metrics);
+        again.submitted.inc();
+        assert_eq!(counters.submitted.get(), 3);
     }
 
     #[test]
     fn stats_serialize_to_parseable_json() {
-        let histogram = LatencyHistogram::new();
+        let histogram = Histogram::new();
         histogram.record(Duration::from_micros(10));
         let stats = ServiceStats {
             submitted: 5,

@@ -1,0 +1,130 @@
+//! The observability stack end to end: run mixed traffic through the
+//! service with tracing and the solver flight recorder on, print one
+//! request's span tree, rank the slowest solves from the flight recorder,
+//! and dump the whole hub as JSON.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p qsp-examples --bin observability
+//! ```
+
+use std::time::Duration;
+
+use qsp_core::BatchOptions;
+use qsp_serve::{
+    ObsOptions, Response, SchedulerConfig, ServiceConfig, Shutdown, SpanKind, SynthesisRequest,
+    SynthesisService,
+};
+use qsp_state::generators::{self, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small service with the full observability surface on: every request
+    // head-sampled into the trace ring, every fresh solve filed in the
+    // flight recorder, cache probes/evictions timed into histograms.
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(64)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(4)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(2),
+            )
+            .with_batch(
+                BatchOptions::default().with_obs(
+                    ObsOptions::default()
+                        .with_tracing(true)
+                        .with_ring_capacity(1024)
+                        .with_flight(true)
+                        .with_timing_detail(true),
+                ),
+            ),
+    );
+
+    // Mixed traffic with repeats: the duplicate GHZ rides the cache or an
+    // in-flight attach, the dense target gives the flight recorder a real
+    // A* search to narrate.
+    let targets = [
+        ("ghz(6)", generators::ghz(6)?),
+        ("dicke(5,2)", generators::dicke(5, 2)?),
+        ("ghz(6) again", generators::ghz(6)?),
+        ("w(5)", generators::w_state(5)?),
+        (
+            "random sparse(8)",
+            Workload::RandomSparse { n: 8, seed: 7 }.instantiate()?,
+        ),
+        (
+            "random dense(4)",
+            Workload::RandomDense { n: 4, seed: 11 }.instantiate()?,
+        ),
+    ];
+    let mut handles = Vec::new();
+    for (label, target) in &targets {
+        let submit = service.submit(SynthesisRequest::new(target.clone()));
+        handles.push((*label, submit.handle().expect("queue sized for the mix")));
+    }
+
+    // Every completed report carries its span tree: the six pipeline stages
+    // laid end to end, summing exactly to the request's end-to-end latency.
+    println!("== per-request span trees ==");
+    for (label, handle) in handles {
+        let Response::Completed(report) = handle.wait() else {
+            panic!("{label}: request did not complete");
+        };
+        let trace = report.trace.as_ref().expect("served reports carry traces");
+        println!(
+            "{label}: {} CNOTs, trace {} ({:.2} ms end to end)",
+            report.cnot_cost,
+            trace.id.as_u64(),
+            report.timings.total.as_secs_f64() * 1e3,
+        );
+        for span in &trace.spans {
+            let micros = span.duration.as_secs_f64() * 1e6;
+            let bar = "#".repeat(1 + (micros.log10().max(0.0) * 8.0) as usize);
+            println!("    {:>12}  {micros:>10.1} us  {bar}", span.kind.name());
+        }
+        // The queue-wait share is one subtraction away.
+        if let Some(wait) = trace.duration_of(SpanKind::QueueWait) {
+            let share = wait.as_secs_f64() / report.timings.total.as_secs_f64().max(1e-12);
+            println!("    (queue wait was {:.0}% of the latency)", share * 100.0);
+        }
+    }
+
+    // The flight recorder ranks the solves that actually cost something.
+    println!("\n== top 5 slowest solves (flight recorder) ==");
+    let flight = service.engine().obs().flight();
+    for record in flight.top_slowest(5) {
+        println!(
+            "{:>10.2} ms  {}  expanded {} nodes (frontier peak {}), {} incumbent update(s){}",
+            record.duration.as_secs_f64() * 1e3,
+            record.label,
+            record.nodes_expanded,
+            record.frontier_high_water,
+            record.incumbent_updates,
+            match record.cancellation {
+                Some(cause) => format!(", cancelled: {}", cause.name()),
+                None => String::new(),
+            },
+        );
+    }
+
+    // One snapshot carries everything — metrics, sampled spans, flights —
+    // as plain JSON for dashboards or offline diffing.
+    service.shutdown(Shutdown::Drain);
+    let snapshot = service.obs_snapshot();
+    println!(
+        "\n== obs snapshot: {} metrics, {} ring spans, {} flight records ==",
+        snapshot.metrics.samples.len(),
+        snapshot.spans.len(),
+        snapshot.flights.len(),
+    );
+    let json = snapshot.to_json_string();
+    println!("snapshot JSON is {} bytes; a taste:", json.len());
+    for sample in &snapshot.metrics.samples {
+        if sample.name.starts_with("serve.") {
+            println!("    {}", sample.to_json().to_json());
+        }
+    }
+    Ok(())
+}

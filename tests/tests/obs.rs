@@ -1,0 +1,239 @@
+//! Workspace-level observability tests: the trace ring under real
+//! multi-thread contention, and the serve path's span tree accounting for
+//! (essentially all of) each request's measured end-to-end latency.
+
+use std::time::Duration;
+
+use qsp_core::{BatchOptions, BatchSynthesizer, ObsOptions, SynthesisRequest};
+use qsp_obs::{RequestTrace, SpanKind, TraceId, Tracer};
+use qsp_serve::{Response, SchedulerConfig, ServiceConfig, Shutdown, SynthesisService};
+use qsp_state::generators::{self, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HANG: Duration = Duration::from_secs(120);
+
+/// The index of a kind in the pipeline taxonomy (stable across runs).
+fn kind_index(kind: SpanKind) -> u64 {
+    SpanKind::ALL.iter().position(|&k| k == kind).unwrap() as u64
+}
+
+/// Builds the self-checking trace for `id`: every span's payload is a
+/// function of the trace id and the span's kind, so a reader can detect a
+/// torn read (fields from two different writers) by recomputing it.
+fn self_checking_trace(id: u64) -> RequestTrace {
+    let mut trace = RequestTrace::new(TraceId::from_raw(id));
+    for kind in [SpanKind::Key, SpanKind::Solve, SpanKind::Reconstruct] {
+        trace.push(
+            kind,
+            Duration::from_nanos(id),
+            Duration::from_nanos(id * 3 + kind_index(kind)),
+        );
+    }
+    trace
+}
+
+#[test]
+fn trace_ring_survives_seeded_multi_thread_contention() {
+    const THREADS: u64 = 8;
+    const TRACES_PER_THREAD: u64 = 400;
+    const SAMPLE_EVERY: u64 = 2;
+    let tracer = Tracer::new(true, SAMPLE_EVERY, 256);
+    let mut rng = StdRng::seed_from_u64(0x0B5);
+
+    // Seeded, per-thread-disjoint id schedules (shuffled so neighbouring
+    // ids — which share ring slots — collide across threads).
+    let schedules: Vec<Vec<u64>> = (0..THREADS)
+        .map(|t| {
+            let mut ids: Vec<u64> = (0..TRACES_PER_THREAD)
+                .map(|i| 1 + t * TRACES_PER_THREAD + i)
+                .collect();
+            for i in (1..ids.len()).rev() {
+                ids.swap(i, rng.gen_range(0..=i));
+            }
+            ids
+        })
+        .collect();
+    let sampled_traces: u64 = schedules
+        .iter()
+        .flatten()
+        .filter(|id| *id % SAMPLE_EVERY == 0)
+        .count() as u64;
+
+    std::thread::scope(|scope| {
+        let tracer = &tracer;
+        for ids in &schedules {
+            scope.spawn(move || {
+                for &id in ids {
+                    let trace = self_checking_trace(id);
+                    assert_eq!(tracer.record_trace(&trace), id % SAMPLE_EVERY == 0);
+                }
+            });
+        }
+    });
+
+    // Every offered span of a sampled trace was either written or counted
+    // as dropped by a full-lap race — none vanished.
+    let ring = tracer.ring();
+    assert_eq!(ring.recorded() + ring.dropped(), sampled_traces * 3);
+
+    let spans = tracer.ring().read();
+    assert!(!spans.is_empty());
+    assert!(spans.len() <= ring.capacity());
+    let mut last_order = None;
+    for recorded in &spans {
+        let id = recorded.trace.as_u64();
+        // Head sampling honoured: only sampled trace ids ever reach the ring.
+        assert_eq!(id % SAMPLE_EVERY, 0, "unsampled trace id {id} in the ring");
+        // No torn spans: the payload is exactly what this id's writer wrote.
+        assert_eq!(recorded.span.start, Duration::from_nanos(id));
+        assert_eq!(
+            recorded.span.duration,
+            Duration::from_nanos(id * 3 + kind_index(recorded.span.kind)),
+            "torn span payload for trace {id}"
+        );
+        // Oldest-first drain: global write order is strictly increasing.
+        assert!(last_order < Some(recorded.order));
+        last_order = Some(recorded.order);
+    }
+}
+
+#[test]
+fn trace_ring_eviction_is_oldest_first_at_capacity() {
+    let tracer = Tracer::new(true, 1, 16);
+    let total = 50u64;
+    for id in 1..=total {
+        let mut trace = RequestTrace::new(TraceId::from_raw(id));
+        trace.push(SpanKind::Solve, Duration::ZERO, Duration::from_nanos(id));
+        assert!(tracer.record_trace(&trace));
+    }
+    let spans = tracer.ring().read();
+    // Exactly the newest `capacity` single-span traces survive, in order.
+    let capacity = tracer.ring().capacity() as u64;
+    assert_eq!(spans.len() as u64, capacity);
+    let ids: Vec<u64> = spans.iter().map(|s| s.trace.as_u64()).collect();
+    let expected: Vec<u64> = (total - capacity + 1..=total).collect();
+    assert_eq!(ids, expected);
+}
+
+#[test]
+fn serve_span_tree_covers_the_measured_end_to_end_latency() {
+    let mut rng = StdRng::seed_from_u64(9091);
+    let mut targets = Vec::new();
+    for i in 0..18 {
+        let n = 4 + (i % 3);
+        targets.push(generators::random_uniform_state(n, n + 1, &mut rng).unwrap());
+        if i % 4 == 3 {
+            targets.push(targets[i / 2].clone()); // dedup/cache traffic
+        }
+    }
+    targets.push(generators::ghz(5).unwrap());
+
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(targets.len())
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(4)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(3),
+            )
+            .with_batch(
+                BatchOptions::default().with_obs(
+                    ObsOptions::default()
+                        .with_tracing(true)
+                        .with_ring_capacity(512),
+                ),
+            ),
+    );
+    let handles: Vec<_> = targets
+        .iter()
+        .map(|t| {
+            service
+                .submit(SynthesisRequest::new(t.clone()))
+                .handle()
+                .expect("accepted")
+        })
+        .collect();
+    for handle in &handles {
+        let Some(Response::Completed(report)) = handle.wait_timeout(HANG) else {
+            panic!("request did not complete");
+        };
+        let trace = report.trace.as_ref().expect("served reports carry a trace");
+        // The six pipeline stages, in order.
+        let kinds: Vec<SpanKind> = trace.spans.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, SpanKind::ALL);
+        // The spans are contiguous (each starts where the previous ended)…
+        let mut cursor = Duration::ZERO;
+        for span in &trace.spans {
+            assert_eq!(span.start, cursor, "span tree has a gap or overlap");
+            cursor += span.duration;
+        }
+        // …so they must account for ≥ 95% of the measured end-to-end
+        // latency (by construction they sum to it exactly).
+        let covered = trace.span_total();
+        let total = report.timings.total;
+        assert!(
+            covered.as_secs_f64() >= total.as_secs_f64() * 0.95,
+            "span tree covers {covered:?} of {total:?}"
+        );
+        assert!(covered <= total, "spans exceed the end-to-end latency");
+    }
+
+    // The same traces were head-sampled into the hub's ring (modulus 1).
+    let snapshot = service.shutdown(Shutdown::Drain);
+    assert_eq!(snapshot.completed as usize, targets.len());
+    let obs = service.obs_snapshot();
+    assert!(obs.tracer_enabled);
+    assert!(obs.spans_recorded >= 6 * targets.len() as u64);
+}
+
+#[test]
+fn batch_requests_carry_traces_and_feed_the_registry() {
+    let engine = BatchSynthesizer::with_options(
+        Default::default(),
+        BatchOptions::default()
+            .with_threads(2)
+            .with_obs(ObsOptions::default().with_tracing(true).with_flight(true)),
+    );
+    let targets: Vec<_> = (0..6)
+        .map(|i| {
+            Workload::RandomSparse {
+                n: 5,
+                seed: 300 + (i % 3),
+            }
+            .instantiate()
+            .unwrap()
+        })
+        .collect();
+    let requests: Vec<SynthesisRequest<_>> = targets
+        .iter()
+        .map(|t| SynthesisRequest::new(t.clone()))
+        .collect();
+    let outcome = engine.synthesize_requests(&requests);
+    assert_eq!(outcome.stats.errors, 0);
+    for report in &outcome.reports {
+        let report = report.as_ref().unwrap();
+        let trace = report.trace.as_ref().expect("batch reports carry a trace");
+        assert!(trace.duration_of(SpanKind::Key).is_some());
+        assert!(trace.span_total() > Duration::ZERO);
+    }
+
+    let snapshot = engine.obs().snapshot();
+    let metric = |name: &str| snapshot.metrics.get(name).cloned();
+    let Some(targets_metric) = metric("batch.targets") else {
+        panic!("batch.targets must be registered");
+    };
+    assert_eq!(
+        targets_metric.value,
+        qsp_obs::MetricValue::Counter(targets.len() as u64)
+    );
+    // Three distinct classes: solver runs + cache hits account for all six.
+    let count = |name: &str| match metric(name).map(|m| m.value) {
+        Some(qsp_obs::MetricValue::Counter(c)) => c,
+        other => panic!("{name}: unexpected {other:?}"),
+    };
+    assert_eq!(count("batch.solver_runs") + count("batch.cache_hits"), 6);
+    // The flight recorder filed one record per fresh solve.
+    assert_eq!(snapshot.flights.len() as u64, count("batch.solver_runs"));
+}
