@@ -1,0 +1,412 @@
+//! Benchmarks the `qsp-wire` loopback path under multi-tenant contention
+//! and emits a machine-readable `BENCH_wire.json`.
+//!
+//! Two phases against real TCP loopback connections:
+//!
+//! * `solo` — the well-behaved tenant (`steady`, fair-share weight 10)
+//!   runs its request list closed-loop on an idle service; client-side
+//!   end-to-end latency per request gives the solo p50/p95 baseline.
+//! * `contended` — a fresh service, same `steady` list, but an aggressive
+//!   tenant (`aggressive`, weight 1, token-bucket limited) floods ~10× as
+//!   many pipelined requests from a second connection, a slice of them
+//!   with zero deadline budget. Deficit-round-robin across the tenant
+//!   sub-queues must keep `steady`'s p95 within `2×` of its solo p95 (with
+//!   a small absolute floor so micro-latency noise can't fail the gate).
+//!
+//! Every report received over the wire is checked CNOT-for-CNOT against a
+//! sequential `QspWorkflow` solve of the same target, and the per-tenant
+//! fleet invariant `completed + throttled + expired + rejected + failed +
+//! cancelled == submitted` is asserted from the drained service stats,
+//! with registry/stats parity on the labelled tenant counters.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p qsp-bench --bin wire_bench -- \
+//!     [--workers 2] [--smoke] [--out BENCH_wire.json]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qsp_bench::report::{has_switch, parse_flag, parse_path};
+use qsp_core::json::Value;
+use qsp_core::{QspWorkflow, SynthesisRequest};
+use qsp_obs::MetricValue;
+use qsp_serve::{
+    SchedulerConfig, ServiceConfig, Shutdown, SynthesisService, TenantConfig, TenantPolicy,
+    TenantStats,
+};
+use qsp_state::generators::Workload;
+use qsp_state::SparseState;
+use qsp_wire::{ServerFrame, WireClient, WireConfig, WireServer};
+
+/// An exact state fingerprint (basis index + amplitude bit pattern).
+type Fingerprint = (usize, Vec<(u64, u64)>);
+
+fn fingerprint(state: &SparseState) -> Fingerprint {
+    let mut entries: Vec<(u64, u64)> = state
+        .iter()
+        .map(|(index, amplitude)| (index.value(), amplitude.to_bits()))
+        .collect();
+    entries.sort_unstable();
+    (state.num_qubits(), entries)
+}
+
+/// The well-behaved tenant's request list: named states plus fresh sparse
+/// targets, all cheap enough that latency is queueing-dominated.
+fn steady_targets(count: usize) -> Vec<SparseState> {
+    let named = [
+        Workload::Ghz { n: 5 },
+        Workload::W { n: 4 },
+        Workload::Dicke { n: 4, k: 2 },
+    ];
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                named[(i / 2) % named.len()].clone()
+            } else {
+                Workload::RandomSparse {
+                    n: 6,
+                    seed: 9_100 + i as u64,
+                }
+            }
+            .instantiate()
+            .expect("steady workload generates")
+        })
+        .collect()
+}
+
+/// The flood pool: a handful of repeated states, so the aggressive flood
+/// is queue pressure (cache hits after the first solves), not solver
+/// saturation.
+fn aggressive_pool() -> Vec<SparseState> {
+    [
+        Workload::Ghz { n: 6 },
+        Workload::Dicke { n: 4, k: 1 },
+        Workload::RandomSparse { n: 7, seed: 4_400 },
+        Workload::RandomSparse { n: 7, seed: 4_401 },
+    ]
+    .into_iter()
+    .map(|w| w.instantiate().expect("flood workload generates"))
+    .collect()
+}
+
+fn percentile_ms(latencies: &[f64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Closed-loop run of the steady tenant's list over one connection;
+/// returns per-request client-side latencies in milliseconds.
+fn run_steady_closed_loop(
+    addr: std::net::SocketAddr,
+    targets: &[SparseState],
+    cost_map: &HashMap<Fingerprint, usize>,
+    costs_identical: &mut bool,
+) -> Vec<f64> {
+    let mut client = WireClient::connect(addr, Some("steady")).expect("steady connects");
+    assert_eq!(client.handshake().tenant, "steady");
+    let mut latencies = Vec::with_capacity(targets.len());
+    for target in targets {
+        let start = Instant::now();
+        let frame = client.call(target, None, None).expect("steady call");
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        match frame {
+            ServerFrame::Report { cnot_cost, .. } => {
+                let expected = cost_map[&fingerprint(target)];
+                if cnot_cost as usize != expected {
+                    *costs_identical = false;
+                    eprintln!("steady cost diverged: {cnot_cost} vs sequential {expected}");
+                }
+            }
+            other => panic!("steady tenant must complete, got {other:?}"),
+        }
+    }
+    latencies
+}
+
+/// What the aggressive flood observed from its side of the wire.
+#[derive(Debug, Default)]
+struct FloodOutcome {
+    completed: u64,
+    throttled: u64,
+    expired: u64,
+    rejected_other: u64,
+}
+
+/// Pipelines the whole flood, then drains the responses.
+fn run_flood(
+    addr: std::net::SocketAddr,
+    pool: &[SparseState],
+    flood: usize,
+    cost_map: &HashMap<Fingerprint, usize>,
+) -> (FloodOutcome, bool) {
+    let mut client = WireClient::connect(addr, Some("aggressive")).expect("aggressive connects");
+    let mut ids = HashMap::new();
+    for i in 0..flood {
+        let target = &pool[i % pool.len()];
+        // Every 8th request carries zero deadline budget: if admitted, it
+        // expires in queue and exercises the per-tenant `expired` leg.
+        let deadline = if i % 8 == 7 { Some(0) } else { None };
+        let id = client
+            .send_request(target, deadline, None)
+            .expect("flood send");
+        ids.insert(id, i % pool.len());
+    }
+    let mut outcome = FloodOutcome::default();
+    let mut costs_identical = true;
+    for _ in 0..flood {
+        match client.recv().expect("flood recv") {
+            ServerFrame::Report { id, cnot_cost, .. } => {
+                outcome.completed += 1;
+                let expected = cost_map[&fingerprint(&pool[ids[&id]])];
+                if cnot_cost as usize != expected {
+                    costs_identical = false;
+                    eprintln!("flood cost diverged: {cnot_cost} vs sequential {expected}");
+                }
+            }
+            ServerFrame::Rejected { reason, .. } if reason == "throttled" => {
+                outcome.throttled += 1;
+            }
+            ServerFrame::Rejected { .. } => outcome.rejected_other += 1,
+            ServerFrame::Timeout { .. } => outcome.expired += 1,
+            other => panic!("unexpected flood frame: {other:?}"),
+        }
+    }
+    (outcome, costs_identical)
+}
+
+fn tenant_policy(flood_burst: f64) -> TenantPolicy {
+    TenantPolicy::new()
+        .with_tenant(TenantConfig::new("steady").with_weight(10))
+        .with_tenant(
+            TenantConfig::new("aggressive")
+                .with_weight(1)
+                // Admission trims the flood: the burst allowance covers
+                // most of it, the 20/s refill is negligible at flood
+                // timescales, so a visible slice is throttled.
+                .with_rate(20.0, flood_burst),
+        )
+}
+
+fn start_service(
+    workers: usize,
+    queue_capacity: usize,
+    policy: TenantPolicy,
+) -> Arc<SynthesisService> {
+    Arc::new(SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(queue_capacity)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(4)
+                    .with_max_wait(Duration::from_millis(1))
+                    .with_workers(workers),
+            )
+            .with_tenants(policy),
+    ))
+}
+
+/// The labelled counter value for one tenant from the service registry.
+fn registry_counter(service: &SynthesisService, name: &str, tenant: &str) -> u64 {
+    let snapshot = service.obs_snapshot();
+    let sample = snapshot
+        .metrics
+        .samples
+        .iter()
+        .find(|s| s.name == name && s.labels.iter().any(|(k, v)| k == "tenant" && v == tenant))
+        .unwrap_or_else(|| panic!("{name}{{tenant={tenant}}} must be registered"));
+    match &sample.value {
+        MetricValue::Counter(c) => *c,
+        other => panic!("{name}: expected a counter, got {other:?}"),
+    }
+}
+
+fn tenant_json(stats: &TenantStats) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(stats.name.clone())),
+        ("submitted".to_string(), Value::Num(stats.submitted)),
+        ("completed".to_string(), Value::Num(stats.completed)),
+        ("throttled".to_string(), Value::Num(stats.throttled)),
+        ("rejected".to_string(), Value::Num(stats.rejected)),
+        ("expired".to_string(), Value::Num(stats.expired)),
+        ("failed".to_string(), Value::Num(stats.failed)),
+        ("cancelled".to_string(), Value::Num(stats.cancelled)),
+        ("conserved".to_string(), Value::Bool(stats.is_conserved())),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = has_switch(&args, "--smoke");
+    let workers = parse_flag(&args, "--workers", 2).max(1);
+    let out_path = parse_path(&args, "--out").unwrap_or_else(|| "BENCH_wire.json".to_string());
+
+    let steady_count = if smoke { 10 } else { 16 };
+    let flood = steady_count * 10;
+    let flood_burst = (flood as f64 * 0.7).floor();
+
+    let steady = steady_targets(steady_count);
+    let pool = aggressive_pool();
+
+    // Sequential reference costs for the cost-parity check.
+    eprintln!("solving sequential reference costs...");
+    let workflow = QspWorkflow::new();
+    let mut cost_map: HashMap<Fingerprint, usize> = HashMap::new();
+    for target in steady.iter().chain(&pool) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = cost_map.entry(fingerprint(target))
+        {
+            let report = workflow
+                .synthesize_request(&SynthesisRequest::new(target.clone()))
+                .expect("workload target solves");
+            slot.insert(report.cnot_cost);
+        }
+    }
+    let mut costs_identical = true;
+
+    // --- Phase 1: steady tenant solo -------------------------------------
+    eprintln!("phase solo: {steady_count} closed-loop requests...");
+    let service = start_service(workers, flood + 32, tenant_policy(flood_burst));
+    let mut server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&service), WireConfig::new()).expect("bind");
+    let solo_latencies = run_steady_closed_loop(
+        server.local_addr(),
+        &steady,
+        &cost_map,
+        &mut costs_identical,
+    );
+    server.shutdown();
+    service.shutdown(Shutdown::Drain);
+    let p95_solo = percentile_ms(&solo_latencies, 0.95);
+
+    // --- Phase 2: the same list under an aggressive flood ----------------
+    eprintln!("phase contended: {steady_count} closed-loop vs {flood} flooded...");
+    let service = start_service(workers, flood + 32, tenant_policy(flood_burst));
+    let mut server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&service), WireConfig::new()).expect("bind");
+    let addr = server.local_addr();
+    let flood_thread = {
+        let pool = pool.clone();
+        let cost_map = cost_map.clone();
+        std::thread::spawn(move || run_flood(addr, &pool, flood, &cost_map))
+    };
+    // Give the flood a head start so the steady tenant really contends
+    // with a built-up backlog.
+    std::thread::sleep(Duration::from_millis(30));
+    let contended_latencies =
+        run_steady_closed_loop(addr, &steady, &cost_map, &mut costs_identical);
+    let (flood_outcome, flood_costs_ok) = flood_thread.join().expect("flood thread");
+    costs_identical &= flood_costs_ok;
+
+    server.shutdown();
+    let stats = service.shutdown(Shutdown::Drain);
+    let p95_contended = percentile_ms(&contended_latencies, 0.95);
+
+    // --- Invariants -------------------------------------------------------
+    let tenant = |name: &str| -> &TenantStats {
+        stats
+            .tenants
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| panic!("tenant {name} must have a stats slice"))
+    };
+    let aggressive_stats = tenant("aggressive");
+    let steady_stats = tenant("steady");
+    assert!(
+        aggressive_stats.is_conserved() && steady_stats.is_conserved(),
+        "per-tenant fleet conservation must hold: {aggressive_stats:?} {steady_stats:?}"
+    );
+    assert_eq!(steady_stats.completed, steady_count as u64);
+    assert_eq!(aggressive_stats.submitted, flood as u64);
+    assert!(
+        aggressive_stats.throttled > 0,
+        "the flood must overrun its token bucket"
+    );
+    assert!(
+        aggressive_stats.expired > 0,
+        "zero-budget flood requests must expire"
+    );
+    // The wire client's view agrees with the service's books.
+    assert_eq!(aggressive_stats.completed, flood_outcome.completed);
+    assert_eq!(aggressive_stats.throttled, flood_outcome.throttled);
+    assert_eq!(aggressive_stats.expired, flood_outcome.expired);
+    // Registry/stats parity on the labelled counters.
+    for name in ["steady", "aggressive"] {
+        let t = tenant(name);
+        assert_eq!(
+            registry_counter(&service, "serve.tenant.submitted", name),
+            t.submitted
+        );
+        assert_eq!(
+            registry_counter(&service, "serve.tenant.throttled", name),
+            t.throttled
+        );
+        assert_eq!(
+            registry_counter(&service, "serve.tenant.completed", name),
+            t.completed
+        );
+    }
+
+    // --- The fairness gate -------------------------------------------------
+    // An absolute floor keeps micro-latency noise (sub-15 ms solo p95)
+    // from tripping the relative bound.
+    let floor_ms = 15.0;
+    let bound = 2.0 * p95_solo.max(floor_ms);
+    let pass = p95_contended <= bound;
+    eprintln!(
+        "fairness: solo p95 {p95_solo:.2} ms, contended p95 {p95_contended:.2} ms (bound {bound:.2} ms)"
+    );
+    assert!(
+        pass,
+        "weighted-fair drain failed to protect the steady tenant: \
+         contended p95 {p95_contended:.2} ms > bound {bound:.2} ms"
+    );
+    assert!(costs_identical, "wire-served CNOT costs diverged");
+
+    // --- Report ------------------------------------------------------------
+    let latency_json = |lat: &[f64]| {
+        Value::Object(vec![
+            ("requests".to_string(), Value::Num(lat.len() as u64)),
+            ("p50_ms".to_string(), Value::Float(percentile_ms(lat, 0.50))),
+            ("p95_ms".to_string(), Value::Float(percentile_ms(lat, 0.95))),
+        ])
+    };
+    let report = Value::Object(vec![
+        (
+            "benchmark".to_string(),
+            Value::Str("wire_loopback_tenancy".to_string()),
+        ),
+        ("smoke".to_string(), Value::Bool(smoke)),
+        ("workers".to_string(), Value::Num(workers as u64)),
+        ("flood_requests".to_string(), Value::Num(flood as u64)),
+        ("costs_identical".to_string(), Value::Bool(costs_identical)),
+        ("solo".to_string(), latency_json(&solo_latencies)),
+        ("contended".to_string(), latency_json(&contended_latencies)),
+        (
+            "fairness".to_string(),
+            Value::Object(vec![
+                ("p95_solo_ms".to_string(), Value::Float(p95_solo)),
+                ("p95_contended_ms".to_string(), Value::Float(p95_contended)),
+                ("floor_ms".to_string(), Value::Float(floor_ms)),
+                ("bound_ms".to_string(), Value::Float(bound)),
+                ("threshold".to_string(), Value::Float(2.0)),
+                ("pass".to_string(), Value::Bool(pass)),
+            ]),
+        ),
+        (
+            "tenants".to_string(),
+            Value::Array(stats.tenants.iter().map(tenant_json).collect()),
+        ),
+    ]);
+    let json = report.to_json_pretty();
+    std::fs::write(&out_path, &json).expect("write BENCH_wire.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

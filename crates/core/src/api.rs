@@ -77,6 +77,34 @@ pub enum CachePolicy {
     Bypass,
 }
 
+/// An opaque tenant handle, resolved by the serving layer.
+///
+/// The serve layer's `TenantPolicy` assigns one id per configured tenant
+/// (the id is the tenant's index in the policy); the wire layer resolves a
+/// handshake's tenant *name* to an id once per connection and stamps it on
+/// every request of that connection. A request without a tenant — or with an
+/// id the service's policy does not know — is accounted to the service's
+/// built-in default tenant.
+///
+/// Tenancy is a scheduling and admission concern only: it can never change a
+/// request's `cnot_cost`, so it is excluded from the options fingerprint and
+/// requests from different tenants deduplicate freely against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// Wraps a raw tenant id (the tenant's index in the serve layer's
+    /// policy).
+    pub const fn new(raw: u32) -> Self {
+        TenantId(raw)
+    }
+
+    /// The raw id value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
 /// Per-request overrides on top of a synthesizer's base configuration.
 ///
 /// Every field is optional (or has a neutral default): an empty
@@ -130,6 +158,11 @@ pub struct RequestOptions {
     /// micro-batch, deadline order goes first and higher priority breaks
     /// ties. Ignored by the in-process synthesizers.
     pub priority: u8,
+    /// The tenant this request is billed to, consumed by the serve layer's
+    /// admission control and weighted-fair drain. `None` (and any id the
+    /// service's policy does not know) maps to the default tenant. Never
+    /// cost-relevant; ignored by the in-process synthesizers.
+    pub tenant: Option<TenantId>,
 }
 
 impl RequestOptions {
@@ -184,6 +217,12 @@ impl RequestOptions {
     /// among requests with equal deadlines).
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the serve-layer tenant the request is billed to.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 
@@ -357,6 +396,12 @@ impl<S: QuantumState> SynthesisRequest<S> {
     /// Sets the serve-layer scheduling priority.
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.options.priority = priority;
+        self
+    }
+
+    /// Sets the serve-layer tenant the request is billed to.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.options.tenant = Some(tenant);
         self
     }
 }
@@ -623,6 +668,7 @@ mod tests {
             RequestOptions::new().with_cache_policy(CachePolicy::Bypass),
             RequestOptions::new().with_priority(200),
             RequestOptions::new().with_deadline(Instant::now()),
+            RequestOptions::new().with_tenant(TenantId::new(7)),
         ] {
             assert_eq!(
                 options.resolve(&base).fingerprint,

@@ -85,7 +85,7 @@ pub mod workflow;
 
 pub use api::{
     CachePolicy, Provenance, RequestOptions, ResolvedConfig, StageTimings, SynthesisReport,
-    SynthesisRequest, Synthesizer,
+    SynthesisRequest, Synthesizer, TenantId,
 };
 pub use batch::{
     BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy, KeyedClass,

@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use qsp_core::{BatchOptions, WorkflowConfig};
 
+use crate::tenant::TenantPolicy;
+
 /// Micro-batching policy of the service's worker pool.
 ///
 /// A worker drains the submission queue into *micro-batches*: once at least
@@ -70,13 +72,14 @@ impl SchedulerConfig {
 }
 
 /// Full configuration of a [`SynthesisService`](crate::SynthesisService).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ServiceConfig {
     /// Bound of the submission queue. A submission that would overflow it is
-    /// rejected with `Submit::Rejected { queue_full: true }` — backpressure
-    /// is explicit, never blocking. A capacity of `0` rejects every
-    /// submission (useful to drain a deployment).
+    /// rejected with `Submit::Rejected` and
+    /// [`RejectReason::QueueFull`](crate::RejectReason::QueueFull) —
+    /// backpressure is explicit, never blocking. A capacity of `0` rejects
+    /// every submission (useful to drain a deployment).
     pub queue_capacity: usize,
     /// Micro-batching and worker-pool policy.
     pub scheduler: SchedulerConfig,
@@ -86,6 +89,10 @@ pub struct ServiceConfig {
     /// engine (the `threads` field is ignored; parallelism comes from
     /// [`SchedulerConfig::workers`]).
     pub batch: BatchOptions,
+    /// Multi-tenant admission control and weighted-fair drain policy. The
+    /// default (no configured tenants) is the pre-tenancy behaviour: every
+    /// request lands on the built-in default tenant, unthrottled.
+    pub tenants: TenantPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +102,7 @@ impl Default for ServiceConfig {
             scheduler: SchedulerConfig::default(),
             workflow: WorkflowConfig::default(),
             batch: BatchOptions::default(),
+            tenants: TenantPolicy::default(),
         }
     }
 }
@@ -122,6 +130,12 @@ impl ServiceConfig {
     /// batch engine.
     pub fn with_batch(mut self, batch: BatchOptions) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Sets the multi-tenant admission and weighted-fair drain policy.
+    pub fn with_tenants(mut self, tenants: TenantPolicy) -> Self {
+        self.tenants = tenants;
         self
     }
 }

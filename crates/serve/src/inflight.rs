@@ -38,6 +38,8 @@ use crate::handle::Completer;
 pub(crate) struct Waiter {
     /// The request's trace id (assigned at submission).
     pub trace: TraceId,
+    /// The tenant accounting slot the request's completion is billed to.
+    pub slot: usize,
     /// The request's own witness transform onto the canonical fingerprint.
     pub transform: StateTransform,
     /// The request's effective configuration (reported back in its
@@ -168,6 +170,7 @@ mod tests {
         let now = Instant::now();
         Waiter {
             trace: TraceId::next(),
+            slot: 0,
             transform,
             resolved: ResolvedConfig::default(),
             keying: Duration::ZERO,
@@ -244,6 +247,7 @@ mod tests {
                 || engine.lookup_class(&key),
                 Waiter {
                     trace: TraceId::next(),
+                    slot: 0,
                     transform: transform.clone(),
                     resolved: ResolvedConfig::default(),
                     keying: Duration::ZERO,

@@ -18,17 +18,24 @@
 //!
 //! A [`SynthesisService`] owns a worker pool and wires four pieces together:
 //!
-//! * **A bounded submission queue with explicit backpressure** — `submit`
-//!   never blocks: a request is either queued (returning a
-//!   [`RequestHandle`]) or rejected with
-//!   [`Submit::Rejected`]` { queue_full }`. Queue-depth high-water is
-//!   tracked for capacity planning.
-//! * **A micro-batching, deadline-aware scheduler** — workers drain the
-//!   queue into micro-batches under a [`SchedulerConfig`]
-//!   `{ max_batch, max_wait, workers }` policy. Inside a drain, requests are
-//!   served earliest-deadline-first; a request whose deadline has already
-//!   expired completes with [`Response::Timeout`] without spending any
-//!   solver time.
+//! * **A bounded submission queue with explicit backpressure and admission
+//!   control** — `submit` never blocks: a request is either queued
+//!   (returning a [`RequestHandle`]) or rejected with
+//!   [`Submit::Rejected`]` { reason }`, where the [`RejectReason`]
+//!   distinguishes per-tenant throttling from capacity backpressure from
+//!   shutdown. Each tenant of the service's [`TenantPolicy`] fronts the
+//!   queue with its own token bucket (refill rate + burst per
+//!   [`TenantConfig`]), so a flooding tenant is turned away before it can
+//!   consume shared queue capacity. Queue-depth high-water is tracked for
+//!   capacity planning.
+//! * **A micro-batching, deadline-aware, weighted-fair scheduler** —
+//!   workers drain the queue into micro-batches under a [`SchedulerConfig`]
+//!   `{ max_batch, max_wait, workers }` policy. The drain runs deficit
+//!   round-robin across per-tenant sub-queues (shares proportional to
+//!   [`TenantConfig::weight`]), so no tenant's backlog can starve
+//!   another's; inside the drained batch, requests are served
+//!   earliest-deadline-first. A request whose deadline has already expired
+//!   completes with [`Response::Timeout`] without spending any solver time.
 //! * **Per-class in-flight dedup** — a request whose Sec. V-B canonical
 //!   class is already being solved *attaches* to that solve instead of
 //!   re-entering the queue (replacing the batch engine's phase-based
@@ -84,17 +91,20 @@ mod inflight;
 mod queue;
 mod service;
 mod stats;
+mod tenant;
 
 pub use config::{SchedulerConfig, ServiceConfig};
 pub use handle::{RequestHandle, Response};
-pub use queue::Submit;
+pub use queue::{RejectReason, Submit};
 pub use service::{Shutdown, SynthesisService};
-pub use stats::{HistogramSnapshot, ServiceStats, HISTOGRAM_BUCKETS};
+pub use stats::{HistogramSnapshot, ServiceStats, TenantStats, HISTOGRAM_BUCKETS};
+pub use tenant::{TenantConfig, TenantPolicy, DEFAULT_TENANT_NAME};
 
 // The unified request/outcome contract, re-exported so service callers can
 // build requests and read reports without importing qsp-core directly.
 pub use qsp_core::api::{
     CachePolicy, Provenance, RequestOptions, StageTimings, SynthesisReport, SynthesisRequest,
+    TenantId,
 };
 
 // The observability surface service operators read: options to turn tracing

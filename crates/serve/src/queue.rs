@@ -1,4 +1,14 @@
-//! The bounded submission queue and its micro-batch drain.
+//! The bounded submission queue: per-tenant sub-queues drained
+//! deficit-round-robin, with EDF ordering inside each micro-batch.
+//!
+//! Fairness and deadlines compose in two stages. *Across* tenants, the
+//! drain runs deficit round-robin (DRR) over the per-tenant sub-queues:
+//! each scheduler pass tops a tenant's deficit up by its configured weight
+//! and drains up to that many requests, so a tenant flooding the queue can
+//! fill only its own sub-queue — other tenants' requests keep reaching the
+//! workers at their weighted share. *Within* the drained micro-batch,
+//! requests are then sorted earliest-deadline-first exactly as before, so
+//! deadline semantics are unchanged for admitted work.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -11,18 +21,28 @@ use qsp_state::SparseState;
 
 use crate::handle::{oneshot, Completer, RequestHandle};
 
+/// Why a submission was not queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// Capacity backpressure: the bounded queue is full.
+    QueueFull,
+    /// Admission control: the tenant's token bucket is empty. The request
+    /// never reached the queue; retry after the bucket refills.
+    Throttled,
+    /// The service is shutting down and no longer accepts work.
+    Shutdown,
+}
+
 /// The outcome of a submission attempt.
 #[derive(Debug)]
 pub enum Submit {
     /// The request was queued; the handle resolves when it finishes.
     Accepted(RequestHandle),
-    /// The request was not queued. `queue_full: true` is backpressure (the
-    /// bounded queue is at capacity); `false` means the service is shutting
-    /// down.
+    /// The request was not queued; `reason` says why.
     Rejected {
-        /// Whether the rejection was capacity backpressure (as opposed to
-        /// shutdown).
-        queue_full: bool,
+        /// Why the request was turned away.
+        reason: RejectReason,
     },
 }
 
@@ -48,6 +68,8 @@ pub(crate) struct QueuedRequest {
     pub seq: u64,
     /// The request's trace id (head-sampling key; rides on the report).
     pub trace: TraceId,
+    /// The tenant accounting slot the request is billed to.
+    pub slot: usize,
     pub target: SparseState,
     /// The request's full options block (deadline and priority drive the
     /// drain order; the solver overrides and cache policy are consumed by
@@ -69,16 +91,33 @@ enum Lifecycle {
     Aborted,
 }
 
+/// One tenant's sub-queue plus its DRR deficit counter.
+#[derive(Debug, Default)]
+struct TenantQueue {
+    items: VecDeque<QueuedRequest>,
+    /// Unspent drain credit. Topped up by the tenant's weight each DRR
+    /// pass; reset to zero when the sub-queue empties (an idle tenant does
+    /// not bank credit).
+    deficit: u64,
+}
+
 #[derive(Debug)]
 struct QueueState {
-    items: VecDeque<QueuedRequest>,
+    slots: Vec<TenantQueue>,
+    /// Round-robin order of the non-empty slots.
+    active: VecDeque<usize>,
+    /// Total queued requests across every slot (the capacity bound).
+    len: usize,
     lifecycle: Lifecycle,
 }
 
-/// A bounded MPSC queue with condvar-based micro-batch draining.
+/// A bounded MPSC queue with condvar-based micro-batch draining and
+/// weighted-fair (DRR) tenant ordering.
 #[derive(Debug)]
 pub(crate) struct SubmissionQueue {
     capacity: usize,
+    /// DRR weight per tenant slot (parallel to `QueueState::slots`).
+    weights: Vec<u32>,
     state: Mutex<QueueState>,
     not_empty: Condvar,
     high_water: AtomicUsize,
@@ -86,39 +125,59 @@ pub(crate) struct SubmissionQueue {
 }
 
 impl SubmissionQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A queue with one sub-queue per entry of `weights` (each clamped to
+    /// at least 1). `capacity` bounds the *total* depth across slots.
+    pub(crate) fn new(capacity: usize, weights: Vec<u32>) -> Self {
+        let weights: Vec<u32> = if weights.is_empty() {
+            vec![1]
+        } else {
+            weights.into_iter().map(|w| w.max(1)).collect()
+        };
         SubmissionQueue {
             capacity,
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                slots: (0..weights.len()).map(|_| TenantQueue::default()).collect(),
+                active: VecDeque::new(),
+                len: 0,
                 lifecycle: Lifecycle::Running,
             }),
+            weights,
             not_empty: Condvar::new(),
             high_water: AtomicUsize::new(0),
             next_seq: AtomicU64::new(0),
         }
     }
 
-    /// Attempts to enqueue a request; never blocks.
-    pub(crate) fn push(&self, target: SparseState, options: RequestOptions) -> Submit {
+    /// Attempts to enqueue a request for tenant `slot`; never blocks.
+    pub(crate) fn push(&self, target: SparseState, options: RequestOptions, slot: usize) -> Submit {
+        let slot = slot.min(self.weights.len() - 1);
         let mut state = self.state.lock().expect("queue poisoned");
         if state.lifecycle != Lifecycle::Running {
-            return Submit::Rejected { queue_full: false };
+            return Submit::Rejected {
+                reason: RejectReason::Shutdown,
+            };
         }
-        if state.items.len() >= self.capacity {
-            return Submit::Rejected { queue_full: true };
+        if state.len >= self.capacity {
+            return Submit::Rejected {
+                reason: RejectReason::QueueFull,
+            };
         }
         let (handle, completer) = oneshot();
-        state.items.push_back(QueuedRequest {
+        let request = QueuedRequest {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             trace: TraceId::next(),
+            slot,
             target,
             options,
             enqueued: Instant::now(),
             completer,
-        });
-        self.high_water
-            .fetch_max(state.items.len(), Ordering::Relaxed);
+        };
+        if state.slots[slot].items.is_empty() {
+            state.active.push_back(slot);
+        }
+        state.slots[slot].items.push_back(request);
+        state.len += 1;
+        self.high_water.fetch_max(state.len, Ordering::Relaxed);
         drop(state);
         self.not_empty.notify_one();
         Submit::Accepted(handle)
@@ -126,9 +185,10 @@ impl SubmissionQueue {
 
     /// Blocks until at least one request is available (or the service stops),
     /// then drains a micro-batch: the drain waits up to `max_wait` for the
-    /// batch to fill to `max_batch`, takes at most `max_batch` requests, and
-    /// returns them in earliest-deadline-first order. `None` tells the
-    /// calling worker to exit.
+    /// batch to fill to `max_batch`, takes at most `max_batch` requests via
+    /// deficit round-robin over the tenant sub-queues, and returns them in
+    /// earliest-deadline-first order. `None` tells the calling worker to
+    /// exit.
     pub(crate) fn pop_batch(
         &self,
         max_batch: usize,
@@ -141,19 +201,19 @@ impl SubmissionQueue {
             loop {
                 match state.lifecycle {
                     Lifecycle::Aborted => return None,
-                    Lifecycle::Draining if state.items.is_empty() => return None,
-                    _ if !state.items.is_empty() => break,
+                    Lifecycle::Draining if state.len == 0 => return None,
+                    _ if state.len > 0 => break,
                     _ => state = self.not_empty.wait(state).expect("queue poisoned"),
                 }
             }
             // Micro-batch fill: only worth waiting while new submissions can
             // still arrive.
             if state.lifecycle == Lifecycle::Running
-                && state.items.len() < max_batch
+                && state.len < max_batch
                 && max_wait > Duration::ZERO
             {
                 let fill_deadline = Instant::now() + max_wait;
-                while state.lifecycle == Lifecycle::Running && state.items.len() < max_batch {
+                while state.lifecycle == Lifecycle::Running && state.len < max_batch {
                     let now = Instant::now();
                     if now >= fill_deadline {
                         break;
@@ -171,14 +231,46 @@ impl SubmissionQueue {
             if state.lifecycle == Lifecycle::Aborted {
                 return None; // the aborter cancels whatever is queued
             }
-            let take = state.items.len().min(max_batch);
-            let mut batch: Vec<QueuedRequest> = state.items.drain(..take).collect();
+            let mut batch = self.drr_drain(&mut state, max_batch);
             if batch.is_empty() {
                 continue; // another worker drained first; go back to waiting
             }
             edf_sort(&mut batch);
             return Some(batch);
         }
+    }
+
+    /// One DRR pass: cycle the active slots, topping each visited slot's
+    /// deficit up by its weight and draining up to that many requests, until
+    /// the batch fills or the queue empties.
+    fn drr_drain(&self, state: &mut QueueState, max_batch: usize) -> Vec<QueuedRequest> {
+        let mut batch = Vec::new();
+        while batch.len() < max_batch {
+            let Some(slot) = state.active.pop_front() else {
+                break;
+            };
+            let queue = &mut state.slots[slot];
+            queue.deficit = queue.deficit.saturating_add(u64::from(self.weights[slot]));
+            while queue.deficit >= 1 && batch.len() < max_batch {
+                let Some(request) = queue.items.pop_front() else {
+                    break;
+                };
+                queue.deficit -= 1;
+                state.len -= 1;
+                batch.push(request);
+            }
+            if queue.items.is_empty() {
+                // Idle tenants bank no credit.
+                queue.deficit = 0;
+            } else if batch.len() >= max_batch {
+                // The batch filled mid-quantum: resume this slot first next
+                // drain, its unspent deficit intact.
+                state.active.push_front(slot);
+            } else {
+                state.active.push_back(slot);
+            }
+        }
+        batch
     }
 
     /// Stops the queue. With `abort`, queued requests are handed back to the
@@ -188,7 +280,15 @@ impl SubmissionQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         let leftover = if abort {
             state.lifecycle = Lifecycle::Aborted;
-            state.items.drain(..).collect()
+            state.active.clear();
+            state.len = 0;
+            let mut all: Vec<QueuedRequest> = state
+                .slots
+                .iter_mut()
+                .flat_map(|slot| slot.items.drain(..))
+                .collect();
+            all.sort_by_key(|r| r.seq);
+            all
         } else {
             if state.lifecycle == Lifecycle::Running {
                 state.lifecycle = Lifecycle::Draining;
@@ -200,12 +300,18 @@ impl SubmissionQueue {
         leftover
     }
 
-    /// Current queue depth.
+    /// Current total queue depth.
     pub(crate) fn depth(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock().expect("queue poisoned").len
     }
 
-    /// The deepest the queue has ever been.
+    /// Current per-slot queue depths.
+    pub(crate) fn depths(&self) -> Vec<usize> {
+        let state = self.state.lock().expect("queue poisoned");
+        state.slots.iter().map(|slot| slot.items.len()).collect()
+    }
+
+    /// The deepest the queue has ever been (total across slots).
     pub(crate) fn high_water(&self) -> usize {
         self.high_water.load(Ordering::Relaxed)
     }
@@ -234,18 +340,22 @@ mod tests {
     use super::*;
     use qsp_state::generators;
 
+    fn single_tenant(capacity: usize) -> SubmissionQueue {
+        SubmissionQueue::new(capacity, vec![1])
+    }
+
     fn push_plain(queue: &SubmissionQueue) -> Submit {
-        queue.push(generators::ghz(3).unwrap(), RequestOptions::default())
+        queue.push(generators::ghz(3).unwrap(), RequestOptions::default(), 0)
     }
 
     fn push_deadlined(queue: &SubmissionQueue, deadline: Option<Instant>) -> Submit {
         let mut options = RequestOptions::default();
         options.deadline = deadline;
-        queue.push(generators::ghz(3).unwrap(), options)
+        queue.push(generators::ghz(3).unwrap(), options, 0)
     }
 
     fn queue_with(capacity: usize, targets: usize) -> (SubmissionQueue, Vec<RequestHandle>) {
-        let queue = SubmissionQueue::new(capacity);
+        let queue = single_tenant(capacity);
         let handles = (0..targets)
             .map(|_| push_plain(&queue).handle().expect("accepted"))
             .collect();
@@ -256,7 +366,7 @@ mod tests {
     fn capacity_is_enforced() {
         let (queue, _handles) = queue_with(2, 2);
         match push_plain(&queue) {
-            Submit::Rejected { queue_full } => assert!(queue_full),
+            Submit::Rejected { reason } => assert_eq!(reason, RejectReason::QueueFull),
             Submit::Accepted(_) => panic!("expected backpressure"),
         }
         assert_eq!(queue.depth(), 2);
@@ -265,7 +375,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_rejects_everything() {
-        let queue = SubmissionQueue::new(0);
+        let queue = single_tenant(0);
         assert!(!push_plain(&queue).is_accepted());
         assert_eq!(queue.high_water(), 0);
     }
@@ -285,7 +395,7 @@ mod tests {
 
     #[test]
     fn drain_orders_earliest_deadline_first() {
-        let queue = SubmissionQueue::new(16);
+        let queue = single_tenant(16);
         let now = Instant::now();
         let deadlines = [
             Some(now + Duration::from_millis(30)),
@@ -307,13 +417,13 @@ mod tests {
 
     #[test]
     fn priority_breaks_deadline_ties_and_orders_deadline_free_requests() {
-        let queue = SubmissionQueue::new(16);
+        let queue = single_tenant(16);
         let deadline = Instant::now() + Duration::from_millis(50);
         let submit = |deadline: Option<Instant>, priority: u8| {
             let mut options = RequestOptions::default().with_priority(priority);
             options.deadline = deadline;
             assert!(queue
-                .push(generators::ghz(3).unwrap(), options)
+                .push(generators::ghz(3).unwrap(), options, 0)
                 .is_accepted());
         };
         submit(None, 0); // seq 0
@@ -332,7 +442,7 @@ mod tests {
 
     #[test]
     fn micro_batch_fill_waits_for_late_arrivals() {
-        let queue = std::sync::Arc::new(SubmissionQueue::new(16));
+        let queue = std::sync::Arc::new(single_tenant(16));
         assert!(push_plain(&queue).is_accepted());
         let producer = {
             let queue = std::sync::Arc::clone(&queue);
@@ -364,5 +474,101 @@ mod tests {
         let leftover = queue.close(true);
         assert_eq!(leftover.len(), 3);
         assert!(queue.pop_batch(4, Duration::ZERO).is_none());
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn shutdown_rejection_is_typed() {
+        let queue = single_tenant(4);
+        queue.close(false);
+        match push_plain(&queue) {
+            Submit::Rejected { reason } => assert_eq!(reason, RejectReason::Shutdown),
+            Submit::Accepted(_) => panic!("closed queue must reject"),
+        }
+    }
+
+    /// Pushes `count` requests for `slot` and returns their handles (kept
+    /// alive so drops don't run completers early).
+    fn flood(queue: &SubmissionQueue, slot: usize, count: usize) -> Vec<RequestHandle> {
+        (0..count)
+            .map(|_| {
+                queue
+                    .push(generators::ghz(3).unwrap(), RequestOptions::default(), slot)
+                    .handle()
+                    .expect("accepted")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drr_shares_one_batch_by_weight() {
+        // Two saturated tenants with 3:1 weights: a 4-wide batch drains
+        // exactly 3 from tenant 0 and 1 from tenant 1.
+        let queue = SubmissionQueue::new(64, vec![3, 1]);
+        let _a = flood(&queue, 0, 8);
+        let _b = flood(&queue, 1, 8);
+        let batch = queue.pop_batch(4, Duration::ZERO).unwrap();
+        let shares = [
+            batch.iter().filter(|r| r.slot == 0).count(),
+            batch.iter().filter(|r| r.slot == 1).count(),
+        ];
+        assert_eq!(shares, [3, 1]);
+    }
+
+    #[test]
+    fn drr_converges_to_weight_shares_over_many_batches() {
+        // 3:1 weights, both tenants saturated: over the whole drain the
+        // cumulative share stays within one quantum of 3:1 at every step.
+        let queue = SubmissionQueue::new(256, vec![3, 1]);
+        let _a = flood(&queue, 0, 96);
+        let _b = flood(&queue, 1, 32);
+        let (mut served_a, mut served_b) = (0usize, 0usize);
+        while let Some(batch) = {
+            if queue.depth() == 0 {
+                None
+            } else {
+                queue.pop_batch(8, Duration::ZERO)
+            }
+        } {
+            served_a += batch.iter().filter(|r| r.slot == 0).count();
+            served_b += batch.iter().filter(|r| r.slot == 1).count();
+            // While both tenants are still backlogged, the shares track the
+            // 3:1 weights to within one quantum.
+            if queue.depths().iter().all(|&d| d > 0) {
+                let expected_a = 3.0 * served_b as f64;
+                assert!(
+                    (served_a as f64 - expected_a).abs() <= 4.0,
+                    "shares drifted: a={served_a} b={served_b}"
+                );
+            }
+        }
+        assert_eq!((served_a, served_b), (96, 32));
+    }
+
+    #[test]
+    fn drr_flood_cannot_starve_the_light_tenant() {
+        // Tenant 0 floods 60 requests; tenant 1 sends 2 with equal weight.
+        // Tenant 1's second request must be served within the first two
+        // batches (round-robin), not after the flood drains.
+        let queue = SubmissionQueue::new(128, vec![1, 1]);
+        let _flood = flood(&queue, 0, 60);
+        let _light = flood(&queue, 1, 2);
+        let first = queue.pop_batch(4, Duration::ZERO).unwrap();
+        let second = queue.pop_batch(4, Duration::ZERO).unwrap();
+        let light_served = first
+            .iter()
+            .chain(second.iter())
+            .filter(|r| r.slot == 1)
+            .count();
+        assert_eq!(light_served, 2, "light tenant starved by the flood");
+    }
+
+    #[test]
+    fn out_of_range_slot_clamps_to_the_last_sub_queue() {
+        let queue = SubmissionQueue::new(8, vec![1, 1]);
+        assert!(queue
+            .push(generators::ghz(3).unwrap(), RequestOptions::default(), 99)
+            .is_accepted());
+        assert_eq!(queue.depths(), vec![0, 1]);
     }
 }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use qsp_core::{
     BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, KeyCoverage, KeyedClass, Provenance,
-    StageTimings, SynthesisReport, SynthesisRequest,
+    StageTimings, SynthesisReport, SynthesisRequest, TenantId,
 };
 use qsp_obs::{Histogram, ObsSnapshot, RequestTrace, SpanKind};
 use qsp_state::{QuantumState, SparseState};
@@ -14,8 +14,9 @@ use qsp_state::{QuantumState, SparseState};
 use crate::config::{SchedulerConfig, ServiceConfig};
 use crate::handle::Response;
 use crate::inflight::{Attach, InFlightTable, Waiter};
-use crate::queue::{QueuedRequest, SubmissionQueue, Submit};
-use crate::stats::{Counters, ServiceStats};
+use crate::queue::{QueuedRequest, RejectReason, SubmissionQueue, Submit};
+use crate::stats::{Counters, ServiceStats, TenantStats};
+use crate::tenant::{TenantPolicy, TokenBucketAdmitter};
 
 /// How [`SynthesisService::shutdown`] disposes of queued work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,37 +53,61 @@ struct Inner {
     service_time: Arc<Histogram>,
     end_to_end: Arc<Histogram>,
     scheduler: SchedulerConfig,
+    /// The tenant directory (name → id, slot layout, DRR weights).
+    policy: TenantPolicy,
+    /// Per-tenant token buckets, consulted before the queue.
+    admitter: TokenBucketAdmitter,
 }
 
 impl SynthesisService {
     /// Starts a service (and its worker pool) with the given configuration.
     pub fn start(config: ServiceConfig) -> Self {
         let engine = BatchSynthesizer::with_options(config.workflow, config.batch);
-        Self::with_engine(engine, config.queue_capacity, config.scheduler)
+        Self::with_engine_and_tenants(
+            engine,
+            config.queue_capacity,
+            config.scheduler,
+            config.tenants,
+        )
     }
 
     /// Starts a service on an existing batch engine — sharing its synthesis
     /// cache (e.g. one warm-started from a snapshot, or one also serving
-    /// offline `synthesize_batch` traffic) and its observability hub.
+    /// offline `synthesize_batch` traffic) and its observability hub. Uses
+    /// the default (single-tenant, unthrottled) [`TenantPolicy`].
     pub fn with_engine(
         engine: BatchSynthesizer,
         queue_capacity: usize,
         scheduler: SchedulerConfig,
     ) -> Self {
+        Self::with_engine_and_tenants(engine, queue_capacity, scheduler, TenantPolicy::default())
+    }
+
+    /// [`SynthesisService::with_engine`] plus an explicit multi-tenant
+    /// admission and weighted-fair drain policy.
+    pub fn with_engine_and_tenants(
+        engine: BatchSynthesizer,
+        queue_capacity: usize,
+        scheduler: SchedulerConfig,
+        tenants: TenantPolicy,
+    ) -> Self {
         let metrics = engine.obs().metrics();
-        let counters = Counters::new(metrics);
+        let counters = Counters::new(metrics, &tenants);
+        let admitter = TokenBucketAdmitter::new(&tenants, metrics);
         let queue_wait = metrics.histogram("serve.queue_wait", &[]);
         let service_time = metrics.histogram("serve.service_time", &[]);
         let end_to_end = metrics.histogram("serve.end_to_end", &[]);
         let inner = Arc::new(Inner {
             engine,
-            queue: SubmissionQueue::new(queue_capacity),
+            queue: SubmissionQueue::new(queue_capacity, tenants.slot_weights()),
             inflight: InFlightTable::default(),
             counters,
             queue_wait,
             service_time,
             end_to_end,
             scheduler,
+            policy: tenants,
+            admitter,
         });
         let workers = (0..scheduler.resolved_workers())
             .map(|i| {
@@ -101,8 +126,14 @@ impl SynthesisService {
 
     /// Submits a typed [`SynthesisRequest`] for synthesis. Never blocks: the
     /// request is either queued (wait on the returned handle) or rejected
-    /// outright ([`Submit::Rejected`] with `queue_full` distinguishing
-    /// backpressure from shutdown).
+    /// outright ([`Submit::Rejected`] with a [`RejectReason`] distinguishing
+    /// admission throttling from backpressure from shutdown).
+    ///
+    /// The request's tenant
+    /// ([`RequestOptions::tenant`](qsp_core::RequestOptions)) picks its
+    /// admission token bucket, its weighted-fair sub-queue and its
+    /// `serve.tenant.*` accounting slice; no tenant (or an unknown id) bills
+    /// to the built-in default tenant.
     ///
     /// The request's [`RequestOptions`](qsp_core::RequestOptions) are
     /// honoured end to end: a deadline that expires while still queued
@@ -121,13 +152,29 @@ impl SynthesisService {
         let SynthesisRequest {
             target, options, ..
         } = request;
-        let submit = self.inner.queue.push(target, options);
+        let slot = self.inner.policy.slot_of(options.tenant);
+        let tenant = &self.inner.counters.tenants[slot];
+        // Per-tenant `submitted` counts attempts (the conservation identity
+        // includes throttled/rejected); the global one counts acceptances.
+        tenant.submitted.inc();
+        if !self.inner.admitter.try_admit(slot) {
+            self.inner.counters.throttled.inc();
+            tenant.throttled.inc();
+            return Submit::Rejected {
+                reason: RejectReason::Throttled,
+            };
+        }
+        let submit = self.inner.queue.push(target, options, slot);
         match &submit {
             Submit::Accepted(_) => {
                 self.inner.counters.submitted.inc();
                 self.inner.counters.queue_depth.add(1);
+                tenant.queue_depth.add(1);
             }
-            Submit::Rejected { .. } => self.inner.counters.rejected.inc(),
+            Submit::Rejected { .. } => {
+                self.inner.counters.rejected.inc();
+                tenant.rejected.inc();
+            }
         }
         submit
     }
@@ -144,6 +191,10 @@ impl SynthesisService {
             Err(error) => {
                 self.inner.counters.submitted.inc();
                 self.inner.counters.failed.inc();
+                let tenant_slot = self.inner.policy.slot_of(request.options.tenant);
+                let tenant = &self.inner.counters.tenants[tenant_slot];
+                tenant.submitted.inc();
+                tenant.failed.inc();
                 let (handle, completer) = crate::handle::oneshot();
                 completer.complete(Response::Failed(qsp_core::SynthesisError::State(error)));
                 Submit::Accepted(handle)
@@ -170,6 +221,9 @@ impl SynthesisService {
             Err(error) => {
                 self.inner.counters.submitted.inc();
                 self.inner.counters.failed.inc();
+                let tenant = &self.inner.counters.tenants[self.inner.policy.default_slot()];
+                tenant.submitted.inc();
+                tenant.failed.inc();
                 let (handle, completer) = crate::handle::oneshot();
                 completer.complete(Response::Failed(qsp_core::SynthesisError::State(error)));
                 Submit::Accepted(handle)
@@ -188,11 +242,30 @@ impl SynthesisService {
     /// registry.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
+        let depths = self.inner.queue.depths();
+        let tenants = c
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(slot, t)| TenantStats {
+                name: t.name.clone(),
+                submitted: t.submitted.get(),
+                throttled: t.throttled.get(),
+                rejected: t.rejected.get(),
+                completed: t.completed.get(),
+                expired: t.expired.get(),
+                failed: t.failed.get(),
+                cancelled: t.cancelled.get(),
+                queue_depth: depths.get(slot).copied().unwrap_or(0),
+                queue_wait: t.queue_wait.snapshot(),
+            })
+            .collect();
         ServiceStats {
             submitted: c.submitted.get(),
             completed: c.completed.get(),
             failed: c.failed.get(),
             rejected: c.rejected.get(),
+            throttled: c.throttled.get(),
             expired: c.expired.get(),
             deduped: c.deduped.get(),
             cache_hits: c.cache_hits.get(),
@@ -207,7 +280,21 @@ impl SynthesisService {
             queue_wait: self.inner.queue_wait.snapshot(),
             service_time: self.inner.service_time.snapshot(),
             end_to_end: self.inner.end_to_end.snapshot(),
+            tenants,
         }
+    }
+
+    /// Resolves a tenant name against the service's [`TenantPolicy`]. The
+    /// wire handshake uses this to map the client-supplied tenant string to
+    /// a [`TenantId`]; unknown names get `None` and bill to the default
+    /// tenant.
+    pub fn resolve_tenant(&self, name: &str) -> Option<TenantId> {
+        self.inner.policy.resolve(name)
+    }
+
+    /// The service's tenant policy (directory, weights, rates).
+    pub fn tenant_policy(&self) -> &TenantPolicy {
+        &self.inner.policy
     }
 
     /// A full observability snapshot of the engine's hub: every registry
@@ -227,6 +314,9 @@ impl SynthesisService {
         for request in leftover {
             self.inner.counters.cancelled.inc();
             self.inner.counters.queue_depth.sub(1);
+            let tenant = &self.inner.counters.tenants[request.slot];
+            tenant.cancelled.inc();
+            tenant.queue_depth.sub(1);
             request.completer.complete(Response::Cancelled);
         }
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker pool poisoned"));
@@ -267,6 +357,7 @@ impl Inner {
     fn process(&self, request: QueuedRequest) {
         let QueuedRequest {
             trace,
+            slot,
             target,
             options,
             enqueued,
@@ -274,13 +365,17 @@ impl Inner {
             ..
         } = request;
         let drained = Instant::now();
+        let tenant = &self.counters.tenants[slot];
         self.counters.queue_depth.sub(1);
+        tenant.queue_depth.sub(1);
         self.queue_wait.record(drained - enqueued);
+        tenant.queue_wait.record(drained - enqueued);
 
         // Deadline-aware: an expired request is answered without spending
         // any solver time on it.
         if options.deadline.is_some_and(|d| drained >= d) {
             self.counters.expired.inc();
+            tenant.expired.inc();
             self.end_to_end.record(drained - enqueued);
             completer.complete(Response::Timeout);
             return;
@@ -300,6 +395,7 @@ impl Inner {
             Ok(keyed) => keyed,
             Err(error) => {
                 self.counters.failed.inc();
+                tenant.failed.inc();
                 let now = Instant::now();
                 self.service_time.record(now - drained);
                 self.end_to_end.record(now - enqueued);
@@ -315,6 +411,7 @@ impl Inner {
         }
         let waiter = Waiter {
             trace,
+            slot,
             transform,
             resolved,
             keying: keyed - validated,
@@ -403,9 +500,11 @@ impl Inner {
         solving: Duration,
     ) {
         let reconstruct_start = Instant::now();
+        let tenant = &self.counters.tenants[waiter.slot];
         let response = match BatchSynthesizer::reconstruct_for(entry, &waiter.transform) {
             Ok(circuit) => {
                 self.counters.completed.inc();
+                tenant.completed.inc();
                 let now = Instant::now();
                 let timings = StageTimings::new(
                     waiter.keying,
@@ -457,6 +556,7 @@ impl Inner {
             }
             Err(error) => {
                 self.counters.failed.inc();
+                tenant.failed.inc();
                 Response::Failed(error)
             }
         };

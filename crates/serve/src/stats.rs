@@ -8,9 +8,19 @@
 //! keeps its flat, field-per-counter shape (and JSON format) as the stable
 //! reading surface; the same numbers also appear — with every other layer's
 //! signals — in the hub's [`ObsSnapshot`](qsp_obs::ObsSnapshot).
+//!
+//! Tenancy adds a per-tenant slice: each accounting slot (every configured
+//! tenant plus the built-in default) carries its own
+//! `serve.tenant.*{tenant=…}` counters, a `serve.tenant.queue_depth` gauge
+//! and a `serve.tenant.queue_wait` histogram, surfaced as a
+//! [`TenantStats`] row in [`ServiceStats::tenants`].
+
+use std::sync::Arc;
 
 use qsp_core::json::Value;
-use qsp_obs::{Counter, Gauge, MetricsRegistry};
+use qsp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+use crate::tenant::TenantPolicy;
 
 // One histogram implementation serves the whole workspace: the serving
 // layer's buckets *are* the registry's.
@@ -25,6 +35,9 @@ pub(crate) struct Counters {
     pub completed: Counter,
     pub failed: Counter,
     pub rejected: Counter,
+    /// Submissions turned away by per-tenant admission control (disjoint
+    /// from `rejected`, which counts backpressure and shutdown).
+    pub throttled: Counter,
     pub expired: Counter,
     pub deduped: Counter,
     pub cache_hits: Counter,
@@ -36,17 +49,64 @@ pub(crate) struct Counters {
     /// Mirror of the submission queue's current depth (`+1` on accept, `-1`
     /// on drain or shutdown cancellation).
     pub queue_depth: Gauge,
+    /// Per-tenant counter blocks, indexed by accounting slot (default slot
+    /// last, parallel to [`TenantPolicy`]'s slot layout).
+    pub tenants: Vec<TenantCounters>,
+}
+
+/// One tenant's `serve.tenant.*{tenant=…}` metric handles.
+///
+/// Unlike the global `serve.submitted` (which counts *accepted* requests),
+/// the per-tenant `submitted` counts every submission attempt, so the
+/// per-tenant conservation identity holds at quiescence:
+/// `submitted == completed + failed + throttled + rejected + expired +
+/// cancelled`.
+#[derive(Debug)]
+pub(crate) struct TenantCounters {
+    /// The tenant's metric-label name.
+    pub name: String,
+    pub submitted: Counter,
+    pub throttled: Counter,
+    pub rejected: Counter,
+    pub completed: Counter,
+    pub expired: Counter,
+    pub failed: Counter,
+    pub cancelled: Counter,
+    /// Mirror of the tenant's sub-queue depth, zero after a `Drain`.
+    pub queue_depth: Gauge,
+    pub queue_wait: Arc<Histogram>,
+}
+
+impl TenantCounters {
+    fn new(metrics: &MetricsRegistry, name: &str) -> Self {
+        let labels = &[("tenant", name)];
+        let counter = |metric: &str| metrics.counter(metric, labels);
+        TenantCounters {
+            name: name.to_string(),
+            submitted: counter("serve.tenant.submitted"),
+            throttled: counter("serve.tenant.throttled"),
+            rejected: counter("serve.tenant.rejected"),
+            completed: counter("serve.tenant.completed"),
+            expired: counter("serve.tenant.expired"),
+            failed: counter("serve.tenant.failed"),
+            cancelled: counter("serve.tenant.cancelled"),
+            queue_depth: metrics.gauge("serve.tenant.queue_depth", labels),
+            queue_wait: metrics.histogram("serve.tenant.queue_wait", labels),
+        }
+    }
 }
 
 impl Counters {
-    /// Registers (or re-attaches to) the `serve.*` metrics in `metrics`.
-    pub(crate) fn new(metrics: &MetricsRegistry) -> Self {
+    /// Registers (or re-attaches to) the `serve.*` metrics in `metrics`,
+    /// including one `serve.tenant.*` block per accounting slot of `policy`.
+    pub(crate) fn new(metrics: &MetricsRegistry, policy: &TenantPolicy) -> Self {
         let counter = |name: &str| metrics.counter(name, &[]);
         Counters {
             submitted: counter("serve.submitted"),
             completed: counter("serve.completed"),
             failed: counter("serve.failed"),
             rejected: counter("serve.rejected"),
+            throttled: counter("serve.throttled"),
             expired: counter("serve.expired"),
             deduped: counter("serve.deduped"),
             cache_hits: counter("serve.cache_hits"),
@@ -56,6 +116,9 @@ impl Counters {
             keys_orbit_pruned: counter("serve.keys.orbit_pruned"),
             keys_greedy: counter("serve.keys.orbit_budget_exhausted"),
             queue_depth: metrics.gauge("serve.queue_depth", &[]),
+            tenants: (0..policy.slot_count())
+                .map(|slot| TenantCounters::new(metrics, policy.slot_name(slot)))
+                .collect(),
         }
     }
 }
@@ -65,7 +128,10 @@ impl Counters {
 /// Counter identities (stable under concurrency, read at quiescence):
 /// `submitted == completed + failed + expired + cancelled + in-flight`, and
 /// `completed + failed == solver_runs-resolved + deduped + cache_hits`
-/// requests that went through the solve path.
+/// requests that went through the solve path. Per tenant (see
+/// [`TenantStats`]), `submitted` counts *attempts*, so
+/// `submitted == completed + failed + throttled + rejected + expired +
+/// cancelled` at quiescence.
 ///
 /// Every field is read from the engine's metrics registry (`serve.*`
 /// metrics), so the identical numbers appear in
@@ -80,6 +146,9 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Submissions rejected (backpressure or shutdown).
     pub rejected: u64,
+    /// Submissions refused by per-tenant admission control (token bucket
+    /// empty). Disjoint from `rejected`.
+    pub throttled: u64,
     /// Requests whose deadline expired before solving started.
     pub expired: u64,
     /// Requests attached to another request's in-flight solve.
@@ -115,6 +184,67 @@ pub struct ServiceStats {
     pub service_time: HistogramSnapshot,
     /// Latency from submission to completion.
     pub end_to_end: HistogramSnapshot,
+    /// Per-tenant slices, one per accounting slot (every configured tenant
+    /// plus the built-in default tenant, last).
+    pub tenants: Vec<TenantStats>,
+}
+
+/// One tenant's slice of the service stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant name (metric label; `"default"` for the built-in slot).
+    pub name: String,
+    /// Submission *attempts* billed to this tenant (accepted or not).
+    pub submitted: u64,
+    /// Attempts refused by the tenant's token bucket.
+    pub throttled: u64,
+    /// Attempts rejected by backpressure or shutdown.
+    pub rejected: u64,
+    /// Requests completed with a circuit.
+    pub completed: u64,
+    /// Requests whose deadline expired before solving started.
+    pub expired: u64,
+    /// Requests that failed synthesis.
+    pub failed: u64,
+    /// Requests cancelled by shutdown.
+    pub cancelled: u64,
+    /// The tenant's sub-queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Latency from submission to worker drain, for this tenant only.
+    pub queue_wait: HistogramSnapshot,
+}
+
+impl TenantStats {
+    /// The per-tenant conservation identity: at quiescence every attempt is
+    /// accounted for by exactly one outcome.
+    pub fn is_conserved(&self) -> bool {
+        self.submitted
+            == self.completed
+                + self.failed
+                + self.throttled
+                + self.rejected
+                + self.expired
+                + self.cancelled
+    }
+
+    /// The tenant slice as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("submitted".to_string(), Value::Num(self.submitted)),
+            ("throttled".to_string(), Value::Num(self.throttled)),
+            ("rejected".to_string(), Value::Num(self.rejected)),
+            ("completed".to_string(), Value::Num(self.completed)),
+            ("expired".to_string(), Value::Num(self.expired)),
+            ("failed".to_string(), Value::Num(self.failed)),
+            ("cancelled".to_string(), Value::Num(self.cancelled)),
+            (
+                "queue_depth".to_string(),
+                Value::Num(self.queue_depth as u64),
+            ),
+            ("queue_wait".to_string(), self.queue_wait.to_json()),
+        ])
+    }
 }
 
 impl ServiceStats {
@@ -125,6 +255,7 @@ impl ServiceStats {
             ("completed".to_string(), Value::Num(self.completed)),
             ("failed".to_string(), Value::Num(self.failed)),
             ("rejected".to_string(), Value::Num(self.rejected)),
+            ("throttled".to_string(), Value::Num(self.throttled)),
             ("expired".to_string(), Value::Num(self.expired)),
             ("deduped".to_string(), Value::Num(self.deduped)),
             ("cache_hits".to_string(), Value::Num(self.cache_hits)),
@@ -154,6 +285,10 @@ impl ServiceStats {
             ("queue_wait".to_string(), self.queue_wait.to_json()),
             ("service_time".to_string(), self.service_time.to_json()),
             ("end_to_end".to_string(), self.end_to_end.to_json()),
+            (
+                "tenants".to_string(),
+                Value::Array(self.tenants.iter().map(TenantStats::to_json).collect()),
+            ),
         ])
     }
 
@@ -172,7 +307,7 @@ mod tests {
     #[test]
     fn counters_are_registry_views() {
         let metrics = MetricsRegistry::new();
-        let counters = Counters::new(&metrics);
+        let counters = Counters::new(&metrics, &TenantPolicy::default());
         counters.submitted.inc();
         counters.submitted.inc();
         counters.queue_depth.add(3);
@@ -185,20 +320,77 @@ mod tests {
         let depth = snapshot.get("serve.queue_depth").unwrap();
         assert_eq!(depth.value, qsp_obs::MetricValue::Gauge(2));
         // Re-attaching yields handles to the same storage.
-        let again = Counters::new(&metrics);
+        let again = Counters::new(&metrics, &TenantPolicy::default());
         again.submitted.inc();
         assert_eq!(counters.submitted.get(), 3);
+    }
+
+    #[test]
+    fn tenant_counters_are_labelled_slices() {
+        use crate::tenant::TenantConfig;
+        let metrics = MetricsRegistry::new();
+        let policy = TenantPolicy::default()
+            .with_tenant(TenantConfig::new("acme"))
+            .with_tenant(TenantConfig::new("beta"));
+        let counters = Counters::new(&metrics, &policy);
+        assert_eq!(counters.tenants.len(), 3);
+        assert_eq!(counters.tenants[0].name, "acme");
+        assert_eq!(counters.tenants[2].name, crate::tenant::DEFAULT_TENANT_NAME);
+        counters.tenants[1].submitted.add(4);
+        let snapshot = metrics.snapshot();
+        let beta = snapshot
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "serve.tenant.submitted"
+                    && s.labels == vec![("tenant".to_string(), "beta".to_string())]
+            })
+            .expect("labelled tenant counter registered");
+        assert_eq!(beta.value, qsp_obs::MetricValue::Counter(4));
+    }
+
+    fn zeroed_tenant(name: &str) -> TenantStats {
+        TenantStats {
+            name: name.to_string(),
+            submitted: 0,
+            throttled: 0,
+            rejected: 0,
+            completed: 0,
+            expired: 0,
+            failed: 0,
+            cancelled: 0,
+            queue_depth: 0,
+            queue_wait: Histogram::new().snapshot(),
+        }
+    }
+
+    #[test]
+    fn tenant_conservation_identity() {
+        let mut tenant = zeroed_tenant("t");
+        tenant.submitted = 10;
+        tenant.completed = 6;
+        tenant.throttled = 2;
+        tenant.expired = 1;
+        tenant.rejected = 1;
+        assert!(tenant.is_conserved());
+        tenant.submitted = 11;
+        assert!(!tenant.is_conserved());
     }
 
     #[test]
     fn stats_serialize_to_parseable_json() {
         let histogram = Histogram::new();
         histogram.record(Duration::from_micros(10));
+        let mut tenant = zeroed_tenant("default");
+        tenant.submitted = 5;
+        tenant.completed = 3;
+        tenant.throttled = 2;
         let stats = ServiceStats {
             submitted: 5,
             completed: 3,
             failed: 0,
             rejected: 1,
+            throttled: 2,
             expired: 1,
             deduped: 2,
             cache_hits: 1,
@@ -213,15 +405,21 @@ mod tests {
             queue_wait: histogram.snapshot(),
             service_time: histogram.snapshot(),
             end_to_end: histogram.snapshot(),
+            tenants: vec![tenant],
         };
         let parsed = qsp_core::json::parse(&stats.to_json_string()).unwrap();
         assert_eq!(parsed.get("submitted").unwrap().as_u64(), Some(5));
         assert_eq!(parsed.get("deduped").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed.get("throttled").unwrap().as_u64(), Some(2));
         assert_eq!(parsed.get("keys_exhaustive").unwrap().as_u64(), Some(2));
         assert_eq!(parsed.get("keys_orbit_pruned").unwrap().as_u64(), Some(1));
         assert_eq!(parsed.get("keys_greedy").unwrap().as_u64(), Some(0));
         let wait = parsed.get("queue_wait").unwrap();
         assert_eq!(wait.get("count").unwrap().as_u64(), Some(1));
         assert!(wait.get("p95_ms").unwrap().as_f64().unwrap() > 0.0);
+        let tenants = parsed.get("tenants").unwrap().as_array().unwrap();
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].get("name").unwrap().as_str(), Some("default"));
+        assert_eq!(tenants[0].get("throttled").unwrap().as_u64(), Some(2));
     }
 }

@@ -107,7 +107,11 @@ fn reports_carry_provenance() {
 fn zero_capacity_queue_rejects_immediately() {
     let service = service_with(0, 1, 4);
     match service.submit(request(&generators::ghz(3).unwrap())) {
-        Submit::Rejected { queue_full } => assert!(queue_full, "rejection must be backpressure"),
+        Submit::Rejected { reason } => assert_eq!(
+            reason,
+            qsp_serve::RejectReason::QueueFull,
+            "rejection must be backpressure"
+        ),
         Submit::Accepted(_) => panic!("zero-capacity queue must reject"),
     }
     let stats = service.shutdown(Shutdown::Drain);
@@ -140,7 +144,7 @@ fn submissions_after_shutdown_are_rejected_as_not_queue_full() {
     let service = service_with(8, 1, 4);
     service.shutdown(Shutdown::Drain);
     match service.submit(request(&generators::ghz(3).unwrap())) {
-        Submit::Rejected { queue_full } => assert!(!queue_full),
+        Submit::Rejected { reason } => assert_eq!(reason, qsp_serve::RejectReason::Shutdown),
         Submit::Accepted(_) => panic!("a stopped service must reject"),
     }
 }

@@ -1,0 +1,287 @@
+//! The length-prefixed frame codec.
+//!
+//! Every frame on the wire is a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON:
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────────┐
+//! │ len: u32 BE  │ payload: len bytes of JSON   │
+//! └──────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The decoder is *incremental*: [`FrameDecoder::feed`] accepts bytes in
+//! whatever chunks the socket delivers (torn reads, frames split across
+//! reads, several frames per read) and [`FrameDecoder::next_frame`] yields
+//! complete payloads as they become available. A length prefix larger than
+//! the configured maximum is rejected with [`WireError::FrameTooLarge`]
+//! *before* the payload is buffered, bounding the receiver's memory.
+
+use std::io::{Read, Write};
+
+use crate::error::WireError;
+
+/// Bytes of the length prefix.
+pub const LENGTH_PREFIX_BYTES: usize = 4;
+
+/// Default maximum frame payload size (1 MiB) — comfortably above any
+/// realistic request or report, far below an allocation attack.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Encodes one payload as a length-prefixed frame.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if the payload exceeds `max_frame` — the
+/// sender enforces the same bound the receiver does, so an oversized local
+/// payload fails fast instead of poisoning the connection.
+pub fn encode_frame(payload: &str, max_frame: usize) -> Result<Vec<u8>, WireError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > max_frame {
+        return Err(WireError::FrameTooLarge {
+            size: bytes.len(),
+            max_frame,
+        });
+    }
+    let mut frame = Vec::with_capacity(LENGTH_PREFIX_BYTES + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    Ok(frame)
+}
+
+/// Writes one frame to `writer` (length prefix + payload, single
+/// `write_all`).
+pub fn write_frame(
+    writer: &mut impl Write,
+    payload: &str,
+    max_frame: usize,
+) -> Result<(), WireError> {
+    let frame = encode_frame(payload, max_frame)?;
+    writer.write_all(&frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one frame from `reader`, blocking until it is complete.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary;
+/// [`WireError::Truncated`] if the stream ends mid-frame.
+pub fn read_frame(reader: &mut impl Read, max_frame: usize) -> Result<Option<String>, WireError> {
+    let mut prefix = [0u8; LENGTH_PREFIX_BYTES];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        let n = reader.read(&mut prefix[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(WireError::Truncated)
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_frame {
+        return Err(WireError::FrameTooLarge {
+            size: len,
+            max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        let n = reader.read(&mut payload[filled..])?;
+        if n == 0 {
+            return Err(WireError::Truncated);
+        }
+        filled += n;
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| WireError::Protocol("frame payload is not valid UTF-8".to_string()))
+}
+
+/// The incremental frame decoder. See the [module docs](self).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` as the payload-size bound.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends raw socket bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes". An oversized length prefix
+    /// errors immediately — even before the payload arrives — and the
+    /// decoder must be discarded (the stream has no recoverable framing
+    /// past that point).
+    pub fn next_frame(&mut self) -> Result<Option<String>, WireError> {
+        if self.buf.len() < LENGTH_PREFIX_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(
+            self.buf[..LENGTH_PREFIX_BYTES]
+                .try_into()
+                .expect("prefix length checked"),
+        ) as usize;
+        if len > self.max_frame {
+            return Err(WireError::FrameTooLarge {
+                size: len,
+                max_frame: self.max_frame,
+            });
+        }
+        if self.buf.len() < LENGTH_PREFIX_BYTES + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self
+            .buf
+            .drain(..LENGTH_PREFIX_BYTES + len)
+            .skip(LENGTH_PREFIX_BYTES)
+            .collect();
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| WireError::Protocol("frame payload is not valid UTF-8".to_string()))
+    }
+
+    /// Bytes currently buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = encode_frame("{\"type\":\"hello\"}", DEFAULT_MAX_FRAME).unwrap();
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        decoder.feed(&frame);
+        assert_eq!(
+            decoder.next_frame().unwrap().as_deref(),
+            Some("{\"type\":\"hello\"}")
+        );
+        assert!(decoder.next_frame().unwrap().is_none());
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn torn_reads_reassemble_at_every_split_point() {
+        // A frame split at every possible byte boundary still decodes —
+        // the codec never assumes a read delivers a whole frame.
+        let frame = encode_frame("{\"id\":12345,\"payload\":\"abcdef\"}", 1024).unwrap();
+        for split in 0..=frame.len() {
+            let mut decoder = FrameDecoder::new(1024);
+            decoder.feed(&frame[..split]);
+            if split < frame.len() {
+                assert!(decoder.next_frame().unwrap().is_none(), "split {split}");
+                decoder.feed(&frame[split..]);
+            }
+            assert_eq!(
+                decoder.next_frame().unwrap().as_deref(),
+                Some("{\"id\":12345,\"payload\":\"abcdef\"}"),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_random_chunking_preserves_frame_stream() {
+        // Many frames, delivered in pseudo-random chunk sizes: the decoder
+        // must yield exactly the original payload sequence.
+        let payloads: Vec<String> = (0..50)
+            .map(|i| format!("{{\"seq\":{i},\"body\":\"{}\"}}", "x".repeat(i * 7 % 90)))
+            .collect();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p, 4096).unwrap());
+        }
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC);
+        let mut decoder = FrameDecoder::new(4096);
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let chunk = rng.gen_range(1usize..18);
+            let end = (pos + chunk).min(stream.len());
+            decoder.feed(&stream[pos..end]);
+            pos = end;
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, payloads);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_payload_arrives() {
+        let mut decoder = FrameDecoder::new(64);
+        // Prefix declares 1 MiB; only the prefix has arrived.
+        decoder.feed(&(1_048_576u32).to_be_bytes());
+        match decoder.next_frame() {
+            Err(WireError::FrameTooLarge { size, max_frame }) => {
+                assert_eq!(size, 1_048_576);
+                assert_eq!(max_frame, 64);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // The sender enforces the same bound.
+        let big = "y".repeat(65);
+        assert!(matches!(
+            encode_frame(&big, 64),
+            Err(WireError::FrameTooLarge { size: 65, .. })
+        ));
+    }
+
+    #[test]
+    fn blocking_reader_handles_eof_and_truncation() {
+        let frame = encode_frame("{\"ok\":true}", 128).unwrap();
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        assert_eq!(
+            read_frame(&mut cursor, 128).unwrap().as_deref(),
+            Some("{\"ok\":true}")
+        );
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut cursor, 128).unwrap().is_none());
+    }
+
+    #[test]
+    fn blocking_reader_truncation_is_typed() {
+        let frame = encode_frame("{\"ok\":true}", 128).unwrap();
+        let mut torn = std::io::Cursor::new(frame[..frame.len() - 3].to_vec());
+        assert!(matches!(
+            read_frame(&mut torn, 128),
+            Err(WireError::Truncated)
+        ));
+        // EOF inside the length prefix is also truncation.
+        let mut torn_prefix = std::io::Cursor::new(frame[..2].to_vec());
+        assert!(matches!(
+            read_frame(&mut torn_prefix, 128),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_payload_is_a_protocol_error() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&2u32.to_be_bytes());
+        raw.extend_from_slice(&[0xFF, 0xFE]);
+        let mut decoder = FrameDecoder::new(64);
+        decoder.feed(&raw);
+        assert!(matches!(decoder.next_frame(), Err(WireError::Protocol(_))));
+    }
+}

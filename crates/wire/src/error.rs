@@ -1,0 +1,129 @@
+//! The wire layer's typed error surface.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use qsp_core::json::JsonError;
+
+/// Errors produced by the frame codec, the protocol layer and the client.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// An underlying socket operation failed.
+    Io(io::Error),
+    /// A frame's length prefix exceeds the configured maximum. The codec
+    /// rejects the frame *before* buffering its payload, so an abusive peer
+    /// cannot make the receiver allocate unboundedly.
+    FrameTooLarge {
+        /// The length the prefix declared.
+        size: usize,
+        /// The receiver's configured maximum payload size.
+        max_frame: usize,
+    },
+    /// The connection ended mid-frame (EOF inside a length prefix or
+    /// payload).
+    Truncated,
+    /// A frame payload failed to parse as JSON. The carried
+    /// [`JsonError::byte_offset`] localizes the malformed byte *within the
+    /// frame payload*, and is forwarded to the peer in the error reply.
+    Json(JsonError),
+    /// A structurally valid JSON frame that violates the protocol (unknown
+    /// `type`, missing field, handshake out of order, …).
+    Protocol(String),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version the client announced.
+        client: u32,
+        /// The version the server speaks.
+        server: u32,
+    },
+    /// A typed error frame received from the remote peer.
+    Remote {
+        /// The machine-readable error code (`frame_too_large`, `bad_json`,
+        /// `protocol`, `version_mismatch`).
+        code: String,
+        /// The human-readable message.
+        message: String,
+        /// For `bad_json`: the byte offset of the malformed byte within the
+        /// offending frame payload.
+        byte_offset: Option<u64>,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::FrameTooLarge { size, max_frame } => write!(
+                f,
+                "frame of {size} bytes exceeds the {max_frame}-byte frame limit"
+            ),
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::Json(e) => write!(f, "malformed frame payload: {e}"),
+            WireError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+            WireError::VersionMismatch { client, server } => write!(
+                f,
+                "protocol version mismatch: client speaks v{client}, server v{server}"
+            ),
+            WireError::Remote {
+                code,
+                message,
+                byte_offset,
+            } => match byte_offset {
+                Some(offset) => {
+                    write!(f, "remote error [{code}] at byte {offset}: {message}")
+                }
+                None => write!(f, "remote error [{code}]: {message}"),
+            },
+        }
+    }
+}
+
+impl Error for WireError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(value: io::Error) -> Self {
+        WireError::Io(value)
+    }
+}
+
+impl From<JsonError> for WireError {
+    fn from(value: JsonError) -> Self {
+        WireError::Json(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = WireError::FrameTooLarge {
+            size: 2048,
+            max_frame: 1024,
+        };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.source().is_none());
+        let e: WireError = qsp_core::json::parse("{").unwrap_err().into();
+        assert!(matches!(e, WireError::Json(_)));
+        assert!(e.source().is_some());
+        let e: WireError = io::Error::new(io::ErrorKind::ConnectionReset, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        let e = WireError::Remote {
+            code: "bad_json".to_string(),
+            message: "oops".to_string(),
+            byte_offset: Some(17),
+        };
+        assert!(e.to_string().contains("byte 17"));
+    }
+}

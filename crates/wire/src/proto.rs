@@ -1,0 +1,575 @@
+//! The protocol layer: typed frames and their JSON encoding.
+//!
+//! Every frame payload is a JSON object with a `type` discriminator. A
+//! connection opens with a handshake — the client's `hello` (protocol
+//! version + optional tenant name) answered by the server's `hello_ack`
+//! (negotiated version, the tenant the connection resolved to, and the
+//! server's frame-size limit) — after which the client pipelines `request`
+//! frames freely; the server answers each with exactly one of `report`,
+//! `rejected`, `timeout`, `cancelled` or `failed`, correlated by the
+//! client-chosen request `id` (responses may arrive out of submission
+//! order). A connection-level `error` frame (malformed JSON, oversized
+//! frame, protocol violation, version mismatch) is terminal: the server
+//! sends it and closes.
+//!
+//! Amplitudes travel as exact `f64` bit patterns (`u64`), the same encoding
+//! the cache snapshots use, so a state round-trips the wire bit-identically
+//! and `cnot_cost` parity with the in-process path is structural, not
+//! approximate.
+
+use qsp_core::json::{self, Value};
+use qsp_state::{BasisIndex, SparseState};
+
+use crate::error::WireError;
+
+/// The protocol version this build speaks. A client announcing a different
+/// version is refused at the handshake with a `version_mismatch` error
+/// frame.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A frame sent by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// The handshake opener: protocol version plus the tenant this
+    /// connection's requests bill to (`None` = the server's default
+    /// tenant).
+    Hello {
+        /// The client's protocol version.
+        version: u32,
+        /// The tenant name to resolve against the server's policy.
+        tenant: Option<String>,
+    },
+    /// One synthesis request. `id` is chosen by the client and echoed on
+    /// the response, so requests can be pipelined.
+    Request {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The target state to synthesize.
+        target: SparseState,
+        /// Relative deadline in milliseconds (the server anchors it at
+        /// decode time).
+        deadline_ms: Option<u64>,
+        /// Scheduling priority (deadline ties in the drain order).
+        priority: Option<u8>,
+    },
+}
+
+/// A frame sent by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// The handshake answer.
+    HelloAck {
+        /// The protocol version the server speaks.
+        version: u32,
+        /// The tenant the connection resolved to (`"default"` when the
+        /// hello named no tenant or an unknown one).
+        tenant: String,
+        /// The server's maximum frame payload size; client frames above it
+        /// are refused.
+        max_frame: u64,
+    },
+    /// A completed request: the synthesized circuit and its provenance.
+    Report {
+        /// The request's correlation id.
+        id: u64,
+        /// CNOT cost of the circuit — identical to an in-process solve of
+        /// the same request.
+        cnot_cost: u64,
+        /// How the circuit was produced (`solved`, `cache_hit`,
+        /// `dedup_attach`, `batch_rep`).
+        provenance: String,
+        /// End-to-end service time in milliseconds (server-side:
+        /// submission to completion).
+        total_ms: f64,
+        /// The circuit as OpenQASM 2.0.
+        qasm: String,
+    },
+    /// The submission was turned away without being queued.
+    Rejected {
+        /// The request's correlation id.
+        id: u64,
+        /// Why: `throttled` (tenant admission control), `queue_full`
+        /// (backpressure) or `shutdown`.
+        reason: String,
+    },
+    /// The request's deadline expired before a worker started solving it.
+    Timeout {
+        /// The request's correlation id.
+        id: u64,
+    },
+    /// The service shut down before the request was solved.
+    Cancelled {
+        /// The request's correlation id.
+        id: u64,
+    },
+    /// Synthesis of this request failed (invalid or unsupported target).
+    Failed {
+        /// The request's correlation id.
+        id: u64,
+        /// The error message.
+        message: String,
+        /// For JSON-shaped failures: byte offset of the malformed byte.
+        byte_offset: Option<u64>,
+    },
+    /// A terminal connection-level error; the server closes after sending
+    /// it.
+    Error {
+        /// Machine-readable code: `frame_too_large`, `bad_json`,
+        /// `protocol` or `version_mismatch`.
+        code: String,
+        /// Human-readable description.
+        message: String,
+        /// For `bad_json`: byte offset of the malformed byte within the
+        /// offending frame payload.
+        byte_offset: Option<u64>,
+    },
+}
+
+/// Encodes a sparse state as `{n, amps: [[index, f64_bits], …]}`.
+fn state_to_value(state: &SparseState) -> Value {
+    Value::Object(vec![
+        ("n".to_string(), Value::Num(state.num_qubits() as u64)),
+        (
+            "amps".to_string(),
+            Value::Array(
+                state
+                    .iter()
+                    .map(|(index, amplitude)| {
+                        Value::Array(vec![
+                            Value::Num(index.value()),
+                            Value::Num(amplitude.to_bits()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn state_from_value(value: &Value) -> Result<SparseState, WireError> {
+    let n = value
+        .get("n")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError::Protocol("target missing qubit count `n`".to_string()))?;
+    let amps = value
+        .get("amps")
+        .and_then(Value::as_array)
+        .ok_or_else(|| WireError::Protocol("target missing `amps` array".to_string()))?;
+    let mut entries = Vec::with_capacity(amps.len());
+    for amp in amps {
+        let pair = amp
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| WireError::Protocol("amplitude entry is not a pair".to_string()))?;
+        let index = pair[0]
+            .as_u64()
+            .ok_or_else(|| WireError::Protocol("basis index is not an integer".to_string()))?;
+        let bits = pair[1]
+            .as_u64()
+            .ok_or_else(|| WireError::Protocol("amplitude bits are not an integer".to_string()))?;
+        entries.push((BasisIndex::new(index), f64::from_bits(bits)));
+    }
+    SparseState::from_amplitudes(n as usize, entries)
+        .map_err(|e| WireError::Protocol(format!("invalid target state: {e}")))
+}
+
+fn optional_field(fields: &mut Vec<(String, Value)>, key: &str, value: Option<Value>) {
+    if let Some(value) = value {
+        fields.push((key.to_string(), value));
+    }
+}
+
+fn require_id(value: &Value) -> Result<u64, WireError> {
+    value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError::Protocol("frame missing request `id`".to_string()))
+}
+
+fn require_type(value: &Value) -> Result<&str, WireError> {
+    value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::Protocol("frame missing `type` discriminator".to_string()))
+}
+
+impl ClientFrame {
+    /// The frame as a JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ClientFrame::Hello { version, tenant } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("hello".to_string())),
+                    ("version".to_string(), Value::Num(u64::from(*version))),
+                ];
+                optional_field(
+                    &mut fields,
+                    "tenant",
+                    tenant.as_ref().map(|t| Value::Str(t.clone())),
+                );
+                Value::Object(fields)
+            }
+            ClientFrame::Request {
+                id,
+                target,
+                deadline_ms,
+                priority,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("request".to_string())),
+                    ("id".to_string(), Value::Num(*id)),
+                    ("target".to_string(), state_to_value(target)),
+                ];
+                optional_field(&mut fields, "deadline_ms", deadline_ms.map(Value::Num));
+                optional_field(
+                    &mut fields,
+                    "priority",
+                    priority.map(|p| Value::Num(u64::from(p))),
+                );
+                Value::Object(fields)
+            }
+        }
+    }
+
+    /// The frame as a compact JSON payload string.
+    pub fn to_payload(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses a frame payload. A JSON parse failure carries the
+    /// [`byte_offset`](qsp_core::JsonError::byte_offset) of the malformed
+    /// byte.
+    pub fn parse(payload: &str) -> Result<Self, WireError> {
+        let value = json::parse(payload)?;
+        match require_type(&value)? {
+            "hello" => {
+                let version = value
+                    .get("version")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| WireError::Protocol("hello missing `version`".to_string()))?;
+                let tenant = value
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
+                Ok(ClientFrame::Hello {
+                    version: version as u32,
+                    tenant,
+                })
+            }
+            "request" => {
+                let id = require_id(&value)?;
+                let target =
+                    state_from_value(value.get("target").ok_or_else(|| {
+                        WireError::Protocol("request missing `target`".to_string())
+                    })?)?;
+                let deadline_ms = value.get("deadline_ms").and_then(Value::as_u64);
+                let priority = value
+                    .get("priority")
+                    .and_then(Value::as_u64)
+                    .map(|p| p.min(u64::from(u8::MAX)) as u8);
+                Ok(ClientFrame::Request {
+                    id,
+                    target,
+                    deadline_ms,
+                    priority,
+                })
+            }
+            other => Err(WireError::Protocol(format!(
+                "unknown client frame type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ServerFrame {
+    /// The frame as a JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ServerFrame::HelloAck {
+                version,
+                tenant,
+                max_frame,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("hello_ack".to_string())),
+                ("version".to_string(), Value::Num(u64::from(*version))),
+                ("tenant".to_string(), Value::Str(tenant.clone())),
+                ("max_frame".to_string(), Value::Num(*max_frame)),
+            ]),
+            ServerFrame::Report {
+                id,
+                cnot_cost,
+                provenance,
+                total_ms,
+                qasm,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("report".to_string())),
+                ("id".to_string(), Value::Num(*id)),
+                ("cnot_cost".to_string(), Value::Num(*cnot_cost)),
+                ("provenance".to_string(), Value::Str(provenance.clone())),
+                ("total_ms".to_string(), Value::Float(*total_ms)),
+                ("qasm".to_string(), Value::Str(qasm.clone())),
+            ]),
+            ServerFrame::Rejected { id, reason } => Value::Object(vec![
+                ("type".to_string(), Value::Str("rejected".to_string())),
+                ("id".to_string(), Value::Num(*id)),
+                ("reason".to_string(), Value::Str(reason.clone())),
+            ]),
+            ServerFrame::Timeout { id } => Value::Object(vec![
+                ("type".to_string(), Value::Str("timeout".to_string())),
+                ("id".to_string(), Value::Num(*id)),
+            ]),
+            ServerFrame::Cancelled { id } => Value::Object(vec![
+                ("type".to_string(), Value::Str("cancelled".to_string())),
+                ("id".to_string(), Value::Num(*id)),
+            ]),
+            ServerFrame::Failed {
+                id,
+                message,
+                byte_offset,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("failed".to_string())),
+                    ("id".to_string(), Value::Num(*id)),
+                    ("message".to_string(), Value::Str(message.clone())),
+                ];
+                optional_field(&mut fields, "byte_offset", byte_offset.map(Value::Num));
+                Value::Object(fields)
+            }
+            ServerFrame::Error {
+                code,
+                message,
+                byte_offset,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("error".to_string())),
+                    ("code".to_string(), Value::Str(code.clone())),
+                    ("message".to_string(), Value::Str(message.clone())),
+                ];
+                optional_field(&mut fields, "byte_offset", byte_offset.map(Value::Num));
+                Value::Object(fields)
+            }
+        }
+    }
+
+    /// The frame as a compact JSON payload string.
+    pub fn to_payload(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses a frame payload.
+    pub fn parse(payload: &str) -> Result<Self, WireError> {
+        let value = json::parse(payload)?;
+        let get_str = |key: &str| -> Result<String, WireError> {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| WireError::Protocol(format!("frame missing `{key}`")))
+        };
+        match require_type(&value)? {
+            "hello_ack" => Ok(ServerFrame::HelloAck {
+                version: value
+                    .get("version")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| WireError::Protocol("hello_ack missing `version`".to_string()))?
+                    as u32,
+                tenant: get_str("tenant")?,
+                max_frame: value
+                    .get("max_frame")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| {
+                        WireError::Protocol("hello_ack missing `max_frame`".to_string())
+                    })?,
+            }),
+            "report" => Ok(ServerFrame::Report {
+                id: require_id(&value)?,
+                cnot_cost: value
+                    .get("cnot_cost")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| WireError::Protocol("report missing `cnot_cost`".to_string()))?,
+                provenance: get_str("provenance")?,
+                total_ms: value.get("total_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                qasm: get_str("qasm")?,
+            }),
+            "rejected" => Ok(ServerFrame::Rejected {
+                id: require_id(&value)?,
+                reason: get_str("reason")?,
+            }),
+            "timeout" => Ok(ServerFrame::Timeout {
+                id: require_id(&value)?,
+            }),
+            "cancelled" => Ok(ServerFrame::Cancelled {
+                id: require_id(&value)?,
+            }),
+            "failed" => Ok(ServerFrame::Failed {
+                id: require_id(&value)?,
+                message: get_str("message")?,
+                byte_offset: value.get("byte_offset").and_then(Value::as_u64),
+            }),
+            "error" => Ok(ServerFrame::Error {
+                code: get_str("code")?,
+                message: get_str("message")?,
+                byte_offset: value.get("byte_offset").and_then(Value::as_u64),
+            }),
+            other => Err(WireError::Protocol(format!(
+                "unknown server frame type `{other}`"
+            ))),
+        }
+    }
+
+    /// The response's correlation id, if this frame answers a request.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            ServerFrame::Report { id, .. }
+            | ServerFrame::Rejected { id, .. }
+            | ServerFrame::Timeout { id }
+            | ServerFrame::Cancelled { id }
+            | ServerFrame::Failed { id, .. } => Some(*id),
+            ServerFrame::HelloAck { .. } | ServerFrame::Error { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsp_state::generators;
+
+    #[test]
+    fn client_frames_round_trip() {
+        let hello = ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: Some("acme".to_string()),
+        };
+        assert_eq!(ClientFrame::parse(&hello.to_payload()).unwrap(), hello);
+        let anonymous = ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: None,
+        };
+        assert_eq!(
+            ClientFrame::parse(&anonymous.to_payload()).unwrap(),
+            anonymous
+        );
+        let request = ClientFrame::Request {
+            id: 42,
+            target: generators::w_state(4).unwrap(),
+            deadline_ms: Some(250),
+            priority: Some(3),
+        };
+        assert_eq!(ClientFrame::parse(&request.to_payload()).unwrap(), request);
+    }
+
+    #[test]
+    fn state_encoding_is_bit_exact() {
+        // The W state's 1/sqrt(3) amplitudes are irrational; bit-pattern
+        // transport must reproduce them exactly, not to-within-epsilon.
+        let target = generators::w_state(3).unwrap();
+        let frame = ClientFrame::Request {
+            id: 1,
+            target: target.clone(),
+            deadline_ms: None,
+            priority: None,
+        };
+        let ClientFrame::Request {
+            target: decoded, ..
+        } = ClientFrame::parse(&frame.to_payload()).unwrap()
+        else {
+            panic!("wrong frame type");
+        };
+        let original: Vec<(u64, u64)> = target
+            .iter()
+            .map(|(i, a)| (i.value(), a.to_bits()))
+            .collect();
+        let round_tripped: Vec<(u64, u64)> = decoded
+            .iter()
+            .map(|(i, a)| (i.value(), a.to_bits()))
+            .collect();
+        assert_eq!(original, round_tripped);
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = vec![
+            ServerFrame::HelloAck {
+                version: 1,
+                tenant: "default".to_string(),
+                max_frame: 1 << 20,
+            },
+            ServerFrame::Report {
+                id: 9,
+                cnot_cost: 4,
+                provenance: "solved".to_string(),
+                total_ms: 1.25,
+                qasm: "OPENQASM 2.0;\n".to_string(),
+            },
+            ServerFrame::Rejected {
+                id: 10,
+                reason: "throttled".to_string(),
+            },
+            ServerFrame::Timeout { id: 11 },
+            ServerFrame::Cancelled { id: 12 },
+            ServerFrame::Failed {
+                id: 13,
+                message: "target state not supported".to_string(),
+                byte_offset: None,
+            },
+            ServerFrame::Error {
+                code: "bad_json".to_string(),
+                message: "malformed frame".to_string(),
+                byte_offset: Some(7),
+            },
+        ];
+        for frame in frames {
+            assert_eq!(ServerFrame::parse(&frame.to_payload()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn request_ids_correlate_responses_only() {
+        assert_eq!(ServerFrame::Timeout { id: 3 }.request_id(), Some(3));
+        assert_eq!(
+            ServerFrame::Error {
+                code: "protocol".to_string(),
+                message: "nope".to_string(),
+                byte_offset: None,
+            }
+            .request_id(),
+            None
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_carry_byte_offsets() {
+        let Err(WireError::Json(error)) = ClientFrame::parse("{\"type\": \"hello\", nope}") else {
+            panic!("expected a JSON error");
+        };
+        assert!(error.byte_offset > 0);
+        assert!(matches!(
+            ClientFrame::parse("{\"type\":\"warp\"}"),
+            Err(WireError::Protocol(_))
+        ));
+        assert!(matches!(
+            ClientFrame::parse("{\"version\":1}"),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_targets_are_protocol_errors() {
+        // An empty amplitude list cannot build a state.
+        let payload = "{\"type\":\"request\",\"id\":1,\"target\":{\"n\":3,\"amps\":[]}}";
+        assert!(matches!(
+            ClientFrame::parse(payload),
+            Err(WireError::Protocol(_))
+        ));
+        // An out-of-register index is caught by state validation.
+        let bits = 1.0f64.to_bits();
+        let payload = format!(
+            "{{\"type\":\"request\",\"id\":1,\"target\":{{\"n\":2,\"amps\":[[9,{bits}]]}}}}"
+        );
+        assert!(matches!(
+            ClientFrame::parse(&payload),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,412 @@
+//! The wire server: TCP acceptor + per-connection protocol loops in front
+//! of a shared [`SynthesisService`].
+//!
+//! Each accepted connection runs the handshake, then decodes pipelined
+//! request frames and submits them to the service. Responses are written as
+//! each request settles — a waiter thread per in-flight request shares the
+//! connection's write half through a mutex, so a slow solve never blocks
+//! the decode loop and responses may legally overtake each other on the
+//! wire (the request `id` correlates them).
+//!
+//! Tenancy is connection-scoped: the hello's tenant name is resolved
+//! against the service's [`TenantPolicy`](qsp_serve::TenantPolicy) once,
+//! and every request on the connection bills to that tenant's admission
+//! bucket and fair-share queue. An unknown or absent tenant name falls
+//! back to the default tenant (the ack names which one was resolved).
+
+use std::io::Read;
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use qsp_core::api::{RequestOptions, SynthesisReport, SynthesisRequest};
+use qsp_core::{Provenance, SynthesisError};
+use qsp_obs::metrics::Counter;
+use qsp_serve::{RejectReason, Response, Submit, SynthesisService, DEFAULT_TENANT_NAME};
+
+use crate::codec::{self, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::error::WireError;
+use crate::proto::{ClientFrame, ServerFrame, PROTOCOL_VERSION};
+
+/// Wire server configuration.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WireConfig {
+    /// Maximum frame payload size in bytes (both directions). Defaults to
+    /// [`DEFAULT_MAX_FRAME`].
+    pub max_frame: usize,
+}
+
+impl WireConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        WireConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Overrides the maximum frame payload size.
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig::new()
+    }
+}
+
+/// The `wire.*` metric slice, registered in the service's metrics registry
+/// so one snapshot covers both layers.
+#[derive(Debug, Clone)]
+struct WireCounters {
+    connections: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    errors: Counter,
+}
+
+impl WireCounters {
+    fn new(service: &SynthesisService) -> Self {
+        let metrics = service.engine().obs().metrics();
+        WireCounters {
+            connections: metrics.counter("wire.connections", &[]),
+            frames_in: metrics.counter("wire.frames_in", &[]),
+            frames_out: metrics.counter("wire.frames_out", &[]),
+            errors: metrics.counter("wire.errors", &[]),
+        }
+    }
+}
+
+/// A TCP server exposing a [`SynthesisService`] over the framed protocol.
+///
+/// Dropping the server without calling [`WireServer::shutdown`] leaks the
+/// acceptor thread until the process exits; call `shutdown` for a clean
+/// teardown (it stops accepting, closes live connections and joins every
+/// spawned thread). The underlying service is *not* shut down — it is
+/// shared and may outlive the listener.
+#[derive(Debug)]
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// connections against `service`.
+    pub fn bind(
+        addr: &str,
+        service: Arc<SynthesisService>,
+        config: WireConfig,
+    ) -> Result<WireServer, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let counters = WireCounters::new(&service);
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            thread::spawn(move || {
+                accept_loop(listener, service, config, counters, stop, conns);
+            })
+        };
+        Ok(WireServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes live connections and joins all server
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor: `accept()` has no timeout, so poke it with
+        // a throwaway connection that it will see `stop` on.
+        let _ = TcpStream::connect(self.addr);
+        // Close live connections so their decode loops see EOF.
+        if let Ok(conns) = self.conns.lock() {
+            for conn in conns.iter() {
+                let _ = conn.shutdown(SocketShutdown::Both);
+            }
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<SynthesisService>,
+    config: WireConfig,
+    counters: WireCounters,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        counters.connections.inc();
+        if let Ok(tracked) = stream.try_clone() {
+            if let Ok(mut conns) = conns.lock() {
+                conns.push(tracked);
+            }
+        }
+        let service = Arc::clone(&service);
+        let counters = counters.clone();
+        let max_frame = config.max_frame;
+        workers.push(thread::spawn(move || {
+            serve_connection(stream, service, max_frame, counters);
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// The shared write half of a connection. Responses from concurrent waiter
+/// threads interleave frame-atomically through the mutex.
+#[derive(Debug, Clone)]
+struct ConnectionWriter {
+    stream: Arc<Mutex<TcpStream>>,
+    max_frame: usize,
+    frames_out: Counter,
+}
+
+impl ConnectionWriter {
+    fn send(&self, frame: &ServerFrame) -> Result<(), WireError> {
+        let payload = frame.to_payload();
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| WireError::Protocol("connection writer poisoned".to_string()))?;
+        codec::write_frame(&mut *stream, &payload, self.max_frame)?;
+        self.frames_out.inc();
+        Ok(())
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: Arc<SynthesisService>,
+    max_frame: usize,
+    counters: WireCounters,
+) {
+    let reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let writer = ConnectionWriter {
+        stream: Arc::new(Mutex::new(stream)),
+        max_frame,
+        frames_out: counters.frames_out.clone(),
+    };
+    if let Err(error) = connection_loop(reader, &writer, &service, max_frame, &counters) {
+        counters.errors.inc();
+        // Best-effort terminal error frame; the peer may already be gone.
+        let _ = writer.send(&error_frame(&error));
+    }
+    // Shut the socket down explicitly: the acceptor's tracked clone holds
+    // another fd on it, so a plain drop would leave the connection open and
+    // the peer would never see EOF.
+    if let Ok(stream) = writer.stream.lock() {
+        let _ = stream.shutdown(SocketShutdown::Both);
+    };
+}
+
+fn error_frame(error: &WireError) -> ServerFrame {
+    let (code, byte_offset) = match error {
+        WireError::FrameTooLarge { .. } => ("frame_too_large", None),
+        WireError::Json(e) => ("bad_json", Some(e.byte_offset as u64)),
+        WireError::VersionMismatch { .. } => ("version_mismatch", None),
+        _ => ("protocol", None),
+    };
+    ServerFrame::Error {
+        code: code.to_string(),
+        message: error.to_string(),
+        byte_offset,
+    }
+}
+
+fn provenance_label(provenance: &Provenance) -> &'static str {
+    match provenance {
+        Provenance::Solved => "solved",
+        Provenance::CacheHit { .. } => "cache_hit",
+        Provenance::ReconstructedFromBatchRep { .. } => "batch_rep",
+        Provenance::DedupAttach { .. } => "dedup_attach",
+        _ => "unknown",
+    }
+}
+
+fn report_frame(id: u64, report: &SynthesisReport) -> ServerFrame {
+    let qasm = qsp_circuit::qasm::to_qasm(&report.circuit)
+        .unwrap_or_else(|e| format!("// qasm rendering failed: {e}"));
+    ServerFrame::Report {
+        id,
+        cnot_cost: report.cnot_cost as u64,
+        provenance: provenance_label(&report.provenance).to_string(),
+        total_ms: report.timings.total.as_secs_f64() * 1e3,
+        qasm,
+    }
+}
+
+fn response_frame(id: u64, response: &Response) -> ServerFrame {
+    match response {
+        Response::Completed(report) => report_frame(id, report),
+        Response::Failed(error) => {
+            let byte_offset = match error {
+                SynthesisError::Json(e) => Some(e.byte_offset as u64),
+                _ => None,
+            };
+            ServerFrame::Failed {
+                id,
+                message: error.to_string(),
+                byte_offset,
+            }
+        }
+        Response::Timeout => ServerFrame::Timeout { id },
+        Response::Cancelled => ServerFrame::Cancelled { id },
+    }
+}
+
+fn reject_reason_label(reason: RejectReason) -> &'static str {
+    match reason {
+        RejectReason::Throttled => "throttled",
+        RejectReason::QueueFull => "queue_full",
+        RejectReason::Shutdown => "shutdown",
+        _ => "rejected",
+    }
+}
+
+fn connection_loop(
+    mut reader: TcpStream,
+    writer: &ConnectionWriter,
+    service: &SynthesisService,
+    max_frame: usize,
+    counters: &WireCounters,
+) -> Result<(), WireError> {
+    let mut decoder = FrameDecoder::new(max_frame);
+    let mut buf = [0u8; 4096];
+    let mut handshaken = false;
+    let mut tenant = None;
+    let mut waiters: Vec<JoinHandle<()>> = Vec::new();
+    'read: loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break 'read,
+            Ok(n) => n,
+            // The shutdown path closes the socket under us; treat any read
+            // error as end-of-connection rather than a protocol fault.
+            Err(_) => break 'read,
+        };
+        decoder.feed(&buf[..n]);
+        while let Some(payload) = decoder.next_frame()? {
+            counters.frames_in.inc();
+            let frame = ClientFrame::parse(&payload)?;
+            match frame {
+                ClientFrame::Hello {
+                    version,
+                    tenant: name,
+                } => {
+                    if handshaken {
+                        return Err(WireError::Protocol(
+                            "duplicate hello after handshake".to_string(),
+                        ));
+                    }
+                    if version != PROTOCOL_VERSION {
+                        return Err(WireError::VersionMismatch {
+                            client: version,
+                            server: PROTOCOL_VERSION,
+                        });
+                    }
+                    tenant = name.as_deref().and_then(|n| service.resolve_tenant(n));
+                    let resolved = tenant
+                        .and_then(|id| {
+                            service
+                                .tenant_policy()
+                                .tenants
+                                .get(id.raw() as usize)
+                                .cloned()
+                        })
+                        .map(|t| t.name)
+                        .unwrap_or_else(|| DEFAULT_TENANT_NAME.to_string());
+                    handshaken = true;
+                    writer.send(&ServerFrame::HelloAck {
+                        version: PROTOCOL_VERSION,
+                        tenant: resolved,
+                        max_frame: max_frame as u64,
+                    })?;
+                }
+                ClientFrame::Request {
+                    id,
+                    target,
+                    deadline_ms,
+                    priority,
+                } => {
+                    if !handshaken {
+                        return Err(WireError::Protocol(
+                            "request before hello handshake".to_string(),
+                        ));
+                    }
+                    let mut options = RequestOptions::new();
+                    if let Some(tenant) = tenant {
+                        options = options.with_tenant(tenant);
+                    }
+                    if let Some(ms) = deadline_ms {
+                        options = options.with_deadline(Instant::now() + Duration::from_millis(ms));
+                    }
+                    if let Some(priority) = priority {
+                        options = options.with_priority(priority);
+                    }
+                    let request = SynthesisRequest::new(target).with_options(options);
+                    match service.submit(request) {
+                        Submit::Accepted(handle) => {
+                            let writer = writer.clone();
+                            waiters.push(thread::spawn(move || {
+                                let response = handle.wait();
+                                let _ = writer.send(&response_frame(id, &response));
+                            }));
+                        }
+                        Submit::Rejected { reason } => {
+                            writer.send(&ServerFrame::Rejected {
+                                id,
+                                reason: reject_reason_label(reason).to_string(),
+                            })?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+    Ok(())
+}

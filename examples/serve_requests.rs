@@ -63,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_priority((targets.len() - i) as u8);
         match service.submit(request) {
             qsp_serve::Submit::Accepted(handle) => handles.push((label, handle)),
-            qsp_serve::Submit::Rejected { queue_full } => {
-                println!("{label}: rejected (queue_full = {queue_full})")
+            qsp_serve::Submit::Rejected { reason } => {
+                println!("{label}: rejected ({reason:?})")
             }
         }
     }

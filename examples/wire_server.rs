@@ -1,0 +1,67 @@
+//! A standalone wire server: the synthesis service on a TCP socket.
+//!
+//! Binds an ephemeral loopback port, prints the address, serves the framed
+//! protocol for a short demo window and shuts down cleanly — pair it with
+//! the `wire_client` example (which spawns its own in-process server when
+//! not pointed at one) or any client speaking the protocol.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p qsp-examples --bin wire_server
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qsp_serve::{
+    SchedulerConfig, ServiceConfig, Shutdown, SynthesisService, TenantConfig, TenantPolicy,
+};
+use qsp_wire::{WireConfig, WireServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two named tenants: `gold` gets 3x the fair-share weight of `standard`
+    // and no admission throttle; `standard` is capped at 50 requests/s with
+    // a burst allowance of 10.
+    let service = Arc::new(SynthesisService::start(
+        ServiceConfig::default()
+            .with_queue_capacity(256)
+            .with_scheduler(
+                SchedulerConfig::default()
+                    .with_max_batch(8)
+                    .with_max_wait(Duration::from_millis(2))
+                    .with_workers(2),
+            )
+            .with_tenants(
+                TenantPolicy::new()
+                    .with_tenant(TenantConfig::new("gold").with_weight(3))
+                    .with_tenant(
+                        TenantConfig::new("standard")
+                            .with_weight(1)
+                            .with_rate(50.0, 10.0),
+                    ),
+            ),
+    ));
+
+    let mut server = WireServer::bind("127.0.0.1:0", Arc::clone(&service), WireConfig::new())?;
+    println!("wire server listening on {}", server.local_addr());
+    println!("tenants: gold (weight 3), standard (weight 1, 50 req/s, burst 10)");
+
+    // Serve for a short demo window, then tear down. A real deployment
+    // would park the main thread instead.
+    std::thread::sleep(Duration::from_millis(1500));
+
+    server.shutdown();
+    let stats = service.shutdown(Shutdown::Drain);
+    println!(
+        "served: submitted={} completed={} throttled={} rejected={}",
+        stats.submitted, stats.completed, stats.throttled, stats.rejected
+    );
+    for tenant in &stats.tenants {
+        println!(
+            "  tenant {:>8}: submitted={} completed={} throttled={}",
+            tenant.name, tenant.submitted, tenant.completed, tenant.throttled
+        );
+    }
+    Ok(())
+}
