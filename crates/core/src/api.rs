@@ -460,6 +460,18 @@ pub enum Provenance {
         /// This request's witness transform onto the class fingerprint.
         witness: StateTransform,
     },
+    /// Instantiated from a cached *structure template* of this request's
+    /// support-pattern class: the template's reduction schedule was replayed
+    /// against this request's own amplitudes, so only the rotation angles —
+    /// never the gate structure — were recomputed. The resulting circuit is
+    /// bit-for-bit what a fresh solve would have produced (the capture gate
+    /// only admits classes whose library-optimal cost is forced by the
+    /// entanglement lower bound).
+    TemplateInstantiated {
+        /// This request's witness transform onto the class fingerprint
+        /// (same convention as the other reuse provenances).
+        witness: StateTransform,
+    },
 }
 
 impl Provenance {
@@ -474,7 +486,8 @@ impl Provenance {
             Provenance::Solved => None,
             Provenance::CacheHit { witness }
             | Provenance::ReconstructedFromBatchRep { witness }
-            | Provenance::DedupAttach { witness } => Some(witness),
+            | Provenance::DedupAttach { witness }
+            | Provenance::TemplateInstantiated { witness } => Some(witness),
         }
     }
 }
@@ -733,6 +746,9 @@ mod tests {
                 witness: witness.clone(),
             },
             Provenance::DedupAttach {
+                witness: witness.clone(),
+            },
+            Provenance::TemplateInstantiated {
                 witness: witness.clone(),
             },
         ] {

@@ -8,16 +8,32 @@
 //! * **Parallelism** — targets are fanned out over a scoped worker pool
 //!   (`std::thread`; the offline build has no rayon, so the pool is a small
 //!   work-stealing loop over an atomic index).
-//! * **Canonical deduplication** — every target is reduced to an
+//! * **Canonical deduplication, tiered** — every target is reduced to an
 //!   amplitude-aware canonical key together with the *witness transform*
 //!   (qubit permutation + X-flip mask) that maps the target onto the
-//!   canonical representative. Targets sharing a key are solved **once**;
-//!   every other member of the class gets its circuit reconstructed from the
-//!   solved one by relabelling qubits and appending zero-CNOT-cost X gates,
-//!   so the reconstructed circuit has exactly the same CNOT cost. The key
-//!   also folds in the request's cost-relevant **options fingerprint**
+//!   canonical representative. Keying runs through the *tiered* fast path
+//!   ([`qsp_state::pipeline::key_tiered`]): a per-engine signature interner
+//!   resolves targets whose cheap stage-0 signature is either fresh or an
+//!   exact repeat without ever enumerating permutations; only genuine
+//!   signature collisions pay for full canonicalization. Targets sharing a
+//!   key are solved **once**; every other member of the class gets its
+//!   circuit reconstructed from the solved one by relabelling qubits and
+//!   appending zero-CNOT-cost X gates, so the reconstructed circuit has
+//!   exactly the same CNOT cost. The key also folds in the request's
+//!   cost-relevant **options fingerprint**
 //!   ([`crate::api::cost_fingerprint`]), so per-request solver overrides can
 //!   never dedup across different effective configurations.
+//! * **Support-pattern class templates** — a fresh solve whose circuit sits
+//!   exactly on the entanglement lower bound donates its reduction *recipe*
+//!   (gate structure without angles) to a per-support-class template store
+//!   in the cache. A later target with the same support pattern but
+//!   different amplitudes skips the A* search entirely: the recipe is
+//!   replayed against its own amplitudes through the angle-replay stage
+//!   (self-validating — a replay that does not reach the ground state falls
+//!   back to a fresh solve), and the instantiation is accepted only when it
+//!   also sits exactly on the bound, so its CNOT cost is bit-for-bit what a
+//!   fresh solve would have produced. Such requests report
+//!   [`Provenance::TemplateInstantiated`].
 //! * **A sharded, eviction-aware cache** — solved classes live in a
 //!   [`ShardedCache`]: N-way sharded by key hash
 //!   (no global lock on the hot path), optionally size-bounded with LRU
@@ -76,7 +92,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qsp_circuit::Circuit;
-use qsp_obs::{ObsHub, ObsOptions, RequestTrace, SearchProbe, SolveFlight, SpanKind, TraceId};
+use qsp_obs::{
+    Counter, ObsHub, ObsOptions, RequestTrace, SearchProbe, SolveFlight, SpanKind, TraceId,
+};
 use qsp_state::pipeline::{self, KeyCoverage, PipelineOptions};
 use qsp_state::{QuantumState, SparseState};
 
@@ -84,9 +102,10 @@ use crate::api::{
     CachePolicy, Provenance, RequestOptions, ResolvedConfig, StageTimings, SynthesisReport,
     SynthesisRequest, Synthesizer,
 };
-use crate::cache::{CacheEntry, CacheStats, ClassKey, ShardedCache};
-use crate::engine::{reconstruct_circuit, StateTransform};
+use crate::cache::{CacheEntry, CacheStats, CircuitTemplate, ClassKey, EntryOrigin, ShardedCache};
+use crate::engine::{compact_state, permute_mask, reconstruct_circuit, StateTransform};
 use crate::error::SynthesisError;
+use crate::exact::replay_reduction;
 use crate::search::config::CacheConfig;
 use crate::workflow::{QspWorkflow, WorkflowConfig};
 
@@ -100,16 +119,22 @@ pub enum DedupPolicy {
     Exact,
     /// Deduplicate the Sec. V-B equivalence class: states identical up to
     /// qubit permutation and Pauli-X flips are solved once, through the
-    /// staged invariant pipeline of [`qsp_state::pipeline`]. Coverage is
-    /// bounded by work, not width: permutations are enumerated within the
-    /// per-qubit color *orbits* (`∏ |orbit|!` candidates instead of `n!`)
-    /// under [`BatchOptions::orbit_node_budget`], and the optimal flip mask
-    /// is found exactly among the `m` support indices (up to
-    /// [`qsp_state::pipeline::EXHAUSTIVE_FLIP_CARDINALITY`]). Typical
-    /// sparse targets key exhaustively through 8–10 qubits; targets whose
-    /// orbit product exceeds the budget fall back to a deterministic greedy
-    /// key — still sound, possibly solving equivalent wide targets
-    /// separately (exact duplicates always hit). The
+    /// staged invariant pipeline of [`qsp_state::pipeline`]. Keying is
+    /// *tiered* ([`qsp_state::pipeline::key_tiered`]): the engine interns
+    /// stage-0 signatures, so a target whose signature is fresh — or an
+    /// exact raw repeat of an interned anchor — keys on the signature alone
+    /// ([`BatchStats::keys_sig_fast_path`]) without enumerating any
+    /// permutations; only genuine signature collisions run full
+    /// canonicalization. The full tier's coverage is bounded by work, not
+    /// width: permutations are enumerated within the per-qubit color
+    /// *orbits* (`∏ |orbit|!` candidates instead of `n!`) under
+    /// [`BatchOptions::orbit_node_budget`] with a lazy branch-and-bound
+    /// over orbit blocks, and the optimal flip mask is found exactly among
+    /// the `m` support indices (up to
+    /// [`qsp_state::pipeline::EXHAUSTIVE_FLIP_CARDINALITY`]). Targets
+    /// whose orbit enumeration still exhausts the budget fall back to a
+    /// deterministic greedy key — still sound, possibly solving equivalent
+    /// wide targets separately (exact duplicates always hit). The
     /// [`BatchStats::keys_greedy`] counter makes that degradation
     /// observable.
     #[default]
@@ -211,8 +236,14 @@ impl Default for BatchOptions {
 pub struct BatchStats {
     /// Number of targets submitted.
     pub targets: usize,
-    /// Number of fresh solver (workflow) invocations.
+    /// Number of fresh solver (workflow) invocations — class
+    /// representatives that actually ran the A* search. Representatives
+    /// served by template instantiation are counted in
+    /// [`BatchStats::template_hits`] instead.
     pub solver_runs: usize,
+    /// Class representatives served by replaying a support-pattern class
+    /// template with their own amplitudes instead of a fresh A* search.
+    pub template_hits: usize,
     /// Number of targets served without a fresh solve (within-batch
     /// canonical duplicates plus hits from earlier batches or a loaded
     /// snapshot).
@@ -233,6 +264,12 @@ pub struct BatchStats {
     /// [`BatchOptions::orbit_node_budget`] if these targets' solves are
     /// expensive.
     pub keys_greedy: usize,
+    /// Targets keyed on the stage-0 signature alone by the tiered fast
+    /// path: their signature was fresh to the engine's interner (or an
+    /// exact raw repeat of an interned anchor), so no permutation
+    /// enumeration ran at all. The partition is identical to full
+    /// canonicalization — collisions always take the full tier.
+    pub keys_sig_fast_path: usize,
     /// Worker threads the batch ran on: the configured (or auto-detected)
     /// pool width, capped at the target count — the parallelism the keying
     /// and assembly phases actually used (the solve phase may use fewer
@@ -297,6 +334,22 @@ enum Plan {
     Invalid,
 }
 
+/// The outcome of probing the template layer for one class representative.
+enum TemplateProbe {
+    /// Nothing template-shaped to do: the request is not eligible, or the
+    /// class already holds a template that cannot serve this member.
+    Ineligible,
+    /// Eligible but no template yet: solve fresh, then try to capture one
+    /// under this support key and witness.
+    Miss {
+        skey: ClassKey,
+        switness: StateTransform,
+    },
+    /// A template instantiated successfully — the finished circuit, ready
+    /// to use in place of a solver run.
+    Hit(Circuit),
+}
+
 /// Builds the raw `(index, amplitude bits)` fingerprint of a sparse state.
 fn raw_entries(state: &SparseState) -> Vec<(u64, u64)> {
     state
@@ -306,16 +359,21 @@ fn raw_entries(state: &SparseState) -> Vec<(u64, u64)> {
 }
 
 /// Computes the canonical class of a state — key, witness transform and
-/// coverage — through the invariant pipeline. `options_fp` is the
+/// coverage — through the *tiered* invariant pipeline: `keyer` interns
+/// stage-0 signatures so unique-signature traffic keys without enumerating
+/// permutations, and only signature collisions run full canonicalization
+/// (the class partition is identical either way). `options_fp` is the
 /// cost-relevant options fingerprint folded into the key (see
 /// [`crate::api::cost_fingerprint`]). Under [`DedupPolicy::Off`] /
 /// [`DedupPolicy::Exact`] the key is the identity-sorted entry vector
-/// (signature zero), which is trivially exhaustive.
+/// (signature zero), which is trivially exhaustive and never touches the
+/// interner.
 fn canonicalize(
     state: &SparseState,
     policy: DedupPolicy,
     options_fp: u64,
     orbit_node_budget: usize,
+    keyer: &pipeline::SignatureInterner,
 ) -> KeyedClass {
     let n = state.num_qubits();
     let base = raw_entries(state);
@@ -330,7 +388,7 @@ fn canonicalize(
     }
 
     let options = PipelineOptions::layout_invariant().with_orbit_node_budget(orbit_node_budget);
-    let pipeline_key = pipeline::canonicalize(n, &base, &options);
+    let pipeline_key = pipeline::key_tiered(n, &base, &options, keyer);
     KeyedClass {
         key: ClassKey::new(pipeline_key.signature, n, pipeline_key.entries, options_fp),
         transform: StateTransform {
@@ -397,6 +455,45 @@ pub struct BatchSynthesizer {
     options: BatchOptions,
     cache: Arc<ShardedCache>,
     obs: Arc<ObsHub>,
+    /// Stage-0 signature interner of the tiered keying fast path. One
+    /// interner per engine is sound because every canonical key the engine
+    /// computes uses the same [`PipelineOptions`] (fixed by
+    /// [`BatchOptions::orbit_node_budget`]); clones share it, like the
+    /// cache, so a warm engine keys repeats on the signature alone.
+    keyer: Arc<pipeline::SignatureInterner>,
+    /// A *separate* interner for support-pattern (amplitude-blanked) class
+    /// keys: blanked entries could collide with genuine basis-state
+    /// amplitudes if they shared `keyer`'s buckets, which would split the
+    /// canonical partition.
+    support_keyer: Arc<pipeline::SignatureInterner>,
+    /// Hot-path counter handles, resolved once at construction so the
+    /// per-request and per-solve paths skip the registry's key hashing and
+    /// shard locking. Handles share the registered atomics, so snapshots
+    /// see every increment.
+    hot: HotCounters,
+}
+
+/// The pre-resolved counter handles of [`BatchSynthesizer`]'s hot paths.
+#[derive(Debug, Clone)]
+struct HotCounters {
+    targets: Counter,
+    errors: Counter,
+    solver_runs: Counter,
+    cache_hits: Counter,
+    template_hits: Counter,
+}
+
+impl HotCounters {
+    fn new(obs: &ObsHub) -> Self {
+        let metrics = obs.metrics();
+        HotCounters {
+            targets: metrics.counter("batch.targets", &[]),
+            errors: metrics.counter("batch.errors", &[]),
+            solver_runs: metrics.counter("batch.solver_runs", &[]),
+            cache_hits: metrics.counter("batch.cache_hits", &[]),
+            template_hits: metrics.counter("batch.template_hits", &[]),
+        }
+    }
 }
 
 impl Default for BatchSynthesizer {
@@ -423,11 +520,15 @@ impl BatchSynthesizer {
                 obs.metrics().histogram("cache.evict_latency", &[]),
             );
         }
+        let hot = HotCounters::new(obs.as_ref());
         BatchSynthesizer {
             config,
             options,
             cache,
             obs,
+            keyer: Arc::new(pipeline::SignatureInterner::new()),
+            support_keyer: Arc::new(pipeline::SignatureInterner::new()),
+            hot,
         }
     }
 
@@ -488,7 +589,23 @@ impl BatchSynthesizer {
     ///
     /// Propagates filesystem errors and rejects malformed snapshots.
     pub fn load_cache_snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
-        self.cache.load_snapshot(path.as_ref())
+        let loaded = self.cache.load_snapshot(path.as_ref())?;
+        self.seed_keyer_from_cache();
+        Ok(loaded)
+    }
+
+    /// Adopts every canonical cache key as a signature-interner anchor, so
+    /// traffic equivalent to snapshot-loaded classes keys on the tiered
+    /// fast path (and still lands on the loaded entries: the fast-path key
+    /// reproduces the anchor's exact entry vector). Exact (signature-zero)
+    /// keys never go through the interner and are skipped.
+    fn seed_keyer_from_cache(&self) {
+        self.cache.for_each_key(|key| {
+            if key.signature != 0 {
+                self.keyer
+                    .adopt(key.num_qubits, key.signature, &key.entries);
+            }
+        });
     }
 
     fn thread_count(&self) -> usize {
@@ -553,6 +670,7 @@ impl BatchSynthesizer {
             self.options.dedup,
             resolved.fingerprint,
             self.options.orbit_node_budget,
+            &self.keyer,
         ))
     }
 
@@ -594,34 +712,215 @@ impl BatchSynthesizer {
         target: &SparseState,
         resolved: &ResolvedConfig,
     ) -> Arc<CacheEntry> {
+        let template_probe = self.probe_template(target, resolved);
+        if let TemplateProbe::Hit(circuit) = template_probe {
+            self.hot.template_hits.inc();
+            let entry = Arc::new(CacheEntry {
+                circuit: Ok(circuit),
+                transform: transform.clone(),
+                origin: EntryOrigin::Template,
+            });
+            if self.options.dedup != DedupPolicy::Off && resolved.cache == CachePolicy::Use {
+                self.cache.insert(key.clone(), Arc::clone(&entry));
+            }
+            return entry;
+        }
+
         let workflow = QspWorkflow::with_config(resolved.workflow);
-        let circuit = if self.obs.flight().enabled() {
+        let solved = if self.obs.flight().enabled() {
             // Flight-recorded solve: every A* worker of this class reports
             // into one shared probe, and the finished record is ranked by
             // duration in the recorder.
             let probe = SearchProbe::new();
             let solve_start = Instant::now();
-            let circuit = workflow.run_probed(target, Some(&probe));
+            let solved = workflow.run_with_plan(target, Some(&probe));
             self.obs.flight().record(SolveFlight::from_probe(
                 format!("n{}/sig{:016x}", target.num_qubits(), key.signature()),
                 &probe,
                 solve_start.elapsed(),
-                circuit.as_ref().ok().map(Circuit::cnot_cost),
+                solved.as_ref().ok().map(|(circuit, _)| circuit.cnot_cost()),
                 resolved.workflow.search.strategy.resolved_workers(),
             ));
-            circuit
+            solved
         } else {
-            workflow.run(target)
+            workflow.run_with_plan(target, None)
         };
-        self.obs.metrics().counter("batch.solver_runs", &[]).inc();
+        self.hot.solver_runs.inc();
+        let (circuit, plan) = match solved {
+            Ok((circuit, plan)) => (Ok(circuit), plan),
+            Err(e) => (Err(e), None),
+        };
+        if let TemplateProbe::Miss { skey, switness } = template_probe {
+            self.maybe_capture_template(skey, switness, &circuit, plan, target, resolved);
+        }
         let entry = Arc::new(CacheEntry {
             circuit,
             transform: transform.clone(),
+            origin: EntryOrigin::Fresh,
         });
         if self.options.dedup != DedupPolicy::Off && resolved.cache == CachePolicy::Use {
             self.cache.insert(key.clone(), Arc::clone(&entry));
         }
         entry
+    }
+
+    /// Whether a target may interact with the template layer at all:
+    /// canonical dedup with a cache-visible policy, an exact-synthesis-shaped
+    /// problem (that is what the captured reduction plans cover), and no
+    /// negative amplitudes (the workflow rejects those before the solver, so
+    /// a replay must never serve them).
+    fn template_eligible(&self, target: &SparseState, resolved: &ResolvedConfig) -> bool {
+        let active = (0..target.num_qubits())
+            .filter(|&q| target.iter().any(|(index, _)| index.bit(q)))
+            .count();
+        self.options.dedup == DedupPolicy::Canonical
+            && resolved.cache != CachePolicy::Bypass
+            && target.cardinality() <= resolved.workflow.search.max_cardinality
+            && active <= resolved.workflow.search.max_qubits
+            && target.iter().all(|(_, amplitude)| amplitude >= 0.0)
+    }
+
+    /// The support-pattern class of a target: its entries with every
+    /// amplitude blanked to the same bit pattern, keyed through the tiered
+    /// pipeline on the dedicated support interner. Two targets share a
+    /// support class exactly when a qubit permutation + flip mask maps one
+    /// support set onto the other — the condition under which one's
+    /// reduction recipe can be replayed with the other's amplitudes.
+    fn support_class(
+        &self,
+        target: &SparseState,
+        resolved: &ResolvedConfig,
+    ) -> (ClassKey, StateTransform) {
+        let n = target.num_qubits();
+        let blanked: Vec<(u64, u64)> = target
+            .iter()
+            .map(|(index, _)| (index.value(), 1.0f64.to_bits()))
+            .collect();
+        let options = PipelineOptions::layout_invariant()
+            .with_orbit_node_budget(self.options.orbit_node_budget);
+        let key = pipeline::key_tiered(n, &blanked, &options, &self.support_keyer);
+        (
+            ClassKey::new(key.signature, n, key.entries, resolved.fingerprint),
+            StateTransform {
+                perm: key.perm,
+                mask: key.mask,
+            },
+        )
+    }
+
+    /// Probes the template layer for one class representative before its
+    /// solve: either an instantiated circuit (skip the solver), the support
+    /// key to capture under afterwards, or nothing template-shaped to do.
+    fn probe_template(&self, target: &SparseState, resolved: &ResolvedConfig) -> TemplateProbe {
+        if !self.template_eligible(target, resolved) {
+            return TemplateProbe::Ineligible;
+        }
+        let (skey, switness) = self.support_class(target, resolved);
+        match self.cache.lookup_template(&skey) {
+            None => TemplateProbe::Miss { skey, switness },
+            Some(template) => {
+                match Self::instantiate_template(&template, &switness, target, resolved) {
+                    Some(circuit) => TemplateProbe::Hit(circuit),
+                    // The class already holds a template that cannot serve
+                    // this member (replay failed or left the lower bound):
+                    // solve fresh, and do not try to capture a second one.
+                    None => TemplateProbe::Ineligible,
+                }
+            }
+        }
+    }
+
+    /// Captures a support-class template from a fresh solve, gated on
+    /// soundness: the request publishes to the cache, the solve produced a
+    /// replayable reduction plan, and its circuit sits *exactly* on the
+    /// entanglement lower bound — the one regime where a replayed structure
+    /// provably costs the same as any member's fresh solve (nothing can beat
+    /// the bound, and instantiation re-checks it per member). First capture
+    /// wins; later ones are dropped by the store.
+    fn maybe_capture_template(
+        &self,
+        skey: ClassKey,
+        switness: StateTransform,
+        circuit: &Result<Circuit, SynthesisError>,
+        plan: Option<crate::engine::ReductionPlan>,
+        target: &SparseState,
+        resolved: &ResolvedConfig,
+    ) {
+        let (Ok(circuit), Some(plan)) = (circuit, plan) else {
+            return;
+        };
+        if resolved.cache != CachePolicy::Use
+            || circuit.cnot_cost() != qsp_state::cofactor::entanglement_lower_bound(target)
+        {
+            return;
+        }
+        self.cache.insert_template(
+            skey,
+            Arc::new(CircuitTemplate {
+                ops: plan.ops,
+                frame: plan.frame,
+                active: plan.active,
+                witness: switness,
+            }),
+        );
+    }
+
+    /// Instantiates a support-class template for `target`: transports the
+    /// target's amplitudes into the capturing member's frame, replays the
+    /// captured reduction (the angle-replay stage derives this member's own
+    /// rotation angles and *validates* that the replay reaches the ground
+    /// state), and maps the circuit back through the zero-cost witnesses.
+    /// Returns `None` — caller falls back to a fresh solve — whenever the
+    /// replay fails or the result does not sit exactly on the target's
+    /// entanglement lower bound.
+    fn instantiate_template(
+        template: &CircuitTemplate,
+        switness: &StateTransform,
+        target: &SparseState,
+        resolved: &ResolvedConfig,
+    ) -> Option<Circuit> {
+        let n = target.num_qubits();
+        if template.witness.perm.len() != n || switness.perm.len() != n {
+            return None;
+        }
+        // u = w_template⁻¹ ∘ w_target: both witnesses land on the same
+        // support fingerprint, so `u` maps this target's support onto the
+        // capturing member's register layout.
+        let inv = StateTransform::inverse_perm(&template.witness.perm);
+        let perm: Vec<usize> = (0..n).map(|j| switness.perm[inv[j]]).collect();
+        let mask = permute_mask(switness.mask ^ template.witness.mask, &inv);
+        let u = StateTransform { perm, mask };
+        let moved = u.apply_to_state(target).ok()?;
+        // `compact_state` silently drops bits outside the active register,
+        // so refuse any support index that does not fit it.
+        let active_mask = template
+            .active
+            .iter()
+            .fold(0u64, |acc, &q| acc | (1u64 << q));
+        if moved
+            .iter()
+            .any(|(index, _)| index.value() & !active_mask != 0)
+        {
+            return None;
+        }
+        let compact = compact_state(&moved, &template.active).ok()?;
+        let framed = template.frame.apply_to_state(&compact).ok()?;
+        let reduction = replay_reduction(&framed, &template.ops).ok()?;
+        let variant_circuit = reduction.inverse();
+        let identity = StateTransform::identity(compact.num_qubits());
+        let compact_circuit =
+            reconstruct_circuit(&variant_circuit, &identity, &template.frame).ok()?;
+        let moved_circuit = compact_circuit.remap_qubits(&template.active, n).ok()?;
+        let mut circuit =
+            reconstruct_circuit(&moved_circuit, &StateTransform::identity(n), &u).ok()?;
+        if resolved.workflow.optimize {
+            let (optimized, _) = qsp_circuit::optimizer::optimize(&circuit);
+            circuit = optimized;
+        }
+        if circuit.cnot_cost() != qsp_state::cofactor::entanglement_lower_bound(target) {
+            return None;
+        }
+        Some(circuit)
     }
 
     /// Reconstructs the circuit for a target from a solved entry of the same
@@ -674,6 +973,7 @@ impl BatchSynthesizer {
             self.options.dedup,
             resolved.fingerprint,
             self.options.orbit_node_budget,
+            &self.keyer,
         );
         let keying = start.elapsed();
         self.record_keying(sparse.as_ref().num_qubits(), class.coverage, keying);
@@ -688,7 +988,7 @@ impl BatchSynthesizer {
             let probing = probe_start.elapsed();
             trace.push(SpanKind::CacheProbe, keying, probing);
             if let Some(entry) = hit {
-                self.obs.metrics().counter("batch.cache_hits", &[]).inc();
+                self.hot.cache_hits.inc();
                 let reconstruct_start = Instant::now();
                 let circuit = Self::reconstruct_for(&entry, &transform)?;
                 let reconstruction = reconstruct_start.elapsed();
@@ -721,9 +1021,15 @@ impl BatchSynthesizer {
             reconstruct_start.elapsed(),
         );
         self.obs.tracer().record_trace(&trace);
+        let provenance = match entry.origin() {
+            EntryOrigin::Fresh => Provenance::Solved,
+            EntryOrigin::Template => Provenance::TemplateInstantiated {
+                witness: transform.clone(),
+            },
+        };
         Ok(SynthesisReport::new(
             circuit,
-            Provenance::Solved,
+            provenance,
             StageTimings::new(keying, solving, Duration::ZERO, keying + solving),
             resolved,
         )
@@ -733,10 +1039,9 @@ impl BatchSynthesizer {
     /// Registry bookkeeping shared by every request-shaped entry point: one
     /// target submitted, optionally one error.
     fn record_request_outcome(&self, failed: bool) {
-        let metrics = self.obs.metrics();
-        metrics.counter("batch.targets", &[]).inc();
+        self.hot.targets.inc();
         if failed {
-            metrics.counter("batch.errors", &[]).inc();
+            self.hot.errors.inc();
         }
     }
 
@@ -744,17 +1049,38 @@ impl BatchSynthesizer {
     /// latency histogram and the coverage counters (greedy fallbacks double
     /// as the orbit-budget exhaustion signal).
     fn record_keying(&self, width: usize, coverage: KeyCoverage, keying: Duration) {
+        self.record_keying_group(width, coverage, &[keying]);
+    }
+
+    /// [`BatchSynthesizer::record_keying`] for a whole group of same-width,
+    /// same-coverage outcomes: one registry resolution per handle (each a
+    /// label-keyed hash plus a shard lock) amortized over every sample in
+    /// the group, instead of three resolutions per request.
+    fn record_keying_group(&self, width: usize, coverage: KeyCoverage, samples: &[Duration]) {
         let metrics = self.obs.metrics();
         let width = width.to_string();
-        metrics
-            .histogram("batch.keying_latency", &[("width", &width)])
-            .record(keying);
+        let latency = metrics.histogram("batch.keying_latency", &[("width", &width)]);
+        for &sample in samples {
+            latency.record(sample);
+        }
         let coverage_counter = match coverage {
             KeyCoverage::Exhaustive => "batch.keys.exhaustive",
             KeyCoverage::OrbitPruned => "batch.keys.orbit_pruned",
             KeyCoverage::Greedy => "batch.keys.orbit_budget_exhausted",
+            KeyCoverage::SignatureOnly => "batch.keys.sig_fast_path",
         };
-        metrics.counter(coverage_counter, &[]).inc();
+        metrics
+            .counter(coverage_counter, &[])
+            .add(samples.len() as u64);
+        // Per-width tier split: which widths resolve on the signature tier
+        // and which pay for full canonicalization.
+        let tier = match coverage {
+            KeyCoverage::SignatureOnly => "sig",
+            _ => "full",
+        };
+        metrics
+            .counter("batch.keys.tier", &[("width", &width), ("tier", tier)])
+            .add(samples.len() as u64);
     }
 
     /// Synthesizes a batch of typed requests, in parallel, solving each
@@ -818,6 +1144,7 @@ impl BatchSynthesizer {
                 self.options.dedup,
                 resolved.fingerprint,
                 self.options.orbit_node_budget,
+                &self.keyer,
             );
             Ok(Keyed {
                 class,
@@ -835,17 +1162,27 @@ impl BatchSynthesizer {
         let mut keys_exhaustive = 0usize;
         let mut keys_orbit_pruned = 0usize;
         let mut keys_greedy = 0usize;
+        let mut keys_sig_fast_path = 0usize;
+        let mut keying_groups: Vec<(usize, KeyCoverage, Vec<Duration>)> = Vec::new();
         for entry in keyed.iter().flatten() {
-            self.record_keying(
-                entry.sparse.num_qubits(),
-                entry.class.coverage,
-                entry.keying,
-            );
-            match entry.class.coverage {
+            let width = entry.sparse.num_qubits();
+            let coverage = entry.class.coverage;
+            match keying_groups
+                .iter_mut()
+                .find(|(w, c, _)| *w == width && *c == coverage)
+            {
+                Some((_, _, samples)) => samples.push(entry.keying),
+                None => keying_groups.push((width, coverage, vec![entry.keying])),
+            }
+            match coverage {
                 KeyCoverage::Exhaustive => keys_exhaustive += 1,
                 KeyCoverage::OrbitPruned => keys_orbit_pruned += 1,
                 KeyCoverage::Greedy => keys_greedy += 1,
+                KeyCoverage::SignatureOnly => keys_sig_fast_path += 1,
             }
+        }
+        for (width, coverage, samples) in keying_groups {
+            self.record_keying_group(width, coverage, &samples);
         }
 
         // Phase 2 (sequential): plan which requests need a fresh solve. With
@@ -923,6 +1260,13 @@ impl BatchSynthesizer {
             .map(|(i, entry, duration)| (i, (entry, duration)))
             .collect();
         let solving = solving_start.elapsed();
+        // Representatives served by template instantiation never ran the
+        // solver; the stats keep the two disjoint.
+        let template_hits = own_solution
+            .values()
+            .filter(|(entry, _)| entry.origin() == EntryOrigin::Template)
+            .count();
+        let solver_runs = to_solve.len() - template_hits;
 
         // Phase 4 (parallel): assemble per-request reports. Freshly solved
         // requests take their own circuit; followers resolve through their
@@ -938,7 +1282,13 @@ impl BatchSynthesizer {
                         Plan::Fresh => {
                             let (entry, duration) =
                                 own_solution.get(&i).expect("fresh requests were solved");
-                            (Arc::clone(entry), Provenance::Solved, *duration)
+                            let provenance = match entry.origin() {
+                                EntryOrigin::Fresh => Provenance::Solved,
+                                EntryOrigin::Template => Provenance::TemplateInstantiated {
+                                    witness: keyed_request.class.transform.clone(),
+                                },
+                            };
+                            (Arc::clone(entry), provenance, *duration)
                         }
                         Plan::Follow(representative) => {
                             let (entry, _) = own_solution
@@ -993,20 +1343,19 @@ impl BatchSynthesizer {
         let assembly = assembly_start.elapsed();
 
         let errors = reports.iter().filter(|r| r.is_err()).count();
-        let metrics = self.obs.metrics();
-        metrics.counter("batch.targets", &[]).add(count as u64);
-        metrics
-            .counter("batch.cache_hits", &[])
-            .add(cache_hits as u64);
-        metrics.counter("batch.errors", &[]).add(errors as u64);
+        self.hot.targets.add(count as u64);
+        self.hot.cache_hits.add(cache_hits as u64);
+        self.hot.errors.add(errors as u64);
         let stats = BatchStats {
             targets: count,
-            solver_runs: to_solve.len(),
+            solver_runs,
+            template_hits,
             cache_hits,
             errors,
             keys_exhaustive,
             keys_orbit_pruned,
             keys_greedy,
+            keys_sig_fast_path,
             threads,
             elapsed: start.elapsed(),
             keying,
@@ -1079,13 +1428,18 @@ mod tests {
             .apply_x(2)
             .unwrap();
         let budget = pipeline::DEFAULT_ORBIT_NODE_BUDGET;
-        let key_a = canonicalize(&ghz, DedupPolicy::Canonical, FP, budget);
-        let key_b = canonicalize(&variant, DedupPolicy::Canonical, FP, budget);
+        let keyer = pipeline::SignatureInterner::new();
+        let key_a = canonicalize(&ghz, DedupPolicy::Canonical, FP, budget, &keyer);
+        let key_b = canonicalize(&variant, DedupPolicy::Canonical, FP, budget, &keyer);
         assert_eq!(key_a.key, key_b.key);
         assert_ne!(key_a.coverage, KeyCoverage::Greedy);
+        // The first member of a class anchors its fresh signature; the
+        // equivalent variant is a genuine collision and takes the full tier.
+        assert_eq!(key_a.coverage, KeyCoverage::SignatureOnly);
+        assert_ne!(key_b.coverage, KeyCoverage::SignatureOnly);
         // Exact policy distinguishes them.
-        let exact_a = canonicalize(&ghz, DedupPolicy::Exact, FP, budget);
-        let exact_b = canonicalize(&variant, DedupPolicy::Exact, FP, budget);
+        let exact_a = canonicalize(&ghz, DedupPolicy::Exact, FP, budget, &keyer);
+        let exact_b = canonicalize(&variant, DedupPolicy::Exact, FP, budget, &keyer);
         assert_ne!(exact_a.key, exact_b.key);
         assert_eq!(exact_a.coverage, KeyCoverage::Exhaustive);
         // A genuinely different state gets a different canonical key — and
@@ -1096,12 +1450,13 @@ mod tests {
             DedupPolicy::Canonical,
             FP,
             budget,
+            &keyer,
         );
         assert_ne!(key_a.key, key_w.key);
         assert_ne!(key_a.key.signature(), key_w.key.signature());
         // The same state under a different options fingerprint is a
         // different class — the dedup-soundness invariant.
-        let key_fp = canonicalize(&ghz, DedupPolicy::Canonical, FP ^ 1, budget);
+        let key_fp = canonicalize(&ghz, DedupPolicy::Canonical, FP ^ 1, budget, &keyer);
         assert_ne!(key_a.key, key_fp.key);
     }
 
@@ -1116,8 +1471,9 @@ mod tests {
                 .apply_x(1)
                 .unwrap();
             let budget = pipeline::DEFAULT_ORBIT_NODE_BUDGET;
-            let class_a = canonicalize(&base, DedupPolicy::Canonical, FP, budget);
-            let class_b = canonicalize(&variant, DedupPolicy::Canonical, FP, budget);
+            let keyer = pipeline::SignatureInterner::new();
+            let class_a = canonicalize(&base, DedupPolicy::Canonical, FP, budget, &keyer);
+            let class_b = canonicalize(&variant, DedupPolicy::Canonical, FP, budget, &keyer);
             assert_eq!(class_a.key, class_b.key);
             let solved = QspWorkflow::new().run(&base).unwrap();
             verify(&solved, &base);
@@ -1284,6 +1640,98 @@ mod tests {
         assert!(outcome.results[0].is_ok());
         assert!(outcome.results[1].is_err());
         assert_eq!(outcome.stats.errors, 1);
+    }
+
+    #[test]
+    fn templates_instantiate_same_support_different_angles() {
+        // a|00> + b|11> solves at its entanglement lower bound (one CNOT),
+        // so the first solve donates its structure as a template.
+        let first =
+            SparseState::from_amplitudes(2, [(BasisIndex::new(0), 0.8), (BasisIndex::new(3), 0.6)])
+                .unwrap();
+        // Same support, different amplitude *multiset*: no permutation/flip
+        // maps one onto the other, so canonical dedup cannot serve it — only
+        // the template layer shares work here.
+        let second = SparseState::from_amplitudes(
+            2,
+            [
+                (BasisIndex::new(0), 0.1f64.sqrt()),
+                (BasisIndex::new(3), 0.9f64.sqrt()),
+            ],
+        )
+        .unwrap();
+        let engine = BatchSynthesizer::new();
+        let captured = engine
+            .synthesize_request(&SynthesisRequest::new(first.clone()))
+            .unwrap();
+        assert!(matches!(captured.provenance, Provenance::Solved));
+        assert_eq!(captured.cnot_cost, 1, "a|00> + b|11> sits on the bound");
+        assert_eq!(
+            engine.cache().template_count(),
+            1,
+            "a lower-bound solve captures its class template"
+        );
+        verify(&captured.circuit, &first);
+
+        let outcome = engine.synthesize_requests(&[SynthesisRequest::new(second.clone())]);
+        assert_eq!(outcome.stats.template_hits, 1);
+        assert_eq!(outcome.stats.solver_runs, 0);
+        let report = outcome.reports[0].as_ref().unwrap();
+        assert!(matches!(
+            report.provenance,
+            Provenance::TemplateInstantiated { .. }
+        ));
+        verify(&report.circuit, &second);
+        // Bit-for-bit the cost a fresh solve would report.
+        let fresh = QspWorkflow::new().run(&second).unwrap();
+        assert_eq!(report.cnot_cost, fresh.cnot_cost());
+        // The instantiated class is a normal cache entry: an exact repeat
+        // hits without touching the template layer again.
+        let repeat = engine
+            .synthesize_request(&SynthesisRequest::new(second))
+            .unwrap();
+        assert!(matches!(repeat.provenance, Provenance::CacheHit { .. }));
+        // A negative-amplitude member of the support class must keep
+        // failing: the template layer never serves what the workflow
+        // rejects.
+        let negative = SparseState::from_amplitudes(
+            2,
+            [(BasisIndex::new(0), 0.6), (BasisIndex::new(3), -0.8)],
+        )
+        .unwrap();
+        assert!(engine
+            .synthesize_request(&SynthesisRequest::new(negative))
+            .is_err());
+    }
+
+    #[test]
+    fn template_capture_respects_the_entanglement_gate() {
+        // GHZ(4) costs 3 CNOTs against a lower bound of 2, so its solve must
+        // NOT capture a template: replaying its structure for another
+        // support-class member could not prove cost-identity with a fresh
+        // solve.
+        let engine = BatchSynthesizer::new();
+        let ghz = engine
+            .synthesize_request(&SynthesisRequest::new(generators::ghz(4).unwrap()))
+            .unwrap();
+        assert_eq!(ghz.cnot_cost, 3);
+        assert_eq!(engine.cache().template_count(), 0);
+        // A same-support skewed state still solves fresh.
+        let skewed = SparseState::from_amplitudes(
+            4,
+            [
+                (BasisIndex::new(0), 0.95),
+                (BasisIndex::new(0b1111), (1.0 - 0.95f64 * 0.95).sqrt()),
+            ],
+        )
+        .unwrap();
+        let outcome = engine.synthesize_requests(&[SynthesisRequest::new(skewed)]);
+        assert_eq!(outcome.stats.template_hits, 0);
+        assert_eq!(outcome.stats.solver_runs, 1);
+        assert!(matches!(
+            outcome.reports[0].as_ref().unwrap().provenance,
+            Provenance::Solved
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::engine::StateTransform;
 use crate::error::SynthesisError;
 use crate::json::{self, Value};
 use crate::search::config::CacheConfig;
+use crate::search::op::TransitionOp;
 
 /// An amplitude-aware canonical class fingerprint: the Stage 0
 /// **frame-invariant signature** of the invariant pipeline
@@ -94,12 +95,27 @@ impl ClassKey {
     }
 }
 
+/// How a cached class's circuit was produced: a fresh workflow solve, or an
+/// instantiation of a support-pattern class template (the captured structure
+/// replayed with this class's own amplitudes). Session-local — snapshots do
+/// not persist the origin, so loaded entries always read
+/// [`EntryOrigin::Fresh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntryOrigin {
+    /// Solved by a fresh workflow run.
+    #[default]
+    Fresh,
+    /// Instantiated from a support-pattern class template via angle replay.
+    Template,
+}
+
 /// One solved canonical class: the circuit of the first-seen member and the
 /// witness transform of that member.
 #[derive(Debug)]
 pub struct CacheEntry {
     pub(crate) circuit: Result<Circuit, SynthesisError>,
     pub(crate) transform: StateTransform,
+    pub(crate) origin: EntryOrigin,
 }
 
 impl CacheEntry {
@@ -119,6 +135,36 @@ impl CacheEntry {
     pub fn cnot_cost(&self) -> Option<usize> {
         self.circuit.as_ref().ok().map(Circuit::cnot_cost)
     }
+
+    /// How the representative's circuit was produced (fresh solve vs
+    /// template instantiation).
+    pub fn origin(&self) -> EntryOrigin {
+        self.origin
+    }
+}
+
+/// An angle-free circuit template of one support-pattern class: the exact
+/// solver's reduction recipe captured from the first member solved *at the
+/// entanglement lower bound*, plus that member's witness onto the class's
+/// support fingerprint.
+///
+/// Another member of the class instantiates the template by transporting its
+/// own amplitudes into the captured frame and replaying the ops — the
+/// angle-replay stage re-derives the member's rotation angles, so the
+/// structure is shared while every instantiation carries its own angles. The
+/// lower-bound capture gate is what keeps instantiation cost-identical to a
+/// fresh solve (nothing can beat the bound, so both sit exactly on it).
+#[derive(Debug, Clone)]
+pub(crate) struct CircuitTemplate {
+    /// The backward reduction, in the searched variant's frame.
+    pub(crate) ops: Vec<TransitionOp>,
+    /// Zero-cost transform from the compact register onto the searched
+    /// variant.
+    pub(crate) frame: StateTransform,
+    /// Active qubit positions of the capturing member's register.
+    pub(crate) active: Vec<usize>,
+    /// The capturing member's witness onto the support fingerprint.
+    pub(crate) witness: StateTransform,
 }
 
 /// A point-in-time view of the cache counters.
@@ -149,11 +195,18 @@ struct CacheTiming {
     evict: Arc<Histogram>,
 }
 
+/// One shard of the template map: support-pattern key → cached structure.
+type TemplateShard = Mutex<HashMap<ClassKey, Arc<CircuitTemplate>>>;
+
 /// The sharded, size-bounded canonical-class cache. See the [module
 /// docs](self).
 #[derive(Debug)]
 pub struct ShardedCache {
     shards: Box<[Mutex<HashMap<ClassKey, Slot>>]>,
+    /// Support-pattern class templates, sharded like the main map but keyed
+    /// by the *support* fingerprint (amplitudes blanked). Session-local:
+    /// never persisted to snapshots.
+    templates: Box<[TemplateShard]>,
     shard_mask: usize,
     per_shard_capacity: usize,
     tick: AtomicU64,
@@ -183,6 +236,10 @@ impl ShardedCache {
         };
         ShardedCache {
             shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            templates: (0..shards)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
@@ -234,10 +291,13 @@ impl ShardedCache {
             .all(|s| s.lock().expect("cache shard poisoned").is_empty())
     }
 
-    /// Drops every cached class (counters are preserved).
+    /// Drops every cached class and template (counters are preserved).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
             shard.lock().expect("cache shard poisoned").clear();
+        }
+        for shard in self.templates.iter() {
+            shard.lock().expect("cache template shard poisoned").clear();
         }
     }
 
@@ -253,10 +313,61 @@ impl ShardedCache {
         }
     }
 
-    fn shard_of(&self, key: &ClassKey) -> &Mutex<HashMap<ClassKey, Slot>> {
+    fn shard_index(&self, key: &ClassKey) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) & self.shard_mask]
+        (hasher.finish() as usize) & self.shard_mask
+    }
+
+    fn shard_of(&self, key: &ClassKey) -> &Mutex<HashMap<ClassKey, Slot>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Looks up a circuit template for a support-pattern class key.
+    pub(crate) fn lookup_template(&self, key: &ClassKey) -> Option<Arc<CircuitTemplate>> {
+        let shard = self.templates[self.shard_index(key)]
+            .lock()
+            .expect("cache template shard poisoned");
+        shard.get(key).cloned()
+    }
+
+    /// Registers a template for a support-pattern class. First writer wins:
+    /// a key that already holds a template is left untouched so concurrent
+    /// captures of the same class stay deterministic. Template shards honour
+    /// the same per-shard bound as circuit shards but skip rather than
+    /// evict — templates carry no recency and losing one is always safe.
+    /// Returns whether the template was stored.
+    pub(crate) fn insert_template(&self, key: ClassKey, template: Arc<CircuitTemplate>) -> bool {
+        let mut shard = self.templates[self.shard_index(&key)]
+            .lock()
+            .expect("cache template shard poisoned");
+        if shard.contains_key(&key) {
+            return false;
+        }
+        if self.per_shard_capacity > 0 && shard.len() >= self.per_shard_capacity {
+            return false;
+        }
+        shard.insert(key, template);
+        true
+    }
+
+    /// Number of support-pattern class templates currently held.
+    pub fn template_count(&self) -> usize {
+        self.templates
+            .iter()
+            .map(|s| s.lock().expect("cache template shard poisoned").len())
+            .sum()
+    }
+
+    /// Visits every cached class key under the shard locks. Used to seed the
+    /// signature interner after a snapshot load.
+    pub(crate) fn for_each_key(&self, mut f: impl FnMut(&ClassKey)) {
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for key in shard.keys() {
+                f(key);
+            }
+        }
     }
 
     /// Looks up a class, recording a hit or miss and refreshing the entry's
@@ -604,6 +715,7 @@ fn parse_entry(value: &json::Value) -> Result<(ClassKey, CacheEntry), String> {
         CacheEntry {
             circuit: Ok(circuit),
             transform: StateTransform { perm, mask },
+            origin: EntryOrigin::Fresh,
         },
     ))
 }
@@ -678,6 +790,7 @@ mod tests {
         Arc::new(CacheEntry {
             circuit: Ok(circuit),
             transform: StateTransform::identity(n),
+            origin: EntryOrigin::Fresh,
         })
     }
 
@@ -724,6 +837,66 @@ mod tests {
         assert!(cache.lookup(&key(3, 99)).is_some());
     }
 
+    fn template(n: usize) -> Arc<CircuitTemplate> {
+        Arc::new(CircuitTemplate {
+            ops: vec![TransitionOp::RyMerge { target: 0 }],
+            frame: StateTransform::identity(n),
+            active: (0..n).collect(),
+            witness: StateTransform::identity(n),
+        })
+    }
+
+    #[test]
+    fn template_store_is_first_wins_and_cleared_with_the_cache() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 2,
+            capacity: 0,
+        });
+        assert!(cache.lookup_template(&key(3, 1)).is_none());
+        assert!(cache.insert_template(key(3, 1), template(3)));
+        let first = cache.lookup_template(&key(3, 1)).expect("stored");
+        // A second capture for the same class is dropped.
+        assert!(!cache.insert_template(key(3, 1), template(3)));
+        assert!(Arc::ptr_eq(
+            &first,
+            &cache.lookup_template(&key(3, 1)).unwrap()
+        ));
+        assert_eq!(cache.template_count(), 1);
+        cache.clear();
+        assert_eq!(cache.template_count(), 0);
+        assert!(cache.lookup_template(&key(3, 1)).is_none());
+    }
+
+    #[test]
+    fn template_store_skips_inserts_beyond_the_shard_bound() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        assert!(cache.insert_template(key(3, 1), template(3)));
+        assert!(cache.insert_template(key(3, 2), template(3)));
+        // Bounded caches drop, rather than evict, excess templates.
+        assert!(!cache.insert_template(key(3, 3), template(3)));
+        assert_eq!(cache.template_count(), 2);
+    }
+
+    #[test]
+    fn for_each_key_visits_every_cached_class() {
+        let cache = ShardedCache::new(CacheConfig {
+            shards: 4,
+            capacity: 0,
+        });
+        for seed in 0..5 {
+            cache.insert(key(3, seed), entry(3));
+        }
+        let mut seen = Vec::new();
+        cache.for_each_key(|k| seen.push(k.clone()));
+        seen.sort_by_key(|k| k.signature);
+        let mut expected: Vec<ClassKey> = (0..5).map(|seed| key(3, seed)).collect();
+        expected.sort_by_key(|k| k.signature);
+        assert_eq!(seen, expected);
+    }
+
     #[test]
     fn reinserting_an_existing_key_does_not_evict() {
         let cache = ShardedCache::new(CacheConfig {
@@ -761,6 +934,7 @@ mod tests {
             Arc::new(CacheEntry {
                 circuit: Ok(circuit.clone()),
                 transform: transform.clone(),
+                origin: EntryOrigin::Fresh,
             }),
         );
         // Failed classes never reach the snapshot.
@@ -771,6 +945,7 @@ mod tests {
                     reason: "test".to_string(),
                 }),
                 transform: StateTransform::identity(3),
+                origin: EntryOrigin::Fresh,
             }),
         );
 
@@ -799,6 +974,7 @@ mod tests {
         Arc::new(CacheEntry {
             circuit: Ok(circuit),
             transform: StateTransform::identity(n),
+            origin: EntryOrigin::Fresh,
         })
     }
 
@@ -823,6 +999,7 @@ mod tests {
                 reason: "test".to_string(),
             }),
             transform: StateTransform::identity(3),
+            origin: EntryOrigin::Fresh,
         });
         assert!(!cache.merge_entry(key(3, 1), Arc::clone(&failed)));
         cache.insert(key(3, 2), failed);

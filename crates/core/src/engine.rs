@@ -35,7 +35,28 @@ use crate::search::astar::{
     shortest_reduction_probed, SearchCoordination, SearchFailure, SearchOutcome,
 };
 use crate::search::config::{SearchConfig, SearchStrategy};
+use crate::search::op::TransitionOp;
 use crate::search::state::SearchState;
+
+/// The abstract reduction recipe of one exact solve: the transition
+/// operations the search settled (in the frame of the searched variant), the
+/// zero-cost transform from the compact register onto that variant, and the
+/// active qubit positions the compact register was built from.
+///
+/// The ops are angle-free — replaying them on *another* state with the same
+/// support pattern re-derives that state's own rotation angles through the
+/// angle-replay stage. This is the capture side of the batch layer's
+/// support-pattern class templates.
+#[derive(Debug, Clone)]
+pub(crate) struct ReductionPlan {
+    /// The backward reduction, in the searched variant's frame.
+    pub(crate) ops: Vec<TransitionOp>,
+    /// Zero-cost transform from the compact register onto the searched
+    /// variant (identity for sequential solves).
+    pub(crate) frame: StateTransform,
+    /// Active (non constant-`|0⟩`) qubit positions of the original register.
+    pub(crate) active: Vec<usize>,
+}
 
 /// A zero-cost transform `t(x) = permute(x, perm) ^ mask` mapping one state
 /// of a Sec. V-B equivalence class onto another (index-wise; amplitudes ride
@@ -143,13 +164,15 @@ pub struct SolverEngine {
     config: SearchConfig,
 }
 
-/// The solved compact problem: the circuit on the active register plus
-/// search statistics.
+/// The solved compact problem: the circuit on the active register, the
+/// reduction recipe it was replayed from, plus search statistics.
 struct CompactSolution {
     circuit: Circuit,
     expanded: usize,
     pushed: usize,
     variants: usize,
+    ops: Vec<TransitionOp>,
+    frame: StateTransform,
 }
 
 impl SolverEngine {
@@ -232,6 +255,7 @@ impl SolverEngine {
                     ..SynthesisStats::default()
                 },
                 elapsed: start.elapsed(),
+                plan: None,
             });
         }
 
@@ -251,6 +275,11 @@ impl SolverEngine {
                 variants: solution.variants,
             },
             elapsed: start.elapsed(),
+            plan: Some(ReductionPlan {
+                ops: solution.ops,
+                frame: solution.frame,
+                active,
+            }),
         })
     }
 
@@ -288,6 +317,8 @@ impl SolverEngine {
             expanded: outcome.expanded,
             pushed: outcome.pushed,
             variants: 1,
+            ops: outcome.reduction_ops,
+            frame: StateTransform::identity(compact.num_qubits()),
         })
     }
 
@@ -379,6 +410,8 @@ impl SolverEngine {
             expanded: outcome.expanded,
             pushed: outcome.pushed,
             variants: transforms.len(),
+            ops: outcome.reduction_ops,
+            frame: transforms[index].clone(),
         })
     }
 }

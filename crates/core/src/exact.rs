@@ -53,6 +53,10 @@ pub struct ExactSynthesisOutcome {
     pub stats: SynthesisStats,
     /// Wall-clock time of the synthesis.
     pub elapsed: Duration,
+    /// The angle-free reduction recipe the circuit was replayed from
+    /// (`None` when the target was `|0…0⟩` already). The batch layer
+    /// captures this as a support-pattern class template.
+    pub(crate) plan: Option<crate::engine::ReductionPlan>,
 }
 
 /// Exact CNOT synthesis via the shortest-path formulation (Sec. IV–V).

@@ -91,7 +91,9 @@ pub use batch::{
     BatchOptions, BatchOutcome, BatchStats, BatchSynthesizer, DedupPolicy, KeyedClass,
     RequestBatchOutcome,
 };
-pub use cache::{CacheEntry, CacheStats, ClassKey, ShardedCache, SNAPSHOT_FORMAT_VERSION};
+pub use cache::{
+    CacheEntry, CacheStats, ClassKey, EntryOrigin, ShardedCache, SNAPSHOT_FORMAT_VERSION,
+};
 pub use engine::{SolverEngine, StateTransform};
 pub use error::SynthesisError;
 pub use exact::{ExactSynthesisOutcome, ExactSynthesizer, SynthesisStats};

@@ -21,13 +21,31 @@ use qsp_obs::SearchProbe;
 use qsp_state::{QuantumState, SparseState};
 
 use crate::api::{Provenance, StageTimings, SynthesisReport, SynthesisRequest, Synthesizer};
-use crate::engine::SolverEngine;
+use crate::engine::{ReductionPlan, SolverEngine};
 use crate::error::SynthesisError;
 use crate::search::config::SearchConfig;
 
+/// Floor of the adaptive dense-residual node budget: even a tiny residual
+/// gets enough nodes that the exact probe is meaningful.
+const DENSE_RESIDUAL_MIN_BUDGET: usize = 4_000;
+
+/// Ceiling of the adaptive dense-residual node budget; beyond it the
+/// workflow keeps the n-flow tail instead of searching further.
+const DENSE_RESIDUAL_MAX_BUDGET: usize = 100_000;
+
 /// Node budget for the exact search on the (non-uniform) residual of a dense
-/// qubit reduction; beyond it the workflow keeps the n-flow tail instead.
-const DENSE_RESIDUAL_NODE_BUDGET: usize = 25_000;
+/// qubit reduction, scaled to the residual's actual size instead of a flat
+/// constant: the A* frontier grows with both the cardinality `m` and the
+/// kept register width, so a small residual probes cheaply while a
+/// near-threshold one may spend up to [`DENSE_RESIDUAL_MAX_BUDGET`] before
+/// the workflow keeps the n-flow tail.
+fn dense_residual_node_budget(cardinality: usize, keep: usize) -> usize {
+    cardinality
+        .saturating_mul(cardinality)
+        .saturating_mul(keep)
+        .saturating_mul(32)
+        .clamp(DENSE_RESIDUAL_MIN_BUDGET, DENSE_RESIDUAL_MAX_BUDGET)
+}
 
 /// Register width up to which the workflow double-checks its result against
 /// every baseline flow and keeps the cheapest circuit. The exact library
@@ -204,6 +222,21 @@ impl QspWorkflow {
         state: &S,
         probe: Option<&SearchProbe>,
     ) -> Result<Circuit, SynthesisError> {
+        Ok(self.run_with_plan(state, probe)?.0)
+    }
+
+    /// [`QspWorkflow::run_probed`] that additionally surfaces the exact
+    /// solver's reduction plan when the target was solved *directly* by the
+    /// exact branch and its circuit survived the baseline guard unchanged —
+    /// the capture seam of the batch layer's support-pattern class
+    /// templates. Targets that went through a reduction flow (or whose
+    /// circuit a guard replaced) return `None`: their circuits were not
+    /// produced by a replayable recipe.
+    pub(crate) fn run_with_plan<S: QuantumState>(
+        &self,
+        state: &S,
+        probe: Option<&SearchProbe>,
+    ) -> Result<(Circuit, Option<ReductionPlan>), SynthesisError> {
         let sparse = state.as_sparse()?;
         let target = sparse.as_ref();
         if target.iter().any(|(_, a)| a < 0.0) {
@@ -213,8 +246,11 @@ impl QspWorkflow {
         }
         let exact = SolverEngine::new(self.config.search);
 
+        let mut plan: Option<ReductionPlan> = None;
         let mut circuit = if self.fits_exact(target) {
-            exact.synthesize_probed(target, probe)?.circuit
+            let outcome = exact.synthesize_probed(target, probe)?;
+            plan = outcome.plan;
+            outcome.circuit
         } else if target.is_sparse() {
             // Sparse branch: cardinality reduction until the residual problem
             // fits the exact solver.
@@ -256,12 +292,11 @@ impl QspWorkflow {
                 .prepare(&compact_residual)?
                 .remap_qubits(&(0..keep).collect::<Vec<_>>(), target.num_qubits())?;
             let capped = SolverEngine::new(
-                self.config.search.with_node_budget(
-                    self.config
-                        .search
-                        .max_expanded_nodes
-                        .min(DENSE_RESIDUAL_NODE_BUDGET),
-                ),
+                self.config
+                    .search
+                    .with_node_budget(self.config.search.max_expanded_nodes.min(
+                        dense_residual_node_budget(compact_residual.cardinality(), keep),
+                    )),
             );
             let mut circuit = match capped.synthesize_probed(&residual, probe) {
                 Ok(outcome) if outcome.circuit.cnot_cost() <= nflow_tail.cnot_cost() => {
@@ -278,6 +313,7 @@ impl QspWorkflow {
         // the expensive guard, a full 2^n multiplexor chain — is only
         // synthesized when its closed-form cost of 2^n − 2 would win.
         let n = target.num_qubits();
+        let pre_guard_cost = circuit.cnot_cost();
         if n <= BASELINE_GUARD_QUBITS
             && circuit.cnot_cost() > qsp_state::cofactor::entanglement_lower_bound(target)
         {
@@ -296,12 +332,17 @@ impl QspWorkflow {
                 }
             }
         }
+        if circuit.cnot_cost() != pre_guard_cost {
+            // A baseline flow won the guard: the circuit no longer matches
+            // the exact solver's recipe, so there is nothing to capture.
+            plan = None;
+        }
 
         if self.config.optimize {
             let (optimized, _) = qsp_circuit::optimizer::optimize(&circuit);
-            Ok(optimized)
+            Ok((optimized, plan))
         } else {
-            Ok(circuit)
+            Ok((circuit, plan))
         }
     }
 }
@@ -449,6 +490,22 @@ mod tests {
         assert!(QspWorkflow::new().prepare(&negative).is_err());
         assert!(prepare_state(&negative).is_err());
         assert_eq!(QspWorkflow::new().name(), "exact-synthesis");
+    }
+
+    #[test]
+    fn dense_residual_budget_scales_and_clamps() {
+        // Monotone in both the residual cardinality and the kept width.
+        assert!(dense_residual_node_budget(4, 3) <= dense_residual_node_budget(8, 3));
+        assert!(dense_residual_node_budget(8, 3) <= dense_residual_node_budget(8, 4));
+        // Floored for tiny residuals, capped near the thresholds, and safe
+        // against overflow.
+        assert_eq!(dense_residual_node_budget(1, 1), DENSE_RESIDUAL_MIN_BUDGET);
+        assert_eq!(dense_residual_node_budget(16, 4), 32_768);
+        assert_eq!(dense_residual_node_budget(64, 6), DENSE_RESIDUAL_MAX_BUDGET);
+        assert_eq!(
+            dense_residual_node_budget(usize::MAX, usize::MAX),
+            DENSE_RESIDUAL_MAX_BUDGET
+        );
     }
 
     #[test]

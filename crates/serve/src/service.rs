@@ -5,8 +5,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qsp_core::{
-    BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, KeyCoverage, KeyedClass, Provenance,
-    StageTimings, SynthesisReport, SynthesisRequest, TenantId,
+    BatchSynthesizer, CacheEntry, CachePolicy, DedupPolicy, EntryOrigin, KeyCoverage, KeyedClass,
+    Provenance, StageTimings, SynthesisReport, SynthesisRequest, TenantId,
 };
 use qsp_obs::{Histogram, ObsSnapshot, RequestTrace, SpanKind};
 use qsp_state::{QuantumState, SparseState};
@@ -274,6 +274,8 @@ impl SynthesisService {
             keys_exhaustive: c.keys_exhaustive.get(),
             keys_orbit_pruned: c.keys_orbit_pruned.get(),
             keys_greedy: c.keys_greedy.get(),
+            keys_sig_fast_path: c.keys_sig_fast_path.get(),
+            template_hits: c.template_hits.get(),
             queue_high_water: self.inner.queue.high_water(),
             queue_depth: self.inner.queue.depth(),
             in_flight_classes: self.inner.inflight.len(),
@@ -408,6 +410,7 @@ impl Inner {
             KeyCoverage::Exhaustive => self.counters.keys_exhaustive.inc(),
             KeyCoverage::OrbitPruned => self.counters.keys_orbit_pruned.inc(),
             KeyCoverage::Greedy => self.counters.keys_greedy.inc(),
+            KeyCoverage::SignatureOnly => self.counters.keys_sig_fast_path.inc(),
         }
         let waiter = Waiter {
             trace,
@@ -428,13 +431,13 @@ impl Inner {
         // cache-probe span is empty).
         if self.engine.options().dedup == DedupPolicy::Off || resolved.cache == CachePolicy::Bypass
         {
-            self.counters.solver_runs.inc();
             let solve_start = Instant::now();
             let entry = self
                 .engine
                 .solve_class_with(&key, &waiter.transform, &target, &resolved);
             let solving = solve_start.elapsed();
-            self.finish(&entry, waiter, Provenance::Solved, solving);
+            let provenance = self.owner_provenance(&entry, &waiter);
+            self.finish(&entry, waiter, provenance, solving);
             return;
         }
 
@@ -454,7 +457,6 @@ impl Inner {
                 );
             }
             Attach::Owner(waiter) => {
-                self.counters.solver_runs.inc();
                 // The guard retires the class even if the solve panics, so
                 // attached waiters can never hang on a poisoned entry.
                 let owned = self.inflight.guard(&key);
@@ -473,7 +475,8 @@ impl Inner {
                 );
                 let solving = solve_start.elapsed();
                 let attached = owned.retire();
-                self.finish(&entry, waiter, Provenance::Solved, solving);
+                let provenance = self.owner_provenance(&entry, &waiter);
+                self.finish(&entry, waiter, provenance, solving);
                 for waiter in attached {
                     let witness = waiter.transform.clone();
                     self.finish(
@@ -483,6 +486,24 @@ impl Inner {
                         Duration::ZERO,
                     );
                 }
+            }
+        }
+    }
+
+    /// The provenance of a class owner's freshly produced entry, with the
+    /// matching counter bump: a template-instantiated entry counts as a
+    /// template hit (no A* ran), anything else as a solver run.
+    fn owner_provenance(&self, entry: &CacheEntry, waiter: &Waiter) -> Provenance {
+        match entry.origin() {
+            EntryOrigin::Template => {
+                self.counters.template_hits.inc();
+                Provenance::TemplateInstantiated {
+                    witness: waiter.transform.clone(),
+                }
+            }
+            EntryOrigin::Fresh => {
+                self.counters.solver_runs.inc();
+                Provenance::Solved
             }
         }
     }

@@ -46,6 +46,8 @@ pub(crate) struct Counters {
     pub keys_exhaustive: Counter,
     pub keys_orbit_pruned: Counter,
     pub keys_greedy: Counter,
+    pub keys_sig_fast_path: Counter,
+    pub template_hits: Counter,
     /// Mirror of the submission queue's current depth (`+1` on accept, `-1`
     /// on drain or shutdown cancellation).
     pub queue_depth: Gauge,
@@ -115,6 +117,8 @@ impl Counters {
             keys_exhaustive: counter("serve.keys.exhaustive"),
             keys_orbit_pruned: counter("serve.keys.orbit_pruned"),
             keys_greedy: counter("serve.keys.orbit_budget_exhausted"),
+            keys_sig_fast_path: counter("serve.keys.sig_fast_path"),
+            template_hits: counter("serve.template_hits"),
             queue_depth: metrics.gauge("serve.queue_depth", &[]),
             tenants: (0..policy.slot_count())
                 .map(|slot| TenantCounters::new(metrics, policy.slot_name(slot)))
@@ -127,8 +131,10 @@ impl Counters {
 ///
 /// Counter identities (stable under concurrency, read at quiescence):
 /// `submitted == completed + failed + expired + cancelled + in-flight`, and
-/// `completed + failed == solver_runs-resolved + deduped + cache_hits`
-/// requests that went through the solve path. Per tenant (see
+/// `completed + failed == solver_runs-resolved + template_hits + deduped +
+/// cache_hits` requests that went through the solve path (a template hit is
+/// a class owner served by replaying a cached class template instead of
+/// running the solver). Per tenant (see
 /// [`TenantStats`]), `submitted` counts *attempts*, so
 /// `submitted == completed + failed + throttled + rejected + expired +
 /// cancelled` at quiescence.
@@ -172,6 +178,15 @@ pub struct ServiceStats {
     /// [`orbit_node_budget`](qsp_core::BatchOptions::orbit_node_budget) if
     /// their solves are expensive.
     pub keys_greedy: u64,
+    /// Requests keyed on the stage-0 signature alone by the tiered fast
+    /// path (fresh or exactly repeated signatures — no permutation
+    /// enumeration at all; the class partition is unchanged).
+    pub keys_sig_fast_path: u64,
+    /// Class owners served by replaying a support-pattern class template
+    /// with their own amplitudes instead of running the A* solver (their
+    /// provenance is
+    /// [`Provenance::TemplateInstantiated`](qsp_core::Provenance)).
+    pub template_hits: u64,
     /// The deepest the submission queue has ever been.
     pub queue_high_water: usize,
     /// Current queue depth (at snapshot time).
@@ -270,6 +285,11 @@ impl ServiceStats {
                 Value::Num(self.keys_orbit_pruned),
             ),
             ("keys_greedy".to_string(), Value::Num(self.keys_greedy)),
+            (
+                "keys_sig_fast_path".to_string(),
+                Value::Num(self.keys_sig_fast_path),
+            ),
+            ("template_hits".to_string(), Value::Num(self.template_hits)),
             (
                 "queue_high_water".to_string(),
                 Value::Num(self.queue_high_water as u64),
@@ -399,6 +419,8 @@ mod tests {
             keys_exhaustive: 2,
             keys_orbit_pruned: 1,
             keys_greedy: 0,
+            keys_sig_fast_path: 2,
+            template_hits: 1,
             queue_high_water: 4,
             queue_depth: 0,
             in_flight_classes: 0,
@@ -414,6 +436,8 @@ mod tests {
         assert_eq!(parsed.get("keys_exhaustive").unwrap().as_u64(), Some(2));
         assert_eq!(parsed.get("keys_orbit_pruned").unwrap().as_u64(), Some(1));
         assert_eq!(parsed.get("keys_greedy").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed.get("keys_sig_fast_path").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed.get("template_hits").unwrap().as_u64(), Some(1));
         let wait = parsed.get("queue_wait").unwrap();
         assert_eq!(wait.get("count").unwrap().as_u64(), Some(1));
         assert!(wait.get("p95_ms").unwrap().as_f64().unwrap() > 0.0);

@@ -11,8 +11,13 @@
 //!   representative (`solver_runs == 1`) and reconstructs the other with
 //!   bit-identical `cnot_cost`.
 //! * **Coverage observability**: the `keys_exhaustive` /
-//!   `keys_orbit_pruned` / `keys_greedy` counters tally every keyed target,
-//!   in both `BatchStats` and the serve layer's `ServiceStats`.
+//!   `keys_orbit_pruned` / `keys_greedy` / `keys_sig_fast_path` counters
+//!   tally every keyed target, in both `BatchStats` and the serve layer's
+//!   `ServiceStats`.
+//! * **Signature-collision soundness**: adversarial pairs with equal Stage 0
+//!   signatures but genuinely different classes (C6 vs. C3+C3 edge states —
+//!   WL-indistinguishable 2-regular graphs) must stay apart through the
+//!   batch engine, the serve layer and a cache snapshot round-trip.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,10 +64,15 @@ fn random_witnesses_key_equal_with_mutually_consistent_witnesses() {
             let (perm, mask) = random_witness(&mut rng, n);
             let variant = transformed(&base, &perm, mask);
 
+            // Under tiered keying either member may take the signature
+            // fast path (fresh signature or raw anchor match) or pay the
+            // collision tier — the engine's interner persists across
+            // rounds, so even a "fresh" base can collide with an earlier
+            // round's anchor. What must hold regardless of tier: the
+            // equivalent pair keys equal with consistent witnesses.
             let class_a = engine.canonical_class(&base).unwrap();
             let class_b = engine.canonical_class(&variant).unwrap();
-            assert_eq!(class_a.coverage, class_b.coverage, "n={n} round={round}");
-            if class_a.coverage == KeyCoverage::Greedy {
+            if class_a.coverage == KeyCoverage::Greedy || class_b.coverage == KeyCoverage::Greedy {
                 // Greedy keys are sound but may split classes; nothing more
                 // to assert here (the budget test below pins this path).
                 continue;
@@ -159,11 +169,14 @@ fn eight_qubit_equivalent_pair_dedups_to_one_solve() {
         "the 8-qubit equivalent pair must share one solve"
     );
     assert_eq!(outcome.stats.cache_hits, 1);
-    // Both keyings ran the orbit enumeration, not the greedy fallback.
+    // Tiered keying: one member anchors its fresh signature on Stage 0
+    // alone, the other collides and runs the orbit enumeration — never the
+    // greedy fallback.
     assert_eq!(outcome.stats.keys_greedy, 0);
+    assert_eq!(outcome.stats.keys_sig_fast_path, 1);
     assert_eq!(
         outcome.stats.keys_exhaustive + outcome.stats.keys_orbit_pruned,
-        2
+        1
     );
 
     let first = outcome.reports[0].as_ref().unwrap();
@@ -209,14 +222,16 @@ fn eight_qubit_pair_attaches_in_flight_on_the_serve_layer() {
     let stats = service.shutdown(Shutdown::Drain);
     assert_eq!(stats.solver_runs, 1, "one solve across the equivalent pair");
     assert_eq!(stats.keys_greedy, 0);
-    assert_eq!(stats.keys_exhaustive + stats.keys_orbit_pruned, 2);
+    assert_eq!(stats.keys_sig_fast_path, 1);
+    assert_eq!(stats.keys_exhaustive + stats.keys_orbit_pruned, 1);
 }
 
 #[test]
 fn a_starved_budget_degrades_to_greedy_and_the_counters_show_it() {
-    // With an orbit budget of 1 every canonical keying (beyond trivial
-    // single-candidate spaces) takes the greedy path; dedup of *exact*
-    // duplicates must still work, and the degradation must be observable.
+    // With an orbit budget of 1 every *collision-tier* canonicalization
+    // (beyond trivial single-candidate spaces) takes the greedy path; dedup
+    // of *exact* duplicates must still work (they never leave the signature
+    // fast path), and the degradation must be observable.
     let (base, variant) = eight_qubit_pair();
     let engine = BatchSynthesizer::with_options(
         WorkflowConfig::default(),
@@ -229,7 +244,14 @@ fn a_starved_budget_degrades_to_greedy_and_the_counters_show_it() {
     ];
     let outcome = engine.synthesize_requests(&requests);
     assert_eq!(outcome.stats.errors, 0);
-    assert_eq!(outcome.stats.keys_greedy, 3, "every keying went greedy");
+    assert_eq!(
+        outcome.stats.keys_greedy, 1,
+        "only the colliding variant pays the starved canonicalization"
+    );
+    assert_eq!(
+        outcome.stats.keys_sig_fast_path, 2,
+        "the base and its exact duplicate never leave the fast path"
+    );
     assert!(
         outcome.stats.solver_runs <= 2,
         "exact duplicates must still collapse under greedy keys"
@@ -247,23 +269,167 @@ fn a_starved_budget_degrades_to_greedy_and_the_counters_show_it() {
 fn coverage_counters_partition_the_batch() {
     let mut rng = StdRng::seed_from_u64(7171);
     let mut requests = Vec::new();
-    // GHZ states: one full orbit → exhaustive; random sparse states:
-    // scattered colors → orbit-pruned.
+    // Fresh signatures (GHZ widths and random supports) take the signature
+    // fast path; their flipped/relabelled equivalents collide and pay the
+    // full tier — GHZ's single orbit keys exhaustively, scattered random
+    // colors key orbit-pruned.
     for n in 3..=6 {
-        requests.push(SynthesisRequest::new(generators::ghz(n).unwrap()));
+        let ghz = generators::ghz(n).unwrap();
+        let identity: Vec<usize> = (0..n).collect();
+        requests.push(SynthesisRequest::new(transformed(&ghz, &identity, 0b1)));
+        requests.push(SynthesisRequest::new(ghz));
     }
     for _ in 0..4 {
-        requests.push(SynthesisRequest::new(
-            generators::random_uniform_state(6, 5, &mut rng).unwrap(),
-        ));
+        let base = generators::random_uniform_state(6, 5, &mut rng).unwrap();
+        let (perm, mask) = random_witness(&mut rng, 6);
+        requests.push(SynthesisRequest::new(transformed(&base, &perm, mask)));
+        requests.push(SynthesisRequest::new(base));
     }
     let engine = BatchSynthesizer::new();
     let outcome = engine.synthesize_requests(&requests);
     assert_eq!(outcome.stats.errors, 0);
     assert_eq!(
-        outcome.stats.keys_exhaustive + outcome.stats.keys_orbit_pruned + outcome.stats.keys_greedy,
+        outcome.stats.keys_exhaustive
+            + outcome.stats.keys_orbit_pruned
+            + outcome.stats.keys_greedy
+            + outcome.stats.keys_sig_fast_path,
         requests.len(),
         "every target is tallied exactly once"
     );
+    assert_eq!(
+        outcome.stats.keys_sig_fast_path, 8,
+        "each class's first-seen member anchors on Stage 0 alone"
+    );
     assert!(outcome.stats.keys_exhaustive >= 4, "GHZ keys exhaustively");
+    assert_eq!(outcome.stats.keys_greedy, 0);
+}
+
+/// Uniform edge-indicator state of a graph on 6 vertices: one basis state
+/// per edge with both endpoint bits set. C6 and C3+C3 are 2-regular and
+/// WL-indistinguishable, so their states share a Stage 0 signature while
+/// being genuinely inequivalent — the adversarial input for the tiered
+/// fast path.
+fn edge_state(edges: &[(usize, usize)]) -> SparseState {
+    let indices: Vec<BasisIndex> = edges
+        .iter()
+        .map(|&(u, v)| BasisIndex::new((1u64 << u) | (1u64 << v)))
+        .collect();
+    SparseState::uniform_superposition(6, indices).unwrap()
+}
+
+fn c6_state() -> SparseState {
+    edge_state(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+}
+
+fn c3c3_state() -> SparseState {
+    edge_state(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+}
+
+#[test]
+fn colliding_signatures_stay_apart_in_the_batch() {
+    let engine = BatchSynthesizer::new();
+    let c6 = c6_state();
+    let c3c3 = c3c3_state();
+    let class_c6 = engine.canonical_class(&c6).unwrap();
+    let class_c3c3 = engine.canonical_class(&c3c3).unwrap();
+    assert_eq!(
+        class_c6.key.signature(),
+        class_c3c3.key.signature(),
+        "the pair must actually collide at Stage 0 to be adversarial"
+    );
+    assert_ne!(class_c6.key, class_c3c3.key, "the classes must stay apart");
+
+    let outcome = engine.synthesize_requests(&[
+        SynthesisRequest::new(c6.clone()),
+        SynthesisRequest::new(c3c3.clone()),
+    ]);
+    assert_eq!(outcome.stats.errors, 0);
+    assert_eq!(
+        outcome.stats.solver_runs, 2,
+        "a signature collision must never merge inequivalent targets"
+    );
+    let report_c6 = outcome.reports[0].as_ref().unwrap();
+    let report_c3c3 = outcome.reports[1].as_ref().unwrap();
+    assert!(verify_preparation(&report_c6.circuit, &c6)
+        .unwrap()
+        .is_correct());
+    assert!(verify_preparation(&report_c3c3.circuit, &c3c3)
+        .unwrap()
+        .is_correct());
+}
+
+#[test]
+fn colliding_signatures_stay_apart_through_a_snapshot_round_trip() {
+    let c6 = c6_state();
+    let c3c3 = c3c3_state();
+    let warm = BatchSynthesizer::new();
+    let outcome = warm.synthesize_requests(&[
+        SynthesisRequest::new(c6.clone()),
+        SynthesisRequest::new(c3c3.clone()),
+    ]);
+    assert_eq!(outcome.stats.errors, 0);
+    let cost_c6 = outcome.reports[0].as_ref().unwrap().cnot_cost;
+    let cost_c3c3 = outcome.reports[1].as_ref().unwrap().cnot_cost;
+
+    let dir = std::env::temp_dir().join("qsp_keying_collision_snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.json");
+    assert_eq!(warm.save_cache_snapshot(&path).unwrap(), 2);
+
+    // The cold engine adopts both persisted keys as interner anchors for
+    // the *same* signature bucket; each resubmission must land on its own
+    // cached class, not its collision partner's.
+    let cold = BatchSynthesizer::new();
+    assert_eq!(cold.load_cache_snapshot(&path).unwrap(), 2);
+    let warmed = cold.synthesize_requests(&[
+        SynthesisRequest::new(c6.clone()),
+        SynthesisRequest::new(c3c3.clone()),
+    ]);
+    assert_eq!(warmed.stats.errors, 0);
+    assert_eq!(warmed.stats.solver_runs, 0, "both classes must warm-hit");
+    assert_eq!(warmed.stats.cache_hits, 2);
+    let report_c6 = warmed.reports[0].as_ref().unwrap();
+    let report_c3c3 = warmed.reports[1].as_ref().unwrap();
+    assert_eq!(report_c6.cnot_cost, cost_c6);
+    assert_eq!(report_c3c3.cnot_cost, cost_c3c3);
+    assert!(verify_preparation(&report_c6.circuit, &c6)
+        .unwrap()
+        .is_correct());
+    assert!(verify_preparation(&report_c3c3.circuit, &c3c3)
+        .unwrap()
+        .is_correct());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn colliding_signatures_stay_apart_on_the_serve_layer() {
+    let c6 = c6_state();
+    let c3c3 = c3c3_state();
+    let service =
+        SynthesisService::with_engine(BatchSynthesizer::new(), 16, SchedulerConfig::default());
+    let a = service
+        .submit(SynthesisRequest::new(c6.clone()))
+        .handle()
+        .unwrap();
+    let b = service
+        .submit(SynthesisRequest::new(c3c3.clone()))
+        .handle()
+        .unwrap();
+    let response_a = a.wait();
+    let response_b = b.wait();
+    let report_a = response_a.report().unwrap();
+    let report_b = response_b.report().unwrap();
+    assert!(verify_preparation(&report_a.circuit, &c6)
+        .unwrap()
+        .is_correct());
+    assert!(verify_preparation(&report_b.circuit, &c3c3)
+        .unwrap()
+        .is_correct());
+    let stats = service.shutdown(Shutdown::Drain);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(
+        stats.solver_runs, 2,
+        "in-flight dedup must not attach across the signature collision"
+    );
+    assert_eq!(stats.deduped, 0);
 }
